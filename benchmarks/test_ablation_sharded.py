@@ -1,0 +1,83 @@
+"""Extension benchmark: bump chunks vs free-list sharding (paper §6).
+
+The paper's conclusion suggests "free list sharding [23] and meshing [28]
+could be used in place of bump allocation to improve practical
+fragmentation behaviour".  This bench runs the two worst Table-1 offenders
+(leela and roms, whose grouped pools are almost entirely dead at peak)
+under both pool designs and reports fragmentation and the locality cost.
+"""
+
+import os
+
+from repro.allocators import ShardedGroupAllocator
+from repro.cache import CacheHierarchy, CostModel
+from repro.core import HaloParams, optimise_profile, profile_workload
+from repro.core.pipeline import make_runtime
+from repro.harness.reproduce import halo_params_for
+from repro.harness.runner import PeakTracker
+from repro.machine import Machine
+from repro.workloads import get_workload
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "ref")
+BENCHES = ("leela", "roms")
+
+
+def measure_with(workload, artifacts, allocator_cls):
+    from repro.allocators import AddressSpace
+
+    runtime = make_runtime(artifacts, AddressSpace(1), allocator_cls=allocator_cls)
+    memory = CacheHierarchy()
+    tracker = PeakTracker(runtime.allocator)
+    machine = Machine(
+        workload.program,
+        runtime.allocator,
+        memory=memory,
+        listeners=[tracker],
+        instrumentation=runtime.instrumentation,
+        state_vector=runtime.state_vector,
+    )
+    workload.run(machine, SCALE)
+    snap = memory.snapshot()
+    return {
+        "cycles": CostModel().cycles(machine.metrics, snap),
+        "l1": snap.l1_misses,
+        "frag": tracker.frag_at_peak,
+    }
+
+
+def test_sharded_free_lists_vs_bump(benchmark):
+    def run_all():
+        results = {}
+        for name in BENCHES:
+            workload = get_workload(name)
+            params = halo_params_for(workload)
+            profile = profile_workload(workload, params, scale="test")
+            artifacts = optimise_profile(profile, params)
+            from repro.allocators import GroupAllocator
+
+            results[name] = {
+                "bump": measure_with(get_workload(name), artifacts, GroupAllocator),
+                "sharded": measure_with(
+                    get_workload(name), artifacts, ShardedGroupAllocator
+                ),
+            }
+        return results
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    print("\nBump chunks vs free-list sharding (§6 extension)")
+    print(f"  {'benchmark':8s} {'design':8s} {'frag %':>8s} {'wasted KiB':>11s} {'L1 misses':>10s}")
+    for name, designs in results.items():
+        for design, r in designs.items():
+            frag = r["frag"]
+            print(
+                f"  {name:8s} {design:8s} {frag.fraction * 100:7.2f}% "
+                f"{frag.wasted_bytes / 1024:10.1f} {r['l1']:10,}"
+            )
+
+    for name, designs in results.items():
+        bump, sharded = designs["bump"], designs["sharded"]
+        # Sharding never wastes more grouped memory at peak...
+        assert sharded["frag"].wasted_bytes <= bump["frag"].wasted_bytes
+        # ... at a bounded locality cost.
+        assert sharded["l1"] <= bump["l1"] * 1.25

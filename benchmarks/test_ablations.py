@@ -1,0 +1,78 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Each ablation disables one ingredient of the HALO pipeline and re-measures
+a representative benchmark:
+
+* **co-allocatability** (§4.1's fourth queue constraint) — without it the
+  affinity graph admits relationships a shared pool cannot realise;
+* **loop-aware score** (Figure 7) — degraded to plain weighted density;
+* **node-coverage filter** (the 90 % noise cut) — widened to 100 %;
+* **affinity distance** — the evaluation default (128) vs a tiny window.
+
+The assertions are deliberately loose (single-seed runs): the full
+configuration must remain competitive with every ablation, and the
+pipeline must stay functional under each.
+"""
+
+import os
+
+from repro.core import HaloParams, optimise_profile, profile_workload
+from repro.core.grouping import GroupingParams
+from repro.harness.runner import measure_baseline, measure_halo
+from repro.profiling import AffinityParams
+from repro.workloads import get_workload
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "ref")
+BENCH = "health"
+
+ABLATIONS = {
+    "full HALO": HaloParams(),
+    "no co-allocatability": HaloParams(
+        affinity=AffinityParams(enforce_co_allocatability=False)
+    ),
+    "plain density score": HaloParams(
+        grouping=GroupingParams(loop_aware_score=False)
+    ),
+    "no coverage filter": HaloParams(affinity=AffinityParams(node_coverage=1.0)),
+    "affinity distance 16": HaloParams(affinity=AffinityParams(distance=16)),
+}
+
+
+def run_ablation(workload, params, base):
+    profile = profile_workload(workload, params, scale="test")
+    artifacts = optimise_profile(profile, params)
+    measurement = measure_halo(workload, artifacts, scale=SCALE, seed=1)
+    reduction = (
+        base.cache.l1_misses - measurement.cache.l1_misses
+    ) / base.cache.l1_misses
+    return artifacts, measurement, reduction
+
+
+def test_design_choice_ablations(benchmark):
+    workload = get_workload(BENCH)
+    base = measure_baseline(workload, scale=SCALE, seed=1)
+
+    def run_all():
+        results = {}
+        for label, params in ABLATIONS.items():
+            results[label] = run_ablation(get_workload(BENCH), params, base)
+        return results
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    print(f"\nAblations on {BENCH} (baseline L1D misses {base.cache.l1_misses:,})")
+    print(f"  {'configuration':24s} {'groups':>6s} {'bits':>5s} {'L1 reduction':>13s}")
+    for label, (artifacts, _, reduction) in results.items():
+        print(
+            f"  {label:24s} {len(artifacts.groups):6d} "
+            f"{artifacts.plan.bits_used:5d} {reduction * 100:+12.1f}%"
+        )
+
+    full = results["full HALO"][2]
+    # The full configuration is meaningfully positive...
+    assert full > 0.10
+    # ... and at least matches every ablated variant (small tolerance).
+    for label, (_, _, reduction) in results.items():
+        assert full >= reduction - 0.05, f"ablation {label!r} should not beat full HALO"
+    # A tiny affinity window cripples relationship discovery.
+    assert results["affinity distance 16"][2] <= full

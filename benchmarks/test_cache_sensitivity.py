@@ -1,0 +1,75 @@
+"""Cache-pressure sensitivity: testing the paper's §5.2 conjecture.
+
+For povray and leela the paper observes large L1D-miss reductions with flat
+execution times and conjectures: "In more realistic environments with
+greater external cache pressure, or on less sophisticated machines, the
+observed speedups may be significantly larger."
+
+The simulator can actually run that experiment.  "External cache pressure"
+means co-running processes eating the *shared* L3 (and TLB reach), so the
+pressured configuration keeps the core-private L1/L2 and shrinks the
+effective L3 to a sliver of the Xeon's 25 MiB.  HALO's speedup on the
+compute-bound benchmarks must grow under pressure.
+
+(Shrinking L1/L2 as well does
+*not* amplify the benefit in this simulator — once nothing fits anywhere,
+both placements thrash equally — which is itself a useful calibration of
+the conjecture's scope.)
+"""
+
+import os
+
+from repro.cache import HierarchyConfig
+from repro.core import optimise_profile, profile_workload
+from repro.harness.reproduce import halo_params_for
+from repro.harness.runner import measure_baseline, measure_halo
+from repro.workloads import get_workload
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "ref")
+
+XEON = HierarchyConfig.xeon_w2195()
+PRESSURED = HierarchyConfig(
+    l3_size=1536 * 1024,  # the slice of shared L3 left by noisy neighbours
+    l3_assoc=8,
+    tlb_entries=32,
+)
+
+BENCHES = ("povray", "leela", "health")
+
+
+def speedup_under(workload_name, artifacts, config):
+    workload = get_workload(workload_name)
+    base = measure_baseline(workload, scale=SCALE, seed=1, hierarchy_config=config)
+    halo = measure_halo(
+        get_workload(workload_name), artifacts, scale=SCALE, seed=1, hierarchy_config=config
+    )
+    return base.cycles / halo.cycles - 1.0
+
+
+def test_cache_pressure_amplifies_speedups(benchmark):
+    def run_all():
+        results = {}
+        for name in BENCHES:
+            workload = get_workload(name)
+            params = halo_params_for(workload)
+            profile = profile_workload(workload, params, scale="test")
+            artifacts = optimise_profile(profile, params)
+            results[name] = {
+                "xeon": speedup_under(name, artifacts, XEON),
+                "pressured": speedup_under(name, artifacts, PRESSURED),
+            }
+        return results
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    print("\nHALO speedup: idle Xeon W-2195 vs the same part under L3 pressure")
+    print(f"  {'benchmark':8s} {'idle':>8s} {'pressured':>10s}")
+    for name, r in results.items():
+        print(f"  {name:8s} {r['xeon'] * 100:+7.1f}% {r['pressured'] * 100:+9.1f}%")
+
+    # The paper's conjecture: the compute-bound benchmarks' flat speedups
+    # grow once the shared cache is contended.
+    for name in ("povray", "leela"):
+        assert results[name]["pressured"] > results[name]["xeon"], name
+    # And a benchmark that was already memory-bound stays strongly positive.
+    assert results["health"]["pressured"] > 0.10

@@ -1,0 +1,44 @@
+"""Regenerates paper Figure 12: omnetpp time vs affinity distance.
+
+The paper sweeps A over powers of two and finds a broad sweet spot around
+A = 128 (the value used in the evaluation), with degradation at very large
+distances where the window starts absorbing unrelated contexts into the
+groups.  The bench sweeps a condensed set of distances (profiling cost
+grows with the window; see the figure12 docstring) and checks:
+
+* the selected default (128) performs at least as well as the extremes;
+* large distances do not beat the sweet spot;
+* every sweep point stays within a sane band of the baseline.
+"""
+
+import os
+
+from repro.harness import reproduce
+
+DISTANCES = (8, 32, 128, 512, 2048, 8192)
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "ref")
+TRIALS = int(os.environ.get("REPRO_BENCH_TRIALS", "1"))
+
+
+def test_figure12(benchmark):
+    result = benchmark.pedantic(
+        lambda: reproduce.figure12(distances=DISTANCES, trials=TRIALS, scale=SCALE),
+        rounds=1,
+        iterations=1,
+    )
+    baseline = result.notes["baseline"]
+    times = result.series[0].values
+    print(f"\nFigure 12 — omnetpp cycles vs affinity distance (baseline {baseline:,.0f})")
+    for distance, cycles in times.items():
+        delta = cycles / baseline - 1.0
+        print(f"  A={distance:>6s}: {cycles:15,.0f}  ({delta * 100:+6.2f}% vs baseline)")
+
+    best = min(times.values())
+    at_128 = times["128"]
+    # The paper's chosen distance sits in the sweet spot.
+    assert at_128 <= best * 1.02
+    assert at_128 < baseline  # beats the unmodified program
+    # Large distances do not improve on the sweet spot.
+    assert times["8192"] >= at_128 * 0.99
+    # Nothing in the sweep is catastrophically worse than baseline.
+    assert all(cycles < baseline * 1.10 for cycles in times.values())

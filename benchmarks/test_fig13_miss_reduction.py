@@ -1,0 +1,60 @@
+"""Regenerates paper Figure 13: L1D cache-miss reduction, HDS vs HALO.
+
+Prints both series for all 11 benchmarks and checks the figure's
+qualitative claims:
+
+* HALO reduces misses on the six prior-work benchmarks *and* the complex
+  CPU2017 ones (povray, omnetpp, xalanc, leela);
+* the hot-data-streams technique matches HALO only on the prior-work
+  benchmarks, achieves nothing on the wrapper/operator-new programs, and
+  *increases* misses on roms;
+* roms also exhibits the §5.2 representation blow-up (a handful of affinity
+  graph nodes versus orders of magnitude more hot data streams).
+"""
+
+from repro.harness import reproduce
+
+from conftest import print_series
+
+PRIOR_WORK = ("health", "ft", "analyzer", "ammp", "art", "equake")
+WRAPPER = ("povray", "omnetpp", "xalanc", "leela")
+
+
+def test_figure13(benchmark, evaluations):
+    result = benchmark.pedantic(
+        lambda: reproduce.figure13(evaluations), rounds=1, iterations=1
+    )
+    hds = result.series[0].values
+    halo = result.series[1].values
+    print_series("Figure 13 — Chilimbi et al. (HDS) L1D miss reduction", hds)
+    print_series("Figure 13 — HALO L1D miss reduction", halo)
+
+    # HALO helps everywhere the paper says it does.
+    for name in PRIOR_WORK + ("povray", "omnetpp", "xalanc", "leela"):
+        assert halo[name] > 0.02, f"HALO should reduce misses on {name}"
+    # ... and is at worst neutral on roms.
+    assert halo["roms"] > -0.03
+
+    # HDS tracks HALO on the easy targets...
+    for name in PRIOR_WORK:
+        assert hds[name] > 0.02, f"HDS should work on {name}"
+    # ... fails on the wrapper/operator-new programs...
+    for name in WRAPPER:
+        assert abs(hds[name]) < 0.02, f"HDS should be inert on {name}"
+    # ... and actively hurts roms.
+    assert hds["roms"] < -0.02
+
+    # Headline: health is the strongest benchmark, ~20 % band.
+    assert halo["health"] > 0.15
+
+
+def test_roms_representation_blowup(benchmark):
+    comparison = benchmark.pedantic(
+        reproduce.roms_representation_blowup, rounds=1, iterations=1
+    )
+    print(
+        f"\nroms representation: affinity graph nodes = "
+        f"{comparison.affinity_graph_nodes}, hot data streams = {comparison.hot_streams}"
+    )
+    assert comparison.affinity_graph_nodes <= 31
+    assert comparison.hot_streams > 50 * comparison.affinity_graph_nodes

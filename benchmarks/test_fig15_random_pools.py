@@ -1,0 +1,37 @@
+"""Regenerates paper Figure 15: the random 4-pool allocator probe.
+
+"The benchmarks with the largest change in behaviour in response to this
+rather extreme allocation policy align well with the benchmarks for which
+our technique proves most effective."  Checks that (a) the placement-
+sensitive benchmarks slow down under random pooling, and (b) sensitivity
+correlates with HALO's gains.
+"""
+
+from repro.harness import reproduce
+
+from conftest import print_series
+
+SENSITIVE = ("health", "ft", "analyzer", "ammp", "omnetpp")
+
+
+def test_figure15(benchmark, evaluations):
+    result = benchmark.pedantic(
+        lambda: reproduce.figure15(evaluations), rounds=1, iterations=1
+    )
+    random_speedup = result.series[0].values
+    print_series("Figure 15 — random 4-pool allocator speedup", random_speedup)
+
+    # The placement-sensitive benchmarks are hurt by random pooling.
+    for name in SENSITIVE:
+        assert random_speedup[name] < -0.02, f"{name} should slow down"
+    # Nothing is dramatically sped up by random placement.
+    assert all(value < 0.08 for value in random_speedup.values())
+
+    # Correlation with HALO effectiveness: the benchmarks HALO speeds up
+    # most are, on average, more sensitive than the ones it cannot help.
+    halo = {name: e.halo_speedup for name, e in evaluations.items()}
+    helped = [name for name, value in halo.items() if value > 0.05]
+    unhelped = [name for name, value in halo.items() if value <= 0.05]
+    if helped and unhelped:
+        mean = lambda names: sum(abs(random_speedup[n]) for n in names) / len(names)
+        assert mean(helped) > 0.4 * mean(unhelped)

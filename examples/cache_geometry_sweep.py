@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""What-if analysis: one captured trace, many cache geometries.
+
+Captures the address trace of a benchmark once under both placements
+(baseline and HALO) and replays the pair through a ladder of memory
+hierarchies — from an embedded-class part up to the paper's Xeon W-2195 —
+to test §5.2's conjecture that HALO's flat speedups on compute-bound
+programs grow under cache pressure.
+
+Run:  python examples/cache_geometry_sweep.py [benchmark]
+"""
+
+import sys
+
+from repro import (
+    AddressSpace,
+    CostModel,
+    HaloParams,
+    HierarchyConfig,
+    Machine,
+    SizeClassAllocator,
+    get_workload,
+    make_runtime,
+    optimise_profile,
+    profile_workload,
+)
+from repro.harness import AccessTraceRecorder
+from repro.harness.reproduce import halo_params_for
+
+GEOMETRIES = {
+    "embedded (8K/128K/2M)": HierarchyConfig(
+        l1_size=8 * 1024, l1_assoc=4, l2_size=128 * 1024, l2_assoc=8,
+        l3_size=2048 * 1024, l3_assoc=8, tlb_entries=32,
+    ),
+    "laptop (32K/256K/8M)": HierarchyConfig(
+        l2_size=256 * 1024, l2_assoc=8, l3_size=8192 * 1024, l3_assoc=16,
+    ),
+    "Xeon, L3 contended": HierarchyConfig(
+        l3_size=1536 * 1024, l3_assoc=8, tlb_entries=32,
+    ),
+    "Xeon W-2195 (paper)": HierarchyConfig.xeon_w2195(),
+}
+
+
+def capture(workload, make_machine, scale="ref"):
+    recorder = AccessTraceRecorder()
+
+    machine = make_machine(recorder)
+    workload.run(machine, scale)
+    return recorder.trace(), machine.metrics
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "povray"
+    workload = get_workload(name)
+    params = halo_params_for(workload)
+    profile = profile_workload(workload, params, scale="test")
+    artifacts = optimise_profile(profile, params)
+
+    base_trace, base_metrics = capture(
+        get_workload(name),
+        lambda rec: Machine(
+            workload.program, SizeClassAllocator(AddressSpace(1)), listeners=[rec]
+        ),
+    )
+
+    def halo_machine(rec):
+        runtime = make_runtime(artifacts, AddressSpace(1))
+        return Machine(
+            workload.program,
+            runtime.allocator,
+            listeners=[rec],
+            instrumentation=runtime.instrumentation,
+            state_vector=runtime.state_vector,
+        )
+
+    halo_trace, halo_metrics = capture(get_workload(name), halo_machine)
+
+    model = CostModel()
+    print(f"{name}: HALO speedup across memory hierarchies "
+          f"(one trace per placement, replayed)\n")
+    print(f"{'geometry':24s} {'base L1 misses':>15s} {'HALO L1 misses':>15s} {'speedup':>9s}")
+    for label, config in GEOMETRIES.items():
+        base_stats = base_trace.replay(config)
+        halo_stats = halo_trace.replay(config)
+        base_cycles = model.cycles(base_metrics, base_stats)
+        halo_cycles = model.cycles(halo_metrics, halo_stats)
+        speedup = base_cycles / halo_cycles - 1.0
+        print(
+            f"{label:24s} {base_stats.l1_misses:15,} {halo_stats.l1_misses:15,} "
+            f"{speedup * 100:+8.1f}%"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""The paper's Section 3 motivation, replayed on the povray stand-in.
+
+Almost all of povray's heap data flows through the ``pov_malloc`` wrapper,
+so identification by the immediate call site of ``malloc`` sees a single
+context (the hot-data-streams failure), while HALO's full-context
+identification separates the hot geometry (planes + CSG composites) from
+the cold textures — the paper's Figure 9 grouping.
+
+Run:  python examples/povray_motivation.py
+"""
+
+from collections import Counter
+
+from repro import (
+    HaloParams,
+    HdsParams,
+    analyse_profile,
+    get_workload,
+    measure_baseline,
+    measure_halo,
+    measure_hds,
+    optimise_profile,
+    profile_workload,
+)
+
+
+def main() -> None:
+    workload = get_workload("povray")
+    profile = profile_workload(workload, HaloParams(), scale="test", record_trace=True)
+
+    # --- the wrapper problem, in numbers ---------------------------------
+    sites = Counter(profile.object_site.values())
+    top_site, top_count = sites.most_common(1)[0]
+    total = sum(sites.values())
+    print("immediate-call-site view (what site-keyed identification sees):")
+    print(
+        f"  {top_count}/{total} allocations ({top_count / total:.0%}) share one site: "
+        f"{workload.program.describe_site(top_site)}"
+    )
+
+    print("\nfull-context view (what HALO's shadow stack sees):")
+    for cid in sorted(profile.graph.nodes):
+        print(
+            f"  {profile.graph.accesses_of(cid):8d} accesses  "
+            f"{profile.describe_context(cid)}"
+        )
+
+    # --- grouping (the Figure 9 moment) ----------------------------------
+    halo = optimise_profile(profile, HaloParams())
+    print("\nHALO allocation groups (cf. paper Figure 9):")
+    for line in halo.describe_groups():
+        print("  " + line)
+
+    hds = analyse_profile(profile, HdsParams())
+    print(f"\nhot-data-streams co-allocation groups: {len(hds.groups)}")
+    print(f"  (hot streams found: {hds.stream_count} — all map to the single wrapper site)")
+
+    # --- measured consequences -------------------------------------------
+    base = measure_baseline(workload, scale="ref", seed=1)
+    halo_m = measure_halo(workload, halo, scale="ref", seed=1)
+    hds_m = measure_hds(workload, hds, scale="ref", seed=1)
+
+    def report(label, m):
+        reduction = (base.cache.l1_misses - m.cache.l1_misses) / base.cache.l1_misses
+        speedup = base.cycles / m.cycles - 1.0
+        print(
+            f"  {label:22s} L1D misses {m.cache.l1_misses:9,}  "
+            f"({reduction * 100:+5.1f}%)   speedup {speedup * 100:+5.1f}%"
+        )
+
+    print("\nmeasured on the ref input:")
+    print(f"  {'baseline':22s} L1D misses {base.cache.l1_misses:9,}")
+    report("hot data streams", hds_m)
+    report("HALO", halo_m)
+    print(
+        "\npovray is compute-bound: HALO removes a slice of the misses but the\n"
+        "execution time barely moves — exactly the paper's Figures 13/14."
+    )
+
+
+if __name__ == "__main__":
+    main()

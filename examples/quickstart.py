@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Quickstart: run the full HALO pipeline on one benchmark.
+
+Profiles the ``health`` benchmark on its small test input, builds the
+allocation groups and selectors, rewrites the (simulated) binary, and then
+measures baseline vs HALO on the large ref input — the exact offline/online
+split of the paper's Figure 4.
+
+Run:  python examples/quickstart.py [benchmark]
+"""
+
+import sys
+
+from repro import (
+    HaloParams,
+    get_workload,
+    measure_baseline,
+    measure_halo,
+    optimise_profile,
+    profile_workload,
+)
+from repro.analysis import format_table
+from repro.harness.reproduce import halo_params_for
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "health"
+    workload = get_workload(name)
+    params = halo_params_for(workload)
+
+    # 1. Profile on the small test input (Pin-tool stand-in).
+    print(f"profiling {name} (test input)...")
+    profile = profile_workload(workload, params, scale="test")
+    print(
+        f"  {len(profile.contexts)} allocation contexts, "
+        f"{len(profile.graph)} affinity-graph nodes after the 90% filter"
+    )
+
+    # 2. Offline analysis: grouping, identification, rewriting plan.
+    artifacts = optimise_profile(profile, params)
+    print(f"\nallocation groups ({len(artifacts.groups)}):")
+    for line in artifacts.describe_groups():
+        print("  " + line)
+    print(f"\ninstrumented call sites ({artifacts.plan.bits_used}):")
+    for line in artifacts.plan.describe(workload.program):
+        print("  " + line)
+
+    # 3. Measure baseline vs HALO on the ref input.
+    print(f"\nmeasuring {name} (ref input)...")
+    base = measure_baseline(workload, scale="ref", seed=1)
+    halo = measure_halo(workload, artifacts, scale="ref", seed=1)
+
+    reduction = (base.cache.l1_misses - halo.cache.l1_misses) / base.cache.l1_misses
+    speedup = base.cycles / halo.cycles - 1.0
+    print(
+        format_table(
+            ["metric", "baseline (jemalloc-like)", "HALO"],
+            [
+                ["cycles", f"{base.cycles:,.0f}", f"{halo.cycles:,.0f}"],
+                ["L1D misses", f"{base.cache.l1_misses:,}", f"{halo.cache.l1_misses:,}"],
+                ["L2 misses", f"{base.cache.l2_misses:,}", f"{halo.cache.l2_misses:,}"],
+                ["DTLB misses", f"{base.cache.tlb_misses:,}", f"{halo.cache.tlb_misses:,}"],
+                ["grouped allocs", "-", f"{halo.grouped_allocs:,}"],
+            ],
+        )
+    )
+    print(f"\nL1D miss reduction: {reduction * 100:+.1f}%   speedup: {speedup * 100:+.1f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+"""Runtime allocators: baseline, bump pools, random probe, and HALO's group allocator."""
+
+from .base import (
+    AddressSpace,
+    AllocationError,
+    Allocator,
+    AllocatorStats,
+    CACHE_LINE,
+    MIN_ALIGNMENT,
+    PAGE_SIZE,
+    align_up,
+)
+from .bump import BumpAllocator
+from .group import FragmentationSnapshot, GroupAllocator, GroupMatcher
+from .random_group import RandomPoolAllocator
+from .sharded import ShardedGroupAllocator
+from .size_class import MAX_SMALL, SizeClassAllocator, build_size_classes
+
+__all__ = [
+    "AddressSpace",
+    "AllocationError",
+    "Allocator",
+    "AllocatorStats",
+    "BumpAllocator",
+    "CACHE_LINE",
+    "FragmentationSnapshot",
+    "GroupAllocator",
+    "GroupMatcher",
+    "MAX_SMALL",
+    "MIN_ALIGNMENT",
+    "PAGE_SIZE",
+    "RandomPoolAllocator",
+    "ShardedGroupAllocator",
+    "SizeClassAllocator",
+    "align_up",
+    "build_size_classes",
+]

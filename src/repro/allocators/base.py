@@ -1,0 +1,182 @@
+"""Allocator interface and the simulated virtual address space.
+
+All placement policies in this reproduction — the jemalloc-like baseline,
+bump pools, the Figure-15 random allocator, and HALO's specialised group
+allocator — implement the same small interface: ``malloc``/``free``/
+``realloc`` over a shared :class:`AddressSpace`.
+
+The address space models exactly the properties the paper's results depend
+on:
+
+* addresses are 64-bit integers, so placement decisions translate into cache
+  and TLB behaviour through the simulated memory hierarchy;
+* reservations are demand paged — a page only becomes *resident* once it is
+  touched — which is what makes the fragmentation measurements of Table 1
+  meaningful (an almost-empty chunk still pins its touched pages);
+* a per-run random base offset models ASLR/run-to-run placement noise, the
+  paper's motivation for reporting medians over repeated trials.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+PAGE_SIZE = 4096
+PAGE_SHIFT = 12
+CACHE_LINE = 64
+MIN_ALIGNMENT = 8  # "All allocations are made with a minimum alignment of 8 bytes"
+
+
+class AllocationError(Exception):
+    """Raised on invalid allocator usage (bad free, bad size...)."""
+
+
+def align_up(value: int, alignment: int) -> int:
+    """Round *value* up to the next multiple of *alignment* (a power of two)."""
+    if alignment <= 0 or alignment & (alignment - 1):
+        raise ValueError(f"alignment must be a power of two, got {alignment}")
+    return (value + alignment - 1) & ~(alignment - 1)
+
+
+class AddressSpace:
+    """A simulated process virtual address space with residency accounting.
+
+    ``reserve`` hands out non-overlapping, page-aligned regions (an ``mmap``
+    stand-in); ``release`` returns them (``munmap``); ``purge`` discards a
+    region's resident pages while keeping the reservation (``madvise``).
+    """
+
+    #: Default base of the simulated heap area.
+    HEAP_BASE = 0x10_0000_0000
+
+    def __init__(self, seed: int = 0) -> None:
+        rng = random.Random(seed)
+        # ASLR-style noise: slide the heap base by a page-aligned offset.
+        self._cursor = self.HEAP_BASE + rng.randrange(0, 1 << 16) * PAGE_SIZE
+        self._rng = rng
+        self._reservations: dict[int, int] = {}  # base -> size
+        self._touched_pages: set[int] = set()
+        self.reserved_bytes = 0
+        self.peak_reserved_bytes = 0
+
+    # -- reservation ----------------------------------------------------
+
+    def reserve(self, size: int, alignment: int = PAGE_SIZE) -> int:
+        """Reserve *size* bytes aligned to *alignment*; returns the base."""
+        if size <= 0:
+            raise AllocationError(f"cannot reserve {size} bytes")
+        alignment = max(alignment, PAGE_SIZE)
+        size = align_up(size, PAGE_SIZE)
+        # Per-mapping placement jitter: cache set conflicts depend on the
+        # *relative* distances between mappings, so a uniform base shift
+        # alone would be translation-invariant; gaps between reservations
+        # are what varies between real runs.
+        jitter = self._rng.randrange(0, 8) * PAGE_SIZE
+        base = align_up(self._cursor + jitter, alignment)
+        self._cursor = base + size
+        self._reservations[base] = size
+        self.reserved_bytes += size
+        self.peak_reserved_bytes = max(self.peak_reserved_bytes, self.reserved_bytes)
+        return base
+
+    def release(self, base: int) -> None:
+        """Release the reservation based at *base*, discarding its pages."""
+        size = self._reservations.pop(base, None)
+        if size is None:
+            raise AllocationError(f"release of unreserved base {base:#x}")
+        self.reserved_bytes -= size
+        self._discard_pages(base, size)
+
+    def purge(self, base: int, size: int) -> None:
+        """Discard resident pages in [base, base+size) but keep the mapping."""
+        self._discard_pages(base, size)
+
+    def _discard_pages(self, base: int, size: int) -> None:
+        first = base >> PAGE_SHIFT
+        last = (base + size - 1) >> PAGE_SHIFT
+        for page in range(first, last + 1):
+            self._touched_pages.discard(page)
+
+    # -- residency ------------------------------------------------------
+
+    def touch_range(self, addr: int, size: int) -> None:
+        """Mark the pages overlapping [addr, addr+size) as resident."""
+        first = addr >> PAGE_SHIFT
+        last = (addr + size - 1) >> PAGE_SHIFT
+        touched = self._touched_pages
+        for page in range(first, last + 1):
+            touched.add(page)
+
+    def resident_bytes_in(self, base: int, size: int) -> int:
+        """Resident bytes within [base, base+size)."""
+        first = base >> PAGE_SHIFT
+        last = (base + size - 1) >> PAGE_SHIFT
+        touched = self._touched_pages
+        count = sum(1 for page in range(first, last + 1) if page in touched)
+        return count * PAGE_SIZE
+
+    @property
+    def resident_bytes(self) -> int:
+        """Total resident bytes across the whole space."""
+        return len(self._touched_pages) * PAGE_SIZE
+
+
+@dataclass
+class AllocatorStats:
+    """Liveness statistics every allocator maintains."""
+
+    live_bytes: int = 0
+    live_blocks: int = 0
+    peak_live_bytes: int = 0
+    total_allocs: int = 0
+    total_frees: int = 0
+
+    def on_alloc(self, size: int) -> None:
+        """Record an allocation of *size* bytes."""
+        self.live_bytes += size
+        self.live_blocks += 1
+        self.total_allocs += 1
+        if self.live_bytes > self.peak_live_bytes:
+            self.peak_live_bytes = self.live_bytes
+
+    def on_free(self, size: int) -> None:
+        """Record a free of *size* bytes."""
+        self.live_bytes -= size
+        self.live_blocks -= 1
+        self.total_frees += 1
+
+
+class Allocator(ABC):
+    """Abstract allocator; concrete policies override the three operations.
+
+    Concrete allocators must keep :attr:`stats` up to date (most simply via
+    :meth:`AllocatorStats.on_alloc` / ``on_free``) and must be able to report
+    the size of any live block (needed for ``realloc`` and accounting).
+    """
+
+    def __init__(self, space: AddressSpace) -> None:
+        self.space = space
+        self.stats = AllocatorStats()
+
+    @abstractmethod
+    def malloc(self, size: int, alignment: int = MIN_ALIGNMENT) -> int:
+        """Allocate *size* bytes; returns the address."""
+
+    @abstractmethod
+    def free(self, addr: int) -> int:
+        """Free the block at *addr*; returns its size."""
+
+    @abstractmethod
+    def size_of(self, addr: int) -> int:
+        """Size of the live block at *addr*."""
+
+    def realloc(self, addr: int, new_size: int) -> int:
+        """Default realloc: allocate-new / free-old (subclasses may shortcut)."""
+        old_size = self.size_of(addr)
+        if new_size <= old_size:
+            return addr
+        new_addr = self.malloc(new_size)
+        self.free(addr)
+        return new_addr

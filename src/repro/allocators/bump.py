@@ -1,0 +1,74 @@
+"""Simple bump allocators.
+
+A bump allocator hands out consecutive addresses from large reservations and
+never reuses freed space.  HALO's group allocator builds on bump allocation
+inside chunks (Section 4.4); the multi-pool variant here is the building
+block of the Figure-15 random-placement allocator.
+"""
+
+from __future__ import annotations
+
+from .base import (
+    AllocationError,
+    Allocator,
+    AddressSpace,
+    MIN_ALIGNMENT,
+    align_up,
+)
+
+
+class BumpAllocator(Allocator):
+    """Contiguous bump allocation from successively reserved pools.
+
+    ``free`` only updates statistics: bump allocation never compacts, so the
+    memory is reclaimed only when the whole allocator is dropped.  This is
+    intentional — it is exactly the behaviour whose fragmentation cost the
+    paper quantifies in Table 1.
+    """
+
+    def __init__(self, space: AddressSpace, pool_size: int = 1 << 22) -> None:
+        super().__init__(space)
+        if pool_size <= 0:
+            raise AllocationError(f"invalid pool size {pool_size}")
+        self.pool_size = pool_size
+        self._pool_base = 0
+        self._pool_end = 0
+        self._cursor = 0
+        self._sizes: dict[int, int] = {}
+        self.pools: list[int] = []
+
+    def malloc(self, size: int, alignment: int = MIN_ALIGNMENT) -> int:
+        if size <= 0:
+            raise AllocationError(f"invalid malloc size {size}")
+        if size > self.pool_size:
+            raise AllocationError(
+                f"request of {size} bytes exceeds pool size {self.pool_size}"
+            )
+        addr = align_up(self._cursor, alignment)
+        if addr + size > self._pool_end:
+            base = self.space.reserve(self.pool_size)
+            self.pools.append(base)
+            self._pool_base = base
+            self._pool_end = base + self.pool_size
+            addr = align_up(base, alignment)
+        self._cursor = addr + size
+        self._sizes[addr] = size
+        self.stats.on_alloc(size)
+        return addr
+
+    def free(self, addr: int) -> int:
+        size = self._sizes.pop(addr, None)
+        if size is None:
+            raise AllocationError(f"free of unknown address {addr:#x}")
+        self.stats.on_free(size)
+        return size
+
+    def size_of(self, addr: int) -> int:
+        size = self._sizes.get(addr)
+        if size is None:
+            raise AllocationError(f"size_of unknown address {addr:#x}")
+        return size
+
+    def owns(self, addr: int) -> bool:
+        """Whether *addr* was handed out by this allocator and is live."""
+        return addr in self._sizes

@@ -1,0 +1,62 @@
+"""The Figure-15 sensitivity probe: random assignment to bump pools.
+
+Section 5.2 of the paper runs every benchmark under "an allocator that
+randomly assigns small objects to one of four bump allocated pools, much in
+the same way that a variant of HALO with an extremely poor grouping
+algorithm might".  Benchmarks that slow down under this allocator are the
+placement-sensitive ones — the same set on which HALO helps.
+
+This allocator reproduces that policy: requests smaller than the page size
+go to a uniformly random pool; everything else is forwarded to the fallback
+(baseline) allocator, exactly as HALO forwards ungrouped requests.
+"""
+
+from __future__ import annotations
+
+import random
+
+from .base import Allocator, AddressSpace, MIN_ALIGNMENT, PAGE_SIZE
+from .bump import BumpAllocator
+
+
+class RandomPoolAllocator(Allocator):
+    """Randomly scatter small objects over *pools* bump pools."""
+
+    def __init__(
+        self,
+        space: AddressSpace,
+        fallback: Allocator,
+        pools: int = 4,
+        max_pooled_size: int = PAGE_SIZE,
+        seed: int = 0,
+        pool_size: int = 1 << 22,
+    ) -> None:
+        super().__init__(space)
+        self.fallback = fallback
+        self.max_pooled_size = max_pooled_size
+        self._rng = random.Random(seed)
+        self._pools = [BumpAllocator(space, pool_size) for _ in range(pools)]
+        self._pool_of: dict[int, BumpAllocator] = {}
+
+    def malloc(self, size: int, alignment: int = MIN_ALIGNMENT) -> int:
+        if size >= self.max_pooled_size:
+            return self.fallback.malloc(size, alignment)
+        pool = self._rng.choice(self._pools)
+        addr = pool.malloc(size, alignment)
+        self._pool_of[addr] = pool
+        self.stats.on_alloc(size)
+        return addr
+
+    def free(self, addr: int) -> int:
+        pool = self._pool_of.pop(addr, None)
+        if pool is None:
+            return self.fallback.free(addr)
+        size = pool.free(addr)
+        self.stats.on_free(size)
+        return size
+
+    def size_of(self, addr: int) -> int:
+        pool = self._pool_of.get(addr)
+        if pool is None:
+            return self.fallback.size_of(addr)
+        return pool.size_of(addr)

@@ -1,0 +1,219 @@
+"""A jemalloc-like size-segregated allocator: the paper's baseline.
+
+The evaluation in the paper measures everything against jemalloc 5.1.0.  What
+HALO exploits about jemalloc (and ptmalloc2, and tcmalloc) is purely its
+*placement policy*, described in Section 2.1 and Figure 1: free memory is
+organised around a fixed set of size classes, so objects are co-located by
+(size class, allocation order) and freed slots are reused lowest-address
+first.  This allocator reproduces that policy:
+
+* jemalloc-style size-class spacing (8, 16, 32, 48, 64, 80, ..., four
+  classes per power-of-two group);
+* per-class slabs ("runs") carved from the simulated address space, each
+  holding a fixed number of equal-sized regions;
+* allocation from the lowest-addressed non-full run, lowest free slot first
+  (jemalloc's first-fit-by-address reuse);
+* large allocations (above the small-class limit) served as standalone
+  page-aligned reservations.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Optional
+
+from .base import (
+    AllocationError,
+    Allocator,
+    AddressSpace,
+    MIN_ALIGNMENT,
+    PAGE_SIZE,
+    align_up,
+)
+
+#: Largest size served from the size-class bins (jemalloc's small limit).
+MAX_SMALL = 14336
+
+
+def build_size_classes(max_small: int = MAX_SMALL) -> list[int]:
+    """Return the ascending list of small size classes.
+
+    Follows jemalloc's scheme: 8 then 16..128 spaced by 16, after which each
+    power-of-two group [2^k, 2^(k+1)] contains four classes spaced 2^(k-2).
+    """
+    classes = [8] + list(range(16, 129, 16))
+    spacing, base = 32, 128
+    while base < max_small:
+        for step in range(1, 5):
+            value = base + spacing * step
+            if value > max_small:
+                return classes
+            classes.append(value)
+        base *= 2
+        spacing *= 2
+    return classes
+
+
+class _Run:
+    """A slab of equal-sized regions belonging to one size-class bin."""
+
+    __slots__ = ("base", "region_size", "capacity", "free_slots", "live", "queued")
+
+    def __init__(self, base: int, region_size: int, capacity: int) -> None:
+        self.base = base
+        self.region_size = region_size
+        self.capacity = capacity
+        # Min-heap of free slot indices: lowest-address reuse within the run.
+        self.free_slots = list(range(capacity))
+        self.live = 0
+        self.queued = False  # whether the run is in its bin's non-full heap
+
+    def take(self) -> int:
+        slot = heapq.heappop(self.free_slots)
+        self.live += 1
+        return self.base + slot * self.region_size
+
+    def give_back(self, addr: int) -> None:
+        slot = (addr - self.base) // self.region_size
+        heapq.heappush(self.free_slots, slot)
+        self.live -= 1
+
+    @property
+    def full(self) -> bool:
+        return not self.free_slots
+
+
+class _Bin:
+    """All runs for a single size class."""
+
+    __slots__ = ("region_size", "run_capacity", "run_bytes", "nonfull", "runs")
+
+    def __init__(self, region_size: int) -> None:
+        self.region_size = region_size
+        # Aim for a few pages per run, as jemalloc does for small classes.
+        capacity = max(1, (4 * PAGE_SIZE) // region_size)
+        self.run_capacity = min(capacity, 512)
+        self.run_bytes = align_up(region_size * self.run_capacity, PAGE_SIZE)
+        self.nonfull: list[tuple[int, _Run]] = []  # (base, run) min-heap
+        self.runs: list[_Run] = []
+
+
+class SizeClassAllocator(Allocator):
+    """Size-segregated allocator with jemalloc-style placement (the baseline)."""
+
+    def __init__(self, space: AddressSpace, max_small: int = MAX_SMALL) -> None:
+        super().__init__(space)
+        self._classes = build_size_classes(max_small)
+        self._bins = {size: _Bin(size) for size in self._classes}
+        self._max_small = self._classes[-1]
+        # addr -> (requested size, run or None for large)
+        self._live: dict[int, tuple[int, Optional[_Run]]] = {}
+        self._large: dict[int, int] = {}  # addr -> reserved bytes
+
+    # -- class lookup ----------------------------------------------------
+
+    def size_class(self, size: int) -> Optional[int]:
+        """Smallest size class holding *size*, or None for large requests."""
+        if size > self._max_small:
+            return None
+        # Binary search over the ascending class list.
+        lo, hi = 0, len(self._classes) - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._classes[mid] < size:
+                lo = mid + 1
+            else:
+                hi = mid
+        return self._classes[lo]
+
+    # -- allocation ------------------------------------------------------
+
+    def malloc(self, size: int, alignment: int = MIN_ALIGNMENT) -> int:
+        if size <= 0:
+            raise AllocationError(f"invalid malloc size {size}")
+        cls = self.size_class(max(size, alignment))
+        if cls is None:
+            addr = self._malloc_large(size, alignment)
+            self._live[addr] = (size, None)
+        else:
+            run = self._nonfull_run(self._bins[cls])
+            addr = run.take()
+            if run.full:
+                run.queued = False
+            self._live[addr] = (size, run)
+        self.stats.on_alloc(size)
+        return addr
+
+    def _nonfull_run(self, bin_: _Bin) -> _Run:
+        while bin_.nonfull:
+            _, run = bin_.nonfull[0]
+            if run.full or not run.queued:
+                heapq.heappop(bin_.nonfull)  # stale entry
+                continue
+            return run
+        base = self.space.reserve(bin_.run_bytes)
+        run = _Run(base, bin_.region_size, bin_.run_capacity)
+        run.queued = True
+        bin_.runs.append(run)
+        heapq.heappush(bin_.nonfull, (base, run))
+        return run
+
+    def _malloc_large(self, size: int, alignment: int) -> int:
+        reserved = align_up(size, PAGE_SIZE)
+        addr = self.space.reserve(reserved, alignment=max(alignment, PAGE_SIZE))
+        self._large[addr] = reserved
+        return addr
+
+    # -- deallocation ----------------------------------------------------
+
+    def free(self, addr: int) -> int:
+        entry = self._live.pop(addr, None)
+        if entry is None:
+            raise AllocationError(f"free of unknown address {addr:#x}")
+        size, run = entry
+        if run is None:
+            self.space.release(addr)
+            del self._large[addr]
+        else:
+            was_full = run.full
+            run.give_back(addr)
+            if was_full and not run.queued:
+                run.queued = True
+                bin_ = self._bins[run.region_size]
+                heapq.heappush(bin_.nonfull, (run.base, run))
+        self.stats.on_free(size)
+        return size
+
+    def size_of(self, addr: int) -> int:
+        entry = self._live.get(addr)
+        if entry is None:
+            raise AllocationError(f"size_of unknown address {addr:#x}")
+        return entry[0]
+
+    def realloc(self, addr: int, new_size: int) -> int:
+        """jemalloc-style realloc: stays in place within the same size class."""
+        entry = self._live.get(addr)
+        if entry is None:
+            raise AllocationError(f"realloc of unknown address {addr:#x}")
+        old_size, run = entry
+        if new_size <= old_size:
+            # Shrinking keeps the block in place (the region already fits).
+            self._live[addr] = (new_size, run)
+            self.stats.on_free(old_size)
+            self.stats.on_alloc(new_size)
+            return addr
+        if run is not None and self.size_class(new_size) == run.region_size:
+            self._live[addr] = (new_size, run)
+            self.stats.on_free(old_size)
+            self.stats.on_alloc(new_size)
+            return addr
+        new_addr = self.malloc(new_size)
+        self.free(addr)
+        return new_addr
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def size_classes(self) -> list[int]:
+        """The allocator's ascending size-class list."""
+        return list(self._classes)

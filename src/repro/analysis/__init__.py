@@ -1,0 +1,12 @@
+"""Result rendering and export."""
+
+from .graphviz import affinity_graph_dot, artifacts_dot
+from .report import bar_chart, format_table, to_json
+
+__all__ = [
+    "affinity_graph_dot",
+    "artifacts_dot",
+    "bar_chart",
+    "format_table",
+    "to_json",
+]

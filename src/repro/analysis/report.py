@@ -1,0 +1,77 @@
+"""Report rendering: tables, ASCII bar charts, and JSON export.
+
+The paper's artefact generates PDF plots; this reproduction renders the
+same data as terminal-friendly tables and horizontal bar charts, and can
+dump the raw series as JSON for external plotting (matching the artefact's
+"JSON files ... containing the specific data points for each run").
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, is_dataclass
+from typing import Any, Mapping, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: str = "",
+) -> str:
+    """Render a simple aligned text table."""
+    cells = [[str(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for index, value in enumerate(row):
+            widths[index] = max(widths[index], len(value))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(value.ljust(w) for value, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    title: str = "",
+    width: int = 40,
+    percent: bool = True,
+    baseline: Optional[float] = None,
+) -> str:
+    """Render a horizontal ASCII bar chart.
+
+    Negative values grow to the left of the axis; positive to the right —
+    matching the orientation of the paper's Figures 13-15 where a negative
+    bar is a slowdown / miss increase.
+    """
+    if not values:
+        return title or "(no data)"
+    label_width = max(len(label) for label in values)
+    magnitude = max(abs(v) for v in values.values()) or 1.0
+    half = width // 2
+    lines = [title] if title else []
+    if baseline is not None:
+        lines.append(f"(baseline = {baseline:,.0f})")
+    for label, value in values.items():
+        length = int(round(abs(value) / magnitude * half))
+        if value >= 0:
+            bar = " " * half + "|" + "#" * length
+        else:
+            bar = " " * (half - length) + "#" * length + "|"
+        rendered = f"{value * 100:+7.1f}%" if percent else f"{value:+12,.0f}"
+        lines.append(f"{label.ljust(label_width)} {bar.ljust(width + 1)} {rendered}")
+    return "\n".join(lines)
+
+
+def to_json(payload: Any, indent: int = 2) -> str:
+    """Serialise dataclasses / mappings to JSON."""
+
+    def default(obj: Any) -> Any:
+        if is_dataclass(obj) and not isinstance(obj, type):
+            return asdict(obj)
+        raise TypeError(f"cannot serialise {type(obj).__name__}")
+
+    return json.dumps(payload, indent=indent, default=default)

@@ -1,0 +1,17 @@
+"""Trace-driven memory-hierarchy simulation (Xeon W-2195 geometry)."""
+
+from .cache import CacheConfigError, CacheStats, SetAssociativeCache
+from .hierarchy import CacheHierarchy, HierarchyConfig, HierarchyStats
+from .timing import CostModel
+from .tlb import TLB
+
+__all__ = [
+    "CacheConfigError",
+    "CacheHierarchy",
+    "CacheStats",
+    "CostModel",
+    "HierarchyConfig",
+    "HierarchyStats",
+    "SetAssociativeCache",
+    "TLB",
+]

@@ -1,0 +1,94 @@
+"""The Xeon W-2195 memory hierarchy used in the paper's evaluation.
+
+Section 5.1: "32KiB per-core L1 data caches, 1,024KiB per-core L2 caches,
+and a 25,344KiB shared L3 cache" (single-threaded runs, so the shared L3 is
+effectively private here).  Lines are 64 bytes throughout.  The hierarchy is
+non-inclusive and fills all levels on a miss, which is sufficient for
+hit/miss statistics on a single-threaded trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .cache import SetAssociativeCache
+from .tlb import TLB
+
+KIB = 1024
+
+
+@dataclass(frozen=True)
+class HierarchyConfig:
+    """Geometry of a three-level hierarchy plus D-TLB."""
+
+    l1_size: int = 32 * KIB
+    l1_assoc: int = 8
+    l2_size: int = 1024 * KIB
+    l2_assoc: int = 16
+    l3_size: int = 25344 * KIB
+    l3_assoc: int = 11
+    line_size: int = 64
+    tlb_entries: int = 64
+    page_size: int = 4096
+
+    @staticmethod
+    def xeon_w2195() -> "HierarchyConfig":
+        """The evaluation machine's configuration (the defaults)."""
+        return HierarchyConfig()
+
+
+@dataclass
+class HierarchyStats:
+    """Immutable snapshot of all hierarchy counters."""
+
+    accesses: int
+    l1_misses: int
+    l2_misses: int
+    l3_misses: int
+    tlb_misses: int
+
+    def l1_miss_reduction(self, other: "HierarchyStats") -> float:
+        """Fractional L1D miss reduction of *other* relative to ``self``.
+
+        Positive means *other* has fewer misses — matches the orientation of
+        paper Figure 13 where the baseline calls this method.
+        """
+        if self.l1_misses == 0:
+            return 0.0
+        return (self.l1_misses - other.l1_misses) / self.l1_misses
+
+
+class CacheHierarchy:
+    """L1D → L2 → L3 → memory, plus a D-TLB, driven by byte-level accesses."""
+
+    def __init__(self, config: HierarchyConfig | None = None) -> None:
+        self.config = config = config or HierarchyConfig()
+        self.l1 = SetAssociativeCache(config.l1_size, config.l1_assoc, config.line_size, "L1D")
+        self.l2 = SetAssociativeCache(config.l2_size, config.l2_assoc, config.line_size, "L2")
+        self.l3 = SetAssociativeCache(config.l3_size, config.l3_assoc, config.line_size, "L3")
+        self.tlb = TLB(config.tlb_entries, config.page_size)
+        self._line_shift = config.line_size.bit_length() - 1
+        self._page_shift = config.page_size.bit_length() - 1
+
+    def access(self, addr: int, size: int = 8, is_store: bool = False) -> None:
+        """Simulate an access of *size* bytes at *addr* (may straddle lines)."""
+        first_line = addr >> self._line_shift
+        last_line = (addr + size - 1) >> self._line_shift
+        for line in range(first_line, last_line + 1):
+            if not self.l1.access_line(line):
+                if not self.l2.access_line(line):
+                    self.l3.access_line(line)
+        first_page = addr >> self._page_shift
+        last_page = (addr + size - 1) >> self._page_shift
+        for page in range(first_page, last_page + 1):
+            self.tlb.access_page(page)
+
+    def snapshot(self) -> HierarchyStats:
+        """Capture the current counters."""
+        return HierarchyStats(
+            accesses=self.l1.stats.accesses,
+            l1_misses=self.l1.stats.misses,
+            l2_misses=self.l2.stats.misses,
+            l3_misses=self.l3.stats.misses,
+            tlb_misses=self.tlb.stats.misses,
+        )

@@ -1,0 +1,69 @@
+"""Cycle-level cost model converting simulated counters into execution time.
+
+The paper reports wall-clock speedups on real hardware.  In this
+reproduction, execution time is derived from the same causes the paper's
+speedups have — cache and TLB misses — plus the workload's base compute.
+The model is the standard additive-latency approximation:
+
+    cycles = compute
+           + accesses   * l1_hit_cycles
+           + L1 misses  * (l2 - l1) extra latency
+           + L2 misses  * (l3 - l2) extra latency
+           + L3 misses  * (mem - l3) extra latency
+           + TLB misses * page-walk cost
+           + allocator operations * per-op cost
+           + instrumentation toggles * toggle cost
+
+Latencies default to Skylake-SP-class numbers.  The per-workload knob that
+matters for reproducing the paper's compute- vs memory-bound split is the
+``compute`` term, which workloads accrue via ``machine.work``: povray and
+leela charge many compute cycles per access (so their reduced misses barely
+move total time, Section 5.2), while health and ft charge almost none.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..machine.machine import MachineMetrics
+from .hierarchy import HierarchyStats
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Latency parameters (cycles)."""
+
+    l1_hit: float = 4.0
+    l2_hit: float = 14.0
+    l3_hit: float = 44.0
+    memory: float = 170.0
+    tlb_walk: float = 25.0
+    malloc_op: float = 30.0
+    free_op: float = 20.0
+    call_op: float = 2.0
+    toggle_op: float = 1.0
+
+    def cycles(self, metrics: MachineMetrics, cache: HierarchyStats) -> float:
+        """Total simulated cycles for a run."""
+        total = metrics.compute_cycles
+        total += cache.accesses * self.l1_hit
+        total += cache.l1_misses * (self.l2_hit - self.l1_hit)
+        total += cache.l2_misses * (self.l3_hit - self.l2_hit)
+        total += cache.l3_misses * (self.memory - self.l3_hit)
+        total += cache.tlb_misses * self.tlb_walk
+        total += metrics.allocs * self.malloc_op
+        total += metrics.frees * self.free_op
+        total += metrics.calls * self.call_op
+        total += metrics.instrumentation_toggles * self.toggle_op
+        return total
+
+    @staticmethod
+    def speedup(baseline_cycles: float, optimised_cycles: float) -> float:
+        """Fractional speedup, oriented as in paper Figure 14.
+
+        A value of 0.28 means the optimised run is 28 % faster, i.e. its
+        execution time is baseline/(1+0.28).
+        """
+        if optimised_cycles <= 0:
+            return 0.0
+        return baseline_cycles / optimised_cycles - 1.0

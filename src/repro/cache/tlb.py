@@ -1,0 +1,46 @@
+"""Data-TLB simulation.
+
+Section 2.1 of the paper notes that scattering related objects across pages
+also costs TLB misses; the timing model charges page-walk latency for them.
+Modelled as a small fully/set-associative LRU translation cache over 4 KiB
+pages.
+"""
+
+from __future__ import annotations
+
+from .cache import CacheStats
+
+
+class TLB:
+    """An LRU translation lookaside buffer for 4 KiB pages."""
+
+    def __init__(self, entries: int = 64, page_size: int = 4096, name: str = "DTLB") -> None:
+        if entries <= 0:
+            raise ValueError(f"TLB needs at least one entry, got {entries}")
+        if page_size <= 0 or page_size & (page_size - 1):
+            raise ValueError(f"page size must be a power of two, got {page_size}")
+        self.name = name
+        self.entries = entries
+        self.page_size = page_size
+        self._page_shift = page_size.bit_length() - 1
+        self._lru: dict[int, None] = {}
+        self.stats = CacheStats()
+
+    def access_page(self, page: int) -> bool:
+        """Translate *page*; returns True on TLB hit."""
+        self.stats.accesses += 1
+        lru = self._lru
+        if page in lru:
+            del lru[page]
+            lru[page] = None
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        if len(lru) >= self.entries:
+            lru.pop(next(iter(lru)))
+        lru[page] = None
+        return False
+
+    def page_of(self, addr: int) -> int:
+        """Page number containing byte *addr*."""
+        return addr >> self._page_shift

@@ -1,0 +1,25 @@
+"""Calder et al. (ASPLOS 1998) name-based placement — §2.2.3 replication."""
+
+from .naming import NAME_DEPTH, NameTable, name_of
+from .pipeline import (
+    CalderArtifacts,
+    CalderParams,
+    CalderProfiler,
+    CalderRuntime,
+    NameMatcher,
+    make_runtime,
+    profile_workload,
+)
+
+__all__ = [
+    "CalderArtifacts",
+    "CalderParams",
+    "CalderProfiler",
+    "CalderRuntime",
+    "NAME_DEPTH",
+    "NameMatcher",
+    "NameTable",
+    "make_runtime",
+    "name_of",
+    "profile_workload",
+]

@@ -1,0 +1,61 @@
+"""Allocation naming à la Calder et al. (ASPLOS 1998).
+
+Section 2.2.3 of the HALO paper: their cache-conscious data placement
+scheme "identifies heap allocations by XORing the last four return
+addresses on the stack at any given allocation site to derive a unique
+'name' around which heap objects are analysed".
+
+The name is cheap to compute but sees only a fixed-depth suffix of the
+stack — precisely the limitation HALO's full-context identification
+removes.  Programs whose allocation paths differ only above the window
+(xalanc's deep allocator plumbing) collapse onto one name.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..machine.program import CallSite
+
+#: The paper's window: "the last four return addresses".
+NAME_DEPTH = 4
+
+
+def name_of(stack: Sequence[CallSite], depth: int = NAME_DEPTH) -> int:
+    """XOR the innermost *depth* call-site addresses into an allocation name.
+
+    Uses the raw dynamic stack (no shadow-stack filtering or origin
+    tracing): the scheme predates those refinements.
+    """
+    name = 0
+    for site in stack[-depth:]:
+        name ^= site.addr
+    return name
+
+
+class NameTable:
+    """Interns allocation names to dense ids (the graph's node space)."""
+
+    def __init__(self) -> None:
+        self._ids: dict[int, int] = {}
+        self._names: list[int] = []
+
+    def intern(self, name: int) -> int:
+        """Return the dense id for *name*, assigning one if new."""
+        nid = self._ids.get(name)
+        if nid is None:
+            nid = len(self._names)
+            self._ids[name] = nid
+            self._names.append(name)
+        return nid
+
+    def name(self, nid: int) -> int:
+        """The raw XOR name behind dense id *nid*."""
+        return self._names[nid]
+
+    def lookup(self, name: int) -> int | None:
+        """Dense id of *name* if seen during profiling."""
+        return self._ids.get(name)
+
+    def __len__(self) -> int:
+        return len(self._names)

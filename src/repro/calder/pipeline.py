@@ -1,0 +1,163 @@
+"""Name-based co-allocation pipeline (Calder et al. replication).
+
+The scheme profiles a *temporal relationship graph* over allocation names
+(the XOR of the last four return addresses), clusters it, and enforces the
+placement with a specialised allocator that re-derives the name on every
+allocation by walking the dynamic call stack.
+
+To keep the comparison apples-to-apples with HALO and the hot-data-streams
+replication, the temporal graph is built by the same affinity recorder
+(same window, same four constraints) and the clusters are formed by the
+same Figure-6 grouping — only the *identification* differs: fixed-depth
+stack names instead of full reduced contexts and selectors.  That isolates
+exactly the variable the HALO paper criticises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..allocators.base import AddressSpace, PAGE_SIZE
+from ..allocators.group import GroupAllocator
+from ..allocators.size_class import SizeClassAllocator
+from ..core.grouping import Group, GroupingParams, assign_groups, group_contexts
+from ..machine.events import Listener
+from ..machine.heap import HeapObject
+from ..machine.machine import GroupStateVector, Machine
+from ..machine.program import Program
+from ..profiling.affinity import AffinityParams, AffinityRecorder
+from .naming import NAME_DEPTH, NameTable, name_of
+
+
+@dataclass(frozen=True)
+class CalderParams:
+    """Knobs of the replication."""
+
+    affinity: AffinityParams = field(default_factory=AffinityParams)
+    grouping: GroupingParams = field(default_factory=GroupingParams)
+    name_depth: int = NAME_DEPTH
+    chunk_size: int = 1 << 20
+    slab_size: int = 16 << 20
+    max_spare_chunks: int = 1
+    max_grouped_size: int = PAGE_SIZE
+
+
+class CalderProfiler(Listener):
+    """Profiling listener keyed on fixed-depth allocation names."""
+
+    def __init__(self, program: Program, params: CalderParams | None = None) -> None:
+        self.program = program
+        self.params = params or CalderParams()
+        self.names = NameTable()
+        self.recorder = AffinityRecorder(self.params.affinity)
+
+    def on_alloc(self, machine: Machine, obj: HeapObject) -> None:
+        """Attribute the allocation to its XOR name."""
+        nid = self.names.intern(name_of(machine.stack, self.params.name_depth))
+        self.recorder.on_alloc(obj.oid, nid, obj.size, obj.alloc_seq)
+
+    def on_access(
+        self, machine: Machine, obj: HeapObject, offset: int, size: int, is_store: bool
+    ) -> None:
+        """Feed the access through the temporal-relationship recorder."""
+        self.recorder.record_access(obj.oid, size)
+
+
+@dataclass
+class CalderArtifacts:
+    """Offline results: the name graph, its groups, and the name mapping."""
+
+    program: Program
+    names: NameTable
+    groups: list[Group]
+    group_of_name: dict[int, int]
+    params: CalderParams
+
+    @property
+    def distinct_names(self) -> int:
+        """Allocation names observed during profiling."""
+        return len(self.names)
+
+
+class NameMatcher:
+    """Runtime identification: re-derive the name by walking the stack.
+
+    This is the expensive part the HALO paper contrasts with its bit-vector
+    selectors ("much of the existing work in this area relies on the
+    dynamic call stack for this purpose").
+    """
+
+    def __init__(self, group_of_name: dict[int, int], name_depth: int) -> None:
+        self._group_of_name = dict(group_of_name)
+        self._depth = name_depth
+        self.machine: Optional[Machine] = None
+
+    def attach(self, machine: Machine) -> None:
+        """Bind the matcher to the machine whose stack it will walk."""
+        self.machine = machine
+
+    def match(self, state: int) -> Optional[int]:
+        """Group of the current stack's XOR name (state vector unused)."""
+        machine = self.machine
+        if machine is None:
+            return None
+        return self._group_of_name.get(name_of(machine.stack, self._depth))
+
+
+@dataclass
+class CalderRuntime:
+    """Online half: the shared group allocator + the stack-walking matcher."""
+
+    allocator: GroupAllocator
+    matcher: NameMatcher
+    state_vector: GroupStateVector
+
+    def attach(self, machine: Machine) -> None:
+        """Wire the matcher to the measurement machine."""
+        self.matcher.attach(machine)
+
+
+def profile_workload(
+    workload, params: CalderParams | None = None, scale: str = "test", seed: int = 0
+) -> CalderArtifacts:
+    """Profile *workload* under name-based attribution and cluster the graph."""
+    params = params or CalderParams()
+    program = workload.program
+    space = AddressSpace(seed)
+    profiler = CalderProfiler(program, params)
+    machine = Machine(program, SizeClassAllocator(space), listeners=[profiler])
+    workload.run(machine, scale)
+
+    graph = profiler.recorder.filtered_graph()
+    groups = group_contexts(graph, params.grouping)
+    assignment = assign_groups(groups)
+    group_of_name = {
+        profiler.names.name(nid): gid for nid, gid in assignment.items()
+    }
+    return CalderArtifacts(
+        program=program,
+        names=profiler.names,
+        groups=groups,
+        group_of_name=group_of_name,
+        params=params,
+    )
+
+
+def make_runtime(artifacts: CalderArtifacts, space: AddressSpace) -> CalderRuntime:
+    """Instantiate the specialised allocator for a Calder measurement run."""
+    params = artifacts.params
+    state_vector = GroupStateVector()
+    matcher = NameMatcher(artifacts.group_of_name, params.name_depth)
+    fallback = SizeClassAllocator(space)
+    allocator = GroupAllocator(
+        space,
+        fallback,
+        matcher,
+        state_vector,
+        chunk_size=params.chunk_size,
+        slab_size=params.slab_size,
+        max_spare_chunks=params.max_spare_chunks,
+        max_grouped_size=params.max_grouped_size,
+    )
+    return CalderRuntime(allocator=allocator, matcher=matcher, state_vector=state_vector)

@@ -1,0 +1,252 @@
+"""Command-line interface, mirroring the paper artefact's ``halo`` tool.
+
+The artefact appendix (Section A.5) describes ``halo baseline``, ``halo
+run`` and ``halo plot``; this module provides the same verbs against the
+simulation:
+
+* ``halo baseline -b povray`` — measure a benchmark under jemalloc-like
+  placement;
+* ``halo run -b povray [--affinity-distance 128] [--chunk-size N]
+  [--max-spare-chunks N] [--max-groups N]`` — run the full HALO pipeline
+  and report the optimised measurement (the appendix's per-benchmark flags
+  are accepted);
+* ``halo plot --figure 13|14|15 [--out DIR]`` — regenerate a paper figure
+  as an ASCII chart plus JSON data points;
+* ``halo plot --figure 12`` / ``--table 1`` — likewise for the sweep and
+  the fragmentation table;
+* ``halo list`` — show the available benchmarks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional
+
+from .analysis.report import bar_chart, format_table, to_json
+from .core.pipeline import optimise_profile, profile_workload
+from .harness import reproduce
+from .harness.runner import measure_baseline, measure_halo
+from .workloads.base import get_workload, workload_names
+
+
+def _add_benchmark_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "-b", "--benchmark", required=True, choices=workload_names(), help="target benchmark"
+    )
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="halo", description="HALO heap-layout optimisation (simulated reproduction)"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    baseline = sub.add_parser("baseline", help="measure the jemalloc-like baseline")
+    _add_benchmark_arg(baseline)
+    baseline.add_argument("--scale", default="ref", help="input scale (test/train/ref)")
+    baseline.add_argument("--seed", type=int, default=1)
+
+    run = sub.add_parser("run", help="run the full HALO pipeline on a benchmark")
+    _add_benchmark_arg(run)
+    run.add_argument("--scale", default="ref")
+    run.add_argument("--seed", type=int, default=1)
+    run.add_argument("--affinity-distance", type=int, default=None)
+    run.add_argument("--chunk-size", type=int, default=None)
+    run.add_argument("--max-spare-chunks", type=int, default=None)
+    run.add_argument("--max-groups", type=int, default=None)
+    run.add_argument(
+        "--profile",
+        type=Path,
+        default=None,
+        metavar="FILE.json",
+        help="reuse a saved profile instead of re-profiling",
+    )
+    run.add_argument("--show-groups", action="store_true", help="print the allocation groups")
+    run.add_argument(
+        "--dump-graph",
+        type=Path,
+        default=None,
+        metavar="FILE.dot",
+        help="write the grouped affinity graph as Graphviz DOT (paper Figure 9)",
+    )
+
+    prof = sub.add_parser("profile", help="profile a benchmark and save the model")
+    _add_benchmark_arg(prof)
+    prof.add_argument("-o", "--output", type=Path, required=True, metavar="FILE.json")
+    prof.add_argument("--scale", default="test")
+    prof.add_argument("--affinity-distance", type=int, default=None)
+    prof.add_argument(
+        "--include-trace",
+        action="store_true",
+        help="also store the object reference trace (needed for HDS analysis)",
+    )
+
+    plot = sub.add_parser("plot", help="regenerate a paper figure or table")
+    group = plot.add_mutually_exclusive_group(required=True)
+    group.add_argument("--figure", type=int, choices=(12, 13, 14, 15))
+    group.add_argument("--table", type=int, choices=(1,))
+    plot.add_argument("--trials", type=int, default=3)
+    plot.add_argument("--out", type=Path, default=None, help="directory for JSON output")
+
+    sub.add_parser("list", help="list available benchmarks")
+    return parser
+
+
+def _cmd_baseline(args: argparse.Namespace) -> int:
+    workload = get_workload(args.benchmark)
+    measurement = measure_baseline(workload, scale=args.scale, seed=args.seed)
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ["cycles", f"{measurement.cycles:,.0f}"],
+                ["heap accesses", f"{measurement.accesses:,}"],
+                ["L1D misses", f"{measurement.cache.l1_misses:,}"],
+                ["L2 misses", f"{measurement.cache.l2_misses:,}"],
+                ["L3 misses", f"{measurement.cache.l3_misses:,}"],
+                ["DTLB misses", f"{measurement.cache.tlb_misses:,}"],
+                ["peak live bytes", f"{measurement.peak_live_bytes:,}"],
+            ],
+            title=f"{args.benchmark} baseline ({args.scale})",
+        )
+    )
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    workload = get_workload(args.benchmark)
+    overrides = {}
+    if args.chunk_size is not None:
+        overrides["chunk_size"] = args.chunk_size
+    if args.max_spare_chunks is not None:
+        overrides["max_spare_chunks"] = args.max_spare_chunks
+    if args.max_groups is not None:
+        overrides["max_groups"] = args.max_groups
+    params = reproduce.halo_params_for(workload, **overrides)
+    if args.affinity_distance is not None:
+        params = params.with_affinity_distance(args.affinity_distance)
+
+    if args.profile is not None:
+        from .profiling import load_profile
+
+        profile = load_profile(args.profile, workload.program)
+    else:
+        profile = profile_workload(workload, params, scale="test")
+    artifacts = optimise_profile(profile, params)
+    if args.show_groups:
+        for line in artifacts.describe_groups():
+            print(line)
+    if args.dump_graph is not None:
+        from .analysis.graphviz import artifacts_dot
+
+        args.dump_graph.write_text(artifacts_dot(artifacts))
+        print(f"wrote {args.dump_graph}")
+    baseline = measure_baseline(workload, scale=args.scale, seed=args.seed)
+    optimised = measure_halo(workload, artifacts, scale=args.scale, seed=args.seed)
+    reduction = 0.0
+    if baseline.cache.l1_misses:
+        reduction = (
+            baseline.cache.l1_misses - optimised.cache.l1_misses
+        ) / baseline.cache.l1_misses
+    speedup = baseline.cycles / optimised.cycles - 1.0 if optimised.cycles else 0.0
+    print(
+        format_table(
+            ["metric", "baseline", "HALO"],
+            [
+                ["cycles", f"{baseline.cycles:,.0f}", f"{optimised.cycles:,.0f}"],
+                ["L1D misses", f"{baseline.cache.l1_misses:,}", f"{optimised.cache.l1_misses:,}"],
+                ["groups", "-", str(len(artifacts.groups))],
+                ["monitored sites", "-", str(artifacts.plan.bits_used)],
+                ["grouped allocs", "-", f"{optimised.grouped_allocs:,}"],
+            ],
+            title=f"{args.benchmark} ({args.scale})",
+        )
+    )
+    print(f"\nL1D miss reduction: {reduction * 100:+.1f}%   speedup: {speedup * 100:+.1f}%")
+    return 0
+
+
+def _write_json(out: Optional[Path], name: str, payload) -> None:
+    if out is None:
+        return
+    out.mkdir(parents=True, exist_ok=True)
+    path = out / f"{name}.json"
+    path.write_text(to_json(payload))
+    print(f"\nwrote {path}")
+
+
+def _cmd_plot(args: argparse.Namespace) -> int:
+    if args.table == 1:
+        rows = reproduce.table1()
+        print(
+            format_table(
+                ["Benchmark", "Frag. (%)", "Frag. (bytes)"],
+                [[r.benchmark, f"{r.fraction * 100:.2f}%", f"{r.wasted_bytes:,}"] for r in rows],
+                title="Table 1: fragmentation of grouped objects at peak memory usage",
+            )
+        )
+        _write_json(args.out, "table1", rows)
+        return 0
+    if args.figure == 12:
+        result = reproduce.figure12(trials=args.trials)
+        series = result.series[0]
+        print(
+            bar_chart(
+                {k: v / result.notes["baseline"] - 1.0 for k, v in series.values.items()},
+                title=result.figure + " (relative to baseline)",
+            )
+        )
+        _write_json(args.out, "figure12", result)
+        return 0
+    evaluations = reproduce.evaluate_all(trials=args.trials, include_random=args.figure == 15)
+    figure = {13: reproduce.figure13, 14: reproduce.figure14, 15: reproduce.figure15}[args.figure]
+    result = figure(evaluations)
+    for series in result.series:
+        print(bar_chart(series.values, title=f"{result.figure} — {series.label}"))
+        print()
+    _write_json(args.out, f"figure{args.figure}", result)
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from .profiling import save_profile
+
+    workload = get_workload(args.benchmark)
+    params = reproduce.halo_params_for(workload)
+    if args.affinity_distance is not None:
+        params = params.with_affinity_distance(args.affinity_distance)
+    profile = profile_workload(
+        workload, params, scale=args.scale, record_trace=args.include_trace
+    )
+    save_profile(profile, args.output, include_trace=args.include_trace)
+    print(
+        f"profiled {args.benchmark} ({args.scale}): "
+        f"{len(profile.contexts)} contexts, {len(profile.graph)} graph nodes"
+    )
+    print(f"wrote {args.output}")
+    return 0
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    """CLI entry point."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        for name in workload_names():
+            workload = get_workload(name)
+            print(f"{name:10s} {workload.suite:14s} {workload.description}")
+        return 0
+    if args.command == "baseline":
+        return _cmd_baseline(args)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "plot":
+        return _cmd_plot(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
+    return 1  # pragma: no cover - argparse enforces choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,7 @@
+"""Alternative clusterers the paper's grouping algorithm is compared against."""
+
+from .cuts import cut_groups
+from .hcs import hcs_groups
+from .modularity import modularity_groups
+
+__all__ = ["cut_groups", "hcs_groups", "modularity_groups"]

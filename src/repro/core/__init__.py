@@ -1,0 +1,45 @@
+"""HALO's primary contribution: grouping, identification, and the pipeline."""
+
+from .grouping import Group, GroupingParams, assign_groups, group_contexts
+from .identification import IdentificationResult, synthesise_selectors
+from .pipeline import (
+    HaloArtifacts,
+    HaloParams,
+    HaloRuntime,
+    make_runtime,
+    optimise_profile,
+    optimise_workload,
+    profile_workload,
+)
+from .score import internal_weight, merge_benefit, score
+from .selectors import (
+    CompiledMatcher,
+    GroupSelector,
+    NeverMatch,
+    SelectorMatchError,
+    monitored_sites,
+)
+
+__all__ = [
+    "CompiledMatcher",
+    "Group",
+    "GroupSelector",
+    "GroupingParams",
+    "HaloArtifacts",
+    "HaloParams",
+    "HaloRuntime",
+    "IdentificationResult",
+    "NeverMatch",
+    "SelectorMatchError",
+    "assign_groups",
+    "group_contexts",
+    "internal_weight",
+    "make_runtime",
+    "merge_benefit",
+    "monitored_sites",
+    "optimise_profile",
+    "optimise_workload",
+    "profile_workload",
+    "score",
+    "synthesise_selectors",
+]

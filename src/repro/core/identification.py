@@ -1,0 +1,145 @@
+"""Selector synthesis: the group-identification algorithm of paper Figure 10.
+
+For each group (most popular first) and each member context, a conjunctive
+expression is grown greedily: at every step the algorithm counts, for each
+call site in the member's chain, how many *conflicting* chains (contexts
+outside the already-identified groups) would still match if that site were
+added, and adds the site that minimises the count — preferring sites lower
+in the stack on ties — until no site reduces conflicts further.  The
+member expressions are OR-ed into the group's selector (disjunctive normal
+form).
+
+The paper notes the results can be sub-optimal because each member is
+handled independently, yet are "more than sufficient"; residual conflicts
+mean some unrelated allocations are pulled into a group's pool at runtime,
+which is a performance matter rather than a correctness one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import inf
+from typing import Callable, Mapping, Optional, Sequence
+
+from ..profiling.shadow import Chain, ContextTable
+from .grouping import Group
+from .selectors import GroupSelector
+
+
+@dataclass(frozen=True)
+class IdentificationResult:
+    """Selectors plus bookkeeping from synthesis.
+
+    Attributes:
+        selectors: One per group, ordered most popular first — the priority
+            order the runtime matcher must use.
+        residual_conflicts: gid -> number of conflicting chains the group's
+            selector still matches (0 = perfectly discriminating).
+    """
+
+    selectors: tuple[GroupSelector, ...]
+    residual_conflicts: dict[int, int]
+
+
+def synthesise_selectors(
+    groups: Sequence[Group],
+    contexts: ContextTable,
+    context_group: Mapping[int, Optional[int]],
+    site_allowed: Callable[[int], bool] = lambda addr: True,
+) -> IdentificationResult:
+    """Build selectors for *groups* (Figure 10).
+
+    Args:
+        groups: The accepted allocation groups.
+        contexts: Context interning table (provides chains).
+        context_group: Group assignment (or None) for **every** profiled
+            context — ungrouped contexts are the conflicts selectors must
+            exclude.
+        site_allowed: Predicate restricting which call sites may be used in
+            expressions (the rewriter can only instrument main-binary
+            sites).
+    """
+    ignore: set[int] = set()
+    ordered = sorted(groups, key=lambda g: (-g.accesses, g.gid))
+    selectors: list[GroupSelector] = []
+    residual: dict[int, int] = {}
+
+    # Pre-compute chain sets once: membership tests dominate the cost.
+    chain_sets: dict[int, frozenset[int]] = {
+        cid: frozenset(contexts.chain(cid)) for cid in context_group
+    }
+
+    for group in ordered:
+        ignore.add(group.gid)
+        conjunctions: list[frozenset[int]] = []
+        group_conflicts = 0
+        for member in sorted(group.members):
+            expr, conflicts = _grow_expression(
+                member_chain=contexts.chain(member),
+                chain_sets=chain_sets,
+                context_group=context_group,
+                ignore=ignore,
+                site_allowed=site_allowed,
+            )
+            if expr and expr not in conjunctions:
+                # An empty expression (no usable sites in the member's
+                # chain) would match every allocation; such members are
+                # left unidentified rather than poisoning the selector.
+                conjunctions.append(expr)
+            group_conflicts += conflicts
+        selectors.append(GroupSelector(group.gid, tuple(conjunctions)))
+        residual[group.gid] = group_conflicts
+
+    return IdentificationResult(tuple(selectors), residual)
+
+
+def _grow_expression(
+    member_chain: Chain,
+    chain_sets: Mapping[int, frozenset[int]],
+    context_group: Mapping[int, Optional[int]],
+    ignore: set[int],
+    site_allowed: Callable[[int], bool],
+) -> tuple[frozenset[int], int]:
+    """Grow one member's conjunction; returns (sites, residual conflicts)."""
+    # Candidate sites, outermost (lowest in the stack) first — iteration
+    # order implements the tie-break "a is lower in the stack than b".
+    candidates = [
+        addr for addr in dict.fromkeys(member_chain) if site_allowed(addr)
+    ]
+    expr: set[int] = set()
+    conflicts: float = inf
+
+    # Chains that currently match the (initially empty ≡ True) expression
+    # and belong to no already-identified group.
+    matching = [
+        chain_sets[cid]
+        for cid, gid in context_group.items()
+        if gid not in ignore
+    ]
+
+    while conflicts:
+        if not candidates:
+            break
+        best_site: Optional[int] = None
+        best_count = inf
+        for addr in candidates:
+            if addr in expr:
+                continue
+            count = sum(1 for chain in matching if addr in chain)
+            if count < best_count:
+                best_count = count
+                best_site = addr
+        if best_site is None or best_count >= conflicts:
+            break
+        expr.add(best_site)
+        conflicts = best_count
+        matching = [chain for chain in matching if best_site in chain]
+
+    if not expr and candidates:
+        # Degenerate case: every candidate site appears in every conflicting
+        # chain.  An empty conjunction would match *all* allocations, so pin
+        # the expression to the innermost candidate instead.
+        expr.add(candidates[-1])
+        conflicts = sum(1 for chain in matching if candidates[-1] in chain)
+
+    return frozenset(expr), int(conflicts) if conflicts is not inf else len(matching)

@@ -1,0 +1,35 @@
+"""Measurement harness: runners, trial methodology, figure reproduction."""
+
+from .experiment import TrialResult, TrialStats, miss_reduction, run_trials, speedup
+from .tracer import AccessTrace, AccessTraceRecorder, replay_geometries
+from .runner import (
+    Measurement,
+    PeakTracker,
+    measure_baseline,
+    measure_calder,
+    measure_halo,
+    measure_hds,
+    measure_random_pools,
+    run_measurement,
+    total_live_bytes,
+)
+
+__all__ = [
+    "AccessTrace",
+    "AccessTraceRecorder",
+    "Measurement",
+    "PeakTracker",
+    "TrialResult",
+    "TrialStats",
+    "measure_baseline",
+    "measure_calder",
+    "measure_halo",
+    "measure_hds",
+    "measure_random_pools",
+    "miss_reduction",
+    "run_measurement",
+    "replay_geometries",
+    "run_trials",
+    "speedup",
+    "total_live_bytes",
+]

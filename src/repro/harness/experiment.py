@@ -1,0 +1,92 @@
+"""Multi-trial measurement methodology (paper Section 5.1).
+
+The paper runs 11 trials per configuration, discards the first, and reports
+the median of the remaining 10 with 25th/75th-percentile error bars.  In
+this reproduction a trial's only run-to-run variation is the ASLR-style
+randomisation of the simulated address space (heap base offsets), so a
+handful of trials captures the placement noise; the trial count is a
+parameter.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from .runner import Measurement
+
+
+@dataclass(frozen=True)
+class TrialStats:
+    """Median and quartiles of one metric over the recorded trials."""
+
+    median: float
+    q25: float
+    q75: float
+
+    @staticmethod
+    def of(values: Sequence[float]) -> "TrialStats":
+        if not values:
+            raise ValueError("no trial values")
+        ordered = sorted(values)
+        return TrialStats(
+            median=statistics.median(ordered),
+            q25=ordered[max(0, int(0.25 * (len(ordered) - 1)))],
+            q75=ordered[min(len(ordered) - 1, int(round(0.75 * (len(ordered) - 1))))],
+        )
+
+
+@dataclass
+class TrialResult:
+    """Aggregate of repeated measurements of one configuration."""
+
+    config: str
+    measurements: list[Measurement]
+    cycles: TrialStats
+    l1_misses: TrialStats
+
+    @property
+    def representative(self) -> Measurement:
+        """The measurement whose cycles are closest to the median."""
+        return min(self.measurements, key=lambda m: abs(m.cycles - self.cycles.median))
+
+
+def run_trials(
+    measure: Callable[[int], Measurement],
+    trials: int = 3,
+    discard_first: bool = True,
+) -> TrialResult:
+    """Run ``measure(seed)`` for several seeds and aggregate the results.
+
+    Mirrors the paper's discard-the-first-trial warm-up convention: seed 0
+    is executed and dropped when ``discard_first`` is set (its placement is
+    the least randomised, playing the role of the cold-system run).
+    """
+    if trials < 1:
+        raise ValueError(f"need at least one trial, got {trials}")
+    seeds = range(0, trials + (1 if discard_first else 0))
+    measurements = [measure(seed) for seed in seeds]
+    kept = measurements[1:] if discard_first else measurements
+    return TrialResult(
+        config=kept[0].config,
+        measurements=kept,
+        cycles=TrialStats.of([m.cycles for m in kept]),
+        l1_misses=TrialStats.of([float(m.cache.l1_misses) for m in kept]),
+    )
+
+
+def miss_reduction(baseline: TrialResult, optimised: TrialResult) -> float:
+    """Median L1D miss reduction, oriented as in paper Figure 13."""
+    base = baseline.l1_misses.median
+    if base == 0:
+        return 0.0
+    return (base - optimised.l1_misses.median) / base
+
+
+def speedup(baseline: TrialResult, optimised: TrialResult) -> float:
+    """Median execution-time speedup, oriented as in paper Figure 14."""
+    cycles = optimised.cycles.median
+    if cycles == 0:
+        return 0.0
+    return baseline.cycles.median / cycles - 1.0

@@ -1,0 +1,299 @@
+"""Entry points that regenerate every evaluation table and figure.
+
+One function per paper artefact:
+
+* :func:`figure12` — omnetpp execution time across affinity distances;
+* :func:`figure13` — L1D miss reduction, HDS vs HALO, all 11 benchmarks;
+* :func:`figure14` — speedup, HDS vs HALO, all 11 benchmarks;
+* :func:`figure15` — speedup under the random 4-pool allocator;
+* :func:`table1` — grouped-object fragmentation at peak memory usage;
+* :func:`roms_representation_blowup` — §5.2's 31-nodes-vs-150k-streams
+  comparison.
+
+``evaluate_workload`` does the shared work (profile once, analyse with both
+techniques, measure all configurations over trials) so figures 13/14 come
+from a single set of runs, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..core.pipeline import HaloParams, optimise_profile, profile_workload
+from ..hds.pipeline import HdsParams, analyse_profile
+from ..workloads.base import Workload, get_workload
+from .runner import (
+    measure_baseline,
+    measure_halo,
+    measure_hds,
+    measure_random_pools,
+)
+from .experiment import TrialResult, miss_reduction, run_trials, speedup
+
+#: Benchmarks in the paper's presentation order (Figures 13-15 x-axis).
+PAPER_BENCHMARKS = (
+    "health", "ft", "analyzer", "ammp", "art", "equake",
+    "povray", "omnetpp", "xalanc", "leela", "roms",
+)
+
+#: The nine benchmarks of Table 1, in its row order.
+TABLE1_BENCHMARKS = (
+    "health", "equake", "analyzer", "ammp", "art", "ft",
+    "povray", "roms", "leela",
+)
+
+
+@dataclass
+class WorkloadEvaluation:
+    """All measurements for one benchmark."""
+
+    name: str
+    baseline: TrialResult
+    halo: TrialResult
+    hds: TrialResult
+    random_pools: Optional[TrialResult]
+    halo_groups: int
+    hds_groups: int
+    hds_streams: int
+    graph_nodes: int
+
+    @property
+    def halo_miss_reduction(self) -> float:
+        return miss_reduction(self.baseline, self.halo)
+
+    @property
+    def hds_miss_reduction(self) -> float:
+        return miss_reduction(self.baseline, self.hds)
+
+    @property
+    def halo_speedup(self) -> float:
+        return speedup(self.baseline, self.halo)
+
+    @property
+    def hds_speedup(self) -> float:
+        return speedup(self.baseline, self.hds)
+
+    @property
+    def random_speedup(self) -> float:
+        if self.random_pools is None:
+            return 0.0
+        return speedup(self.baseline, self.random_pools)
+
+
+def halo_params_for(workload: Workload, **overrides) -> HaloParams:
+    """HALO parameters for *workload*, honouring its artefact-appendix quirks."""
+    merged = dict(workload.halo_overrides)
+    merged.update(overrides)
+    return HaloParams(**merged)
+
+
+def hds_params_for(workload: Workload, **overrides) -> HdsParams:
+    """HDS parameters for *workload*, honouring its quirks."""
+    merged = dict(workload.hds_overrides)
+    merged.update(overrides)
+    return HdsParams(**merged)
+
+
+def evaluate_workload(
+    name: str,
+    trials: int = 3,
+    scale: str = "ref",
+    include_random: bool = True,
+    halo_params: Optional[HaloParams] = None,
+) -> WorkloadEvaluation:
+    """Profile, optimise and measure one benchmark under every configuration."""
+    workload = get_workload(name)
+    params = halo_params = halo_params or halo_params_for(workload)
+    hds_params = hds_params_for(workload)
+
+    profile = profile_workload(workload, params, scale="test", record_trace=True)
+    halo_artifacts = optimise_profile(profile, params)
+    hds_artifacts = analyse_profile(profile, hds_params)
+
+    baseline = run_trials(lambda seed: measure_baseline(workload, scale=scale, seed=seed), trials)
+    halo = run_trials(
+        lambda seed: measure_halo(workload, halo_artifacts, scale=scale, seed=seed), trials
+    )
+    hds = run_trials(
+        lambda seed: measure_hds(workload, hds_artifacts, scale=scale, seed=seed), trials
+    )
+    random_pools = None
+    if include_random:
+        random_pools = run_trials(
+            lambda seed: measure_random_pools(workload, scale=scale, seed=seed), trials
+        )
+    return WorkloadEvaluation(
+        name=name,
+        baseline=baseline,
+        halo=halo,
+        hds=hds,
+        random_pools=random_pools,
+        halo_groups=len(halo_artifacts.groups),
+        hds_groups=len(hds_artifacts.groups),
+        hds_streams=hds_artifacts.stream_count,
+        graph_nodes=len(profile.graph),
+    )
+
+
+def evaluate_all(
+    benchmarks: Sequence[str] = PAPER_BENCHMARKS,
+    trials: int = 3,
+    scale: str = "ref",
+    include_random: bool = True,
+) -> dict[str, WorkloadEvaluation]:
+    """Run the full evaluation matrix (figures 13, 14 and 15 share it)."""
+    return {
+        name: evaluate_workload(name, trials=trials, scale=scale, include_random=include_random)
+        for name in benchmarks
+    }
+
+
+# ---------------------------------------------------------------------------
+# Figure/table front ends
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class FigureSeries:
+    """One named series of per-benchmark values."""
+
+    label: str
+    values: dict[str, float]
+
+
+@dataclass
+class FigureResult:
+    """Data behind one reproduced figure."""
+
+    figure: str
+    series: list[FigureSeries]
+    notes: dict[str, float] = field(default_factory=dict)
+
+
+def figure13(evaluations: dict[str, WorkloadEvaluation]) -> FigureResult:
+    """L1D miss reduction, Chilimbi et al. (HDS) vs HALO."""
+    return FigureResult(
+        figure="Figure 13: L1D cache miss reduction",
+        series=[
+            FigureSeries(
+                "Chilimbi et al.",
+                {n: e.hds_miss_reduction for n, e in evaluations.items()},
+            ),
+            FigureSeries(
+                "HALO", {n: e.halo_miss_reduction for n, e in evaluations.items()}
+            ),
+        ],
+    )
+
+
+def figure14(evaluations: dict[str, WorkloadEvaluation]) -> FigureResult:
+    """Execution-time speedup, Chilimbi et al. (HDS) vs HALO."""
+    return FigureResult(
+        figure="Figure 14: speedup",
+        series=[
+            FigureSeries(
+                "Chilimbi et al.", {n: e.hds_speedup for n, e in evaluations.items()}
+            ),
+            FigureSeries("HALO", {n: e.halo_speedup for n, e in evaluations.items()}),
+        ],
+    )
+
+
+def figure15(evaluations: dict[str, WorkloadEvaluation]) -> FigureResult:
+    """Speedup under the random 4-pool allocator (placement sensitivity)."""
+    return FigureResult(
+        figure="Figure 15: random 4-pool allocator speedup",
+        series=[
+            FigureSeries(
+                "random pools", {n: e.random_speedup for n, e in evaluations.items()}
+            )
+        ],
+    )
+
+
+def figure12(
+    distances: Sequence[int] = tuple(2**k for k in range(3, 14)),
+    trials: int = 3,
+    scale: str = "ref",
+    benchmark: str = "omnetpp",
+) -> FigureResult:
+    """omnetpp execution time across affinity distances, vs the baseline.
+
+    Values are simulated cycles (the paper reports seconds); the dashed
+    baseline of the original plot is returned in ``notes['baseline']``.
+
+    The default sweep stops at 2^13 rather than the paper's 2^17: profiling
+    cost grows with the affinity window (the paper itself notes the
+    overhead trade-off), and the curve has flattened by then.  Pass a wider
+    ``distances`` for the full range.
+    """
+    workload = get_workload(benchmark)
+    baseline = run_trials(
+        lambda seed: measure_baseline(workload, scale=scale, seed=seed), trials
+    )
+    times: dict[str, float] = {}
+    for distance in distances:
+        params = halo_params_for(workload).with_affinity_distance(distance)
+        profile = profile_workload(workload, params, scale="test")
+        artifacts = optimise_profile(profile, params)
+        result = run_trials(
+            lambda seed: measure_halo(workload, artifacts, scale=scale, seed=seed), trials
+        )
+        times[str(distance)] = result.cycles.median
+    return FigureResult(
+        figure=f"Figure 12: {benchmark} time vs affinity distance",
+        series=[FigureSeries("HALO cycles", times)],
+        notes={"baseline": baseline.cycles.median},
+    )
+
+
+@dataclass
+class FragmentationRow:
+    """One row of Table 1."""
+
+    benchmark: str
+    fraction: float
+    wasted_bytes: int
+
+
+def table1(
+    benchmarks: Sequence[str] = TABLE1_BENCHMARKS,
+    scale: str = "ref",
+) -> list[FragmentationRow]:
+    """Fragmentation behaviour of grouped objects at peak memory usage."""
+    rows = []
+    for name in benchmarks:
+        workload = get_workload(name)
+        params = halo_params_for(workload)
+        profile = profile_workload(workload, params, scale="test")
+        artifacts = optimise_profile(profile, params)
+        measurement = measure_halo(workload, artifacts, scale=scale, seed=1)
+        frag = measurement.frag_at_peak
+        if frag is None:
+            rows.append(FragmentationRow(name, 0.0, 0))
+        else:
+            rows.append(FragmentationRow(name, frag.fraction, frag.wasted_bytes))
+    return rows
+
+
+@dataclass
+class RepresentationComparison:
+    """§5.2's representation-size comparison on roms."""
+
+    benchmark: str
+    affinity_graph_nodes: int
+    hot_streams: int
+
+
+def roms_representation_blowup(scale: str = "test") -> RepresentationComparison:
+    """Affinity-graph nodes vs hot-stream count for roms."""
+    workload = get_workload("roms")
+    params = halo_params_for(workload)
+    profile = profile_workload(workload, params, scale=scale, record_trace=True)
+    hds_artifacts = analyse_profile(profile, hds_params_for(workload))
+    return RepresentationComparison(
+        benchmark="roms",
+        affinity_graph_nodes=len(profile.graph),
+        hot_streams=hds_artifacts.stream_count,
+    )

@@ -1,0 +1,221 @@
+"""Single-run measurement harness.
+
+Runs one workload under one allocator configuration with the full cache
+hierarchy attached, and collects everything the evaluation needs: cycle
+count (via the cost model), per-level miss counts, allocator statistics and
+the fragmentation snapshot taken at peak memory usage (paper Table 1
+measures "fragmentation behaviour of grouped objects at peak memory
+usage").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..allocators.base import AddressSpace, Allocator
+from ..allocators.group import FragmentationSnapshot, GroupAllocator
+from ..allocators.random_group import RandomPoolAllocator
+from ..allocators.size_class import SizeClassAllocator
+from ..cache.hierarchy import CacheHierarchy, HierarchyConfig, HierarchyStats
+from ..cache.timing import CostModel
+from ..core.pipeline import HaloArtifacts, make_runtime as make_halo_runtime
+from ..hds.pipeline import HdsArtifacts, make_runtime as make_hds_runtime
+from ..machine.events import Listener
+from ..machine.machine import Machine
+from ..workloads.base import Workload
+
+
+@dataclass
+class Measurement:
+    """Results of one measured run."""
+
+    workload: str
+    config: str
+    scale: str
+    seed: int
+    cycles: float
+    cache: HierarchyStats
+    accesses: int
+    allocs: int
+    frees: int
+    instrumentation_toggles: int
+    peak_live_bytes: int
+    frag_at_peak: Optional[FragmentationSnapshot]
+    grouped_allocs: int = 0
+    forwarded_allocs: int = 0
+
+
+def total_live_bytes(allocator: Allocator) -> int:
+    """Live bytes across an allocator and (if present) its fallback."""
+    live = allocator.stats.live_bytes
+    fallback = getattr(allocator, "fallback", None)
+    if fallback is not None:
+        live += fallback.stats.live_bytes
+    return live
+
+
+class PeakTracker(Listener):
+    """Listener capturing the fragmentation snapshot at peak memory usage."""
+
+    def __init__(self, allocator: Allocator) -> None:
+        self.allocator = allocator
+        self.peak_live = 0
+        self.frag_at_peak: Optional[FragmentationSnapshot] = None
+
+    def on_alloc(self, machine: Machine, obj) -> None:
+        """Update the peak and capture the fragmentation snapshot at it."""
+        live = total_live_bytes(self.allocator)
+        if live > self.peak_live:
+            self.peak_live = live
+            if isinstance(self.allocator, GroupAllocator):
+                self.frag_at_peak = self.allocator.fragmentation()
+
+
+def run_measurement(
+    workload: Workload,
+    make_allocator: Callable[[AddressSpace], Allocator],
+    config: str,
+    scale: str = "ref",
+    seed: int = 0,
+    cost_model: CostModel | None = None,
+    hierarchy_config: HierarchyConfig | None = None,
+    instrumentation: Optional[dict[int, int]] = None,
+    state_vector=None,
+    attach: Optional[Callable[[Machine], None]] = None,
+) -> Measurement:
+    """Run *workload* once under the given allocator factory and measure it."""
+    cost_model = cost_model or CostModel()
+    space = AddressSpace(seed)
+    allocator = make_allocator(space)
+    memory = CacheHierarchy(hierarchy_config)
+    tracker = PeakTracker(allocator)
+    machine = Machine(
+        workload.program,
+        allocator,
+        memory=memory,
+        listeners=[tracker],
+        instrumentation=instrumentation,
+        state_vector=state_vector,
+    )
+    if attach is not None:
+        attach(machine)
+    workload.run(machine, scale)
+    cache = memory.snapshot()
+    metrics = machine.metrics
+    return Measurement(
+        workload=workload.name,
+        config=config,
+        scale=scale,
+        seed=seed,
+        cycles=cost_model.cycles(metrics, cache),
+        cache=cache,
+        accesses=metrics.accesses,
+        allocs=metrics.allocs,
+        frees=metrics.frees,
+        instrumentation_toggles=metrics.instrumentation_toggles,
+        peak_live_bytes=tracker.peak_live,
+        frag_at_peak=tracker.frag_at_peak,
+        grouped_allocs=getattr(allocator, "grouped_allocs", 0),
+        forwarded_allocs=getattr(allocator, "forwarded_allocs", 0),
+    )
+
+
+def measure_baseline(
+    workload: Workload, scale: str = "ref", seed: int = 0, **kwargs
+) -> Measurement:
+    """Measure the unmodified workload under the jemalloc-like baseline."""
+    return run_measurement(
+        workload, SizeClassAllocator, config="baseline", scale=scale, seed=seed, **kwargs
+    )
+
+
+def measure_halo(
+    workload: Workload,
+    artifacts: HaloArtifacts,
+    scale: str = "ref",
+    seed: int = 0,
+    **kwargs,
+) -> Measurement:
+    """Measure the HALO-optimised configuration."""
+    holder: dict = {}
+
+    def factory(space: AddressSpace) -> Allocator:
+        runtime = make_halo_runtime(artifacts, space)
+        holder["runtime"] = runtime
+        return runtime.allocator
+
+    def attach(machine: Machine) -> None:
+        runtime = holder["runtime"]
+        machine.instrumentation = dict(runtime.instrumentation)
+        machine.state_vector = runtime.state_vector
+
+    return run_measurement(
+        workload, factory, config="halo", scale=scale, seed=seed, attach=attach, **kwargs
+    )
+
+
+def measure_hds(
+    workload: Workload,
+    artifacts: HdsArtifacts,
+    scale: str = "ref",
+    seed: int = 0,
+    **kwargs,
+) -> Measurement:
+    """Measure the hot-data-streams configuration."""
+    holder: dict = {}
+
+    def factory(space: AddressSpace) -> Allocator:
+        runtime = make_hds_runtime(artifacts, space)
+        holder["runtime"] = runtime
+        return runtime.allocator
+
+    def attach(machine: Machine) -> None:
+        holder["runtime"].attach(machine)
+
+    return run_measurement(
+        workload, factory, config="hds", scale=scale, seed=seed, attach=attach, **kwargs
+    )
+
+
+def measure_calder(
+    workload: Workload,
+    artifacts,
+    scale: str = "ref",
+    seed: int = 0,
+    **kwargs,
+) -> Measurement:
+    """Measure the Calder et al. name-based configuration."""
+    from ..calder.pipeline import make_runtime as make_calder_runtime
+
+    holder: dict = {}
+
+    def factory(space: AddressSpace) -> Allocator:
+        runtime = make_calder_runtime(artifacts, space)
+        holder["runtime"] = runtime
+        return runtime.allocator
+
+    def attach(machine: Machine) -> None:
+        holder["runtime"].attach(machine)
+
+    return run_measurement(
+        workload, factory, config="calder", scale=scale, seed=seed, attach=attach, **kwargs
+    )
+
+
+def measure_random_pools(
+    workload: Workload,
+    scale: str = "ref",
+    seed: int = 0,
+    pools: int = 4,
+    **kwargs,
+) -> Measurement:
+    """Measure the Figure-15 random-pool allocator configuration."""
+
+    def factory(space: AddressSpace) -> Allocator:
+        fallback = SizeClassAllocator(space)
+        return RandomPoolAllocator(space, fallback, pools=pools, seed=seed)
+
+    return run_measurement(
+        workload, factory, config="random-pools", scale=scale, seed=seed, **kwargs
+    )

@@ -1,0 +1,29 @@
+"""Program + execution substrate: the simulated binary and CPU."""
+
+from .events import Listener
+from .heap import HeapError, HeapObject, ObjectTable
+from .machine import GroupStateVector, Machine, MachineMetrics
+from .program import (
+    CallSite,
+    Function,
+    Program,
+    ProgramBuilder,
+    ProgramError,
+    TRACEABLE_ROUTINES,
+)
+
+__all__ = [
+    "CallSite",
+    "Function",
+    "GroupStateVector",
+    "HeapError",
+    "HeapObject",
+    "Listener",
+    "Machine",
+    "MachineMetrics",
+    "ObjectTable",
+    "Program",
+    "ProgramBuilder",
+    "ProgramError",
+    "TRACEABLE_ROUTINES",
+]

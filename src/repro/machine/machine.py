@@ -1,0 +1,239 @@
+"""The simulated machine that executes workloads.
+
+A :class:`Machine` plays the role of the CPU + OS process in the paper's
+evaluation: it maintains the call stack, routes allocation requests to the
+configured allocator, drives the cache hierarchy with every heap load/store,
+toggles group-state bits for instrumented call sites (the work the BOLT pass
+injects into the rewritten binary, Section 4.3), and broadcasts every event
+to registered listeners (the Pin tool's view, Section 4.1).
+
+Workloads drive the machine through a small explicit API::
+
+    with machine.call(site):          # control transfer through `site`
+        obj = machine.malloc(64)      # heap allocation
+    machine.load(obj, 0, 8)           # heap access
+    machine.work(25)                  # `25` cycles of non-memory compute
+    machine.free(obj)
+
+Determinism: given the same workload code, RNG seed and allocator placement,
+two runs produce identical event streams and identical cache behaviour.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional, Union
+
+from .events import Listener
+from .heap import HeapError, HeapObject, ObjectTable
+from .program import CallSite, Program, ProgramError
+
+
+@dataclass
+class MachineMetrics:
+    """Dynamic instruction-level counters for one run."""
+
+    loads: int = 0
+    stores: int = 0
+    allocs: int = 0
+    frees: int = 0
+    reallocs: int = 0
+    calls: int = 0
+    compute_cycles: float = 0.0
+    #: Bit set/clear operations executed for instrumented call sites — the
+    #: runtime overhead the rewriting pass introduces.
+    instrumentation_toggles: int = 0
+
+    @property
+    def accesses(self) -> int:
+        """Total heap accesses (loads + stores)."""
+        return self.loads + self.stores
+
+
+class GroupStateVector:
+    """The shared 'group state' bit vector from Section 4.3.
+
+    The rewritten binary sets bit *i* when control passes through the *i*-th
+    instrumented call site and clears it on the way back out.  The
+    specialised allocator reads the whole vector (as an integer) on every
+    allocation to evaluate group selectors.
+    """
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def set(self, bit: int) -> None:
+        """Set bit *bit*."""
+        self.value |= 1 << bit
+
+    def clear(self, bit: int) -> None:
+        """Clear bit *bit*.
+
+        Faithful to the paper's set-then-unset scheme: a recursive re-entry
+        through the same site does not reference-count, so the inner return
+        clears the bit even if an outer activation is still live.
+        """
+        self.value &= ~(1 << bit)
+
+    def test(self, bit: int) -> bool:
+        """Return whether bit *bit* is set."""
+        return bool(self.value >> bit & 1)
+
+
+class Machine:
+    """Executes workload code against a program, allocator, and memory model.
+
+    Args:
+        program: Static program model; every call site passed to
+            :meth:`call` must belong to it.
+        allocator: Object implementing the :class:`repro.allocators.base.Allocator`
+            interface.  Must expose ``.space`` for residency accounting.
+        memory: Optional cache hierarchy; when present, every heap access is
+            simulated through it.  Profiling runs omit it for speed.
+        listeners: Event observers.
+        instrumentation: Optional mapping ``site addr -> state-vector bit``
+            produced by the BOLT rewriting pass.  When present, entering and
+            leaving those sites toggles bits in ``state_vector``.
+        state_vector: The shared group state vector (created on demand).
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        allocator,
+        memory=None,
+        listeners: Iterable[Listener] = (),
+        instrumentation: Optional[dict[int, int]] = None,
+        state_vector: Optional[GroupStateVector] = None,
+    ) -> None:
+        self.program = program
+        self.allocator = allocator
+        self.memory = memory
+        self.listeners: list[Listener] = list(listeners)
+        self.instrumentation = dict(instrumentation or {})
+        self.state_vector = state_vector if state_vector is not None else GroupStateVector()
+        self.objects = ObjectTable()
+        self.metrics = MachineMetrics()
+        #: The true dynamic call stack, innermost last.
+        self.stack: list[CallSite] = []
+
+    # ------------------------------------------------------------------
+    # Control flow
+    # ------------------------------------------------------------------
+
+    def _resolve_site(self, site: Union[CallSite, int]) -> CallSite:
+        if isinstance(site, CallSite):
+            if self.program.sites.get(site.addr) != site:
+                raise ProgramError(f"site {site.describe()} is not part of {self.program.name}")
+            return site
+        return self.program.site(site)
+
+    @contextmanager
+    def call(self, site: Union[CallSite, int]) -> Iterator[None]:
+        """Execute a call through *site*; the body runs inside the callee."""
+        resolved = self._resolve_site(site)
+        self.stack.append(resolved)
+        self.metrics.calls += 1
+        bit = self.instrumentation.get(resolved.addr)
+        if bit is not None:
+            self.state_vector.set(bit)
+            self.metrics.instrumentation_toggles += 1
+        for listener in self.listeners:
+            listener.on_call(self, resolved)
+        try:
+            yield
+        finally:
+            for listener in self.listeners:
+                listener.on_return(self, resolved)
+            if bit is not None:
+                self.state_vector.clear(bit)
+                self.metrics.instrumentation_toggles += 1
+            popped = self.stack.pop()
+            assert popped is resolved
+
+    # ------------------------------------------------------------------
+    # Memory management
+    # ------------------------------------------------------------------
+
+    def malloc(self, size: int) -> HeapObject:
+        """Allocate *size* bytes through the configured allocator."""
+        if size <= 0:
+            raise HeapError(f"invalid allocation size {size}")
+        addr = self.allocator.malloc(size)
+        obj = self.objects.create(addr, size)
+        self.metrics.allocs += 1
+        for listener in self.listeners:
+            listener.on_alloc(self, obj)
+        return obj
+
+    def calloc(self, count: int, size: int) -> HeapObject:
+        """Allocate and zero ``count * size`` bytes (zeroing touches pages)."""
+        obj = self.malloc(count * size)
+        # calloc writes the whole region; model the residency effect without
+        # charging the workload cache traffic for it.
+        self.allocator.space.touch_range(obj.addr, obj.size)
+        return obj
+
+    def free(self, obj: HeapObject) -> None:
+        """Free *obj*."""
+        obj.check_alive()
+        for listener in self.listeners:
+            listener.on_free(self, obj)
+        self.allocator.free(obj.addr)
+        self.objects.destroy(obj)
+        self.metrics.frees += 1
+
+    def realloc(self, obj: HeapObject, new_size: int) -> HeapObject:
+        """Resize *obj*, possibly moving it.  Returns the same handle."""
+        obj.check_alive()
+        if new_size <= 0:
+            raise HeapError(f"invalid realloc size {new_size}")
+        old_addr, old_size = obj.addr, obj.size
+        new_addr = self.allocator.realloc(obj.addr, new_size)
+        self.objects.move(obj, new_addr, new_size)
+        self.metrics.reallocs += 1
+        for listener in self.listeners:
+            listener.on_realloc(self, obj, old_addr, old_size)
+        return obj
+
+    # ------------------------------------------------------------------
+    # Data accesses and compute
+    # ------------------------------------------------------------------
+
+    def load(self, obj: HeapObject, offset: int = 0, size: int = 8) -> None:
+        """Simulate a load of *size* bytes at *offset* within *obj*."""
+        self._access(obj, offset, size, is_store=False)
+        self.metrics.loads += 1
+
+    def store(self, obj: HeapObject, offset: int = 0, size: int = 8) -> None:
+        """Simulate a store of *size* bytes at *offset* within *obj*."""
+        self._access(obj, offset, size, is_store=True)
+        self.metrics.stores += 1
+
+    def _access(self, obj: HeapObject, offset: int, size: int, is_store: bool) -> None:
+        obj.check_alive()
+        if offset < 0 or size <= 0 or offset + size > obj.size:
+            raise HeapError(
+                f"out-of-bounds access to object #{obj.oid}: "
+                f"[{offset}, {offset + size}) of {obj.size} bytes"
+            )
+        addr = obj.addr + offset
+        self.allocator.space.touch_range(addr, size)
+        if self.memory is not None:
+            self.memory.access(addr, size, is_store)
+        for listener in self.listeners:
+            listener.on_access(self, obj, offset, size, is_store)
+
+    def work(self, cycles: float) -> None:
+        """Account *cycles* of non-memory compute (models instruction work)."""
+        self.metrics.compute_cycles += cycles
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def finish(self) -> None:
+        """Signal end of run to listeners."""
+        for listener in self.listeners:
+            listener.on_finish(self)

@@ -1,0 +1,242 @@
+"""Static program model: the simulated "binary" that HALO optimises.
+
+The real HALO operates on post-link x86-64 executables: it profiles them with
+Pin and rewrites them with BOLT.  In this reproduction a *program* is a static
+description of the code HALO cares about — functions, the call sites between
+them, and linkage information (is a function statically linked into the main
+binary? is it an externally traceable allocation routine?).  The dynamic side
+(an actual execution) is provided by :class:`repro.machine.machine.Machine`,
+which workload code drives through an explicit call-site API.
+
+Addresses are synthetic but behave like real ones: every function gets a
+distinct base address in a text segment, and every call site gets a distinct
+address inside its caller.  Identification (Section 4.3 of the paper) and
+binary rewriting key off these addresses exactly as the real system keys off
+instruction addresses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+#: Base of the simulated text segment for the main executable (non-PIE).
+TEXT_BASE = 0x400000
+
+#: Base of the simulated text segment for shared-library code.
+LIBRARY_BASE = 0x7F00_0000_0000
+
+#: Spacing between function base addresses.
+FUNCTION_STRIDE = 0x1000
+
+#: Spacing between call-site addresses within a function.
+SITE_STRIDE = 0x10
+
+#: Names conventionally treated as externally traceable allocation routines
+#: (the "handful of externally traceable routines like malloc or free" from
+#: Section 4.1).
+TRACEABLE_ROUTINES = frozenset(
+    {"malloc", "calloc", "realloc", "free", "posix_memalign", "aligned_alloc",
+     "operator new", "operator delete"}
+)
+
+
+class ProgramError(Exception):
+    """Raised for malformed program construction or lookups."""
+
+
+@dataclass(frozen=True)
+class Function:
+    """A function in the target program.
+
+    Attributes:
+        name: Symbol name (unique within a program).
+        addr: Base address of the function's code.
+        in_main_binary: True when the function is statically linked into the
+            main executable.  Only such functions appear on the shadow stack
+            (Section 4.1) and only their call sites may be rewritten by the
+            BOLT pass (Section 4.3).
+        traceable: True for externally traceable memory-management routines
+            (``malloc`` and friends), which enter the shadow stack even
+            though they live outside the main binary.
+    """
+
+    name: str
+    addr: int
+    in_main_binary: bool = True
+    traceable: bool = False
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """A static call site: one call instruction inside a caller function.
+
+    Attributes:
+        addr: Address of the call instruction.
+        caller: Name of the containing function.
+        callee: Name of the called function (for indirect calls this is the
+            dominant dynamic target; the profiler only uses the callee's
+            linkage, so this is sufficient).
+        indirect: True when the call is through a pointer / PLT stub.
+        label: Optional human-readable label for reports.
+    """
+
+    addr: int
+    caller: str
+    callee: str
+    indirect: bool = False
+    label: str = ""
+
+    def describe(self) -> str:
+        """Return a short human-readable description of this site."""
+        text = f"{self.caller}->{self.callee}@{self.addr:#x}"
+        if self.label:
+            text += f" ({self.label})"
+        return text
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.describe()
+
+
+class Program:
+    """An immutable collection of functions and call sites.
+
+    Use :class:`ProgramBuilder` to construct one.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        functions: dict[str, Function],
+        sites: dict[int, CallSite],
+        entry: str = "main",
+        pie: bool = False,
+    ) -> None:
+        if entry not in functions:
+            raise ProgramError(f"entry function {entry!r} is not defined")
+        self.name = name
+        self.functions = dict(functions)
+        self.sites = dict(sites)
+        self.entry = entry
+        #: Position-independent executables cannot currently be rewritten by
+        #: the HALO BOLT pass (the paper builds everything ``-no-pie``).
+        self.pie = pie
+        self._sites_by_caller: dict[str, list[CallSite]] = {}
+        for site in sites.values():
+            self._sites_by_caller.setdefault(site.caller, []).append(site)
+
+    def function(self, name: str) -> Function:
+        """Look up a function by name."""
+        try:
+            return self.functions[name]
+        except KeyError:
+            raise ProgramError(f"unknown function {name!r}") from None
+
+    def site(self, addr: int) -> CallSite:
+        """Look up a call site by address."""
+        try:
+            return self.sites[addr]
+        except KeyError:
+            raise ProgramError(f"no call site at address {addr:#x}") from None
+
+    def sites_in(self, function_name: str) -> list[CallSite]:
+        """Return the call sites contained in *function_name*."""
+        return list(self._sites_by_caller.get(function_name, ()))
+
+    def describe_site(self, addr: int) -> str:
+        """Human-readable description of the site at *addr* (or the raw hex)."""
+        site = self.sites.get(addr)
+        return site.describe() if site is not None else f"{addr:#x}"
+
+    def __contains__(self, addr: int) -> bool:
+        return addr in self.sites
+
+    def __iter__(self) -> Iterator[CallSite]:
+        return iter(self.sites.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Program({self.name!r}, {len(self.functions)} functions, "
+            f"{len(self.sites)} call sites)"
+        )
+
+
+class ProgramBuilder:
+    """Incrementally build a :class:`Program`.
+
+    Example::
+
+        b = ProgramBuilder("povray")
+        b.function("main")
+        b.function("pov_malloc")
+        b.function("malloc", in_main_binary=False)
+        parse = b.call_site("main", "pov_malloc", label="parse loop")
+        program = b.build()
+    """
+
+    def __init__(self, name: str, pie: bool = False) -> None:
+        self.name = name
+        self.pie = pie
+        self._functions: dict[str, Function] = {}
+        self._sites: dict[int, CallSite] = {}
+        self._next_main_addr = TEXT_BASE
+        self._next_lib_addr = LIBRARY_BASE
+        self._site_counts: dict[str, int] = {}
+
+    def function(
+        self,
+        name: str,
+        in_main_binary: bool = True,
+        traceable: Optional[bool] = None,
+    ) -> Function:
+        """Define a function; returns the existing one when redefined identically.
+
+        ``traceable`` defaults to True for conventional allocation-routine
+        names (``malloc`` etc.) when the function is outside the main binary.
+        """
+        if name in self._functions:
+            return self._functions[name]
+        if traceable is None:
+            traceable = name in TRACEABLE_ROUTINES and not in_main_binary
+        if in_main_binary:
+            addr = self._next_main_addr
+            self._next_main_addr += FUNCTION_STRIDE
+        else:
+            addr = self._next_lib_addr
+            self._next_lib_addr += FUNCTION_STRIDE
+        fn = Function(name, addr, in_main_binary=in_main_binary, traceable=traceable)
+        self._functions[name] = fn
+        return fn
+
+    def call_site(
+        self,
+        caller: str,
+        callee: str,
+        indirect: bool = False,
+        label: str = "",
+    ) -> CallSite:
+        """Define a new call site from *caller* to *callee* and return it.
+
+        Both functions are implicitly defined (in the main binary) if they do
+        not exist yet; declare library functions explicitly first if the
+        defaults are wrong.
+        """
+        caller_fn = self.function(caller)
+        self.function(callee)
+        index = self._site_counts.get(caller, 0) + 1
+        self._site_counts[caller] = index
+        addr = caller_fn.addr + index * SITE_STRIDE
+        if addr in self._sites:  # pragma: no cover - defensive
+            raise ProgramError(f"call-site address collision at {addr:#x}")
+        site = CallSite(addr, caller, callee, indirect=indirect, label=label)
+        self._sites[addr] = site
+        return site
+
+    def build(self, entry: str = "main") -> Program:
+        """Finalise and return the program."""
+        if entry not in self._functions:
+            self.function(entry)
+        return Program(self.name, self._functions, self._sites, entry=entry, pie=self.pie)

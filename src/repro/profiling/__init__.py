@@ -1,0 +1,34 @@
+"""Profiling substrate: shadow-stack contexts, affinity queue/graph (Pin stand-in)."""
+
+from .affinity import AffinityParams, AffinityRecorder
+from .graph import AffinityGraph, edge_key
+from .profiler import ContextStats, PIN_SLOWDOWN_ESTIMATE, Profiler, ProfileResult
+from .serialize import (
+    ProfileFormatError,
+    load_profile,
+    profile_from_dict,
+    profile_to_dict,
+    save_profile,
+)
+from .shadow import Chain, ContextTable, reduce_frames, reduced_context, shadow_frames
+
+__all__ = [
+    "AffinityGraph",
+    "AffinityParams",
+    "AffinityRecorder",
+    "Chain",
+    "ContextStats",
+    "ContextTable",
+    "PIN_SLOWDOWN_ESTIMATE",
+    "ProfileFormatError",
+    "ProfileResult",
+    "Profiler",
+    "edge_key",
+    "load_profile",
+    "profile_from_dict",
+    "profile_to_dict",
+    "save_profile",
+    "reduce_frames",
+    "reduced_context",
+    "shadow_frames",
+]

@@ -1,0 +1,124 @@
+"""The pairwise affinity graph (paper Section 4.1).
+
+Nodes are reduced allocation contexts; edge weights count contemporaneous
+accesses to objects allocated from the two contexts within the affinity
+window, subject to the recorder's constraints.  Self-loop edges (two
+distinct objects from the same context) are first-class: the grouping score
+function (paper Figure 7) treats loops specially.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+EdgeKey = tuple[int, int]
+
+
+def edge_key(a: int, b: int) -> EdgeKey:
+    """Canonical unordered key for the edge between contexts *a* and *b*."""
+    return (a, b) if a <= b else (b, a)
+
+
+@dataclass
+class AffinityGraph:
+    """Weighted undirected multigraph-free affinity graph.
+
+    Attributes:
+        node_accesses: macro-access count per context id.
+        edges: canonicalised (lo, hi) context pair -> affinity weight.
+        total_accesses: all macro accesses observed during profiling,
+            including those of later-filtered nodes.  Paper Figure 6 uses
+            this ("graph.accesses") to threshold group weight.
+    """
+
+    node_accesses: dict[int, int] = field(default_factory=dict)
+    edges: dict[EdgeKey, float] = field(default_factory=dict)
+    total_accesses: int = 0
+
+    # -- basic queries ----------------------------------------------------
+
+    @property
+    def nodes(self) -> set[int]:
+        return set(self.node_accesses)
+
+    def weight(self, a: int, b: int) -> float:
+        """Edge weight between *a* and *b* (0 when absent)."""
+        return self.edges.get(edge_key(a, b), 0.0)
+
+    def accesses_of(self, node: int) -> int:
+        """Macro-access count recorded for *node*."""
+        return self.node_accesses.get(node, 0)
+
+    def add_access(self, node: int, count: int = 1) -> None:
+        """Record *count* macro accesses attributed to *node*."""
+        self.node_accesses[node] = self.node_accesses.get(node, 0) + count
+        self.total_accesses += count
+
+    def add_edge_weight(self, a: int, b: int, weight: float = 1.0) -> None:
+        """Add *weight* to the (a, b) edge, creating it if needed."""
+        key = edge_key(a, b)
+        self.edges[key] = self.edges.get(key, 0.0) + weight
+
+    def edges_of(self, node: int) -> Iterator[tuple[EdgeKey, float]]:
+        """All edges incident to *node* (including its self-loop)."""
+        for key, weight in self.edges.items():
+            if node in key:
+                yield key, weight
+
+    # -- transformations ---------------------------------------------------
+
+    def filtered_by_coverage(self, coverage: float = 0.90) -> "AffinityGraph":
+        """Drop cold nodes per Section 4.1.
+
+        Nodes are visited from most- to least-accessed; once *coverage* of
+        all observed accesses is accounted for, the remaining nodes are
+        discarded ("this helps to reduce noise by eliminating extraneous
+        contexts").  ``total_accesses`` is preserved from the full graph.
+        """
+        if not 0.0 < coverage <= 1.0:
+            raise ValueError(f"coverage must be in (0, 1], got {coverage}")
+        ordered = sorted(self.node_accesses.items(), key=lambda kv: (-kv[1], kv[0]))
+        kept: set[int] = set()
+        running = 0
+        threshold = coverage * self.total_accesses
+        for node, accesses in ordered:
+            if running >= threshold:
+                break
+            kept.add(node)
+            running += accesses
+        return self.induced(kept, total_accesses=self.total_accesses)
+
+    def filtered_by_min_weight(self, min_weight: float) -> "AffinityGraph":
+        """Drop edges lighter than *min_weight* (Figure 6's first step)."""
+        graph = AffinityGraph(
+            node_accesses=dict(self.node_accesses),
+            edges={k: w for k, w in self.edges.items() if w >= min_weight},
+            total_accesses=self.total_accesses,
+        )
+        return graph
+
+    def induced(self, nodes: Iterable[int], total_accesses: int | None = None) -> "AffinityGraph":
+        """Subgraph induced on *nodes*."""
+        keep = set(nodes)
+        return AffinityGraph(
+            node_accesses={n: a for n, a in self.node_accesses.items() if n in keep},
+            edges={
+                (a, b): w for (a, b), w in self.edges.items() if a in keep and b in keep
+            },
+            total_accesses=self.total_accesses if total_accesses is None else total_accesses,
+        )
+
+    def to_networkx(self):
+        """Export as a ``networkx.Graph`` (loops included) for clustering/plots."""
+        import networkx as nx
+
+        graph = nx.Graph()
+        for node, accesses in self.node_accesses.items():
+            graph.add_node(node, accesses=accesses)
+        for (a, b), weight in self.edges.items():
+            graph.add_edge(a, b, weight=weight)
+        return graph
+
+    def __len__(self) -> int:
+        return len(self.node_accesses)

@@ -1,0 +1,126 @@
+"""Profile serialisation: persist a profiling run, optimise later.
+
+The real HALO pipeline is split across processes — the Pin tool writes its
+model to disk and the offline analysis reads it back.  This module provides
+that boundary: :func:`profile_to_dict` captures everything the grouping and
+identification stages need (affinity graph, context chains, per-context
+statistics), and :func:`profile_from_dict` reconstitutes a
+:class:`~repro.profiling.profiler.ProfileResult` against the target
+program.
+
+Object-level data (the reference trace and per-object maps consumed by the
+hot-data-streams baseline) is included only when present and requested —
+it dominates the file size.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..machine.program import Program
+from .affinity import AffinityParams
+from .graph import AffinityGraph
+from .profiler import ContextStats, ProfileResult
+from .shadow import ContextTable
+
+FORMAT_VERSION = 1
+
+
+class ProfileFormatError(Exception):
+    """Raised when deserialising a malformed or mismatched profile."""
+
+
+def profile_to_dict(profile: ProfileResult, include_trace: bool = False) -> dict:
+    """Serialise *profile* to a JSON-compatible dict."""
+    data = {
+        "version": FORMAT_VERSION,
+        "program": profile.program.name,
+        "params": {
+            "distance": profile.params.distance,
+            "max_object_size": profile.params.max_object_size,
+            "node_coverage": profile.params.node_coverage,
+            "enforce_co_allocatability": profile.params.enforce_co_allocatability,
+        },
+        "contexts": [list(profile.contexts.chain(cid)) for cid in profile.contexts],
+        "graph": _graph_to_dict(profile.graph),
+        "full_graph": _graph_to_dict(profile.full_graph),
+        "context_stats": {
+            str(cid): [s.allocs, s.bytes_allocated, s.max_object_size, s.frees]
+            for cid, s in profile.context_stats.items()
+        },
+        "total_accesses": profile.total_accesses,
+        "machine_accesses": profile.machine_accesses,
+    }
+    if include_trace and profile.trace is not None:
+        data["trace"] = list(profile.trace)
+        data["object_context"] = {str(k): v for k, v in profile.object_context.items()}
+        data["object_site"] = {str(k): v for k, v in profile.object_site.items()}
+        data["object_sizes"] = {str(k): v for k, v in profile.object_sizes.items()}
+    return data
+
+
+def _graph_to_dict(graph: AffinityGraph) -> dict:
+    return {
+        "nodes": {str(cid): count for cid, count in graph.node_accesses.items()},
+        "edges": [[a, b, w] for (a, b), w in graph.edges.items()],
+        "total_accesses": graph.total_accesses,
+    }
+
+
+def _graph_from_dict(data: dict) -> AffinityGraph:
+    return AffinityGraph(
+        node_accesses={int(cid): count for cid, count in data["nodes"].items()},
+        edges={(a, b): w for a, b, w in data["edges"]},
+        total_accesses=data["total_accesses"],
+    )
+
+
+def profile_from_dict(data: dict, program: Program) -> ProfileResult:
+    """Rebuild a :class:`ProfileResult` from :func:`profile_to_dict` output.
+
+    *program* must be the same program the profile was recorded against
+    (matched by name); the chains reference its call-site addresses.
+    """
+    version = data.get("version")
+    if version != FORMAT_VERSION:
+        raise ProfileFormatError(f"unsupported profile version {version!r}")
+    if data.get("program") != program.name:
+        raise ProfileFormatError(
+            f"profile was recorded for {data.get('program')!r}, not {program.name!r}"
+        )
+
+    contexts = ContextTable()
+    for chain in data["contexts"]:
+        contexts.intern(tuple(chain))
+
+    params = AffinityParams(**data["params"])
+    stats = {
+        int(cid): ContextStats(allocs=a, bytes_allocated=b, max_object_size=m, frees=f)
+        for cid, (a, b, m, f) in data["context_stats"].items()
+    }
+    return ProfileResult(
+        program=program,
+        params=params,
+        graph=_graph_from_dict(data["graph"]),
+        full_graph=_graph_from_dict(data["full_graph"]),
+        contexts=contexts,
+        context_stats=stats,
+        object_context={int(k): v for k, v in data.get("object_context", {}).items()},
+        object_site={int(k): v for k, v in data.get("object_site", {}).items()},
+        object_sizes={int(k): v for k, v in data.get("object_sizes", {}).items()},
+        trace=list(data["trace"]) if "trace" in data else None,
+        total_accesses=data["total_accesses"],
+        machine_accesses=data["machine_accesses"],
+    )
+
+
+def save_profile(profile: ProfileResult, path, include_trace: bool = False) -> None:
+    """Write *profile* to *path* as JSON."""
+    with open(path, "w") as handle:
+        json.dump(profile_to_dict(profile, include_trace), handle)
+
+
+def load_profile(path, program: Program) -> ProfileResult:
+    """Read a profile written by :func:`save_profile`."""
+    with open(path) as handle:
+        return profile_from_dict(json.load(handle), program)

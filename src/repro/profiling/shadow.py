@@ -1,0 +1,124 @@
+"""Shadow-stack context formation (paper Section 4.1).
+
+The Pin tool "maintains a shadow stack that differs from the true call stack
+by design":
+
+* an entry is added only if the call target is statically linked into the
+  main binary, or is one of a handful of externally traceable routines like
+  ``malloc`` or ``free``;
+* recorded call sites are traced back to their nearest point of origin in
+  the main executable (so linker stubs and library code never appear);
+* stacks containing recursive calls are reduced to a canonical form in which
+  only the most recent of any (function, call site) pair is retained.
+
+A *context* is the tuple of recorded call-site addresses, outermost first.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..machine.program import CallSite, Program
+
+Chain = tuple[int, ...]
+
+
+def shadow_frames(program: Program, stack: Sequence[CallSite]) -> list[tuple[str, int]]:
+    """Compute shadow-stack frames for the true call *stack*.
+
+    Returns (callee function name, recorded call-site address) pairs,
+    outermost first, after applying the linkage filter and the
+    origin-tracing rule (but before recursion reduction).
+    """
+    frames: list[tuple[str, int]] = []
+    functions = program.functions
+    for index, site in enumerate(stack):
+        callee = functions[site.callee]
+        if not (callee.in_main_binary or callee.traceable):
+            continue
+        if functions[site.caller].in_main_binary:
+            recorded = site.addr
+        else:
+            recorded = _nearest_main_origin(program, stack, index)
+            if recorded is None:
+                # No main-executable ancestor at all (e.g. a library thread
+                # root): fall back to the raw site so the frame is not lost.
+                recorded = site.addr
+        frames.append((site.callee, recorded))
+    return frames
+
+
+def _nearest_main_origin(
+    program: Program, stack: Sequence[CallSite], index: int
+) -> Optional[int]:
+    """Walk outward from *index* to the closest call made from main-binary code."""
+    functions = program.functions
+    for outer in range(index - 1, -1, -1):
+        site = stack[outer]
+        if functions[site.caller].in_main_binary:
+            return site.addr
+    return None
+
+
+def reduce_frames(frames: Sequence[tuple[str, int]]) -> list[tuple[str, int]]:
+    """Canonical 'reduced' form: keep only the most recent of each pair.
+
+    This collapses recursion "to avoid overfitting without imposing any
+    fixed size constraints" — a stack A→B→A→B keeps one A frame and one B
+    frame, the most recent of each.
+    """
+    seen: set[tuple[str, int]] = set()
+    kept_reversed: list[tuple[str, int]] = []
+    for frame in reversed(frames):
+        if frame in seen:
+            continue
+        seen.add(frame)
+        kept_reversed.append(frame)
+    kept_reversed.reverse()
+    return kept_reversed
+
+
+def reduced_context(program: Program, stack: Sequence[CallSite]) -> Chain:
+    """The allocation context for the current true call *stack*."""
+    frames = reduce_frames(shadow_frames(program, stack))
+    return tuple(addr for _, addr in frames)
+
+
+class ContextTable:
+    """Interns context chains to dense integer ids.
+
+    Dense ids keep the affinity graph and grouping structures compact and
+    give contexts a stable, deterministic ordering.
+    """
+
+    def __init__(self) -> None:
+        self._ids: dict[Chain, int] = {}
+        self._chains: list[Chain] = []
+
+    def intern(self, chain: Chain) -> int:
+        """Return the id for *chain*, assigning one if new."""
+        cid = self._ids.get(chain)
+        if cid is None:
+            cid = len(self._chains)
+            self._ids[chain] = cid
+            self._chains.append(chain)
+        return cid
+
+    def chain(self, cid: int) -> Chain:
+        """The call-site chain for context *cid* (outermost first)."""
+        return self._chains[cid]
+
+    def lookup(self, chain: Chain) -> Optional[int]:
+        """The id of *chain* if it has been interned."""
+        return self._ids.get(chain)
+
+    def describe(self, cid: int, program: Program) -> str:
+        """Human-readable rendering of a context."""
+        parts = [program.describe_site(addr) for addr in self._chains[cid]]
+        return " > ".join(parts) if parts else "<empty>"
+
+    def __len__(self) -> int:
+        return len(self._chains)
+
+    def __iter__(self):
+        return iter(range(len(self._chains)))

@@ -1,0 +1,5 @@
+"""BOLT-style post-link rewriting (instrumentation plans)."""
+
+from .bolt import BoltRewriter, InstrumentationPlan, RewriteError
+
+__all__ = ["BoltRewriter", "InstrumentationPlan", "RewriteError"]

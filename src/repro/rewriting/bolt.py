@@ -1,0 +1,91 @@
+"""Post-link binary rewriting (the paper's custom BOLT pass, Section 4.3).
+
+The real HALO constructs a BOLT pass that "inserts instructions around every
+point of interest in the target binary, setting and then unsetting a single
+bit in a shared 'group state' bit vector".  In this reproduction the
+"binary" is a :class:`~repro.machine.program.Program`; rewriting produces an
+:class:`InstrumentationPlan` that assigns one state-vector bit to each
+monitored call site, and the :class:`~repro.machine.machine.Machine` executes
+the inserted set/clear operations whenever control passes through a planned
+site.
+
+The pass enforces the real system's legality constraints:
+
+* only call sites inside the main executable's statically linked code can
+  be rewritten (library code is off limits);
+* position-independent executables are rejected (the paper compiles
+  everything ``-no-pie`` "in accordance with current limitations of our
+  BOLT pass").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..machine.program import Program
+
+
+class RewriteError(Exception):
+    """Raised when the requested instrumentation is not legal."""
+
+
+@dataclass(frozen=True)
+class InstrumentationPlan:
+    """Assignment of state-vector bits to instrumented call sites."""
+
+    bit_for_site: dict[int, int]
+
+    @property
+    def sites(self) -> frozenset[int]:
+        return frozenset(self.bit_for_site)
+
+    @property
+    def bits_used(self) -> int:
+        return len(self.bit_for_site)
+
+    def describe(self, program: Program) -> list[str]:
+        """Human-readable plan listing, ordered by bit index."""
+        ordered = sorted(self.bit_for_site.items(), key=lambda kv: kv[1])
+        return [f"bit {bit:2d}: {program.describe_site(addr)}" for addr, bit in ordered]
+
+
+class BoltRewriter:
+    """Builds instrumentation plans against a target program."""
+
+    def __init__(self, program: Program) -> None:
+        if program.pie:
+            raise RewriteError(
+                f"{program.name}: position-independent executables are not "
+                "supported by the HALO BOLT pass (build with -no-pie)"
+            )
+        self.program = program
+
+    def can_instrument(self, addr: int) -> bool:
+        """Whether the call site at *addr* may legally be rewritten."""
+        site = self.program.sites.get(addr)
+        if site is None:
+            return False
+        return self.program.functions[site.caller].in_main_binary
+
+    def instrument(self, sites: Iterable[int]) -> InstrumentationPlan:
+        """Assign bits to *sites*, validating legality.
+
+        Bits are assigned in ascending site-address order so plans are
+        deterministic for a given site set.
+        """
+        unique = sorted(set(sites))
+        plan: dict[int, int] = {}
+        for bit, addr in enumerate(unique):
+            site = self.program.sites.get(addr)
+            if site is None:
+                raise RewriteError(
+                    f"{self.program.name}: no call site at {addr:#x} to instrument"
+                )
+            if not self.program.functions[site.caller].in_main_binary:
+                raise RewriteError(
+                    f"{self.program.name}: cannot rewrite {site.describe()} — "
+                    "caller is not statically linked into the main binary"
+                )
+            plan[addr] = bit
+        return InstrumentationPlan(plan)

@@ -1,0 +1,28 @@
+"""Synthetic benchmark suite mirroring the paper's 11 evaluation programs."""
+
+from .base import SCALES, Workload, WorkloadError, get_workload, register, workload_names
+
+# Import workload modules for their registration side effects.
+from . import (  # noqa: F401
+    ammp,
+    deepsjeng,
+    analyzer,
+    art,
+    equake,
+    ft,
+    health,
+    leela,
+    omnetpp,
+    povray,
+    roms,
+    xalanc,
+)
+
+__all__ = [
+    "SCALES",
+    "Workload",
+    "WorkloadError",
+    "get_workload",
+    "register",
+    "workload_names",
+]

@@ -1,0 +1,122 @@
+"""ammp — SPEC CPU2000's molecular-dynamics simulation.
+
+The real program integrates molecular mechanics over atom records linked by
+non-bonded neighbour lists; the inner force loop chases atoms and their
+neighbour nodes.  Objects are larger than in the pointer-chasing
+benchmarks (an ``ATOM`` is hundreds of bytes in the original), which
+moderates how much any placement technique can win per line — the paper's
+Figure 13/14 bars for ammp are mid-pack, with HDS and HALO close together.
+
+Synthetic structure: atom records (96 B) with two neighbour cells each,
+interleaved with residue-label records from the input reader (same size
+class — pollution), plus a few solvent atoms from a setup path (the small
+site-shared cold fraction).
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..machine.machine import Machine
+from ..machine.program import Program, ProgramBuilder
+from .base import Workload, register
+from ._kernel import (
+    ChaseSpec,
+    StructureSpec,
+    allocate_structures,
+    chase_structures,
+    release_structures,
+)
+
+ATOM_SIZE = 96
+NEIGHBOUR_CELL_SIZE = 32
+RESIDUE_SIZE = 96
+
+
+@register
+class AmmpWorkload(Workload):
+    """SPEC CPU2000 ammp: molecular dynamics with neighbour lists."""
+
+    name = "ammp"
+    suite = "SPEC CPU2000"
+    description = "molecular dynamics force loops over atom/neighbour records"
+    work_per_access = 1.4
+
+    BASE_ATOMS = 6500
+    BASE_SOLVENT = 700
+    BASE_RESIDUES = 5000
+    BASE_BONDS = 7000
+    PASSES = 8
+    TABLE_SIZE = 256 * 1024
+
+    def _build_program(self) -> Program:
+        b = ProgramBuilder("ammp")
+        b.function("malloc", in_main_binary=False)
+        self.s_main_read = b.call_site("main", "read_molecule")
+        self.s_residue_malloc = b.call_site("read_molecule", "malloc", label="residue")
+        self.s_bond_malloc = b.call_site("read_molecule", "malloc", label="bond record")
+        self.s_main_md = b.call_site("main", "md_loop")
+        self.s_md_atom = b.call_site("md_loop", "atom_alloc")
+        self.s_atom_malloc = b.call_site("atom_alloc", "malloc", label="atom")
+        self.s_md_nonbond = b.call_site("md_loop", "nonbond_link")
+        self.s_nonbond_malloc = b.call_site("nonbond_link", "malloc", label="neighbour")
+        self.s_main_solvent = b.call_site("main", "add_solvent")
+        self.s_solvent_atom = b.call_site("add_solvent", "atom_alloc")
+        self.s_solvent_nonbond = b.call_site("add_solvent", "nonbond_link")
+        self.s_main_table = b.call_site("main", "malloc", label="force table")
+        return b.build()
+
+    def _execute(self, machine: Machine, rng: random.Random, factor: float) -> None:
+        with machine.call(self.s_main_table):
+            table = machine.malloc(self.TABLE_SIZE)
+        specs = [
+            StructureSpec(
+                "atom",
+                self.scaled(self.BASE_ATOMS, factor),
+                ATOM_SIZE,
+                [self.s_main_md, self.s_md_atom, self.s_atom_malloc],
+                cells=2,
+                cell_size=NEIGHBOUR_CELL_SIZE,
+                cell_chain=[self.s_main_md, self.s_md_nonbond, self.s_nonbond_malloc],
+            ),
+            StructureSpec(
+                "solvent",
+                self.scaled(self.BASE_SOLVENT, factor),
+                ATOM_SIZE,
+                [self.s_main_solvent, self.s_solvent_atom, self.s_atom_malloc],
+                cells=2,
+                cell_size=NEIGHBOUR_CELL_SIZE,
+                cell_chain=[self.s_main_solvent, self.s_solvent_nonbond, self.s_nonbond_malloc],
+            ),
+            StructureSpec(
+                "residue",
+                self.scaled(self.BASE_RESIDUES, factor),
+                RESIDUE_SIZE,
+                [self.s_main_read, self.s_residue_malloc],
+            ),
+            StructureSpec(
+                "bond",
+                self.scaled(self.BASE_BONDS, factor),
+                NEIGHBOUR_CELL_SIZE,
+                [self.s_main_read, self.s_bond_malloc],
+            ),
+        ]
+        groups = allocate_structures(machine, rng, specs)
+        chase_structures(
+            machine,
+            groups["atom"],
+            ChaseSpec("atom", passes=self.PASSES, node_loads=3),
+            self.work_per_access,
+            rng,
+            table=table,
+        )
+        chase_structures(
+            machine,
+            groups["solvent"],
+            ChaseSpec("solvent", passes=1, node_loads=3),
+            self.work_per_access,
+            rng,
+            table=table,
+        )
+        release_structures(machine, groups)
+        machine.free(table)

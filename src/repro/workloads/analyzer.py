@@ -1,0 +1,114 @@
+"""analyzer — FreeBench's logic-circuit timing analyser.
+
+The real program parses a gate-level netlist into heap records and then
+propagates arrival times across the circuit, chasing gate records and their
+fan-out lists over and over.  Like the other prior-work programs it
+allocates from direct, distinct call sites, so both co-allocation
+techniques identify its hot data easily; the paper shows solid wins for
+both, with HALO slightly ahead.
+
+Synthetic structure: gate records with one fan-out cell each (hot),
+interleaved with netlist source strings from the parser's own site (same
+size classes — pollution) and a few probe gates allocated through the same
+helper on a setup path (site-shared cold, HALO-only separable).
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..machine.machine import Machine
+from ..machine.program import Program, ProgramBuilder
+from .base import Workload, register
+from ._kernel import (
+    ChaseSpec,
+    StructureSpec,
+    allocate_structures,
+    chase_structures,
+    release_structures,
+)
+
+GATE_SIZE = 32
+FANOUT_CELL_SIZE = 32
+STRING_SIZE = 32
+
+
+@register
+class AnalyzerWorkload(Workload):
+    """FreeBench analyzer: static timing analysis over gate records."""
+
+    name = "analyzer"
+    suite = "FreeBench"
+    description = "gate-level timing analysis with fan-out chasing"
+    work_per_access = 34.0
+
+    BASE_GATES = 12000
+    BASE_PROBES = 1500
+    BASE_STRINGS = 14000
+    PASSES = 8
+    TABLE_SIZE = 256 * 1024
+
+    def _build_program(self) -> Program:
+        b = ProgramBuilder("analyzer")
+        b.function("malloc", in_main_binary=False)
+        self.s_main_parse = b.call_site("main", "parse_netlist")
+        self.s_string_malloc = b.call_site("parse_netlist", "malloc", label="source string")
+        self.s_main_analyse = b.call_site("main", "analyse")
+        self.s_analyse_gate = b.call_site("analyse", "new_gate")
+        self.s_gate_malloc = b.call_site("new_gate", "malloc", label="gate")
+        self.s_analyse_fan = b.call_site("analyse", "add_fanout")
+        self.s_fan_malloc = b.call_site("add_fanout", "malloc", label="fanout cell")
+        self.s_main_probe = b.call_site("main", "place_probes")
+        self.s_probe_gate = b.call_site("place_probes", "new_gate")
+        self.s_probe_fan = b.call_site("place_probes", "add_fanout")
+        self.s_main_table = b.call_site("main", "malloc", label="delay table")
+        return b.build()
+
+    def _execute(self, machine: Machine, rng: random.Random, factor: float) -> None:
+        with machine.call(self.s_main_table):
+            table = machine.malloc(self.TABLE_SIZE)
+        specs = [
+            StructureSpec(
+                "gate",
+                self.scaled(self.BASE_GATES, factor),
+                GATE_SIZE,
+                [self.s_main_analyse, self.s_analyse_gate, self.s_gate_malloc],
+                cells=1,
+                cell_size=FANOUT_CELL_SIZE,
+                cell_chain=[self.s_main_analyse, self.s_analyse_fan, self.s_fan_malloc],
+            ),
+            StructureSpec(
+                "probe",
+                self.scaled(self.BASE_PROBES, factor),
+                GATE_SIZE,
+                [self.s_main_probe, self.s_probe_gate, self.s_gate_malloc],
+                cells=1,
+                cell_size=FANOUT_CELL_SIZE,
+                cell_chain=[self.s_main_probe, self.s_probe_fan, self.s_fan_malloc],
+            ),
+            StructureSpec(
+                "string",
+                self.scaled(self.BASE_STRINGS, factor),
+                STRING_SIZE,
+                [self.s_main_parse, self.s_string_malloc],
+            ),
+        ]
+        groups = allocate_structures(machine, rng, specs)
+        chase_structures(
+            machine,
+            groups["gate"],
+            ChaseSpec("gate", passes=self.PASSES),
+            self.work_per_access,
+            rng,
+            table=table,
+        )
+        chase_structures(
+            machine,
+            groups["probe"],
+            ChaseSpec("probe", passes=1),
+            self.work_per_access,
+            rng,
+            table=table,
+        )
+        release_structures(machine, groups)
+        machine.free(table)

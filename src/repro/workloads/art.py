@@ -1,0 +1,113 @@
+"""art — SPEC CPU2000's adaptive-resonance-theory neural network.
+
+The real program trains an ART neural network for image recognition,
+sweeping small F1-layer neuron records and their weight vectors every
+simulated scan.  Neurons are tiny, so placement matters a great deal: the
+paper's Figure 13 bars for art are among the taller ones for both
+techniques, with close HDS/HALO results (direct allocation sites again).
+
+Synthetic structure: neuron records (24 B) each with one weight cell
+(48 B), interleaved with image scan-line buffers from the loader (same size
+classes — pollution), plus a handful of reset-layer neurons allocated via
+the same helpers on an init path (small site-shared cold fraction).
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..machine.machine import Machine
+from ..machine.program import Program, ProgramBuilder
+from .base import Workload, register
+from ._kernel import (
+    ChaseSpec,
+    StructureSpec,
+    allocate_structures,
+    chase_structures,
+    release_structures,
+)
+
+NEURON_SIZE = 32
+WEIGHT_CELL_SIZE = 48
+SCANLINE_SIZE = 48
+
+
+@register
+class ArtWorkload(Workload):
+    """SPEC CPU2000 art: neural-network training sweeps."""
+
+    name = "art"
+    suite = "SPEC CPU2000"
+    description = "adaptive resonance theory network, neuron/weight sweeps"
+    work_per_access = 0.35
+
+    BASE_NEURONS = 20000
+    BASE_RESETS = 1800
+    BASE_SCANLINES = 24000
+    PASSES = 8
+    TABLE_SIZE = 384 * 1024
+
+    def _build_program(self) -> Program:
+        b = ProgramBuilder("art")
+        b.function("malloc", in_main_binary=False)
+        self.s_main_load = b.call_site("main", "load_image")
+        self.s_scan_malloc = b.call_site("load_image", "malloc", label="scanline")
+        self.s_main_train = b.call_site("main", "train")
+        self.s_train_neuron = b.call_site("train", "new_neuron")
+        self.s_neuron_malloc = b.call_site("new_neuron", "malloc", label="neuron")
+        self.s_train_weight = b.call_site("train", "new_weights")
+        self.s_weight_malloc = b.call_site("new_weights", "malloc", label="weights")
+        self.s_main_reset = b.call_site("main", "init_reset_layer")
+        self.s_reset_neuron = b.call_site("init_reset_layer", "new_neuron")
+        self.s_reset_weight = b.call_site("init_reset_layer", "new_weights")
+        self.s_main_table = b.call_site("main", "malloc", label="match table")
+        return b.build()
+
+    def _execute(self, machine: Machine, rng: random.Random, factor: float) -> None:
+        with machine.call(self.s_main_table):
+            table = machine.malloc(self.TABLE_SIZE)
+        specs = [
+            StructureSpec(
+                "neuron",
+                self.scaled(self.BASE_NEURONS, factor),
+                NEURON_SIZE,
+                [self.s_main_train, self.s_train_neuron, self.s_neuron_malloc],
+                cells=1,
+                cell_size=WEIGHT_CELL_SIZE,
+                cell_chain=[self.s_main_train, self.s_train_weight, self.s_weight_malloc],
+            ),
+            StructureSpec(
+                "reset",
+                self.scaled(self.BASE_RESETS, factor),
+                NEURON_SIZE,
+                [self.s_main_reset, self.s_reset_neuron, self.s_neuron_malloc],
+                cells=1,
+                cell_size=WEIGHT_CELL_SIZE,
+                cell_chain=[self.s_main_reset, self.s_reset_weight, self.s_weight_malloc],
+            ),
+            StructureSpec(
+                "scanline",
+                self.scaled(self.BASE_SCANLINES, factor),
+                SCANLINE_SIZE,
+                [self.s_main_load, self.s_scan_malloc],
+            ),
+        ]
+        groups = allocate_structures(machine, rng, specs)
+        chase_structures(
+            machine,
+            groups["neuron"],
+            ChaseSpec("neuron", passes=self.PASSES, node_loads=1),
+            self.work_per_access,
+            rng,
+            table=table,
+        )
+        chase_structures(
+            machine,
+            groups["reset"],
+            ChaseSpec("reset", passes=1, node_loads=1),
+            self.work_per_access,
+            rng,
+            table=table,
+        )
+        release_structures(machine, groups)
+        machine.free(table)

@@ -1,0 +1,137 @@
+"""Workload framework: synthetic stand-ins for the paper's 11 benchmarks.
+
+Python cannot run SPEC binaries under Pin, so each benchmark is replaced by
+a synthetic program that reproduces the *allocation and access structure*
+the paper attributes to it — wrapper functions for povray, a single
+``operator new`` funnel for leela, deep call chains for xalanc, direct
+domain-specific ``malloc`` calls for the six prior-work benchmarks, and the
+stream-fragmenting regular sweeps of roms.  HALO's inputs are entirely
+determined by that structure, so reproducing it reproduces the optimisation
+problem.
+
+Every workload:
+
+* declares a static :class:`~repro.machine.program.Program` once (functions,
+  call sites, linkage) in ``_build_program``;
+* implements ``_execute(machine, rng, scale_factor)`` — deterministic given
+  the RNG seed, so baseline/HDS/HALO runs see the *same* allocation and
+  access sequence and differ only in placement;
+* exposes ``work_per_access``, the compute-intensity knob that decides
+  whether reduced misses translate into time (povray and leela are
+  compute-bound in the paper: many compute cycles per heap access);
+* may declare ``halo_overrides``/``hds_overrides`` reproducing the artefact
+  appendix's per-benchmark flags.
+
+Scales mirror the paper's methodology: profile on ``test``, measure on
+``ref`` ("workloads are profiled on small test inputs and measured using
+larger ref inputs").
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Type
+
+from ..machine.machine import Machine
+from ..machine.program import Program
+
+#: Input-scale multipliers, mirroring SPEC's test/train/ref inputs.
+SCALES = {"test": 0.25, "train": 0.5, "ref": 1.0}
+
+
+class WorkloadError(Exception):
+    """Raised for unknown workloads or scales."""
+
+
+class Workload(ABC):
+    """Base class for the synthetic benchmarks."""
+
+    #: Benchmark name (matches the paper's Figures 13-15 x-axis).
+    name: str = ""
+    #: Originating suite, for reports ("Olden", "SPEC CPU2017", ...).
+    suite: str = ""
+    #: One-line description of what the real benchmark does.
+    description: str = ""
+    #: Compute cycles charged per heap access (memory- vs compute-bound knob).
+    work_per_access: float = 1.0
+    #: HALO parameter overrides from the artefact appendix (Section A.8).
+    halo_overrides: dict = {}
+    #: HDS parameter overrides.
+    hds_overrides: dict = {}
+
+    def __init__(self) -> None:
+        self._program = self._build_program()
+
+    @property
+    def program(self) -> Program:
+        """The workload's static program model."""
+        return self._program
+
+    @abstractmethod
+    def _build_program(self) -> Program:
+        """Construct the program and stash call-site handles on ``self``."""
+
+    @abstractmethod
+    def _execute(self, machine: Machine, rng: random.Random, factor: float) -> None:
+        """Run the workload body at the given scale factor."""
+
+    def run(self, machine: Machine, scale: str = "ref") -> None:
+        """Execute the workload on *machine* at *scale*.
+
+        The RNG is seeded from (name, scale) only, so different allocator
+        configurations observe identical program behaviour.
+        """
+        try:
+            factor = SCALES[scale]
+        except KeyError:
+            raise WorkloadError(
+                f"unknown scale {scale!r}; expected one of {sorted(SCALES)}"
+            ) from None
+        rng = random.Random(f"{self.name}:{scale}")
+        self._execute(machine, rng, factor)
+        machine.finish()
+
+    # -- helpers shared by workload bodies -----------------------------------
+
+    @staticmethod
+    def scaled(base: int, factor: float, minimum: int = 1) -> int:
+        """Scale an iteration/object count, keeping it at least *minimum*."""
+        return max(minimum, int(base * factor))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<workload {self.name} ({self.suite})>"
+
+
+_REGISTRY: dict[str, Type[Workload]] = {}
+
+
+def register(cls: Type[Workload]) -> Type[Workload]:
+    """Class decorator adding a workload to the global registry."""
+    if not cls.name:
+        raise WorkloadError(f"{cls.__name__} has no name")
+    if cls.name in _REGISTRY:
+        raise WorkloadError(f"duplicate workload name {cls.name!r}")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def get_workload(name: str) -> Workload:
+    """Instantiate the registered workload called *name*."""
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown workload {name!r}; known: {', '.join(sorted(_REGISTRY))}"
+        ) from None
+    return cls()
+
+def workload_names() -> list[str]:
+    """Registered names in the paper's presentation order where possible."""
+    paper_order = [
+        "health", "ft", "analyzer", "ammp", "art", "equake",
+        "povray", "omnetpp", "xalanc", "leela", "roms",
+    ]
+    ordered = [name for name in paper_order if name in _REGISTRY]
+    extras = sorted(set(_REGISTRY) - set(ordered))
+    return ordered + extras

@@ -1,0 +1,83 @@
+"""deepsjeng — a placement-insensitive control benchmark.
+
+Section 5.2: "for almost all of the SPEC CPU2017 benchmarks we examined
+outside of those shown in Figure 13, we find that HALO has essentially no
+effect.  Critically, however, its optimisations do not degrade performance
+in these cases, but rather simply fail at improving it."  The paper
+excludes those benchmarks from its figures for space; this module provides
+one such control so that the non-degradation claim is testable.
+
+Modelled on deepsjeng (chess search): the heap is a handful of large,
+long-lived tables (transposition table, evaluation caches) that dominate
+all memory traffic, plus a trickle of small allocations that are barely
+accessed.  Small-object placement is irrelevant, so neither HALO nor the
+random 4-pool allocator should move the needle.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..machine.machine import Machine
+from ..machine.program import Program, ProgramBuilder
+from .base import Workload, register
+from .patterns import free_all
+
+TT_SIZE = 2 * 1024 * 1024  # transposition table
+PAWN_CACHE_SIZE = 256 * 1024
+MOVE_LIST_SIZE = 64
+
+
+@register
+class DeepsjengWorkload(Workload):
+    """A CPU2017-style control: big tables, negligible small-object traffic."""
+
+    name = "deepsjeng"
+    suite = "SPEC CPU2017 (control)"
+    description = "chess search dominated by large hash tables"
+    work_per_access = 6.0
+
+    BASE_NODES = 60000
+    BASE_MOVE_LISTS = 1500
+
+    def _build_program(self) -> Program:
+        b = ProgramBuilder("deepsjeng")
+        b.function("malloc", in_main_binary=False)
+        self.s_main_tt = b.call_site("main", "malloc", label="transposition table")
+        self.s_main_pawn = b.call_site("main", "malloc", label="pawn cache")
+        self.s_main_search = b.call_site("main", "search")
+        self.s_search_moves = b.call_site("search", "new_move_list")
+        self.s_moves_malloc = b.call_site("new_move_list", "malloc", label="move list")
+        return b.build()
+
+    def _execute(self, machine: Machine, rng: random.Random, factor: float) -> None:
+        with machine.call(self.s_main_tt):
+            tt = machine.malloc(TT_SIZE)
+        with machine.call(self.s_main_pawn):
+            pawn = machine.malloc(PAWN_CACHE_SIZE)
+        tt_lines = TT_SIZE // 64
+        pawn_lines = PAWN_CACHE_SIZE // 64
+
+        nodes = self.scaled(self.BASE_NODES, factor)
+        move_every = max(1, nodes // self.scaled(self.BASE_MOVE_LISTS, factor))
+        move_lists: list = []
+        with machine.call(self.s_main_search):
+            for node in range(nodes):
+                # Search node: probe the TT, occasionally the pawn cache.
+                machine.load(tt, rng.randrange(tt_lines) * 64, 8)
+                if node % 3 == 0:
+                    machine.load(pawn, rng.randrange(pawn_lines) * 64, 8)
+                machine.work(self.work_per_access * 2)
+                # A move list is allocated rarely, touched once, freed soon.
+                if node % move_every == 0:
+                    with machine.call(self.s_search_moves):
+                        with machine.call(self.s_moves_malloc):
+                            moves = machine.malloc(MOVE_LIST_SIZE)
+                    machine.store(moves, 0, 8)
+                    move_lists.append(moves)
+                    if len(move_lists) > 8:
+                        machine.free(move_lists.pop(0))
+
+        free_all(machine, move_lists)
+        machine.free(tt)
+        machine.free(pawn)

@@ -1,0 +1,115 @@
+"""ft — Ptrdist's minimum-spanning-tree kernel (Fibonacci heaps).
+
+The real program builds a graph and repeatedly performs ``decrease-key``
+operations on a Fibonacci heap while growing a spanning tree — vertex
+records and heap nodes are chased together, hard.  It allocates directly
+from distinct, domain-specific call sites with no wrappers, which is why
+the paper finds both the hot-data-streams technique and HALO effective here
+(Figures 13/14 show them within a couple of points of each other).
+
+Synthetic structure: vertex records (hot) each carrying two heap-link
+cells, allocated interleaved with edge-weight records (own call site, same
+size class — pollution both techniques remove), plus a small number of
+sentinel vertices from a setup path (the only site-shared cold data, kept
+small to match the benchmark's easy-target nature).
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..machine.machine import Machine
+from ..machine.program import Program, ProgramBuilder
+from .base import Workload, register
+from ._kernel import (
+    ChaseSpec,
+    StructureSpec,
+    allocate_structures,
+    chase_structures,
+    release_structures,
+)
+
+VERTEX_SIZE = 48
+HEAP_CELL_SIZE = 16
+EDGE_RECORD_SIZE = 48
+
+
+@register
+class FtWorkload(Workload):
+    """Ptrdist ft: Fibonacci-heap MST, direct allocation sites."""
+
+    name = "ft"
+    suite = "Ptrdist"
+    description = "minimum spanning tree over Fibonacci heaps"
+    work_per_access = 13.0
+
+    BASE_VERTICES = 11000
+    BASE_SENTINELS = 1000
+    BASE_EDGES = 12000
+    PASSES = 9
+    TABLE_SIZE = 384 * 1024
+
+    def _build_program(self) -> Program:
+        b = ProgramBuilder("ft")
+        b.function("malloc", in_main_binary=False)
+        self.s_main_read = b.call_site("main", "read_graph")
+        self.s_edge_malloc = b.call_site("read_graph", "malloc", label="edge record")
+        self.s_main_mst = b.call_site("main", "mst")
+        self.s_mst_vertex = b.call_site("mst", "new_vertex")
+        self.s_vertex_malloc = b.call_site("new_vertex", "malloc", label="vertex")
+        self.s_mst_link = b.call_site("mst", "heap_link")
+        self.s_link_malloc = b.call_site("heap_link", "malloc", label="heap cell")
+        self.s_main_init = b.call_site("main", "init_sentinels")
+        self.s_init_vertex = b.call_site("init_sentinels", "new_vertex")
+        self.s_init_link = b.call_site("init_sentinels", "heap_link")
+        self.s_main_table = b.call_site("main", "malloc", label="adjacency table")
+        return b.build()
+
+    def _execute(self, machine: Machine, rng: random.Random, factor: float) -> None:
+        with machine.call(self.s_main_table):
+            table = machine.malloc(self.TABLE_SIZE)
+        specs = [
+            StructureSpec(
+                "vertex",
+                self.scaled(self.BASE_VERTICES, factor),
+                VERTEX_SIZE,
+                [self.s_main_mst, self.s_mst_vertex, self.s_vertex_malloc],
+                cells=2,
+                cell_size=HEAP_CELL_SIZE,
+                cell_chain=[self.s_main_mst, self.s_mst_link, self.s_link_malloc],
+            ),
+            StructureSpec(
+                "sentinel",
+                self.scaled(self.BASE_SENTINELS, factor),
+                VERTEX_SIZE,
+                [self.s_main_init, self.s_init_vertex, self.s_vertex_malloc],
+                cells=2,
+                cell_size=HEAP_CELL_SIZE,
+                cell_chain=[self.s_main_init, self.s_init_link, self.s_link_malloc],
+            ),
+            StructureSpec(
+                "edge",
+                self.scaled(self.BASE_EDGES, factor),
+                EDGE_RECORD_SIZE,
+                [self.s_main_read, self.s_edge_malloc],
+            ),
+        ]
+        groups = allocate_structures(machine, rng, specs)
+        chase_structures(
+            machine,
+            groups["vertex"],
+            ChaseSpec("vertex", passes=self.PASSES),
+            self.work_per_access,
+            rng,
+            table=table,
+        )
+        chase_structures(
+            machine,
+            groups["sentinel"],
+            ChaseSpec("sentinel", passes=1),
+            self.work_per_access,
+            rng,
+            table=table,
+        )
+        release_structures(machine, groups)
+        machine.free(table)

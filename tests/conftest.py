@@ -1,0 +1,52 @@
+"""Shared fixtures: a small multi-path test program and helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.allocators import AddressSpace, SizeClassAllocator
+from repro.machine import Machine, ProgramBuilder
+
+
+class DemoProgram:
+    """A tiny three-creator program (the paper's Figure 2 shape).
+
+    ``main`` calls ``create_a`` / ``create_b`` / ``create_c``, each of which
+    calls ``malloc`` from its own site; there is also a wrapper path
+    (``helper -> wrapped_malloc -> malloc``) for wrapper-related tests.
+    """
+
+    def __init__(self) -> None:
+        b = ProgramBuilder("demo")
+        b.function("malloc", in_main_binary=False)
+        self.main_a = b.call_site("main", "create_a")
+        self.main_b = b.call_site("main", "create_b")
+        self.main_c = b.call_site("main", "create_c")
+        self.a_malloc = b.call_site("create_a", "malloc")
+        self.b_malloc = b.call_site("create_b", "malloc")
+        self.c_malloc = b.call_site("create_c", "malloc")
+        self.main_helper = b.call_site("main", "helper")
+        self.helper_wrap = b.call_site("helper", "wrapped_malloc")
+        self.wrap_malloc = b.call_site("wrapped_malloc", "malloc")
+        self.program = b.build()
+
+
+@pytest.fixture
+def demo() -> DemoProgram:
+    return DemoProgram()
+
+
+@pytest.fixture
+def machine(demo: DemoProgram) -> Machine:
+    space = AddressSpace(seed=0)
+    return Machine(demo.program, SizeClassAllocator(space))
+
+
+def alloc_via(machine: Machine, sites, size: int = 32):
+    """Allocate *size* bytes through the nested *sites* chain."""
+    from contextlib import ExitStack
+
+    with ExitStack() as stack:
+        for site in sites:
+            stack.enter_context(machine.call(site))
+        return machine.malloc(size)

@@ -1,0 +1,286 @@
+"""Unit + property tests for the affinity queue/graph recorder.
+
+Includes a brute-force reference implementation of the paper's queue (one
+entry per macro access) that the optimised uniqued-window recorder is
+checked against on random traces.
+"""
+
+import random
+from bisect import bisect_right
+from collections import deque
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.profiling import AffinityGraph, AffinityParams, AffinityRecorder, edge_key
+
+
+def make_recorder(distance=128, max_object_size=4096):
+    return AffinityRecorder(AffinityParams(distance=distance, max_object_size=max_object_size))
+
+
+class TestAffinityParams:
+    def test_defaults_match_paper(self):
+        params = AffinityParams()
+        assert params.distance == 128
+        assert params.max_object_size == 4096
+        assert params.node_coverage == 0.90
+
+    @pytest.mark.parametrize(
+        "kwargs", [dict(distance=0), dict(max_object_size=0), dict(node_coverage=0.0), dict(node_coverage=1.5)]
+    )
+    def test_invalid_params_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            AffinityParams(**kwargs)
+
+
+class TestBasicAffinity:
+    def test_adjacent_accesses_make_edge(self):
+        rec = make_recorder()
+        rec.on_alloc(1, 10, 32, 0)
+        rec.on_alloc(2, 11, 32, 1)
+        rec.record_access(1, 8)
+        rec.record_access(2, 8)
+        assert rec.graph.weight(10, 11) == 1.0
+
+    def test_deduplication_of_consecutive_accesses(self):
+        rec = make_recorder()
+        rec.on_alloc(1, 10, 32, 0)
+        rec.record_access(1, 8)
+        rec.record_access(1, 8)
+        rec.record_access(1, 8)
+        assert rec.graph.accesses_of(10) == 1
+
+    def test_no_self_affinity(self):
+        rec = make_recorder()
+        rec.on_alloc(1, 10, 32, 0)
+        rec.on_alloc(2, 11, 32, 1)
+        rec.record_access(1, 8)
+        rec.record_access(2, 8)
+        rec.record_access(1, 8)  # object 1 again: not affinitive with itself
+        assert rec.graph.weight(10, 10) == 0.0
+
+    def test_same_context_objects_form_loop_edge(self):
+        rec = make_recorder()
+        rec.on_alloc(1, 10, 32, 0)
+        rec.on_alloc(2, 10, 32, 1)
+        rec.record_access(1, 8)
+        rec.record_access(2, 8)
+        assert rec.graph.weight(10, 10) == 1.0
+
+    def test_no_double_counting_per_traversal(self):
+        rec = make_recorder()
+        rec.on_alloc(1, 10, 32, 0)
+        rec.on_alloc(2, 11, 32, 1)
+        rec.on_alloc(3, 12, 32, 2)
+        # 1 accessed, then 3, then 1 again, then 2: when 2 arrives, object 1
+        # appears once (most recent occurrence) despite two accesses.
+        rec.record_access(1, 8)
+        rec.record_access(3, 8)
+        rec.record_access(1, 8)
+        rec.record_access(2, 8)
+        assert rec.graph.weight(10, 11) == 1.0
+
+    def test_window_bounded_by_distance(self):
+        rec = make_recorder(distance=16)
+        rec.on_alloc(1, 10, 32, 0)
+        rec.on_alloc(2, 11, 32, 1)
+        rec.on_alloc(3, 12, 32, 2)
+        rec.record_access(1, 8)
+        rec.record_access(3, 8)  # 8 bytes between 1 and anything later
+        rec.record_access(3, 8)  # deduped
+        rec.record_access(2, 8)  # bytes between (1, 2) = 8 < 16: affinitive
+        assert rec.graph.weight(10, 11) == 1.0
+        rec2 = make_recorder(distance=8)
+        rec2.on_alloc(1, 10, 32, 0)
+        rec2.on_alloc(2, 11, 32, 1)
+        rec2.on_alloc(3, 12, 32, 2)
+        rec2.record_access(1, 8)
+        rec2.record_access(3, 8)
+        rec2.record_access(2, 8)  # bytes between = 8 >= 8: not affinitive
+        assert rec2.graph.weight(10, 11) == 0.0
+
+    def test_big_objects_make_no_edges_but_count_accesses(self):
+        rec = make_recorder(max_object_size=64)
+        rec.on_alloc(1, 10, 128, 0)  # too big to group
+        rec.on_alloc(2, 11, 32, 1)
+        rec.record_access(1, 8)
+        rec.record_access(2, 8)
+        assert rec.graph.weight(10, 11) == 0.0
+        assert rec.graph.accesses_of(10) == 1
+
+    def test_unknown_object_ignored(self):
+        rec = make_recorder()
+        rec.record_access(99, 8)
+        assert rec.graph.total_accesses == 0
+
+
+class TestCoAllocatability:
+    def test_intervening_alloc_from_same_context_blocks_edge(self):
+        rec = make_recorder()
+        rec.on_alloc(1, 10, 32, 0)
+        rec.on_alloc(2, 10, 32, 1)  # context 10 allocates between 1 and 3
+        rec.on_alloc(3, 11, 32, 2)
+        rec.record_access(1, 8)
+        rec.record_access(3, 8)
+        assert rec.graph.weight(10, 11) == 0.0
+
+    def test_intervening_alloc_from_other_context_allowed(self):
+        rec = make_recorder()
+        rec.on_alloc(1, 10, 32, 0)
+        rec.on_alloc(2, 12, 32, 1)  # unrelated context
+        rec.on_alloc(3, 11, 32, 2)
+        rec.record_access(1, 8)
+        rec.record_access(3, 8)
+        assert rec.graph.weight(10, 11) == 1.0
+
+    def test_chronologically_adjacent_same_context_pair(self):
+        rec = make_recorder()
+        rec.on_alloc(1, 10, 32, 0)
+        rec.on_alloc(2, 10, 32, 1)
+        rec.record_access(1, 8)
+        rec.record_access(2, 8)
+        assert rec.graph.weight(10, 10) == 1.0
+
+
+class ReferenceRecorder:
+    """Literal implementation of the paper's queue, used as an oracle."""
+
+    def __init__(self, params: AffinityParams):
+        self.params = params
+        self.graph = AffinityGraph()
+        self.queue = deque()  # (oid, cid, nbytes, seq, groupable)
+        self.last = None
+        self.objects = {}
+        self.seqs = {}
+
+    def on_alloc(self, oid, cid, size, seq):
+        self.objects[oid] = (cid, seq, size < self.params.max_object_size)
+        self.seqs.setdefault(cid, []).append(seq)
+
+    def co_alloc(self, ca, sa, cb, sb):
+        lo, hi = min(sa, sb), max(sa, sb)
+        for ctx in {ca, cb}:
+            seqs = self.seqs.get(ctx, [])
+            i = bisect_right(seqs, lo)
+            if i < len(seqs) and seqs[i] < hi:
+                return False
+        return True
+
+    def record_access(self, oid, nbytes):
+        if oid == self.last:
+            return
+        self.last = oid
+        if oid not in self.objects:
+            return
+        cid, seq, groupable = self.objects[oid]
+        self.graph.add_access(cid)
+        between = 0
+        seen = {oid}
+        for v_oid, v_cid, v_bytes, v_seq, v_groupable in reversed(self.queue):
+            if between >= self.params.distance:
+                break
+            if v_oid not in seen:
+                seen.add(v_oid)
+                if groupable and v_groupable and self.co_alloc(cid, seq, v_cid, v_seq):
+                    self.graph.add_edge_weight(cid, v_cid, 1.0)
+            between += v_bytes
+        self.queue.append((oid, cid, nbytes, seq, groupable))
+
+
+@st.composite
+def traces(draw):
+    n_objects = draw(st.integers(2, 12))
+    n_contexts = draw(st.integers(1, 4))
+    allocs = [
+        (oid, draw(st.integers(0, n_contexts - 1)), draw(st.sampled_from([16, 32, 64, 200])))
+        for oid in range(n_objects)
+    ]
+    accesses = draw(
+        st.lists(
+            st.tuples(st.integers(0, n_objects - 1), st.sampled_from([4, 8, 16])),
+            min_size=1,
+            max_size=80,
+        )
+    )
+    distance = draw(st.sampled_from([8, 16, 64, 128]))
+    return allocs, accesses, distance
+
+
+class TestRecorderEquivalence:
+    @given(traces())
+    @settings(max_examples=150, deadline=None)
+    def test_matches_reference_queue(self, trace):
+        allocs, accesses, distance = trace
+        params = AffinityParams(distance=distance, max_object_size=128)
+        fast = AffinityRecorder(params)
+        slow = ReferenceRecorder(params)
+        for seq, (oid, cid, size) in enumerate(allocs):
+            fast.on_alloc(oid, cid, size, seq)
+            slow.on_alloc(oid, cid, size, seq)
+        for oid, nbytes in accesses:
+            fast.record_access(oid, nbytes)
+            slow.record_access(oid, nbytes)
+        assert fast.graph.edges == slow.graph.edges
+        assert fast.graph.node_accesses == slow.graph.node_accesses
+
+
+class TestGraphOperations:
+    def _graph(self):
+        g = AffinityGraph()
+        g.add_access(0, 100)
+        g.add_access(1, 50)
+        g.add_access(2, 5)
+        g.add_edge_weight(0, 1, 10.0)
+        g.add_edge_weight(1, 2, 1.0)
+        g.add_edge_weight(2, 2, 3.0)
+        return g
+
+    def test_edge_key_canonical(self):
+        assert edge_key(3, 1) == (1, 3)
+        assert edge_key(1, 1) == (1, 1)
+
+    def test_weight_symmetric(self):
+        g = self._graph()
+        assert g.weight(1, 0) == 10.0
+
+    def test_coverage_filter_drops_cold_nodes(self):
+        g = self._graph()
+        filtered = g.filtered_by_coverage(0.90)
+        assert 0 in filtered.nodes and 1 in filtered.nodes
+        assert 2 not in filtered.nodes
+        # total accesses preserved from the full graph
+        assert filtered.total_accesses == g.total_accesses
+        # edges touching dropped nodes removed
+        assert filtered.weight(1, 2) == 0.0
+
+    def test_coverage_one_keeps_everything(self):
+        g = self._graph()
+        assert g.filtered_by_coverage(1.0).nodes == g.nodes
+
+    def test_coverage_invalid(self):
+        with pytest.raises(ValueError):
+            self._graph().filtered_by_coverage(0.0)
+
+    def test_min_weight_filter(self):
+        g = self._graph().filtered_by_min_weight(2.0)
+        assert g.weight(0, 1) == 10.0
+        assert g.weight(1, 2) == 0.0
+        assert g.weight(2, 2) == 3.0
+
+    def test_induced_subgraph(self):
+        g = self._graph().induced({1, 2})
+        assert g.nodes == {1, 2}
+        assert g.weight(0, 1) == 0.0
+        assert g.weight(1, 2) == 1.0
+
+    def test_edges_of_includes_loops(self):
+        g = self._graph()
+        keys = {key for key, _ in g.edges_of(2)}
+        assert keys == {(1, 2), (2, 2)}
+
+    def test_to_networkx(self):
+        nxg = self._graph().to_networkx()
+        assert nxg.number_of_nodes() == 3
+        assert nxg[0][1]["weight"] == 10.0
+        assert nxg.nodes[0]["accesses"] == 100

@@ -1,0 +1,381 @@
+"""Unit tests for the address space and all allocator policies."""
+
+import pytest
+
+from repro.allocators import (
+    AddressSpace,
+    AllocationError,
+    BumpAllocator,
+    GroupAllocator,
+    PAGE_SIZE,
+    RandomPoolAllocator,
+    SizeClassAllocator,
+    align_up,
+    build_size_classes,
+)
+from repro.allocators.size_class import MAX_SMALL
+from repro.core.selectors import NeverMatch
+from repro.machine import GroupStateVector
+
+
+class TestAlignUp:
+    def test_already_aligned(self):
+        assert align_up(64, 64) == 64
+
+    def test_rounds_up(self):
+        assert align_up(65, 64) == 128
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            align_up(10, 12)
+
+
+class TestAddressSpace:
+    def test_reservations_do_not_overlap(self):
+        space = AddressSpace(0)
+        spans = []
+        for size in (100, PAGE_SIZE, 3 * PAGE_SIZE + 1):
+            base = space.reserve(size)
+            spans.append((base, base + align_up(size, PAGE_SIZE)))
+        spans.sort()
+        for (_, end), (start, _) in zip(spans, spans[1:]):
+            assert end <= start
+
+    def test_reserve_respects_alignment(self):
+        space = AddressSpace(0)
+        base = space.reserve(PAGE_SIZE, alignment=1 << 20)
+        assert base % (1 << 20) == 0
+
+    def test_seed_randomises_base(self):
+        assert AddressSpace(1).reserve(64) != AddressSpace(2).reserve(64)
+
+    def test_residency_tracks_touches(self):
+        space = AddressSpace(0)
+        base = space.reserve(4 * PAGE_SIZE)
+        assert space.resident_bytes_in(base, 4 * PAGE_SIZE) == 0
+        space.touch_range(base, 10)
+        assert space.resident_bytes_in(base, 4 * PAGE_SIZE) == PAGE_SIZE
+        space.touch_range(base + PAGE_SIZE - 1, 2)  # straddles two pages
+        assert space.resident_bytes_in(base, 4 * PAGE_SIZE) == 2 * PAGE_SIZE
+
+    def test_release_discards_pages(self):
+        space = AddressSpace(0)
+        base = space.reserve(PAGE_SIZE)
+        space.touch_range(base, PAGE_SIZE)
+        space.release(base)
+        assert space.resident_bytes == 0
+
+    def test_release_unknown_base_raises(self):
+        with pytest.raises(AllocationError):
+            AddressSpace(0).release(0x1234000)
+
+    def test_purge_keeps_reservation(self):
+        space = AddressSpace(0)
+        base = space.reserve(PAGE_SIZE)
+        space.touch_range(base, 8)
+        space.purge(base, PAGE_SIZE)
+        assert space.resident_bytes_in(base, PAGE_SIZE) == 0
+        assert space.reserved_bytes == PAGE_SIZE
+
+
+class TestSizeClasses:
+    def test_ascending_and_bounded(self):
+        classes = build_size_classes()
+        assert classes == sorted(classes)
+        assert classes[0] == 8
+        assert classes[-1] <= MAX_SMALL
+
+    def test_jemalloc_prefix(self):
+        classes = build_size_classes()
+        assert classes[:13] == [8, 16, 32, 48, 64, 80, 96, 112, 128, 160, 192, 224, 256]
+
+    def test_lookup_matches_linear_scan(self):
+        allocator = SizeClassAllocator(AddressSpace(0))
+        classes = allocator.size_classes
+        for size in list(range(1, 600)) + [4096, MAX_SMALL]:
+            expected = next(c for c in classes if c >= size)
+            assert allocator.size_class(size) == expected
+
+    def test_large_sizes_have_no_class(self):
+        allocator = SizeClassAllocator(AddressSpace(0))
+        assert allocator.size_class(MAX_SMALL + 1) is None
+
+
+class TestSizeClassAllocator:
+    def test_same_class_objects_are_contiguous(self):
+        allocator = SizeClassAllocator(AddressSpace(0))
+        addrs = [allocator.malloc(30) for _ in range(8)]
+        deltas = {b - a for a, b in zip(addrs, addrs[1:])}
+        assert deltas == {32}
+
+    def test_different_classes_use_different_runs(self):
+        allocator = SizeClassAllocator(AddressSpace(0))
+        a = allocator.malloc(30)
+        b = allocator.malloc(200)
+        assert abs(a - b) >= PAGE_SIZE
+
+    def test_freed_slot_reused_lowest_first(self):
+        allocator = SizeClassAllocator(AddressSpace(0))
+        addrs = [allocator.malloc(32) for _ in range(10)]
+        allocator.free(addrs[7])
+        allocator.free(addrs[2])
+        assert allocator.malloc(32) == addrs[2]
+        assert allocator.malloc(32) == addrs[7]
+
+    def test_large_allocation_is_page_aligned_and_released(self):
+        space = AddressSpace(0)
+        allocator = SizeClassAllocator(space)
+        addr = allocator.malloc(1 << 20)
+        assert addr % PAGE_SIZE == 0
+        reserved = space.reserved_bytes
+        allocator.free(addr)
+        assert space.reserved_bytes == reserved - (1 << 20)
+
+    def test_free_unknown_address_raises(self):
+        with pytest.raises(AllocationError):
+            SizeClassAllocator(AddressSpace(0)).free(0xABC)
+
+    def test_size_of_reports_requested_size(self):
+        allocator = SizeClassAllocator(AddressSpace(0))
+        addr = allocator.malloc(33)
+        assert allocator.size_of(addr) == 33
+
+    def test_realloc_in_place_within_class(self):
+        allocator = SizeClassAllocator(AddressSpace(0))
+        addr = allocator.malloc(33)
+        assert allocator.realloc(addr, 40) == addr
+
+    def test_realloc_moves_across_classes(self):
+        allocator = SizeClassAllocator(AddressSpace(0))
+        addr = allocator.malloc(33)
+        new = allocator.realloc(addr, 500)
+        assert new != addr
+        assert allocator.size_of(new) == 500
+        with pytest.raises(AllocationError):
+            allocator.size_of(addr)
+
+    def test_stats_track_liveness(self):
+        allocator = SizeClassAllocator(AddressSpace(0))
+        a = allocator.malloc(100)
+        allocator.malloc(50)
+        allocator.free(a)
+        assert allocator.stats.live_bytes == 50
+        assert allocator.stats.live_blocks == 1
+        assert allocator.stats.peak_live_bytes == 150
+
+    def test_run_cycling_exhausts_and_extends(self):
+        allocator = SizeClassAllocator(AddressSpace(0))
+        # Fill more than one run of the 32-byte class.
+        addrs = [allocator.malloc(32) for _ in range(1000)]
+        assert len(set(addrs)) == 1000
+
+
+class TestBumpAllocator:
+    def test_sequential_addresses(self):
+        bump = BumpAllocator(AddressSpace(0))
+        a = bump.malloc(24)
+        b = bump.malloc(24)
+        assert b == a + 24
+
+    def test_alignment_minimum_eight(self):
+        bump = BumpAllocator(AddressSpace(0))
+        a = bump.malloc(20)
+        b = bump.malloc(20)
+        assert b - a == 24
+        assert b % 8 == 0
+
+    def test_free_never_reuses(self):
+        bump = BumpAllocator(AddressSpace(0))
+        a = bump.malloc(64)
+        bump.free(a)
+        assert bump.malloc(64) != a
+
+    def test_pool_rollover(self):
+        bump = BumpAllocator(AddressSpace(0), pool_size=PAGE_SIZE)
+        first = bump.malloc(PAGE_SIZE // 2)
+        second = bump.malloc(PAGE_SIZE // 2 + 64)
+        assert len(bump.pools) == 2
+        assert second >= first + PAGE_SIZE // 2
+
+    def test_oversized_request_rejected(self):
+        bump = BumpAllocator(AddressSpace(0), pool_size=PAGE_SIZE)
+        with pytest.raises(AllocationError):
+            bump.malloc(2 * PAGE_SIZE)
+
+
+class TestRandomPoolAllocator:
+    def _make(self, seed=0):
+        space = AddressSpace(0)
+        fallback = SizeClassAllocator(space)
+        return RandomPoolAllocator(space, fallback, pools=4, seed=seed), fallback
+
+    def test_small_objects_land_in_pools(self):
+        allocator, fallback = self._make()
+        allocator.malloc(64)
+        assert allocator.stats.total_allocs == 1
+        assert fallback.stats.total_allocs == 0
+
+    def test_large_objects_forwarded(self):
+        allocator, fallback = self._make()
+        allocator.malloc(PAGE_SIZE)
+        assert fallback.stats.total_allocs == 1
+
+    def test_free_routes_to_owner(self):
+        allocator, fallback = self._make()
+        small = allocator.malloc(64)
+        large = allocator.malloc(PAGE_SIZE)
+        assert allocator.free(small) == 64
+        assert allocator.free(large) == PAGE_SIZE
+        assert fallback.stats.live_bytes == 0
+
+    def test_scatter_actually_uses_multiple_pools(self):
+        allocator, _ = self._make(seed=3)
+        addrs = [allocator.malloc(32) for _ in range(64)]
+        gaps = [b - a for a, b in zip(addrs, addrs[1:])]
+        assert any(abs(gap) > PAGE_SIZE for gap in gaps)
+
+
+class TestGroupAllocatorBasics:
+    def _make(self, matcher=None, **kwargs):
+        space = AddressSpace(0)
+        fallback = SizeClassAllocator(space)
+        allocator = GroupAllocator(
+            space, fallback, matcher or NeverMatch(), GroupStateVector(), **kwargs
+        )
+        return allocator, fallback
+
+    def test_unmatched_requests_forwarded(self):
+        allocator, fallback = self._make()
+        allocator.malloc(64)
+        assert allocator.forwarded_allocs == 1
+        assert fallback.stats.total_allocs == 1
+
+    def test_invalid_chunk_size_rejected(self):
+        with pytest.raises(AllocationError):
+            self._make(chunk_size=3000)
+
+    def test_slab_smaller_than_chunk_rejected(self):
+        with pytest.raises(AllocationError):
+            self._make(chunk_size=1 << 20, slab_size=1 << 19)
+
+
+class _AlwaysGroup:
+    """Matcher assigning everything to one group (for allocator tests)."""
+
+    def __init__(self, gid=0):
+        self.gid = gid
+
+    def match(self, state):
+        return self.gid
+
+
+class _AlternatingGroups:
+    """Matcher cycling through group ids."""
+
+    def __init__(self, count):
+        self.count = count
+        self.calls = 0
+
+    def match(self, state):
+        self.calls += 1
+        return self.calls % self.count
+
+
+class TestGroupAllocatorGrouping:
+    def _make(self, matcher, **kwargs):
+        space = AddressSpace(0)
+        fallback = SizeClassAllocator(space)
+        return (
+            GroupAllocator(space, fallback, matcher, GroupStateVector(), **kwargs),
+            fallback,
+        )
+
+    def test_grouped_allocations_are_contiguous(self):
+        allocator, _ = self._make(_AlwaysGroup())
+        a = allocator.malloc(40)
+        b = allocator.malloc(24)
+        c = allocator.malloc(16)
+        assert b == a + 40
+        assert c == b + 24
+
+    def test_groups_use_separate_chunks(self):
+        allocator, _ = self._make(_AlternatingGroups(2), chunk_size=1 << 16)
+        a = allocator.malloc(32)  # group 1
+        b = allocator.malloc(32)  # group 0
+        c = allocator.malloc(32)  # group 1
+        assert c == a + 32
+        assert abs(b - a) >= 1 << 15  # different chunk
+
+    def test_large_requests_bypass_groups(self):
+        allocator, fallback = self._make(_AlwaysGroup())
+        allocator.malloc(PAGE_SIZE)
+        assert allocator.grouped_allocs == 0
+        assert fallback.stats.total_allocs == 1
+
+    def test_chunk_located_by_masking_on_free(self):
+        allocator, _ = self._make(_AlwaysGroup())
+        addr = allocator.malloc(64)
+        assert allocator.free(addr) == 64
+        assert allocator.grouped_live_bytes == 0
+
+    def test_ungrouped_free_forwarded(self):
+        allocator, fallback = self._make(NeverMatch())
+        addr = allocator.malloc(64)
+        allocator.free(addr)
+        assert fallback.stats.live_bytes == 0
+
+    def test_empty_chunk_reused(self):
+        allocator, _ = self._make(_AlwaysGroup(), chunk_size=1 << 16)
+        first = [allocator.malloc(1024) for _ in range(80)]  # > one chunk
+        assert allocator.chunks_created >= 2
+        for addr in first:
+            allocator.free(addr)
+        created = allocator.chunks_created
+        for _ in range(80):
+            allocator.malloc(1024)
+        assert allocator.chunks_reused > 0
+        assert allocator.chunks_created <= created + 1
+
+    def test_current_chunk_not_retired_while_current(self):
+        allocator, _ = self._make(_AlwaysGroup())
+        addr = allocator.malloc(64)
+        allocator.free(addr)
+        # The (now empty) current chunk stays current; the next allocation
+        # bump-allocates from it again.
+        again = allocator.malloc(64)
+        assert again >= addr  # same chunk, cursor moved on
+
+    def test_chunk_alignment(self):
+        allocator, _ = self._make(_AlwaysGroup(), chunk_size=1 << 18)
+        addr = allocator.malloc(64)
+        chunk_base = addr & ~((1 << 18) - 1)
+        assert addr - chunk_base >= 64  # header space reserved
+
+    def test_min_alignment_is_eight(self):
+        allocator, _ = self._make(_AlwaysGroup())
+        for size in (1, 7, 13, 63):
+            assert allocator.malloc(size) % 8 == 0
+
+    def test_realloc_grouped(self):
+        allocator, _ = self._make(_AlwaysGroup())
+        addr = allocator.malloc(64)
+        assert allocator.realloc(addr, 32) == addr
+        new = allocator.realloc(addr, 256)
+        assert new != addr
+        assert allocator.size_of(new) == 256
+
+    def test_fragmentation_snapshot(self):
+        allocator, _ = self._make(_AlwaysGroup())
+        space = allocator.space
+        addrs = [allocator.malloc(512) for _ in range(16)]
+        for addr in addrs:
+            space.touch_range(addr, 512)
+        frag = allocator.fragmentation()
+        assert frag.live_bytes == 16 * 512
+        assert frag.resident_bytes >= frag.live_bytes
+        for addr in addrs[:8]:
+            allocator.free(addr)
+        frag = allocator.fragmentation()
+        assert frag.live_bytes == 8 * 512
+        assert frag.wasted_bytes > 0
+        assert 0.0 < frag.fraction < 1.0

@@ -1,0 +1,202 @@
+"""Unit tests for the cache/TLB simulator and the cost model."""
+
+import pytest
+
+from repro.cache import (
+    CacheConfigError,
+    CacheHierarchy,
+    CostModel,
+    HierarchyConfig,
+    SetAssociativeCache,
+    TLB,
+)
+from repro.machine.machine import MachineMetrics
+
+
+class TestSetAssociativeCache:
+    def test_first_access_misses_second_hits(self):
+        cache = SetAssociativeCache(1024, 2, 64)
+        assert not cache.access_line(5)
+        assert cache.access_line(5)
+
+    def test_geometry(self):
+        cache = SetAssociativeCache(32 * 1024, 8, 64)
+        assert cache.num_sets == 64
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(CacheConfigError):
+            SetAssociativeCache(1000, 3, 64)
+        with pytest.raises(CacheConfigError):
+            SetAssociativeCache(1024, 2, 60)
+
+    def test_lru_eviction_order(self):
+        # Direct-map-free: 1 set, 2 ways.
+        cache = SetAssociativeCache(128, 2, 64)
+        assert cache.num_sets == 1
+        cache.access_line(1)
+        cache.access_line(2)
+        cache.access_line(1)  # refresh 1 -> LRU is 2
+        cache.access_line(3)  # evicts 2
+        assert cache.contains_line(1)
+        assert not cache.contains_line(2)
+        assert cache.contains_line(3)
+
+    def test_capacity_thrashing(self):
+        cache = SetAssociativeCache(128, 2, 64)  # 2 lines total
+        for line in range(3):
+            cache.access_line(line)
+        # Cyclic access over 3 lines with LRU: everything misses.
+        for _ in range(9):
+            for line in range(3):
+                assert not cache.access_line(line)
+
+    def test_sets_isolate_addresses(self):
+        cache = SetAssociativeCache(256, 1, 64)  # 4 sets, direct mapped
+        cache.access_line(0)
+        cache.access_line(1)  # different set; no eviction
+        assert cache.contains_line(0)
+        cache.access_line(4)  # same set as 0
+        assert not cache.contains_line(0)
+
+    def test_non_power_of_two_sets(self):
+        # 3 sets: the L3's 11-way geometry relies on the modulo path.
+        cache = SetAssociativeCache(3 * 2 * 64, 2, 64)
+        assert cache.num_sets == 3
+        cache.access_line(3)
+        assert cache.access_line(3)
+
+    def test_flush_preserves_counters(self):
+        cache = SetAssociativeCache(1024, 2, 64)
+        cache.access_line(1)
+        cache.flush()
+        assert not cache.contains_line(1)
+        assert cache.stats.accesses == 1
+
+    def test_miss_rate(self):
+        cache = SetAssociativeCache(1024, 2, 64)
+        cache.access_line(1)
+        cache.access_line(1)
+        assert cache.stats.miss_rate == 0.5
+
+
+class TestTLB:
+    def test_hit_after_translate(self):
+        tlb = TLB(entries=4)
+        assert not tlb.access_page(1)
+        assert tlb.access_page(1)
+
+    def test_lru_capacity(self):
+        tlb = TLB(entries=2)
+        tlb.access_page(1)
+        tlb.access_page(2)
+        tlb.access_page(1)
+        tlb.access_page(3)  # evicts 2
+        assert tlb.access_page(1)
+        assert not tlb.access_page(2)
+
+    def test_page_of(self):
+        tlb = TLB(page_size=4096)
+        assert tlb.page_of(4095) == 0
+        assert tlb.page_of(4096) == 1
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            TLB(entries=0)
+        with pytest.raises(ValueError):
+            TLB(page_size=1000)
+
+
+class TestCacheHierarchy:
+    def test_xeon_geometry(self):
+        hierarchy = CacheHierarchy(HierarchyConfig.xeon_w2195())
+        assert hierarchy.l1.size == 32 * 1024
+        assert hierarchy.l2.size == 1024 * 1024
+        assert hierarchy.l3.size == 25344 * 1024
+        assert hierarchy.l3.assoc == 11
+
+    def test_miss_fills_all_levels(self):
+        hierarchy = CacheHierarchy()
+        hierarchy.access(0x1000, 8)
+        snap = hierarchy.snapshot()
+        assert snap.l1_misses == 1
+        assert snap.l2_misses == 1
+        assert snap.l3_misses == 1
+
+    def test_l1_hit_leaves_l2_untouched(self):
+        hierarchy = CacheHierarchy()
+        hierarchy.access(0x1000, 8)
+        hierarchy.access(0x1000, 8)
+        snap = hierarchy.snapshot()
+        assert snap.accesses == 2
+        assert snap.l2_misses == 1
+
+    def test_straddling_access_touches_two_lines(self):
+        hierarchy = CacheHierarchy()
+        hierarchy.access(60, 8)  # crosses the line boundary at 64
+        assert hierarchy.snapshot().l1_misses == 2
+
+    def test_l2_hit_after_l1_eviction(self):
+        hierarchy = CacheHierarchy()
+        # Touch enough distinct lines to overflow L1 but not L2, then
+        # re-touch the first line: L1 misses, L2 hits.
+        lines = (64 * 1024) // 64  # 64 KiB worth of lines (2x L1)
+        for i in range(lines):
+            hierarchy.access(i * 64, 8)
+        before = hierarchy.snapshot()
+        hierarchy.access(0, 8)
+        after = hierarchy.snapshot()
+        assert after.l1_misses == before.l1_misses + 1
+        assert after.l2_misses == before.l2_misses
+
+    def test_tlb_counts_pages(self):
+        hierarchy = CacheHierarchy()
+        hierarchy.access(0, 8)
+        hierarchy.access(4096, 8)
+        assert hierarchy.snapshot().tlb_misses == 2
+
+    def test_miss_reduction_orientation(self):
+        hierarchy = CacheHierarchy()
+        hierarchy.access(0, 8)
+        base = hierarchy.snapshot()
+        better = type(base)(
+            accesses=base.accesses,
+            l1_misses=0,
+            l2_misses=0,
+            l3_misses=0,
+            tlb_misses=0,
+        )
+        assert base.l1_miss_reduction(better) == 1.0
+
+
+class TestCostModel:
+    def test_cycles_additive(self):
+        model = CostModel()
+        metrics = MachineMetrics(loads=10, stores=0, compute_cycles=100.0)
+        from repro.cache.hierarchy import HierarchyStats
+
+        stats = HierarchyStats(accesses=10, l1_misses=2, l2_misses=1, l3_misses=0, tlb_misses=1)
+        expected = (
+            100.0
+            + 10 * model.l1_hit
+            + 2 * (model.l2_hit - model.l1_hit)
+            + 1 * (model.l3_hit - model.l2_hit)
+            + 1 * model.tlb_walk
+        )
+        assert model.cycles(metrics, stats) == pytest.approx(expected)
+
+    def test_alloc_costs_charged(self):
+        model = CostModel()
+        from repro.cache.hierarchy import HierarchyStats
+
+        metrics = MachineMetrics(allocs=3, frees=2)
+        stats = HierarchyStats(accesses=0, l1_misses=0, l2_misses=0, l3_misses=0, tlb_misses=0)
+        assert model.cycles(metrics, stats) == pytest.approx(
+            3 * model.malloc_op + 2 * model.free_op
+        )
+
+    def test_speedup_orientation(self):
+        assert CostModel.speedup(120.0, 100.0) == pytest.approx(0.2)
+        assert CostModel.speedup(100.0, 125.0) == pytest.approx(-0.2)
+
+    def test_speedup_degenerate(self):
+        assert CostModel.speedup(100.0, 0.0) == 0.0

@@ -1,0 +1,61 @@
+"""The non-degradation claim: HALO on a placement-insensitive program."""
+
+import pytest
+
+from repro.core import HaloParams, optimise_profile, profile_workload
+from repro.harness.runner import (
+    measure_baseline,
+    measure_halo,
+    measure_random_pools,
+)
+from repro.hds import HdsParams, analyse_profile
+from repro.workloads import get_workload, workload_names
+
+
+def test_control_registered_after_paper_benchmarks():
+    names = workload_names()
+    assert names[:11] == [
+        "health", "ft", "analyzer", "ammp", "art", "equake",
+        "povray", "omnetpp", "xalanc", "leela", "roms",
+    ]
+    assert "deepsjeng" in names[11:]
+
+
+class TestNoEffectNoDegradation:
+    @pytest.fixture(scope="class")
+    def runs(self):
+        workload = get_workload("deepsjeng")
+        profile = profile_workload(
+            workload, HaloParams(), scale="test", record_trace=True
+        )
+        halo = optimise_profile(profile, HaloParams())
+        base = measure_baseline(workload, scale="test", seed=1)
+        halo_m = measure_halo(workload, halo, scale="test", seed=1)
+        rand_m = measure_random_pools(workload, scale="test", seed=1)
+        return profile, base, halo_m, rand_m
+
+    def test_halo_has_essentially_no_effect(self, runs):
+        _, base, halo_m, _ = runs
+        speedup = base.cycles / halo_m.cycles - 1.0
+        assert abs(speedup) < 0.02
+
+    def test_halo_does_not_degrade(self, runs):
+        _, base, halo_m, _ = runs
+        assert halo_m.cycles <= base.cycles * 1.02
+
+    def test_random_pools_unfazed(self, runs):
+        """Figure 15's 'unfazed' set: placement of small objects is moot."""
+        _, base, _, rand_m = runs
+        speedup = base.cycles / rand_m.cycles - 1.0
+        assert abs(speedup) < 0.035  # noise band at the small test scale
+
+    def test_traffic_is_table_dominated(self, runs):
+        profile, _, _, _ = runs
+        # The big tables take essentially all accesses; groupable contexts
+        # are a rounding error.
+        small_accesses = sum(
+            profile.graph.accesses_of(cid)
+            for cid in profile.graph.nodes
+            if profile.context_stats[cid].max_object_size < 4096
+        )
+        assert small_accesses < 0.05 * profile.total_accesses

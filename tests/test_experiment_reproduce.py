@@ -1,0 +1,85 @@
+"""Fast (test-scale) checks of the figure/table reproduction entry points."""
+
+import pytest
+
+from repro.harness import reproduce
+
+
+@pytest.fixture(scope="module")
+def mini_evaluations():
+    """A reduced matrix: two contrasting benchmarks, test-scale, one trial."""
+    return reproduce.evaluate_all(
+        benchmarks=("ft", "povray"), trials=1, scale="test", include_random=True
+    )
+
+
+class TestEvaluateWorkload:
+    def test_evaluation_fields(self, mini_evaluations):
+        evaluation = mini_evaluations["ft"]
+        assert evaluation.baseline.config == "baseline"
+        assert evaluation.halo.config == "halo"
+        assert evaluation.hds.config == "hds"
+        assert evaluation.random_pools is not None
+        assert evaluation.halo_groups >= 1
+        assert evaluation.graph_nodes >= 1
+
+    def test_contrasting_benchmarks(self, mini_evaluations):
+        # ft: direct sites — HDS forms groups; povray: wrapper — it cannot.
+        assert mini_evaluations["ft"].hds_groups >= 1
+        assert mini_evaluations["povray"].hds_groups == 0
+
+    def test_reduction_properties_consistent(self, mini_evaluations):
+        for evaluation in mini_evaluations.values():
+            base = evaluation.baseline.l1_misses.median
+            halo = evaluation.halo.l1_misses.median
+            expected = (base - halo) / base
+            assert evaluation.halo_miss_reduction == pytest.approx(expected)
+
+
+class TestFigureAssembly:
+    def test_figure13_series(self, mini_evaluations):
+        result = reproduce.figure13(mini_evaluations)
+        assert [series.label for series in result.series] == ["Chilimbi et al.", "HALO"]
+        for series in result.series:
+            assert set(series.values) == {"ft", "povray"}
+
+    def test_figure14_series(self, mini_evaluations):
+        result = reproduce.figure14(mini_evaluations)
+        assert "speedup" in result.figure
+        assert len(result.series) == 2
+
+    def test_figure15_series(self, mini_evaluations):
+        result = reproduce.figure15(mini_evaluations)
+        assert len(result.series) == 1
+        assert set(result.series[0].values) == {"ft", "povray"}
+
+
+class TestFigure12:
+    def test_small_sweep(self):
+        result = reproduce.figure12(distances=(64, 128), trials=1, scale="test")
+        assert set(result.series[0].values) == {"64", "128"}
+        assert result.notes["baseline"] > 0
+
+    def test_all_points_positive(self):
+        result = reproduce.figure12(distances=(128,), trials=1, scale="test")
+        assert all(v > 0 for v in result.series[0].values.values())
+
+
+class TestTable1:
+    def test_rows_in_order(self):
+        rows = reproduce.table1(benchmarks=("ft", "leela"), scale="test")
+        assert [row.benchmark for row in rows] == ["ft", "leela"]
+        for row in rows:
+            assert 0.0 <= row.fraction <= 1.0
+            assert row.wasted_bytes >= 0
+
+    def test_leela_regime_even_at_test_scale(self):
+        rows = reproduce.table1(benchmarks=("leela",), scale="test")
+        assert rows[0].fraction > 0.5
+
+
+class TestRomsBlowup:
+    def test_comparison(self):
+        comparison = reproduce.roms_representation_blowup(scale="test")
+        assert comparison.benchmark == "roms"
+        assert comparison.hot_streams > comparison.affinity_graph_nodes

@@ -1,0 +1,57 @@
+"""Tests for the Figure 9 DOT export."""
+
+from repro.analysis import affinity_graph_dot, artifacts_dot
+from repro.core import Group, HaloParams, optimise_workload
+from repro.profiling import AffinityGraph
+from repro.workloads import get_workload
+
+
+def small_graph():
+    g = AffinityGraph()
+    g.add_access(0, 100)
+    g.add_access(1, 10)
+    g.add_access(2, 1)
+    g.add_edge_weight(0, 1, 40.0)
+    g.add_edge_weight(0, 0, 5.0)
+    g.add_edge_weight(1, 2, 0.5)
+    return g
+
+
+class TestAffinityGraphDot:
+    def test_nodes_and_edges_present(self):
+        dot = affinity_graph_dot(small_graph())
+        assert dot.startswith('graph "affinity" {')
+        assert dot.rstrip().endswith("}")
+        for node in ("n0", "n1", "n2"):
+            assert node in dot
+        assert "n0 -- n1" in dot
+
+    def test_group_colouring(self):
+        groups = [Group(0, frozenset({0, 1}), 40.0, 110)]
+        dot = affinity_graph_dot(small_graph(), groups)
+        assert dot.count("#4477aa") == 2  # both members share group 0's colour
+        assert "#d9d9d9" in dot  # node 2 stays grey (ungrouped)
+
+    def test_min_edge_weight_hides_light_edges(self):
+        dot = affinity_graph_dot(small_graph(), min_edge_weight=1.0)
+        assert "n1 -- n2" not in dot
+        assert "n0 -- n1" in dot
+
+    def test_self_loop_rendered(self):
+        dot = affinity_graph_dot(small_graph())
+        assert "n0 -- n0" in dot
+
+    def test_empty_graph(self):
+        dot = affinity_graph_dot(AffinityGraph())
+        assert dot.startswith("graph")
+
+
+class TestArtifactsDot:
+    def test_povray_figure9(self):
+        workload = get_workload("povray")
+        artifacts = optimise_workload(workload, HaloParams())
+        dot = artifacts_dot(artifacts)
+        # Symbolised labels from the program.
+        assert "pov_malloc" in dot or "create_" in dot
+        # At least one coloured (grouped) node.
+        assert any(colour in dot for colour in ("#4477aa", "#ee6677", "#228833"))

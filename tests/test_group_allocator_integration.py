@@ -1,0 +1,165 @@
+"""Integration tests: HALO pipeline end to end on a controlled program.
+
+These reproduce the paper's §3 motivating example as a machine-checkable
+scenario: three object types allocated interleaved, two traversed together,
+and HALO must (1) discover the relationship, (2) identify it at runtime,
+(3) co-locate the hot objects, and (4) reduce simulated L1 misses.
+"""
+
+import pytest
+
+from repro.allocators import AddressSpace, SizeClassAllocator
+from repro.cache import CacheHierarchy
+from repro.core import (
+    HaloParams,
+    make_runtime,
+    optimise_profile,
+    profile_workload,
+)
+from repro.machine import Machine, ProgramBuilder
+
+
+class MotivationWorkload:
+    """The Figure 2 program: types A and B are chased, C is ignored."""
+
+    name = "motivation"
+
+    def __init__(self, objects=400, passes=20):
+        self.objects = objects
+        self.passes = passes
+        b = ProgramBuilder("motivation")
+        b.function("malloc", in_main_binary=False)
+        self.sites = {
+            kind: (b.call_site("main", f"create_{kind}"),
+                   b.call_site(f"create_{kind}", "malloc"))
+            for kind in "abc"
+        }
+        self.program = b.build()
+
+    def run(self, machine, scale="ref"):
+        hot = []
+        for _ in range(self.objects):
+            for kind in "abc":
+                outer, inner = self.sites[kind]
+                with machine.call(outer):
+                    with machine.call(inner):
+                        obj = machine.malloc(32)
+                machine.store(obj, 0, 8)
+                if kind in "ab":
+                    hot.append(obj)
+        for _ in range(self.passes):
+            for obj in hot:
+                machine.load(obj, 0, 8)
+        machine.finish()
+
+
+@pytest.fixture(scope="module")
+def artifacts():
+    workload = MotivationWorkload()
+    profile = profile_workload(workload, HaloParams(), scale="test")
+    return workload, profile, optimise_profile(profile, HaloParams())
+
+
+class TestPipelineArtifacts:
+    def test_profile_finds_three_contexts(self, artifacts):
+        _, profile, _ = artifacts
+        # a, b (hot) plus possibly c depending on coverage.
+        assert len(profile.contexts) == 3
+        assert len(profile.graph) >= 2
+
+    def test_hot_pair_grouped_together(self, artifacts):
+        workload, profile, halo = artifacts
+        chains = {
+            kind: (workload.sites[kind][0].addr, workload.sites[kind][1].addr)
+            for kind in "abc"
+        }
+        cid_a = profile.contexts.lookup(chains["a"])
+        cid_b = profile.contexts.lookup(chains["b"])
+        cid_c = profile.contexts.lookup(chains["c"])
+        joint = [g for g in halo.groups if cid_a in g and cid_b in g]
+        assert joint, "types A and B must share a group"
+        assert all(cid_c not in g for g in halo.groups), "type C must stay out"
+
+    def test_selectors_cover_group_members(self, artifacts):
+        workload, profile, halo = artifacts
+        for group in halo.groups:
+            selector = next(
+                s for s in halo.identification.selectors if s.gid == group.gid
+            )
+            for cid in group.members:
+                assert selector.matches_chain(profile.contexts.chain(cid))
+
+    def test_plan_is_small(self, artifacts):
+        _, _, halo = artifacts
+        # "only a small handful of call sites that it must monitor"
+        assert 1 <= halo.plan.bits_used <= 4
+
+    def test_runtime_groups_all_hot_allocations(self, artifacts):
+        workload, _, halo = artifacts
+        runtime = make_runtime(halo, AddressSpace(7))
+        machine = Machine(
+            workload.program,
+            runtime.allocator,
+            instrumentation=runtime.instrumentation,
+            state_vector=runtime.state_vector,
+        )
+        workload.run(machine)
+        assert runtime.allocator.grouped_allocs == 2 * workload.objects
+        assert runtime.allocator.forwarded_allocs == workload.objects
+
+    def test_halo_reduces_l1_misses(self, artifacts):
+        workload, _, halo = artifacts
+
+        def measure(make_machine):
+            memory = CacheHierarchy()
+            machine = make_machine(memory)
+            workload.run(machine)
+            return memory.snapshot().l1_misses
+
+        base_misses = measure(
+            lambda memory: Machine(
+                workload.program,
+                SizeClassAllocator(AddressSpace(3)),
+                memory=memory,
+            )
+        )
+
+        def halo_machine(memory):
+            runtime = make_runtime(halo, AddressSpace(3))
+            return Machine(
+                workload.program,
+                runtime.allocator,
+                memory=memory,
+                instrumentation=runtime.instrumentation,
+                state_vector=runtime.state_vector,
+            )
+
+        halo_misses = measure(halo_machine)
+        assert halo_misses < base_misses
+        # The hot traversal's misses drop by roughly a third (C evicted
+        # from the hot lines): allow a generous band.
+        assert (base_misses - halo_misses) / base_misses > 0.15
+
+
+class TestHdsOnMotivation:
+    def test_hds_groups_a_and_b_by_site(self):
+        from repro.hds import HdsParams, analyse_profile
+        from repro.hds.pipeline import make_runtime as make_hds_runtime
+
+        workload = MotivationWorkload()
+        profile = profile_workload(
+            workload, HaloParams(), scale="test", record_trace=True
+        )
+        hds = analyse_profile(profile, HdsParams())
+        assert len(hds.groups) == 1
+        expected = {
+            workload.sites["a"][1].addr,
+            workload.sites["b"][1].addr,
+        }
+        assert hds.groups[0].sites == frozenset(expected)
+
+        runtime = make_hds_runtime(hds, AddressSpace(5))
+        machine = Machine(workload.program, runtime.allocator)
+        runtime.attach(machine)
+        workload.run(machine)
+        assert runtime.allocator.grouped_allocs == 2 * workload.objects

@@ -1,0 +1,199 @@
+"""Unit + property tests for score, merge benefit, and Figure 6 grouping."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import Group, GroupingParams, assign_groups, group_contexts
+from repro.core.score import internal_weight, merge_benefit, score
+from repro.profiling import AffinityGraph
+
+
+def graph_from(edges, accesses=None):
+    g = AffinityGraph()
+    for (a, b), w in edges.items():
+        g.add_edge_weight(a, b, w)
+    nodes = {n for pair in edges for n in pair}
+    for node in nodes:
+        g.add_access(node, (accesses or {}).get(node, 10))
+    return g
+
+
+class TestScore:
+    def test_empty_graph_scores_zero(self):
+        assert score(AffinityGraph(), []) == 0.0
+
+    def test_single_node_without_loop_scores_zero(self):
+        g = graph_from({(0, 1): 4.0})
+        assert score(g, [0]) == 0.0
+
+    def test_single_node_with_loop(self):
+        g = graph_from({(0, 0): 6.0})
+        assert score(g, [0]) == 6.0  # weight / (1 loop + 0 pairs)
+
+    def test_pair_without_loops_is_weighted_density(self):
+        g = graph_from({(0, 1): 8.0})
+        assert score(g, [0, 1]) == 8.0  # 8 / (0 + 1)
+
+    def test_loops_extend_denominator_only_when_present(self):
+        g = graph_from({(0, 1): 6.0, (0, 0): 3.0})
+        # weights 9, denominator = 1 loop + 1 pair
+        assert score(g, [0, 1]) == pytest.approx(4.5)
+
+    def test_duplicate_nodes_deduped(self):
+        g = graph_from({(0, 1): 8.0})
+        assert score(g, [0, 1, 0]) == score(g, [0, 1])
+
+    def test_external_edges_excluded(self):
+        g = graph_from({(0, 1): 8.0, (1, 2): 100.0})
+        assert score(g, [0, 1]) == 8.0
+
+
+class TestMergeBenefit:
+    def test_positive_when_strongly_connected(self):
+        g = graph_from({(0, 1): 10.0})
+        assert merge_benefit(g, [0], 1) > 0
+
+    def test_negative_when_candidate_unconnected(self):
+        g = graph_from({(0, 0): 10.0, (1, 2): 10.0})
+        assert merge_benefit(g, [0], 1) < 0
+
+    def test_tolerance_allows_slightly_worse_merges(self):
+        # Combined score fractionally below the separated score.
+        g = graph_from({(0, 0): 10.0, (1, 1): 10.0, (0, 1): 9.7})
+        # s({0}) = 10; s({0,1}) = 29.7/3 = 9.9 — merge only passes with slack.
+        assert merge_benefit(g, [0], 1, tolerance=0.0) < 0
+        assert merge_benefit(g, [0], 1, tolerance=0.05) > 0
+
+    def test_invalid_tolerance(self):
+        g = graph_from({(0, 1): 1.0})
+        with pytest.raises(ValueError):
+            merge_benefit(g, [0], 1, tolerance=1.0)
+
+
+class TestInternalWeight:
+    def test_counts_loops_and_edges(self):
+        g = graph_from({(0, 1): 5.0, (0, 0): 2.0, (1, 2): 7.0})
+        assert internal_weight(g, [0, 1]) == 7.0
+
+
+class TestGroupContexts:
+    def test_strong_pair_grouped(self):
+        g = graph_from({(0, 1): 100.0, (0, 0): 20.0, (1, 1): 20.0})
+        groups = group_contexts(g, GroupingParams(group_threshold=0.0))
+        assert any(set(group.members) == {0, 1} for group in groups)
+
+    def test_weak_edges_thresholded(self):
+        g = graph_from({(0, 1): 1.0})
+        groups = group_contexts(g, GroupingParams(min_weight=2.0, group_threshold=0.0))
+        assert groups == []
+
+    def test_group_threshold_rejects_light_groups(self):
+        g = graph_from({(0, 1): 4.0}, accesses={0: 100_000, 1: 100_000})
+        groups = group_contexts(g, GroupingParams(min_weight=0.0, group_threshold=0.5))
+        assert groups == []
+
+    def test_max_group_members_cap(self):
+        edges = {}
+        nodes = range(6)
+        for a in nodes:
+            for b in nodes:
+                if a < b:
+                    edges[(a, b)] = 50.0
+        g = graph_from(edges)
+        groups = group_contexts(
+            g, GroupingParams(max_group_members=3, group_threshold=0.0)
+        )
+        assert all(len(group) <= 3 for group in groups)
+
+    def test_groups_are_disjoint(self):
+        edges = {(0, 1): 50.0, (2, 3): 40.0, (1, 2): 5.0}
+        groups = group_contexts(graph_from(edges), GroupingParams(group_threshold=0.0))
+        seen = set()
+        for group in groups:
+            assert not (group.members & seen)
+            seen |= group.members
+
+    def test_unconnected_cold_node_excluded(self):
+        g = graph_from({(0, 1): 100.0})
+        g.add_access(7, 1)  # isolated node
+        groups = group_contexts(g, GroupingParams(group_threshold=0.0))
+        assert all(7 not in group for group in groups)
+
+    def test_seed_is_hotter_endpoint(self):
+        g = graph_from({(0, 1): 100.0}, accesses={0: 5, 1: 500})
+        # Nodes poorly connected otherwise; group grows from node 1.
+        groups = group_contexts(g, GroupingParams(group_threshold=0.0))
+        assert 1 in groups[0].members
+
+    def test_group_metadata(self):
+        g = graph_from({(0, 1): 100.0, (0, 0): 10.0}, accesses={0: 30, 1: 40})
+        groups = group_contexts(g, GroupingParams(group_threshold=0.0))
+        group = groups[0]
+        assert group.weight == internal_weight(g, group.members)
+        assert group.accesses == sum(g.accesses_of(c) for c in group.members)
+
+    def test_empty_graph(self):
+        assert group_contexts(AffinityGraph()) == []
+
+    def test_deterministic(self):
+        edges = {(0, 1): 50.0, (1, 2): 50.0, (3, 4): 50.0}
+        g1, g2 = graph_from(edges), graph_from(edges)
+        params = GroupingParams(group_threshold=0.0)
+        assert group_contexts(g1, params) == group_contexts(g2, params)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            GroupingParams(max_group_members=0)
+        with pytest.raises(ValueError):
+            GroupingParams(merge_tolerance=1.0)
+        with pytest.raises(ValueError):
+            GroupingParams(group_threshold=-0.1)
+
+
+class TestAssignGroups:
+    def test_mapping(self):
+        groups = [
+            Group(0, frozenset({1, 2}), 10.0, 5),
+            Group(1, frozenset({3}), 4.0, 2),
+        ]
+        assert assign_groups(groups) == {1: 0, 2: 0, 3: 1}
+
+
+@st.composite
+def random_graphs(draw):
+    n = draw(st.integers(2, 8))
+    g = AffinityGraph()
+    for node in range(n):
+        g.add_access(node, draw(st.integers(1, 100)))
+    n_edges = draw(st.integers(1, 12))
+    for _ in range(n_edges):
+        a = draw(st.integers(0, n - 1))
+        b = draw(st.integers(0, n - 1))
+        g.add_edge_weight(a, b, draw(st.floats(0.5, 100.0)))
+    return g
+
+
+class TestGroupingProperties:
+    @given(random_graphs())
+    @settings(max_examples=100, deadline=None)
+    def test_groups_always_disjoint_and_within_graph(self, g):
+        groups = group_contexts(g, GroupingParams(group_threshold=0.0, min_weight=0.0))
+        seen = set()
+        for group in groups:
+            assert group.members <= g.nodes
+            assert not (group.members & seen)
+            seen |= group.members
+            assert 1 <= len(group) <= GroupingParams().max_group_members
+
+    @given(random_graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_accepted_groups_meet_threshold(self, g):
+        params = GroupingParams(group_threshold=0.01, min_weight=0.0)
+        for group in group_contexts(g, params):
+            assert internal_weight(g, group.members) >= g.total_accesses * 0.01
+
+    @given(random_graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_score_never_negative(self, g):
+        for group in group_contexts(g, GroupingParams(group_threshold=0.0, min_weight=0.0)):
+            assert score(g, group.members) >= 0.0

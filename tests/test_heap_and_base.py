@@ -1,0 +1,143 @@
+"""Remaining edge cases: ObjectTable, Allocator base, experiment stats."""
+
+import pytest
+
+from repro.allocators import AddressSpace, SizeClassAllocator
+from repro.allocators.base import Allocator, AllocatorStats
+from repro.harness.experiment import TrialStats
+from repro.machine import HeapError, ObjectTable
+from repro.machine.heap import HeapObject
+
+
+class TestObjectTable:
+    def test_create_assigns_ids_and_seqs(self):
+        table = ObjectTable()
+        a = table.create(0x1000, 32)
+        b = table.create(0x2000, 32)
+        assert (a.oid, b.oid) == (0, 1)
+        assert b.alloc_seq == a.alloc_seq + 1
+        assert table.total_allocated == 2
+
+    def test_duplicate_address_rejected(self):
+        table = ObjectTable()
+        table.create(0x1000, 32)
+        with pytest.raises(HeapError):
+            table.create(0x1000, 16)
+
+    def test_destroy_releases_slot(self):
+        table = ObjectTable()
+        obj = table.create(0x1000, 32)
+        table.destroy(obj)
+        assert table.at(0x1000) is None
+        assert table.live_count == 0
+        # Address is reusable afterwards.
+        table.create(0x1000, 8)
+
+    def test_destroy_foreign_object_rejected(self):
+        table = ObjectTable()
+        table.create(0x1000, 32)
+        impostor = HeapObject(99, 0x1000, 32, 0)
+        with pytest.raises(HeapError):
+            table.destroy(impostor)
+
+    def test_move_relocates(self):
+        table = ObjectTable()
+        obj = table.create(0x1000, 32)
+        table.move(obj, 0x3000, 64)
+        assert table.at(0x1000) is None
+        assert table.at(0x3000) is obj
+        assert obj.size == 64
+
+    def test_move_onto_live_address_rejected(self):
+        table = ObjectTable()
+        a = table.create(0x1000, 32)
+        table.create(0x2000, 32)
+        with pytest.raises(HeapError):
+            table.move(a, 0x2000, 32)
+
+    def test_move_in_place_allowed(self):
+        table = ObjectTable()
+        obj = table.create(0x1000, 32)
+        table.move(obj, 0x1000, 48)
+        assert obj.size == 48
+
+    def test_live_objects_listing(self):
+        table = ObjectTable()
+        a = table.create(0x1000, 32)
+        b = table.create(0x2000, 32)
+        table.destroy(a)
+        assert table.live_objects() == [b]
+
+    def test_end(self):
+        assert HeapObject(0, 0x100, 32, 0).end() == 0x120
+
+
+class TestAllocatorStats:
+    def test_peak_tracking(self):
+        stats = AllocatorStats()
+        stats.on_alloc(100)
+        stats.on_alloc(50)
+        stats.on_free(100)
+        stats.on_alloc(20)
+        assert stats.live_bytes == 70
+        assert stats.peak_live_bytes == 150
+        assert stats.total_allocs == 3
+        assert stats.total_frees == 1
+
+
+class TestBaseReallocDefault:
+    class Fixed(Allocator):
+        """Minimal allocator exercising the ABC's default realloc."""
+
+        def __init__(self):
+            super().__init__(AddressSpace(0))
+            self._sizes = {}
+            self._next = 0x1000
+
+        def malloc(self, size, alignment=8):
+            addr = self._next
+            self._next += 4096
+            self._sizes[addr] = size
+            return addr
+
+        def free(self, addr):
+            return self._sizes.pop(addr)
+
+        def size_of(self, addr):
+            return self._sizes[addr]
+
+    def test_shrink_keeps_address(self):
+        allocator = self.Fixed()
+        addr = allocator.malloc(100)
+        assert allocator.realloc(addr, 50) == addr
+
+    def test_grow_moves(self):
+        allocator = self.Fixed()
+        addr = allocator.malloc(100)
+        new = allocator.realloc(addr, 500)
+        assert new != addr
+        assert allocator.size_of(new) == 500
+        assert addr not in allocator._sizes
+
+
+class TestAddressSpaceAccounting:
+    def test_peak_reserved(self):
+        space = AddressSpace(0)
+        a = space.reserve(8192)
+        space.reserve(4096)
+        space.release(a)
+        assert space.reserved_bytes == 4096
+        assert space.peak_reserved_bytes == 12288
+
+
+class TestTrialStatsEdges:
+    def test_single_value(self):
+        stats = TrialStats.of([42.0])
+        assert stats.median == stats.q25 == stats.q75 == 42.0
+
+    def test_quartiles_ordered(self):
+        stats = TrialStats.of([5.0, 1.0, 9.0, 3.0, 7.0, 2.0])
+        assert stats.q25 <= stats.median <= stats.q75
+
+    def test_even_count_median(self):
+        assert TrialStats.of([1.0, 3.0]).median == 2.0

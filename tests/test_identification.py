@@ -1,0 +1,202 @@
+"""Unit tests for Figure 10 selector synthesis and the runtime matcher."""
+
+import pytest
+
+from repro.core import (
+    CompiledMatcher,
+    Group,
+    GroupSelector,
+    NeverMatch,
+    SelectorMatchError,
+    monitored_sites,
+    synthesise_selectors,
+)
+from repro.profiling import ContextTable
+
+
+def setup_contexts(chains):
+    """Intern *chains*; returns (table, list of cids in order)."""
+    table = ContextTable()
+    return table, [table.intern(tuple(chain)) for chain in chains]
+
+
+class TestSynthesis:
+    def test_single_member_distinguished_by_unique_site(self):
+        table, (hot, cold) = setup_contexts([(1, 2, 3), (1, 2, 9)])
+        groups = [Group(0, frozenset({hot}), 10.0, 100)]
+        result = synthesise_selectors(groups, table, {hot: 0, cold: None})
+        selector = result.selectors[0]
+        assert selector.matches_chain((1, 2, 3))
+        assert not selector.matches_chain((1, 2, 9))
+        assert result.residual_conflicts[0] == 0
+
+    def test_selector_uses_minimal_sites(self):
+        # Site 3 alone distinguishes the member: one site suffices.
+        table, (hot, cold) = setup_contexts([(1, 2, 3), (1, 2, 9)])
+        groups = [Group(0, frozenset({hot}), 10.0, 100)]
+        result = synthesise_selectors(groups, table, {hot: 0, cold: None})
+        assert result.selectors[0].conjunctions == (frozenset({3}),)
+
+    def test_conjunction_grows_until_conflicts_resolved(self):
+        # No single site separates hot from both colds; a pair does.
+        table, (hot, cold1, cold2) = setup_contexts(
+            [(1, 2), (1, 9), (8, 2)]
+        )
+        groups = [Group(0, frozenset({hot}), 10.0, 100)]
+        result = synthesise_selectors(
+            groups, table, {hot: 0, cold1: None, cold2: None}
+        )
+        selector = result.selectors[0]
+        assert selector.matches_chain((1, 2))
+        assert not selector.matches_chain((1, 9))
+        assert not selector.matches_chain((8, 2))
+
+    def test_dnf_over_members(self):
+        table, (m1, m2, cold) = setup_contexts([(1, 2), (3, 4), (5, 6)])
+        groups = [Group(0, frozenset({m1, m2}), 10.0, 100)]
+        result = synthesise_selectors(groups, table, {m1: 0, m2: 0, cold: None})
+        selector = result.selectors[0]
+        assert selector.matches_chain((1, 2))
+        assert selector.matches_chain((3, 4))
+        assert not selector.matches_chain((5, 6))
+
+    def test_residual_conflicts_when_indistinguishable(self):
+        table, (hot, twin) = setup_contexts([(1, 2), (1, 2, 3)])
+        # twin's chain is a superset: every site of hot appears in twin.
+        groups = [Group(0, frozenset({hot}), 10.0, 100)]
+        result = synthesise_selectors(groups, table, {hot: 0, twin: None})
+        assert result.residual_conflicts[0] >= 1
+        assert result.selectors[0].matches_chain((1, 2, 3))  # false positive
+
+    def test_popular_groups_processed_first(self):
+        table, (a, b) = setup_contexts([(1, 2), (3, 4)])
+        groups = [
+            Group(0, frozenset({a}), 5.0, 10),
+            Group(1, frozenset({b}), 5.0, 999),
+        ]
+        result = synthesise_selectors(groups, table, {a: 0, b: 1})
+        assert result.selectors[0].gid == 1  # most popular first
+
+    def test_other_groups_count_as_conflicts_until_processed(self):
+        # Group B is less popular; its selector must exclude nothing from
+        # already-identified group A (A is in the ignore set by then).
+        table, (a, b) = setup_contexts([(1, 2), (1, 3)])
+        groups = [
+            Group(0, frozenset({a}), 5.0, 100),
+            Group(1, frozenset({b}), 5.0, 10),
+        ]
+        result = synthesise_selectors(groups, table, {a: 0, b: 1})
+        by_gid = {s.gid: s for s in result.selectors}
+        # Group 0 processed first: must exclude b's chain.
+        assert not by_gid[0].matches_chain((1, 3))
+
+    def test_site_allowed_filter(self):
+        table, (hot, cold) = setup_contexts([(1, 3), (1, 9)])
+        groups = [Group(0, frozenset({hot}), 10.0, 100)]
+        result = synthesise_selectors(
+            groups, table, {hot: 0, cold: None}, site_allowed=lambda a: a != 3
+        )
+        # Site 3 is off limits; the conjunction falls back to site 1 even
+        # though it conflicts with the cold context.
+        assert result.selectors[0].sites == frozenset({1})
+        assert result.residual_conflicts[0] >= 1
+
+    def test_all_sites_disallowed_yields_empty_selector(self):
+        table, (hot,) = setup_contexts([(1, 2)])
+        groups = [Group(0, frozenset({hot}), 10.0, 100)]
+        result = synthesise_selectors(
+            groups, table, {hot: 0}, site_allowed=lambda a: False
+        )
+        assert result.selectors[0].conjunctions == ()
+        assert not result.selectors[0].matches_chain((1, 2))
+
+    def test_no_groups(self):
+        table = ContextTable()
+        result = synthesise_selectors([], table, {})
+        assert result.selectors == ()
+
+
+class TestMonitoredSites:
+    def test_union(self):
+        selectors = [
+            GroupSelector(0, (frozenset({1, 2}),)),
+            GroupSelector(1, (frozenset({2, 3}), frozenset({4}))),
+        ]
+        assert monitored_sites(selectors) == frozenset({1, 2, 3, 4})
+
+
+class TestCompiledMatcher:
+    def test_matches_when_bits_set(self):
+        selectors = [GroupSelector(0, (frozenset({0x10, 0x20}),))]
+        matcher = CompiledMatcher(selectors, {0x10: 0, 0x20: 1})
+        assert matcher.match(0b11) == 0
+        assert matcher.match(0b01) is None
+        assert matcher.match(0b10) is None
+
+    def test_extra_bits_do_not_prevent_match(self):
+        selectors = [GroupSelector(0, (frozenset({0x10}),))]
+        matcher = CompiledMatcher(selectors, {0x10: 0, 0x20: 1})
+        assert matcher.match(0b11) == 0
+
+    def test_priority_order(self):
+        selectors = [
+            GroupSelector(7, (frozenset({0x10}),)),
+            GroupSelector(8, (frozenset({0x10}),)),
+        ]
+        matcher = CompiledMatcher(selectors, {0x10: 0})
+        assert matcher.match(0b1) == 7
+
+    def test_disjunction(self):
+        selectors = [GroupSelector(0, (frozenset({0x10}), frozenset({0x20})))]
+        matcher = CompiledMatcher(selectors, {0x10: 0, 0x20: 1})
+        assert matcher.match(0b01) == 0
+        assert matcher.match(0b10) == 0
+        assert matcher.match(0b00) is None
+
+    def test_unplanned_site_rejected(self):
+        selectors = [GroupSelector(0, (frozenset({0x99}),))]
+        with pytest.raises(SelectorMatchError):
+            CompiledMatcher(selectors, {0x10: 0})
+
+    def test_never_match(self):
+        assert NeverMatch().match(0xFFFF) is None
+
+
+class TestEndToEndIdentification:
+    def test_selectors_identify_groups_at_runtime(self, demo):
+        """Synthesised selectors + instrumented machine identify allocations."""
+        from repro.allocators import AddressSpace, SizeClassAllocator
+        from repro.machine import GroupStateVector, Machine
+        from repro.profiling import reduced_context
+        from repro.rewriting import BoltRewriter
+
+        program = demo.program
+        chain_a = (demo.main_a.addr, demo.a_malloc.addr)
+        chain_b = (demo.main_b.addr, demo.b_malloc.addr)
+        chain_c = (demo.main_c.addr, demo.c_malloc.addr)
+        table = ContextTable()
+        ca, cb, cc = (table.intern(c) for c in (chain_a, chain_b, chain_c))
+        groups = [Group(0, frozenset({ca, cb}), 10.0, 100)]
+        result = synthesise_selectors(groups, table, {ca: 0, cb: 0, cc: None})
+
+        rewriter = BoltRewriter(program)
+        plan = rewriter.instrument(monitored_sites(result.selectors))
+        sv = GroupStateVector()
+        matcher = CompiledMatcher(list(result.selectors), plan.bit_for_site)
+        machine = Machine(
+            program,
+            SizeClassAllocator(AddressSpace(0)),
+            instrumentation=plan.bit_for_site,
+            state_vector=sv,
+        )
+
+        observed = {}
+        for label, path in (("a", (demo.main_a, demo.a_malloc)),
+                            ("b", (demo.main_b, demo.b_malloc)),
+                            ("c", (demo.main_c, demo.c_malloc))):
+            with machine.call(path[0]):
+                with machine.call(path[1]):
+                    observed[label] = matcher.match(sv.value)
+        assert observed["a"] == 0
+        assert observed["b"] == 0
+        assert observed["c"] is None

@@ -1,0 +1,82 @@
+"""Precision tests for paths not pinned down elsewhere."""
+
+import pytest
+
+from repro.analysis import bar_chart
+from repro.cache import CacheHierarchy, CostModel
+from repro.cache.hierarchy import HierarchyStats
+from repro.core import Group, synthesise_selectors
+from repro.machine.machine import MachineMetrics
+from repro.profiling import ContextTable
+
+
+class TestIdentificationTieBreak:
+    def test_prefers_site_lower_in_the_stack(self):
+        """Figure 10's tie rule: equal conflict counts pick the outer site.
+
+        Both member sites discriminate perfectly (count 0), so the choice
+        is pure tie-break: the conjunction must use the outermost site.
+        """
+        table = ContextTable()
+        member = table.intern((10, 20))  # outermost 10, innermost 20
+        cold = table.intern((30, 40))
+        groups = [Group(0, frozenset({member}), 1.0, 10)]
+        result = synthesise_selectors(groups, table, {member: 0, cold: None})
+        assert result.selectors[0].conjunctions == (frozenset({10}),)
+
+    def test_inner_site_chosen_when_it_discriminates_better(self):
+        table = ContextTable()
+        member = table.intern((10, 20))
+        cold = table.intern((10, 40))  # shares the outer site
+        groups = [Group(0, frozenset({member}), 1.0, 10)]
+        result = synthesise_selectors(groups, table, {member: 0, cold: None})
+        assert result.selectors[0].conjunctions == (frozenset({20}),)
+
+
+class TestCostModelTerms:
+    def _stats(self):
+        return HierarchyStats(accesses=0, l1_misses=0, l2_misses=0, l3_misses=0, tlb_misses=0)
+
+    def test_call_cost(self):
+        model = CostModel()
+        metrics = MachineMetrics(calls=10)
+        assert model.cycles(metrics, self._stats()) == pytest.approx(10 * model.call_op)
+
+    def test_toggle_cost(self):
+        model = CostModel()
+        metrics = MachineMetrics(instrumentation_toggles=100)
+        assert model.cycles(metrics, self._stats()) == pytest.approx(
+            100 * model.toggle_op
+        )
+
+
+class TestHierarchyPageCrossing:
+    def test_access_spanning_pages_counts_both(self):
+        hierarchy = CacheHierarchy()
+        hierarchy.access(4090, 16)  # crosses the 4096 page boundary
+        assert hierarchy.snapshot().tlb_misses == 2
+
+    def test_repeat_translation_hits(self):
+        hierarchy = CacheHierarchy()
+        hierarchy.access(0, 8)
+        hierarchy.access(8, 8)
+        assert hierarchy.snapshot().tlb_misses == 1
+
+
+class TestBarChartModes:
+    def test_raw_values_mode(self):
+        chart = bar_chart({"a": 1500.0}, percent=False)
+        assert "+1,500" in chart
+
+    def test_single_negative_value(self):
+        chart = bar_chart({"x": -0.5})
+        assert "-50.0%" in chart
+        assert "#" in chart
+
+
+class TestMachineMetricsDefaults:
+    def test_fresh_metrics_zeroed(self):
+        metrics = MachineMetrics()
+        assert metrics.accesses == 0
+        assert metrics.compute_cycles == 0.0
+        assert metrics.instrumentation_toggles == 0

@@ -1,0 +1,152 @@
+"""Additional property tests: identification, graph filters, streams."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import Group, monitored_sites, synthesise_selectors
+from repro.hds import StreamParams, extract_hot_streams
+from repro.profiling import AffinityGraph, ContextTable
+
+
+@st.composite
+def context_worlds(draw):
+    """Random (chains, grouping) worlds for selector synthesis."""
+    n_sites = draw(st.integers(2, 10))
+    sites = [0x1000 + 16 * i for i in range(n_sites)]
+    n_contexts = draw(st.integers(1, 8))
+    chains = []
+    for _ in range(n_contexts):
+        length = draw(st.integers(1, 4))
+        chain = tuple(
+            sites[draw(st.integers(0, n_sites - 1))] for _ in range(length)
+        )
+        chains.append(chain)
+    table = ContextTable()
+    cids = [table.intern(chain) for chain in chains]
+    # Partition a random subset of contexts into 1-2 groups.
+    assignment = {}
+    groups = []
+    n_groups = draw(st.integers(1, 2))
+    for gid in range(n_groups):
+        members = {
+            cid
+            for cid in set(cids)
+            if cid not in assignment and draw(st.booleans())
+        }
+        if not members:
+            continue
+        for cid in members:
+            assignment[cid] = gid
+        groups.append(Group(gid, frozenset(members), 10.0, draw(st.integers(1, 100))))
+    context_group = {cid: assignment.get(cid) for cid in set(cids)}
+    return table, groups, context_group
+
+
+class TestIdentificationProperties:
+    @given(context_worlds())
+    @settings(max_examples=150, deadline=None)
+    def test_selectors_match_their_members(self, world):
+        table, groups, context_group = world
+        result = synthesise_selectors(groups, table, context_group)
+        by_gid = {s.gid: s for s in result.selectors}
+        for group in groups:
+            selector = by_gid[group.gid]
+            if not selector.conjunctions:
+                continue  # degenerate member chains were dropped
+            for cid in group.members:
+                chain = table.chain(cid)
+                if chain:
+                    assert selector.matches_chain(chain)
+
+    @given(context_worlds())
+    @settings(max_examples=100, deadline=None)
+    def test_monitored_sites_only_from_member_chains(self, world):
+        table, groups, context_group = world
+        result = synthesise_selectors(groups, table, context_group)
+        member_sites = set()
+        for group in groups:
+            for cid in group.members:
+                member_sites |= set(table.chain(cid))
+        assert monitored_sites(result.selectors) <= member_sites
+
+    @given(context_worlds())
+    @settings(max_examples=100, deadline=None)
+    def test_zero_residual_implies_no_false_positives(self, world):
+        table, groups, context_group = world
+        result = synthesise_selectors(groups, table, context_group)
+        processed = []
+        ordered = sorted(groups, key=lambda g: (-g.accesses, g.gid))
+        for group in ordered:
+            processed.append(group.gid)
+            if result.residual_conflicts[group.gid] != 0:
+                continue
+            selector = next(s for s in result.selectors if s.gid == group.gid)
+            for cid, gid in context_group.items():
+                if gid in processed:
+                    continue  # earlier groups are excluded by priority order
+                chain = table.chain(cid)
+                if chain:
+                    assert not selector.matches_chain(chain)
+
+
+class TestGraphFilterProperties:
+    @st.composite
+    @staticmethod
+    def graphs(draw):
+        g = AffinityGraph()
+        n = draw(st.integers(1, 10))
+        for node in range(n):
+            g.add_access(node, draw(st.integers(1, 1000)))
+        for _ in range(draw(st.integers(0, 15))):
+            a = draw(st.integers(0, n - 1))
+            b = draw(st.integers(0, n - 1))
+            g.add_edge_weight(a, b, draw(st.floats(0.1, 50.0)))
+        return g
+
+    @given(graphs(), st.floats(0.05, 1.0))
+    @settings(max_examples=100, deadline=None)
+    def test_coverage_filter_keeps_hottest_prefix(self, g, coverage):
+        kept = g.filtered_by_coverage(coverage).nodes
+        if not kept:
+            return
+        threshold = min(g.accesses_of(n) for n in kept)
+        for node in g.nodes - kept:
+            assert g.accesses_of(node) <= threshold
+
+    @given(graphs())
+    @settings(max_examples=80, deadline=None)
+    def test_coverage_monotone(self, g):
+        low = g.filtered_by_coverage(0.4).nodes
+        high = g.filtered_by_coverage(0.9).nodes
+        assert low <= high
+
+    @given(graphs(), st.floats(0.0, 60.0))
+    @settings(max_examples=80, deadline=None)
+    def test_min_weight_filter_sound(self, g, threshold):
+        filtered = g.filtered_by_min_weight(threshold)
+        assert all(w >= threshold for w in filtered.edges.values())
+        assert filtered.nodes == g.nodes
+
+
+class TestStreamProperties:
+    @given(st.lists(st.integers(0, 12), min_size=0, max_size=250))
+    @settings(max_examples=100, deadline=None)
+    def test_selected_elements_come_from_trace(self, trace):
+        analysis = extract_hot_streams(trace)
+        universe = set(trace)
+        for stream in analysis.streams:
+            assert set(stream.elements) <= universe
+
+    @given(st.lists(st.integers(0, 6), min_size=0, max_size=250))
+    @settings(max_examples=100, deadline=None)
+    def test_stream_lengths_bounded(self, trace):
+        params = StreamParams(min_elements=2, max_elements=7)
+        analysis = extract_hot_streams(trace, params)
+        for stream in analysis.streams:
+            assert 2 <= len(stream.elements) <= 7
+            assert stream.frequency >= 1
+
+    @given(st.lists(st.integers(0, 6), min_size=0, max_size=200))
+    @settings(max_examples=60, deadline=None)
+    def test_coverage_achieved_bounded(self, trace):
+        analysis = extract_hot_streams(trace)
+        assert 0.0 <= analysis.coverage_achieved <= 1.0

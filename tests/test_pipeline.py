@@ -1,0 +1,104 @@
+"""Tests for HaloParams and the offline/online pipeline wiring."""
+
+import pytest
+
+from repro.allocators import AddressSpace, GroupAllocator, ShardedGroupAllocator
+from repro.core import (
+    HaloParams,
+    make_runtime,
+    optimise_profile,
+    optimise_workload,
+    profile_workload,
+)
+from repro.workloads import get_workload
+
+
+class TestHaloParams:
+    def test_paper_defaults(self):
+        params = HaloParams()
+        assert params.affinity.distance == 128
+        assert params.chunk_size == 1 << 20
+        assert params.max_spare_chunks == 1
+        assert params.max_grouped_size == 4096
+        assert params.max_groups is None
+
+    def test_with_affinity_distance_is_copy(self):
+        base = HaloParams()
+        derived = base.with_affinity_distance(64)
+        assert base.affinity.distance == 128
+        assert derived.affinity.distance == 64
+        assert derived.chunk_size == base.chunk_size
+
+
+@pytest.fixture(scope="module")
+def ft_artifacts():
+    workload = get_workload("ft")
+    return workload, optimise_workload(workload, HaloParams())
+
+
+class TestOptimise:
+    def test_one_shot_pipeline(self, ft_artifacts):
+        _, artifacts = ft_artifacts
+        assert artifacts.groups
+        assert artifacts.identification.selectors
+        assert artifacts.plan.bits_used >= 1
+
+    def test_context_assignment_covers_groups(self, ft_artifacts):
+        _, artifacts = ft_artifacts
+        assignment = artifacts.context_assignment
+        for group in artifacts.groups:
+            for cid in group.members:
+                assert assignment[cid] == group.gid
+
+    def test_describe_groups_readable(self, ft_artifacts):
+        workload, artifacts = ft_artifacts
+        text = "\n".join(artifacts.describe_groups())
+        assert "group 0" in text
+        assert "->" in text  # symbolised call chains
+
+    def test_max_groups_keeps_most_popular(self):
+        workload = get_workload("roms")
+        profile = profile_workload(workload, HaloParams(), scale="test")
+        unlimited = optimise_profile(profile, HaloParams())
+        limited = optimise_profile(profile, HaloParams(max_groups=1))
+        assert len(limited.groups) <= 1
+        if unlimited.groups and limited.groups:
+            best = max(unlimited.groups, key=lambda g: g.accesses)
+            assert limited.groups[0].members == best.members
+
+    def test_selectors_only_use_instrumentable_sites(self, ft_artifacts):
+        workload, artifacts = ft_artifacts
+        program = workload.program
+        for selector in artifacts.identification.selectors:
+            for site in selector.sites:
+                caller = program.sites[site].caller
+                assert program.functions[caller].in_main_binary
+
+
+class TestMakeRuntime:
+    def test_runtime_wiring(self, ft_artifacts):
+        _, artifacts = ft_artifacts
+        runtime = make_runtime(artifacts, AddressSpace(0))
+        assert isinstance(runtime.allocator, GroupAllocator)
+        assert runtime.instrumentation == artifacts.plan.bit_for_site
+        kwargs = runtime.machine_kwargs()
+        assert kwargs["allocator"] is runtime.allocator
+        assert kwargs["state_vector"] is runtime.state_vector
+
+    def test_runtime_params_propagate(self):
+        workload = get_workload("omnetpp")
+        params = HaloParams(
+            chunk_size=131072, max_spare_chunks=0, always_reuse_chunks=True
+        )
+        artifacts = optimise_workload(workload, params)
+        runtime = make_runtime(artifacts, AddressSpace(0))
+        assert runtime.allocator.chunk_size == 131072
+        assert runtime.allocator.max_spare_chunks == 0
+        assert runtime.allocator.always_reuse_chunks
+
+    def test_sharded_variant_selectable(self, ft_artifacts):
+        _, artifacts = ft_artifacts
+        runtime = make_runtime(
+            artifacts, AddressSpace(0), allocator_cls=ShardedGroupAllocator
+        )
+        assert isinstance(runtime.allocator, ShardedGroupAllocator)

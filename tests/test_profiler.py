@@ -1,0 +1,122 @@
+"""Tests for the Profiler listener and ProfileResult."""
+
+import pytest
+
+from repro.allocators import AddressSpace, SizeClassAllocator
+from repro.core import HaloParams, profile_workload
+from repro.machine import Machine
+from repro.profiling import AffinityParams, PIN_SLOWDOWN_ESTIMATE, Profiler
+
+from conftest import alloc_via
+
+
+@pytest.fixture
+def profiled(demo):
+    profiler = Profiler(demo.program, AffinityParams(), record_trace=True)
+    machine = Machine(
+        demo.program, SizeClassAllocator(AddressSpace(0)), listeners=[profiler]
+    )
+    return demo, machine, profiler
+
+
+class TestContextAttribution:
+    def test_distinct_paths_distinct_contexts(self, profiled):
+        demo, machine, profiler = profiled
+        a = alloc_via(machine, [demo.main_a, demo.a_malloc])
+        b = alloc_via(machine, [demo.main_b, demo.b_malloc])
+        result = profiler.result()
+        assert result.object_context[a.oid] != result.object_context[b.oid]
+
+    def test_same_path_same_context(self, profiled):
+        demo, machine, profiler = profiled
+        a1 = alloc_via(machine, [demo.main_a, demo.a_malloc])
+        a2 = alloc_via(machine, [demo.main_a, demo.a_malloc])
+        result = profiler.result()
+        assert result.object_context[a1.oid] == result.object_context[a2.oid]
+
+    def test_immediate_site_is_raw_stack_top(self, profiled):
+        demo, machine, profiler = profiled
+        a = alloc_via(machine, [demo.main_a, demo.a_malloc])
+        w = alloc_via(machine, [demo.main_helper, demo.helper_wrap, demo.wrap_malloc])
+        result = profiler.result()
+        assert result.object_site[a.oid] == demo.a_malloc.addr
+        assert result.object_site[w.oid] == demo.wrap_malloc.addr
+
+    def test_context_stats(self, profiled):
+        demo, machine, profiler = profiled
+        alloc_via(machine, [demo.main_a, demo.a_malloc], 40)
+        obj = alloc_via(machine, [demo.main_a, demo.a_malloc], 24)
+        machine.free(obj)
+        result = profiler.result()
+        cid = result.object_context[obj.oid]
+        stats = result.context_stats[cid]
+        assert stats.allocs == 2
+        assert stats.bytes_allocated == 64
+        assert stats.max_object_size == 40
+        assert stats.frees == 1
+
+    def test_describe_context(self, profiled):
+        demo, machine, profiler = profiled
+        obj = alloc_via(machine, [demo.main_a, demo.a_malloc])
+        result = profiler.result()
+        cid = result.object_context[obj.oid]
+        assert "create_a" in result.describe_context(cid)
+
+
+class TestTraceRecording:
+    def test_macro_level_trace(self, profiled):
+        demo, machine, profiler = profiled
+        a = alloc_via(machine, [demo.main_a, demo.a_malloc])
+        b = alloc_via(machine, [demo.main_b, demo.b_malloc])
+        machine.load(a)
+        machine.load(a)  # deduped
+        machine.load(b)
+        machine.load(a)
+        result = profiler.result()
+        # Trace includes the two allocation stores?  No stores were issued:
+        # only the loads appear.
+        assert result.trace == [a.oid, b.oid, a.oid]
+
+    def test_large_objects_become_unique_breakers(self, profiled):
+        demo, machine, profiler = profiled
+        big = alloc_via(machine, [demo.main_c, demo.c_malloc], 8192)
+        small = alloc_via(machine, [demo.main_a, demo.a_malloc])
+        machine.load(small)
+        machine.load(big, 0, 8)
+        machine.load(small)
+        machine.load(big, 64, 8)
+        result = profiler.result()
+        breakers = [t for t in result.trace if t < 0]
+        assert len(breakers) == 2
+        assert len(set(breakers)) == 2  # unique every time
+
+    def test_trace_disabled_by_default(self, demo):
+        profiler = Profiler(demo.program)
+        assert profiler.result().trace is None
+
+    def test_machine_access_counter(self, profiled):
+        demo, machine, profiler = profiled
+        obj = alloc_via(machine, [demo.main_a, demo.a_malloc])
+        machine.load(obj)
+        machine.load(obj)
+        assert profiler.result().machine_accesses == 2
+
+    def test_overhead_estimate_reported(self, demo):
+        assert Profiler(demo.program).estimated_overhead_factor == PIN_SLOWDOWN_ESTIMATE
+
+
+class TestProfileWorkloadHelper:
+    def test_profile_scale_defaults_to_test(self):
+        from repro.workloads import get_workload
+
+        workload = get_workload("ft")
+        profile = profile_workload(workload, HaloParams())
+        assert profile.total_accesses > 0
+        assert profile.graph.total_accesses == profile.total_accesses
+
+    def test_immediate_site_of_context(self, profiled):
+        demo, machine, profiler = profiled
+        obj = alloc_via(machine, [demo.main_a, demo.a_malloc])
+        result = profiler.result()
+        cid = result.object_context[obj.oid]
+        assert result.immediate_site_of_context(cid) == demo.a_malloc.addr

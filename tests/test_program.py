@@ -1,0 +1,109 @@
+"""Unit tests for the static program model."""
+
+import pytest
+
+from repro.machine import Program, ProgramBuilder, ProgramError
+from repro.machine.program import (
+    FUNCTION_STRIDE,
+    LIBRARY_BASE,
+    SITE_STRIDE,
+    TEXT_BASE,
+)
+
+
+class TestProgramBuilder:
+    def test_functions_get_distinct_addresses(self):
+        b = ProgramBuilder("p")
+        f1 = b.function("main")
+        f2 = b.function("other")
+        assert f1.addr == TEXT_BASE
+        assert f2.addr == TEXT_BASE + FUNCTION_STRIDE
+
+    def test_library_functions_live_in_library_segment(self):
+        b = ProgramBuilder("p")
+        fn = b.function("malloc", in_main_binary=False)
+        assert fn.addr >= LIBRARY_BASE
+        assert not fn.in_main_binary
+
+    def test_malloc_is_traceable_by_default(self):
+        b = ProgramBuilder("p")
+        fn = b.function("malloc", in_main_binary=False)
+        assert fn.traceable
+
+    def test_main_binary_function_is_not_traceable_by_default(self):
+        b = ProgramBuilder("p")
+        fn = b.function("malloc")  # statically linked malloc
+        assert not fn.traceable
+
+    def test_redefining_function_returns_same_object(self):
+        b = ProgramBuilder("p")
+        assert b.function("main") is b.function("main")
+
+    def test_call_sites_within_caller(self):
+        b = ProgramBuilder("p")
+        s1 = b.call_site("main", "f")
+        s2 = b.call_site("main", "g")
+        assert s1.addr == TEXT_BASE + SITE_STRIDE
+        assert s2.addr == TEXT_BASE + 2 * SITE_STRIDE
+        assert s1.caller == "main" and s1.callee == "f"
+
+    def test_call_site_implicitly_defines_functions(self):
+        b = ProgramBuilder("p")
+        b.call_site("main", "f")
+        program = b.build()
+        assert program.function("f").in_main_binary
+
+    def test_build_requires_entry(self):
+        b = ProgramBuilder("p")
+        program = b.build()  # entry created implicitly
+        assert program.entry == "main"
+
+    def test_pie_flag_propagates(self):
+        assert ProgramBuilder("p", pie=True).build().pie
+
+
+class TestProgram:
+    def test_site_lookup(self):
+        b = ProgramBuilder("p")
+        site = b.call_site("main", "f")
+        program = b.build()
+        assert program.site(site.addr) is site
+
+    def test_unknown_site_raises(self):
+        program = ProgramBuilder("p").build()
+        with pytest.raises(ProgramError):
+            program.site(0xDEAD)
+
+    def test_unknown_function_raises(self):
+        program = ProgramBuilder("p").build()
+        with pytest.raises(ProgramError):
+            program.function("missing")
+
+    def test_unknown_entry_raises(self):
+        with pytest.raises(ProgramError):
+            Program("p", {}, {}, entry="main")
+
+    def test_sites_in(self):
+        b = ProgramBuilder("p")
+        s1 = b.call_site("main", "f")
+        s2 = b.call_site("main", "g")
+        b.call_site("f", "g")
+        program = b.build()
+        assert set(s.addr for s in program.sites_in("main")) == {s1.addr, s2.addr}
+
+    def test_contains_and_iter(self):
+        b = ProgramBuilder("p")
+        site = b.call_site("main", "f")
+        program = b.build()
+        assert site.addr in program
+        assert site in list(program)
+
+    def test_describe_site_falls_back_to_hex(self):
+        program = ProgramBuilder("p").build()
+        assert program.describe_site(0x1234) == "0x1234"
+
+    def test_describe_site_includes_label(self):
+        b = ProgramBuilder("p")
+        site = b.call_site("main", "f", label="hot loop")
+        program = b.build()
+        assert "hot loop" in program.describe_site(site.addr)

@@ -1,0 +1,204 @@
+"""Property-based tests on core data structures and invariants."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.allocators import (
+    AddressSpace,
+    BumpAllocator,
+    GroupAllocator,
+    SizeClassAllocator,
+)
+from repro.cache import SetAssociativeCache
+from repro.machine import GroupStateVector
+
+
+# ---------------------------------------------------------------------------
+# Allocator invariants: no overlap, alignment, exact free/size accounting.
+# ---------------------------------------------------------------------------
+
+alloc_scripts = st.lists(
+    st.one_of(
+        st.tuples(st.just("malloc"), st.integers(1, 5000)),
+        st.tuples(st.just("free"), st.integers(0, 10_000)),
+        st.tuples(st.just("realloc"), st.integers(1, 5000)),
+    ),
+    min_size=1,
+    max_size=120,
+)
+
+
+def run_script(allocator, script):
+    """Execute an allocation script; checks overlap/alignment invariants."""
+    live: dict[int, int] = {}  # addr -> size
+    order: list[int] = []
+
+    def check_no_overlap(addr, size):
+        for other, other_size in live.items():
+            assert addr + size <= other or other + other_size <= addr, (
+                f"overlap: [{addr:#x},{addr + size:#x}) with "
+                f"[{other:#x},{other + other_size:#x})"
+            )
+
+    for op, value in script:
+        if op == "malloc":
+            addr = allocator.malloc(value)
+            assert addr % 8 == 0
+            check_no_overlap(addr, value)
+            live[addr] = value
+            order.append(addr)
+        elif op == "free" and order:
+            addr = order.pop(value % len(order))
+            size = live.pop(addr)
+            assert allocator.free(addr) == size
+        elif op == "realloc" and order:
+            addr = order[-1]
+            del live[addr]
+            new_addr = allocator.realloc(addr, value)
+            check_no_overlap(new_addr, value)
+            live[new_addr] = value
+            order[-1] = new_addr
+    return live
+
+
+class TestSizeClassAllocatorProperties:
+    @given(alloc_scripts)
+    @settings(max_examples=120, deadline=None)
+    def test_no_overlap_and_exact_accounting(self, script):
+        allocator = SizeClassAllocator(AddressSpace(0))
+        live = run_script(allocator, script)
+        assert allocator.stats.live_bytes == sum(live.values())
+        assert allocator.stats.live_blocks == len(live)
+        for addr, size in live.items():
+            assert allocator.size_of(addr) == size
+
+    @given(st.lists(st.integers(1, 14336), min_size=1, max_size=60))
+    @settings(max_examples=80, deadline=None)
+    def test_free_then_realloc_reuses_space(self, sizes):
+        allocator = SizeClassAllocator(AddressSpace(0))
+        addrs = [allocator.malloc(size) for size in sizes]
+        for addr in addrs:
+            allocator.free(addr)
+        again = [allocator.malloc(size) for size in sizes]
+        # Identical request sequence after a full drain lands on the same
+        # addresses (lowest-address-first reuse).
+        assert again == addrs
+
+
+class TestBumpAllocatorProperties:
+    @given(st.lists(st.integers(1, 2000), min_size=1, max_size=80))
+    @settings(max_examples=80, deadline=None)
+    def test_monotonic_within_pool_and_aligned(self, sizes):
+        bump = BumpAllocator(AddressSpace(0), pool_size=1 << 16)
+        last = None
+        for size in sizes:
+            addr = bump.malloc(size)
+            assert addr % 8 == 0
+            if last is not None and addr > last[0]:
+                # same pool: regions must not overlap
+                assert addr >= last[0] + last[1]
+            last = (addr, size)
+
+
+class _CyclingMatcher:
+    def __init__(self, groups):
+        self.groups = groups
+        self.i = 0
+
+    def match(self, state):
+        self.i += 1
+        gid = self.groups[self.i % len(self.groups)]
+        return gid
+
+
+class TestGroupAllocatorProperties:
+    @given(
+        st.lists(st.integers(1, 3000), min_size=1, max_size=100),
+        st.integers(1, 4),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_no_overlap_across_groups_and_fallback(self, sizes, n_groups):
+        space = AddressSpace(0)
+        allocator = GroupAllocator(
+            space,
+            SizeClassAllocator(space),
+            _CyclingMatcher([None] + list(range(n_groups))),
+            GroupStateVector(),
+            chunk_size=1 << 16,
+            slab_size=1 << 18,
+        )
+        live = {}
+        for size in sizes:
+            addr = allocator.malloc(size)
+            for other, other_size in live.items():
+                assert addr + size <= other or other + other_size <= addr
+            live[addr] = size
+        for addr, size in live.items():
+            assert allocator.size_of(addr) == size
+            assert allocator.free(addr) == size
+        assert allocator.grouped_live_bytes == 0
+
+    @given(st.lists(st.integers(1, 1000), min_size=2, max_size=60))
+    @settings(max_examples=60, deadline=None)
+    def test_single_group_contiguity(self, sizes):
+        """Consecutive grouped allocations are contiguous modulo alignment."""
+        space = AddressSpace(0)
+        allocator = GroupAllocator(
+            space,
+            SizeClassAllocator(space),
+            _CyclingMatcher([0]),
+            GroupStateVector(),
+        )
+        addrs = [allocator.malloc(size) for size in sizes]
+        for (a, size), b in zip(zip(addrs, sizes), addrs[1:]):
+            gap = b - (a + size)
+            assert 0 <= gap < 8  # only alignment padding between regions
+
+
+class TestCacheProperties:
+    @given(st.lists(st.integers(0, 2**20), min_size=1, max_size=300))
+    @settings(max_examples=80, deadline=None)
+    def test_hits_plus_misses_equals_accesses(self, lines):
+        cache = SetAssociativeCache(4096, 4, 64)
+        for line in lines:
+            cache.access_line(line)
+        assert cache.stats.hits + cache.stats.misses == cache.stats.accesses
+
+    @given(st.lists(st.integers(0, 64), min_size=1, max_size=300))
+    @settings(max_examples=80, deadline=None)
+    def test_immediate_reaccess_always_hits(self, lines):
+        cache = SetAssociativeCache(4096, 4, 64)
+        for line in lines:
+            cache.access_line(line)
+            assert cache.access_line(line)
+
+    @given(st.lists(st.integers(0, 40), min_size=1, max_size=200))
+    @settings(max_examples=60, deadline=None)
+    def test_more_ways_never_miss_more(self, lines):
+        # LRU inclusion: with the same set count, a higher-associativity
+        # cache's content is a superset, so misses are monotone.
+        small = SetAssociativeCache(1024, 2, 64)   # 8 sets, 2 ways
+        large = SetAssociativeCache(2048, 4, 64)   # 8 sets, 4 ways
+        assert small.num_sets == large.num_sets
+        for line in lines:
+            small.access_line(line)
+            large.access_line(line)
+        assert large.stats.misses <= small.stats.misses
+
+
+class TestStateVectorProperties:
+    @given(st.lists(st.tuples(st.integers(0, 63), st.booleans()), max_size=100))
+    @settings(max_examples=80, deadline=None)
+    def test_set_clear_consistency(self, ops):
+        sv = GroupStateVector()
+        expected = set()
+        for bit, set_it in ops:
+            if set_it:
+                sv.set(bit)
+                expected.add(bit)
+            else:
+                sv.clear(bit)
+                expected.discard(bit)
+            assert sv.test(bit) == (bit in expected)
+        assert sv.value == sum(1 << b for b in expected)

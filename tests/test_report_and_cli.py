@@ -1,0 +1,90 @@
+"""Tests for report rendering and the halo CLI."""
+
+import json
+
+import pytest
+
+from repro.analysis import bar_chart, format_table, to_json
+from repro.cli import main
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["name", "v"], [["long-name", 1], ["x", 22]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "long-name" in lines[2]
+        header_positions = lines[0].index("v")
+        assert lines[2][header_positions:].strip().startswith("1") or "1" in lines[2]
+
+    def test_title(self):
+        assert format_table(["a"], [], title="hello").splitlines()[0] == "hello"
+
+
+class TestBarChart:
+    def test_positive_and_negative_bars(self):
+        chart = bar_chart({"up": 0.25, "down": -0.25})
+        lines = chart.splitlines()
+        assert "+25.0%" in lines[0]
+        assert "-25.0%" in lines[1]
+        up_bar = lines[0].index("#")
+        down_bar = lines[1].index("#")
+        assert down_bar < up_bar  # negative grows left of the axis
+
+    def test_empty(self):
+        assert bar_chart({}, title="t") == "t"
+
+    def test_baseline_note(self):
+        assert "(baseline = 1,000)" in bar_chart({"a": 0.1}, baseline=1000.0)
+
+
+class TestToJson:
+    def test_dataclass_roundtrip(self):
+        from repro.harness.reproduce import FragmentationRow
+
+        payload = [FragmentationRow("health", 0.01, 1024)]
+        data = json.loads(to_json(payload))
+        assert data[0]["benchmark"] == "health"
+
+    def test_unserialisable_rejected(self):
+        with pytest.raises(TypeError):
+            to_json(object())
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "povray" in out and "roms" in out
+
+    def test_baseline(self, capsys):
+        assert main(["baseline", "-b", "ft", "--scale", "test"]) == 0
+        out = capsys.readouterr().out
+        assert "L1D misses" in out
+
+    def test_run_with_flags(self, capsys):
+        code = main([
+            "run", "-b", "ft", "--scale", "test",
+            "--affinity-distance", "128", "--max-groups", "2", "--show-groups",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "L1D miss reduction" in out
+        assert "group 0" in out
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["baseline", "-b", "nonexistent"])
+
+    def test_profile_and_reuse(self, capsys, tmp_path):
+        path = tmp_path / "ft.profile.json"
+        assert main(["profile", "-b", "ft", "-o", str(path)]) == 0
+        assert path.exists()
+        assert main(["run", "-b", "ft", "--scale", "test", "--profile", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "L1D miss reduction" in out
+
+    def test_dump_graph(self, capsys, tmp_path):
+        path = tmp_path / "graph.dot"
+        assert main(["run", "-b", "ft", "--scale", "test", "--dump-graph", str(path)]) == 0
+        assert path.read_text().startswith("graph")

@@ -1,0 +1,73 @@
+"""Unit tests for the BOLT-style rewriter."""
+
+import pytest
+
+from repro.machine import ProgramBuilder
+from repro.rewriting import BoltRewriter, InstrumentationPlan, RewriteError
+
+
+def library_call_program():
+    b = ProgramBuilder("p")
+    b.function("libfn", in_main_binary=False, traceable=False)
+    main_site = b.call_site("main", "f")
+    lib_site = b.call_site("libfn", "f")  # call located in library code
+    return b.build(), main_site, lib_site
+
+
+class TestBoltRewriter:
+    def test_instrument_assigns_dense_bits(self):
+        b = ProgramBuilder("p")
+        s1 = b.call_site("main", "f")
+        s2 = b.call_site("main", "g")
+        plan = BoltRewriter(b.build()).instrument([s2.addr, s1.addr])
+        assert plan.bit_for_site == {s1.addr: 0, s2.addr: 1}
+        assert plan.bits_used == 2
+
+    def test_duplicate_sites_collapsed(self):
+        b = ProgramBuilder("p")
+        s1 = b.call_site("main", "f")
+        plan = BoltRewriter(b.build()).instrument([s1.addr, s1.addr])
+        assert plan.bits_used == 1
+
+    def test_plan_is_deterministic(self):
+        b = ProgramBuilder("p")
+        sites = [b.call_site("main", f"f{i}").addr for i in range(5)]
+        rewriter = BoltRewriter(b.build())
+        assert rewriter.instrument(reversed(sites)) == rewriter.instrument(sites)
+
+    def test_unknown_site_rejected(self):
+        program = ProgramBuilder("p").build()
+        with pytest.raises(RewriteError):
+            BoltRewriter(program).instrument([0xDEAD])
+
+    def test_library_site_rejected(self):
+        program, main_site, lib_site = library_call_program()
+        rewriter = BoltRewriter(program)
+        with pytest.raises(RewriteError):
+            rewriter.instrument([lib_site.addr])
+
+    def test_can_instrument(self):
+        program, main_site, lib_site = library_call_program()
+        rewriter = BoltRewriter(program)
+        assert rewriter.can_instrument(main_site.addr)
+        assert not rewriter.can_instrument(lib_site.addr)
+        assert not rewriter.can_instrument(0xDEAD)
+
+    def test_pie_binary_rejected(self):
+        program = ProgramBuilder("p", pie=True).build()
+        with pytest.raises(RewriteError):
+            BoltRewriter(program)
+
+    def test_plan_describe(self):
+        b = ProgramBuilder("p")
+        site = b.call_site("main", "f", label="hot")
+        program = b.build()
+        plan = BoltRewriter(program).instrument([site.addr])
+        lines = plan.describe(program)
+        assert len(lines) == 1
+        assert "bit  0" in lines[0] and "hot" in lines[0]
+
+    def test_empty_plan(self):
+        plan = BoltRewriter(ProgramBuilder("p").build()).instrument([])
+        assert plan.sites == frozenset()
+        assert plan.bits_used == 0

@@ -1,0 +1,101 @@
+"""Unit + property tests for the SEQUITUR implementation."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hds import Rule, Sequitur
+
+
+class TestClassicExamples:
+    def test_abcabdabcabd(self):
+        g = Sequitur.from_sequence("abcabdabcabd")
+        assert g.expand() == list("abcabdabcabd")
+        g.check_invariants()
+        # The classic grammar: S -> AA, A -> BcBd, B -> ab.
+        assert len(g.rules) == 3
+
+    def test_no_repetition_yields_flat_start_rule(self):
+        g = Sequitur.from_sequence([1, 2, 3, 4, 5])
+        assert len(g.rules) == 1
+        assert g.start.body() == [1, 2, 3, 4, 5]
+
+    def test_simple_pair_repetition(self):
+        g = Sequitur.from_sequence([1, 2, 9, 1, 2])
+        assert g.expand() == [1, 2, 9, 1, 2]
+        bodies = [rule.body() for rule in g.rules if rule is not g.start]
+        assert [1, 2] in bodies
+
+    def test_repeated_block_compresses(self):
+        block = list(range(50))
+        g = Sequitur.from_sequence(block * 4)
+        assert g.expand() == block * 4
+        assert len(g.start) < 200  # start rule much shorter than input
+
+    def test_empty_sequence(self):
+        g = Sequitur()
+        assert g.expand() == []
+        assert len(g.rules) == 1
+
+    def test_single_symbol(self):
+        g = Sequitur.from_sequence([7])
+        assert g.expand() == [7]
+
+    def test_run_of_identical_symbols(self):
+        seq = [5] * 40
+        g = Sequitur.from_sequence(seq)
+        assert g.expand() == seq
+
+    def test_rule_objects_rejected_as_terminals(self):
+        g = Sequitur()
+        with pytest.raises(TypeError):
+            g.push(Rule(99))
+
+    def test_expand_with_limit(self):
+        g = Sequitur.from_sequence("abcabdabcabd")
+        assert g.expand(limit=5) == list("abcab")
+
+    def test_rule_utility_no_single_use_rules(self):
+        rng = random.Random(0)
+        seq = [rng.randrange(6) for _ in range(500)]
+        g = Sequitur.from_sequence(seq)
+        for rule in g.rules:
+            if rule is not g.start:
+                assert rule.refcount >= 2
+
+    def test_uses_tracking_consistent_with_refcount(self):
+        rng = random.Random(1)
+        seq = [rng.randrange(5) for _ in range(400)]
+        g = Sequitur.from_sequence(seq)
+        for rule in g.rules:
+            if rule is not g.start:
+                assert len(rule.uses) == rule.refcount
+
+
+class TestSequiturProperties:
+    @given(st.lists(st.integers(0, 6), min_size=0, max_size=300))
+    @settings(max_examples=200, deadline=None)
+    def test_lossless(self, seq):
+        g = Sequitur.from_sequence(seq)
+        assert g.expand() == seq
+
+    @given(st.lists(st.integers(0, 3), min_size=0, max_size=200))
+    @settings(max_examples=100, deadline=None)
+    def test_invariants_hold(self, seq):
+        g = Sequitur.from_sequence(seq)
+        g.check_invariants()
+
+    @given(st.lists(st.integers(0, 2), min_size=10, max_size=120), st.integers(2, 5))
+    @settings(max_examples=50, deadline=None)
+    def test_lossless_on_repeated_input(self, block, repeats):
+        seq = block * repeats
+        g = Sequitur.from_sequence(seq)
+        assert g.expand() == seq
+        g.check_invariants()
+
+    @given(st.text(alphabet="ab", min_size=0, max_size=150))
+    @settings(max_examples=100, deadline=None)
+    def test_binary_alphabet(self, text):
+        g = Sequitur.from_sequence(text)
+        assert g.expand() == list(text)

@@ -1,0 +1,103 @@
+"""Tests for profile serialisation (the offline/online file boundary)."""
+
+import json
+
+import pytest
+
+from repro.core import HaloParams, optimise_profile, profile_workload
+from repro.profiling import (
+    ProfileFormatError,
+    load_profile,
+    profile_from_dict,
+    profile_to_dict,
+    save_profile,
+)
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def profiled():
+    workload = get_workload("ft")
+    profile = profile_workload(workload, HaloParams(), scale="test", record_trace=True)
+    return workload, profile
+
+
+class TestRoundTrip:
+    def test_graph_survives(self, profiled):
+        workload, profile = profiled
+        data = profile_to_dict(profile)
+        rebuilt = profile_from_dict(data, workload.program)
+        assert rebuilt.graph.node_accesses == profile.graph.node_accesses
+        assert rebuilt.graph.edges == profile.graph.edges
+        assert rebuilt.full_graph.total_accesses == profile.full_graph.total_accesses
+
+    def test_contexts_survive(self, profiled):
+        workload, profile = profiled
+        rebuilt = profile_from_dict(profile_to_dict(profile), workload.program)
+        for cid in profile.contexts:
+            assert rebuilt.contexts.chain(cid) == profile.contexts.chain(cid)
+
+    def test_context_stats_survive(self, profiled):
+        workload, profile = profiled
+        rebuilt = profile_from_dict(profile_to_dict(profile), workload.program)
+        assert rebuilt.context_stats == profile.context_stats
+
+    def test_trace_excluded_by_default(self, profiled):
+        workload, profile = profiled
+        data = profile_to_dict(profile)
+        assert "trace" not in data
+        rebuilt = profile_from_dict(data, workload.program)
+        assert rebuilt.trace is None
+
+    def test_trace_included_on_request(self, profiled):
+        workload, profile = profiled
+        data = profile_to_dict(profile, include_trace=True)
+        rebuilt = profile_from_dict(data, workload.program)
+        assert rebuilt.trace == profile.trace
+        assert rebuilt.object_site == profile.object_site
+
+    def test_json_compatible(self, profiled):
+        _, profile = profiled
+        json.dumps(profile_to_dict(profile, include_trace=True))
+
+    def test_file_round_trip(self, profiled, tmp_path):
+        workload, profile = profiled
+        path = tmp_path / "ft.profile.json"
+        save_profile(profile, path)
+        rebuilt = load_profile(path, workload.program)
+        assert rebuilt.total_accesses == profile.total_accesses
+
+
+class TestReusability:
+    def test_optimise_from_reloaded_profile(self, profiled):
+        workload, profile = profiled
+        rebuilt = profile_from_dict(profile_to_dict(profile), workload.program)
+        fresh = optimise_profile(rebuilt, HaloParams())
+        original = optimise_profile(profile, HaloParams())
+        assert [g.members for g in fresh.groups] == [g.members for g in original.groups]
+        assert fresh.plan.bit_for_site == original.plan.bit_for_site
+
+    def test_hds_from_reloaded_profile_with_trace(self, profiled):
+        from repro.hds import HdsParams, analyse_profile
+
+        workload, profile = profiled
+        data = profile_to_dict(profile, include_trace=True)
+        rebuilt = profile_from_dict(data, workload.program)
+        fresh = analyse_profile(rebuilt, HdsParams())
+        original = analyse_profile(profile, HdsParams())
+        assert fresh.group_of_site == original.group_of_site
+
+
+class TestValidation:
+    def test_wrong_program_rejected(self, profiled):
+        _, profile = profiled
+        other = get_workload("art")
+        with pytest.raises(ProfileFormatError):
+            profile_from_dict(profile_to_dict(profile), other.program)
+
+    def test_wrong_version_rejected(self, profiled):
+        workload, profile = profiled
+        data = profile_to_dict(profile)
+        data["version"] = 99
+        with pytest.raises(ProfileFormatError):
+            profile_from_dict(data, workload.program)

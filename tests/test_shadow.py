@@ -1,0 +1,117 @@
+"""Unit tests for shadow-stack context formation (paper §4.1 rules)."""
+
+from repro.machine import ProgramBuilder
+from repro.profiling import ContextTable, reduce_frames, reduced_context, shadow_frames
+
+
+def build_wrapper_program():
+    """main -> helper -> wrapped (main binary) -> libc malloc, plus a
+    library callback path and recursion."""
+    b = ProgramBuilder("shadow-test")
+    b.function("malloc", in_main_binary=False)
+    b.function("libhelper", in_main_binary=False, traceable=False)
+    sites = {
+        "main_helper": b.call_site("main", "helper"),
+        "helper_wrapped": b.call_site("helper", "wrapped"),
+        "wrapped_malloc": b.call_site("wrapped", "malloc"),
+        "main_lib": b.call_site("main", "libhelper"),
+        "lib_malloc": b.call_site("libhelper", "malloc"),
+        "main_rec": b.call_site("main", "recurse"),
+        "rec_rec": b.call_site("recurse", "recurse"),
+        "rec_malloc": b.call_site("recurse", "malloc"),
+    }
+    return b.build(), sites
+
+
+class TestShadowFrames:
+    def test_main_binary_frames_kept(self):
+        program, s = build_wrapper_program()
+        stack = [s["main_helper"], s["helper_wrapped"], s["wrapped_malloc"]]
+        frames = shadow_frames(program, stack)
+        assert frames == [
+            ("helper", s["main_helper"].addr),
+            ("wrapped", s["helper_wrapped"].addr),
+            ("malloc", s["wrapped_malloc"].addr),
+        ]
+
+    def test_untraceable_library_frame_dropped(self):
+        program, s = build_wrapper_program()
+        stack = [s["main_lib"], s["lib_malloc"]]
+        frames = shadow_frames(program, stack)
+        names = [name for name, _ in frames]
+        assert "libhelper" not in names
+        assert "malloc" in names
+
+    def test_library_call_site_traced_to_main_origin(self):
+        program, s = build_wrapper_program()
+        stack = [s["main_lib"], s["lib_malloc"]]
+        frames = shadow_frames(program, stack)
+        # malloc was called from library code; its recorded site is the
+        # nearest main-executable call site (main -> libhelper).
+        assert frames[-1] == ("malloc", s["main_lib"].addr)
+
+    def test_malloc_frame_included_because_traceable(self):
+        program, s = build_wrapper_program()
+        stack = [s["main_helper"], s["helper_wrapped"], s["wrapped_malloc"]]
+        assert shadow_frames(program, stack)[-1][0] == "malloc"
+
+    def test_empty_stack(self):
+        program, _ = build_wrapper_program()
+        assert shadow_frames(program, []) == []
+
+
+class TestReduceFrames:
+    def test_no_recursion_unchanged(self):
+        frames = [("a", 1), ("b", 2), ("c", 3)]
+        assert reduce_frames(frames) == frames
+
+    def test_recursion_keeps_most_recent(self):
+        frames = [("a", 1), ("r", 2), ("r", 3), ("r", 3), ("r", 3)]
+        assert reduce_frames(frames) == [("a", 1), ("r", 2), ("r", 3)]
+
+    def test_interleaved_recursion(self):
+        frames = [("a", 1), ("b", 2), ("a", 1), ("b", 2)]
+        assert reduce_frames(frames) == [("a", 1), ("b", 2)]
+
+    def test_same_function_different_sites_kept(self):
+        frames = [("f", 1), ("f", 2)]
+        assert reduce_frames(frames) == frames
+
+
+class TestReducedContext:
+    def test_recursive_stack_collapses(self):
+        program, s = build_wrapper_program()
+        deep = [s["main_rec"]] + [s["rec_rec"]] * 7 + [s["rec_malloc"]]
+        shallow = [s["main_rec"], s["rec_rec"], s["rec_malloc"]]
+        assert reduced_context(program, deep) == reduced_context(program, shallow)
+
+    def test_distinct_paths_distinct_contexts(self):
+        program, s = build_wrapper_program()
+        c1 = reduced_context(program, [s["main_helper"], s["helper_wrapped"], s["wrapped_malloc"]])
+        c2 = reduced_context(program, [s["main_lib"], s["lib_malloc"]])
+        assert c1 != c2
+
+
+class TestContextTable:
+    def test_intern_is_idempotent(self):
+        table = ContextTable()
+        cid = table.intern((1, 2, 3))
+        assert table.intern((1, 2, 3)) == cid
+        assert table.chain(cid) == (1, 2, 3)
+
+    def test_ids_are_dense(self):
+        table = ContextTable()
+        assert table.intern((1,)) == 0
+        assert table.intern((2,)) == 1
+        assert len(table) == 2
+
+    def test_lookup_missing(self):
+        assert ContextTable().lookup((9,)) is None
+
+    def test_describe(self):
+        program, s = build_wrapper_program()
+        table = ContextTable()
+        cid = table.intern((s["main_helper"].addr,))
+        assert "main->helper" in table.describe(cid, program)
+        empty = table.intern(())
+        assert table.describe(empty, program) == "<empty>"

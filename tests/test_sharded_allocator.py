@@ -1,0 +1,126 @@
+"""Tests for the free-list-sharded group allocator (§6 extension)."""
+
+import pytest
+
+from repro.allocators import (
+    AddressSpace,
+    AllocationError,
+    GroupAllocator,
+    ShardedGroupAllocator,
+    SizeClassAllocator,
+)
+from repro.machine import GroupStateVector
+
+
+class _AlwaysGroup:
+    def match(self, state):
+        return 0
+
+
+def make(cls=ShardedGroupAllocator, **kwargs):
+    space = AddressSpace(0)
+    return cls(space, SizeClassAllocator(space), _AlwaysGroup(), GroupStateVector(), **kwargs)
+
+
+class TestShardedRecycling:
+    def test_freed_region_is_recycled(self):
+        allocator = make()
+        addr = allocator.malloc(48)
+        allocator.free(addr)
+        assert allocator.malloc(48) == addr
+
+    def test_recycling_is_shard_local(self):
+        allocator = make()
+        small = allocator.malloc(16)
+        allocator.free(small)
+        big = allocator.malloc(128)  # different shard: must not reuse
+        assert big != small
+        assert allocator.malloc(16) == small
+
+    def test_shard_rounding_allows_close_sizes(self):
+        allocator = make()
+        addr = allocator.malloc(48)
+        allocator.free(addr)
+        # 33..48 bytes share the 48-byte shard.
+        assert allocator.malloc(40) == addr
+
+    def test_lifo_reuse_within_shard(self):
+        allocator = make()
+        a = allocator.malloc(32)
+        b = allocator.malloc(32)
+        allocator.free(a)
+        allocator.free(b)
+        assert allocator.malloc(32) == b
+        assert allocator.malloc(32) == a
+
+    def test_no_overlap_under_churn(self):
+        import random
+
+        rng = random.Random(0)
+        allocator = make(chunk_size=1 << 16)
+        live = {}
+        for step in range(3000):
+            if live and rng.random() < 0.45:
+                addr = rng.choice(list(live))
+                size = live.pop(addr)
+                assert allocator.free(addr) == size
+            else:
+                size = rng.choice([16, 24, 32, 48, 64, 96])
+                addr = allocator.malloc(size)
+                shard = (size + 15) & ~15
+                for other, other_size in live.items():
+                    other_shard = (other_size + 15) & ~15
+                    assert addr + shard <= other or other + other_shard <= addr
+                live[addr] = size
+        for addr, size in live.items():
+            assert allocator.size_of(addr) == size
+
+    def test_alignment_beyond_shard_rejected(self):
+        allocator = make()
+        with pytest.raises(AllocationError):
+            allocator.malloc(64, alignment=64)
+
+    def test_accounting_matches_bump_variant(self):
+        sizes = [16, 48, 96, 32, 48]
+        sharded = make()
+        bump = make(GroupAllocator)
+        for allocator in (sharded, bump):
+            addrs = [allocator.malloc(size) for size in sizes]
+            for addr in addrs:
+                allocator.free(addr)
+            assert allocator.stats.live_bytes == 0
+            assert allocator.grouped_allocs == len(sizes)
+
+
+class TestShardedFragmentation:
+    def test_churn_fragmentation_beats_bump(self):
+        """The §6 claim: sharding bounds dead space under churn."""
+
+        def churn(allocator):
+            space = allocator.space
+            live = []
+            for wave in range(40):
+                for _ in range(200):
+                    addr = allocator.malloc(96)
+                    space.touch_range(addr, 96)
+                    live.append(addr)
+                # Free all but one object per wave (the chunk-pinning case).
+                for addr in live[:-1]:
+                    allocator.free(addr)
+                live = live[-1:]
+            return allocator.fragmentation()
+
+        bump_frag = churn(make(GroupAllocator, chunk_size=1 << 16))
+        sharded_frag = churn(make(ShardedGroupAllocator, chunk_size=1 << 16))
+        assert sharded_frag.resident_bytes <= bump_frag.resident_bytes
+        assert sharded_frag.wasted_bytes < bump_frag.wasted_bytes
+
+    def test_chunk_retirement_still_works(self):
+        allocator = make(chunk_size=1 << 16)
+        addrs = [allocator.malloc(1024) for _ in range(100)]
+        for addr in addrs:
+            allocator.free(addr)
+        assert allocator.grouped_live_bytes == 0
+        # Chunks emptied and retired for reuse.
+        again = [allocator.malloc(1024) for _ in range(100)]
+        assert allocator.chunks_reused > 0 or allocator.chunks_created <= 2

@@ -1,0 +1,58 @@
+"""Golden regression values for the synthetic benchmarks.
+
+The evaluation's shape depends on each workload's allocation/access volume;
+an accidental change to a workload body would silently re-calibrate every
+figure.  These tests pin the test-scale dynamic counts (which are exact and
+deterministic by design) so drift is caught immediately.
+
+If you change a workload *intentionally*, regenerate with:
+
+    python tests/test_workload_golden.py
+"""
+
+import pytest
+
+from repro.allocators import AddressSpace, SizeClassAllocator
+from repro.machine import Machine
+from repro.workloads import get_workload
+
+# (allocs, frees, loads, stores) at test scale.
+GOLDEN = {
+    "health": (19586, 19586, 122724, 19585),
+    "ft": (12001, 12001, 106255, 12000),
+    "analyzer": (10251, 10251, 79219, 10250),
+    "ammp": (8401, 8401, 69175, 8400),
+    "art": (16901, 16901, 91013, 16900),
+    "equake": (10101, 10101, 113442, 10100),
+    "povray": (7043, 7043, 55251, 7043),
+    "omnetpp": (22001, 22001, 138958, 22000),
+    "xalanc": (8992, 8992, 64504, 8991),
+    "leela": (15760, 15760, 85500, 15760),
+    "roms": (5125, 5125, 60042, 5100),
+}
+
+
+def observe(name):
+    workload = get_workload(name)
+    machine = Machine(workload.program, SizeClassAllocator(AddressSpace(0)))
+    workload.run(machine, "test")
+    m = machine.metrics
+    return (m.allocs, m.frees, m.loads, m.stores)
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN))
+def test_workload_counts_pinned(name):
+    assert observe(name) == GOLDEN[name], (
+        f"{name}'s dynamic behaviour changed; if intentional, regenerate "
+        "GOLDEN with `python tests/test_workload_golden.py`"
+    )
+
+
+if __name__ == "__main__":
+    print("GOLDEN = {")
+    for name in (
+        "health", "ft", "analyzer", "ammp", "art", "equake",
+        "povray", "omnetpp", "xalanc", "leela", "roms",
+    ):
+        print(f'    "{name}": {observe(name)},')
+    print("}")

@@ -1,0 +1,151 @@
+"""Structural invariants of the complex workloads (beyond the shared tests)."""
+
+import pytest
+
+from repro.allocators import AddressSpace, SizeClassAllocator
+from repro.core import HaloParams, optimise_profile, profile_workload
+from repro.machine import Listener, Machine
+from repro.workloads import get_workload
+
+
+class LivenessProbe(Listener):
+    """Tracks live-object high-water mark and per-size tallies."""
+
+    def __init__(self):
+        self.live = 0
+        self.peak = 0
+        self.alloc_sizes = {}
+
+    def on_alloc(self, machine, obj):
+        self.live += 1
+        self.peak = max(self.peak, self.live)
+        self.alloc_sizes[obj.size] = self.alloc_sizes.get(obj.size, 0) + 1
+
+    def on_free(self, machine, obj):
+        self.live -= 1
+
+
+def probe(name, scale="test"):
+    workload = get_workload(name)
+    listener = LivenessProbe()
+    machine = Machine(
+        workload.program, SizeClassAllocator(AddressSpace(0)), listeners=[listener]
+    )
+    workload.run(machine, scale)
+    return workload, machine, listener
+
+
+class TestOmnetppChurn:
+    def test_live_window_bounded(self):
+        workload, machine, listener = probe("omnetpp")
+        # Churn: the in-flight window stays far below total allocations.
+        assert listener.peak < machine.metrics.allocs / 2
+
+    def test_quirks_match_artifact_appendix(self):
+        workload = get_workload("omnetpp")
+        assert workload.halo_overrides["chunk_size"] == 131072
+        assert workload.halo_overrides["max_spare_chunks"] == 0
+
+    def test_operator_new_is_outside_main_binary(self):
+        workload = get_workload("omnetpp")
+        fn = workload.program.function("operator new")
+        assert not fn.in_main_binary
+        assert fn.traceable
+
+
+class TestLeelaPhases:
+    def test_peak_liveness_is_late(self):
+        """Scoring buffers must drive the total peak (Table 1's setup)."""
+        workload = get_workload("leela")
+
+        class PeakWhen(Listener):
+            def __init__(self):
+                self.live_bytes = 0
+                self.peak = 0
+                self.alloc_index = 0
+                self.peak_index = 0
+
+            def on_alloc(self, machine, obj):
+                self.alloc_index += 1
+                self.live_bytes += obj.size
+                if self.live_bytes > self.peak:
+                    self.peak = self.live_bytes
+                    self.peak_index = self.alloc_index
+
+            def on_free(self, machine, obj):
+                self.live_bytes -= obj.size
+
+        listener = PeakWhen()
+        machine = Machine(
+            workload.program, SizeClassAllocator(AddressSpace(0)), listeners=[listener]
+        )
+        workload.run(machine, "test")
+        # The peak comes in the last few percent of the allocation stream.
+        assert listener.peak_index > 0.95 * listener.alloc_index
+
+    def test_roots_survive_each_game(self):
+        workload, machine, listener = probe("leela")
+        assert machine.objects.live_count == 0  # but nothing leaks at exit
+
+
+class TestPovrayStructure:
+    def test_every_small_allocation_flows_through_pov_malloc(self):
+        workload = get_workload("povray")
+        profile = profile_workload(workload, HaloParams(), scale="test")
+        pov_site = workload.s_pov_malloc.addr
+        for cid in profile.contexts:
+            chain = profile.contexts.chain(cid)
+            assert chain[-1] == pov_site
+
+    def test_geometry_outlives_tokens(self):
+        workload, machine, listener = probe("povray")
+        # Both 48- and 64-byte classes saw thousands of allocations.
+        assert listener.alloc_sizes[48] > 1000
+        assert listener.alloc_sizes[64] > 1000
+
+
+class TestXalancStructure:
+    def test_deep_chains(self):
+        """DOM-node contexts require several frames (the paper's point)."""
+        workload = get_workload("xalanc")
+        profile = profile_workload(workload, HaloParams(), scale="test")
+        depths = [len(profile.contexts.chain(cid)) for cid in profile.graph.nodes]
+        assert max(depths) >= 5
+
+    def test_all_contexts_share_the_xmemory_funnel(self):
+        workload = get_workload("xalanc")
+        profile = profile_workload(workload, HaloParams(), scale="test")
+        funnel = workload.s_xmem_malloc.addr
+        heap_contexts = [
+            cid
+            for cid in profile.contexts
+            if profile.contexts.chain(cid)
+            and profile.contexts.chain(cid)[-1] == funnel
+        ]
+        assert len(heap_contexts) >= 4
+
+
+class TestRomsStructure:
+    def test_triples_contiguous_under_baseline(self):
+        workload = get_workload("roms")
+        machine = Machine(workload.program, SizeClassAllocator(AddressSpace(0)))
+        workload.run(machine, "test")
+        # Recreate to inspect placement mid-run instead: allocate manually.
+        workload = get_workload("roms")
+        machine = Machine(workload.program, SizeClassAllocator(AddressSpace(0)))
+        with machine.call(workload.s_main_bounds):
+            cells = []
+            for site in (workload.s_c_malloc, workload.s_d_malloc, workload.s_e_malloc):
+                with machine.call(site):
+                    cells.append(machine.malloc(16))
+        assert cells[1].addr == cells[0].addr + 16
+        assert cells[2].addr == cells[1].addr + 16
+
+    def test_halo_respects_max_groups_quirk(self):
+        workload = get_workload("roms")
+        from repro.harness.reproduce import halo_params_for
+
+        params = halo_params_for(workload)
+        profile = profile_workload(workload, params, scale="test")
+        artifacts = optimise_profile(profile, params)
+        assert len(artifacts.groups) <= 4

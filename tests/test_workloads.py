@@ -1,0 +1,176 @@
+"""Tests for the synthetic benchmark suite: structure, determinism, claims."""
+
+import pytest
+
+from repro.allocators import AddressSpace, SizeClassAllocator
+from repro.core import HaloParams, optimise_profile, profile_workload
+from repro.hds import HdsParams, analyse_profile
+from repro.machine import Machine
+from repro.workloads import SCALES, Workload, WorkloadError, get_workload, workload_names
+
+ALL = workload_names()
+WRAPPER_BENCHMARKS = ("povray", "omnetpp", "xalanc", "leela")
+
+
+def run_quick(workload, scale="test"):
+    machine = Machine(workload.program, SizeClassAllocator(AddressSpace(0)))
+    workload.run(machine, scale)
+    return machine
+
+
+class TestRegistry:
+    def test_eleven_paper_benchmarks_registered(self):
+        assert ALL[:11] == [
+            "health", "ft", "analyzer", "ammp", "art", "equake",
+            "povray", "omnetpp", "xalanc", "leela", "roms",
+        ]
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(WorkloadError):
+            get_workload("missing")
+
+    def test_instances_are_fresh(self):
+        assert get_workload("health") is not get_workload("health")
+
+    def test_metadata_present(self):
+        for name in ALL:
+            workload = get_workload(name)
+            assert workload.suite
+            assert workload.description
+            assert workload.work_per_access > 0
+
+
+@pytest.mark.parametrize("name", ALL)
+class TestEveryWorkload:
+    def test_runs_and_frees_everything(self, name):
+        workload = get_workload(name)
+        machine = run_quick(workload)
+        assert machine.metrics.allocs > 100
+        assert machine.metrics.accesses > 1000
+        assert machine.objects.live_count == 0  # no leaks
+        assert machine.stack == []  # balanced calls
+
+    def test_deterministic_across_runs(self, name):
+        m1 = run_quick(get_workload(name))
+        m2 = run_quick(get_workload(name))
+        assert m1.metrics.allocs == m2.metrics.allocs
+        assert m1.metrics.accesses == m2.metrics.accesses
+        assert m1.metrics.compute_cycles == m2.metrics.compute_cycles
+
+    def test_scales_ordered(self, name):
+        test_m = run_quick(get_workload(name), "test")
+        ref_m = run_quick(get_workload(name), "ref")
+        assert ref_m.metrics.accesses > test_m.metrics.accesses
+
+    def test_unknown_scale_rejected(self, name):
+        workload = get_workload(name)
+        machine = Machine(workload.program, SizeClassAllocator(AddressSpace(0)))
+        with pytest.raises(WorkloadError):
+            workload.run(machine, "gigantic")
+
+    def test_profilable(self, name):
+        workload = get_workload(name)
+        profile = profile_workload(workload, HaloParams(), scale="test")
+        assert len(profile.graph) >= 1
+        assert profile.total_accesses > 0
+
+
+class TestWrapperIdentificationClaims:
+    """The structural claims behind the paper's HDS failures."""
+
+    @pytest.mark.parametrize("name", WRAPPER_BENCHMARKS)
+    def test_hds_finds_no_groups_on_wrapper_benchmarks(self, name):
+        workload = get_workload(name)
+        profile = profile_workload(
+            workload, HaloParams(), scale="test", record_trace=True
+        )
+        hds = analyse_profile(profile, HdsParams(**workload.hds_overrides))
+        assert hds.groups == []
+
+    @pytest.mark.parametrize("name", WRAPPER_BENCHMARKS)
+    def test_halo_still_forms_groups(self, name):
+        workload = get_workload(name)
+        profile = profile_workload(workload, HaloParams(**{
+            k: v for k, v in workload.halo_overrides.items()
+        }), scale="test")
+        halo = optimise_profile(profile, HaloParams())
+        assert halo.groups
+
+    @pytest.mark.parametrize("name", WRAPPER_BENCHMARKS)
+    def test_all_hot_allocations_share_one_immediate_site(self, name):
+        workload = get_workload(name)
+        profile = profile_workload(
+            workload, HaloParams(), scale="test", record_trace=True
+        )
+        sites = set(profile.object_site.values())
+        # The dominant allocation funnel: >=80% of objects share one site.
+        from collections import Counter
+
+        counts = Counter(profile.object_site.values())
+        top = counts.most_common(1)[0][1]
+        assert top / sum(counts.values()) > 0.8
+
+
+class TestRomsClaims:
+    def test_stream_blowup_vs_graph_nodes(self):
+        workload = get_workload("roms")
+        profile = profile_workload(
+            workload, HaloParams(), scale="test", record_trace=True
+        )
+        hds = analyse_profile(profile, HdsParams(**workload.hds_overrides))
+        # §5.2: tiny affinity graph, orders of magnitude more hot streams.
+        assert len(profile.graph) <= 10
+        assert hds.stream_count > 50 * len(profile.graph)
+
+    def test_truncated_set_strands_third_cell(self):
+        workload = get_workload("roms")
+        profile = profile_workload(
+            workload, HaloParams(), scale="test", record_trace=True
+        )
+        hds = analyse_profile(profile, HdsParams(**workload.hds_overrides))
+        grouped_sites = set().union(*(g.sites for g in hds.groups)) if hds.groups else set()
+        assert workload.s_c_malloc.addr in grouped_sites
+        assert workload.s_d_malloc.addr in grouped_sites
+        assert workload.s_e_malloc.addr not in grouped_sites
+
+
+class TestHealthClaims:
+    def test_patients_share_malloc_site_across_paths(self):
+        workload = get_workload("health")
+        profile = profile_workload(
+            workload, HaloParams(), scale="test", record_trace=True
+        )
+        # Both the hot and the cold path allocate through generate_patient's
+        # single malloc call site (the full-context crux).
+        site = workload.s_patient_malloc.addr
+        contexts_with_site = [
+            cid
+            for cid in profile.contexts
+            if site in profile.contexts.chain(cid)
+        ]
+        assert len(contexts_with_site) >= 2
+
+    def test_halo_separates_hot_from_cold_patients(self):
+        workload = get_workload("health")
+        profile = profile_workload(workload, HaloParams(), scale="test")
+        halo = optimise_profile(profile, HaloParams())
+        hot_chain = None
+        cold_chain = None
+        for cid in profile.contexts:
+            chain = profile.contexts.chain(cid)
+            if workload.s_emerg_patient.addr in chain:
+                hot_chain = cid
+            if workload.s_routine_patient.addr in chain:
+                cold_chain = cid
+        assert hot_chain is not None and cold_chain is not None
+        for group in halo.groups:
+            assert not ({hot_chain, cold_chain} <= group.members)
+
+
+class TestScaleFactors:
+    def test_scale_table(self):
+        assert SCALES["test"] < SCALES["train"] < SCALES["ref"]
+
+    def test_scaled_minimum(self):
+        assert Workload.scaled(1, 0.001) == 1
+        assert Workload.scaled(1000, 0.25) == 250

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Run the full evaluation matrix and write the results JSON.
+
+Usage: python tools/gen_results.py out/results.json [--trials N]
+
+This is the data source for tools/render_experiments.py (and EXPERIMENTS.md).
+"""
+
+import argparse
+import json
+from pathlib import Path
+
+from repro.harness import reproduce
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("output", type=Path)
+    parser.add_argument("--trials", type=int, default=2)
+    parser.add_argument("--scale", default="ref")
+    args = parser.parse_args()
+
+    out = {}
+    evals = reproduce.evaluate_all(trials=args.trials, scale=args.scale, include_random=True)
+    out["fig13_hds"] = {n: round(e.hds_miss_reduction * 100, 1) for n, e in evals.items()}
+    out["fig13_halo"] = {n: round(e.halo_miss_reduction * 100, 1) for n, e in evals.items()}
+    out["fig14_hds"] = {n: round(e.hds_speedup * 100, 1) for n, e in evals.items()}
+    out["fig14_halo"] = {n: round(e.halo_speedup * 100, 1) for n, e in evals.items()}
+    out["fig15"] = {n: round(e.random_speedup * 100, 1) for n, e in evals.items()}
+    out["meta"] = {
+        n: dict(groups=e.halo_groups, hds_groups=e.hds_groups,
+                streams=e.hds_streams, nodes=e.graph_nodes)
+        for n, e in evals.items()
+    }
+    rows = reproduce.table1(scale=args.scale)
+    out["table1"] = {
+        r.benchmark: [round(r.fraction * 100, 2), round(r.wasted_bytes / 1024, 2)]
+        for r in rows
+    }
+    blow = reproduce.roms_representation_blowup()
+    out["roms_blowup"] = [blow.affinity_graph_nodes, blow.hot_streams]
+    fig12 = reproduce.figure12(distances=(8, 32, 128, 512, 2048, 8192), trials=args.trials, scale=args.scale)
+    out["fig12_baseline"] = fig12.notes["baseline"]
+    out["fig12"] = {
+        k: round(v / fig12.notes["baseline"] - 1.0, 4)
+        for k, v in fig12.series[0].values.items()
+    }
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    args.output.write_text(json.dumps(out, indent=1))
+    print(f"wrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()
