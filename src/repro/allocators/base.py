@@ -103,11 +103,13 @@ class AddressSpace:
 
     def touch_range(self, addr: int, size: int) -> None:
         """Mark the pages overlapping [addr, addr+size) as resident."""
+        # Hot path: nearly all accesses fall within one page.
         first = addr >> PAGE_SHIFT
         last = (addr + size - 1) >> PAGE_SHIFT
-        touched = self._touched_pages
-        for page in range(first, last + 1):
-            touched.add(page)
+        if first == last:
+            self._touched_pages.add(first)
+            return
+        self._touched_pages.update(range(first, last + 1))
 
     def resident_bytes_in(self, base: int, size: int) -> int:
         """Resident bytes within [base, base+size)."""

@@ -16,7 +16,7 @@ class CacheConfigError(Exception):
     """Raised for impossible cache geometries."""
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheStats:
     """Hit/miss counters for one cache."""
 
@@ -67,19 +67,21 @@ class SetAssociativeCache:
 
     def access_line(self, line: int) -> bool:
         """Access one line; returns True on hit (line is inserted on miss)."""
+        # Hot path: one attribute load for the stats block, and the common
+        # power-of-two geometry resolved with a single mask.
+        stats = self.stats
+        stats.accesses += 1
         if self._pow2_sets:
-            index = line & self._set_mask
+            ways = self._sets[line & self._set_mask]
         else:
-            index = line % self.num_sets
-        ways = self._sets[index]
-        self.stats.accesses += 1
+            ways = self._sets[line % self.num_sets]
         if line in ways:
             # Refresh LRU position.
             del ways[line]
             ways[line] = None
-            self.stats.hits += 1
+            stats.hits += 1
             return True
-        self.stats.misses += 1
+        stats.misses += 1
         if len(ways) >= self.assoc:
             ways.pop(next(iter(ways)))  # evict LRU (oldest insertion)
         ways[line] = None

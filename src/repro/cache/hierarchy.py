@@ -72,16 +72,31 @@ class CacheHierarchy:
 
     def access(self, addr: int, size: int = 8, is_store: bool = False) -> None:
         """Simulate an access of *size* bytes at *addr* (may straddle lines)."""
+        # Hot path: the overwhelmingly common case is a small access inside
+        # one cache line (and therefore one page) — no range objects.
+        end = addr + size - 1
         first_line = addr >> self._line_shift
-        last_line = (addr + size - 1) >> self._line_shift
-        for line in range(first_line, last_line + 1):
-            if not self.l1.access_line(line):
-                if not self.l2.access_line(line):
-                    self.l3.access_line(line)
+        last_line = end >> self._line_shift
+        l1_access = self.l1.access_line
+        l2_access = self.l2.access_line
+        l3_access = self.l3.access_line
+        if first_line == last_line:
+            if not l1_access(first_line):
+                if not l2_access(first_line):
+                    l3_access(first_line)
+        else:
+            for line in range(first_line, last_line + 1):
+                if not l1_access(line):
+                    if not l2_access(line):
+                        l3_access(line)
         first_page = addr >> self._page_shift
-        last_page = (addr + size - 1) >> self._page_shift
-        for page in range(first_page, last_page + 1):
-            self.tlb.access_page(page)
+        last_page = end >> self._page_shift
+        tlb_access = self.tlb.access_page
+        if first_page == last_page:
+            tlb_access(first_page)
+        else:
+            for page in range(first_page, last_page + 1):
+                tlb_access(page)
 
     def snapshot(self) -> HierarchyStats:
         """Capture the current counters."""

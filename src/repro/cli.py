@@ -10,25 +10,59 @@ simulation:
   [--max-spare-chunks N] [--max-groups N]`` — run the full HALO pipeline
   and report the optimised measurement (the appendix's per-benchmark flags
   are accepted);
-* ``halo plot --figure 13|14|15 [--out DIR]`` — regenerate a paper figure
-  as an ASCII chart plus JSON data points;
+* ``halo plot --figure 13|14|15 [--out DIR] [--jobs N]`` — regenerate a
+  paper figure as an ASCII chart plus JSON data points, optionally fanning
+  the evaluation matrix out over N worker processes;
 * ``halo plot --figure 12`` / ``--table 1`` — likewise for the sweep and
   the fragmentation table;
 * ``halo list`` — show the available benchmarks.
+
+Profiling artifacts are cached under ``--cache-dir`` (default
+``.halo-cache``; disable with ``--no-cache``), so a warm re-run skips the
+profile and analyse phases — the per-phase wall-time report printed after
+``run``/``plot`` shows exactly what was skipped.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from pathlib import Path
 from typing import Optional
 
 from .analysis.report import bar_chart, format_table, to_json
+from .core.artifact_cache import ArtifactCache
 from .core.pipeline import optimise_profile, profile_workload
 from .harness import reproduce
+from .harness.prepare import PhaseTimes, prepare_workload
 from .harness.runner import measure_baseline, measure_halo
 from .workloads.base import get_workload, workload_names
+
+#: Default on-disk artifact cache location (overridden by ``--cache-dir``).
+DEFAULT_CACHE_DIR = Path(".halo-cache")
+
+
+def _add_cache_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=DEFAULT_CACHE_DIR,
+        metavar="DIR",
+        help="directory for cached profiling artifacts (default: .halo-cache)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the artifact cache (profile from scratch)",
+    )
+
+
+def cache_from_args(args: argparse.Namespace) -> Optional[ArtifactCache]:
+    """The artifact cache selected by ``--cache-dir``/``--no-cache``."""
+    if getattr(args, "no_cache", False):
+        return None
+    return ArtifactCache(args.cache_dir)
 
 
 def _add_benchmark_arg(parser: argparse.ArgumentParser) -> None:
@@ -64,6 +98,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="reuse a saved profile instead of re-profiling",
     )
     run.add_argument("--show-groups", action="store_true", help="print the allocation groups")
+    _add_cache_args(run)
     run.add_argument(
         "--dump-graph",
         type=Path,
@@ -89,6 +124,14 @@ def _build_parser() -> argparse.ArgumentParser:
     group.add_argument("--table", type=int, choices=(1,))
     plot.add_argument("--trials", type=int, default=3)
     plot.add_argument("--out", type=Path, default=None, help="directory for JSON output")
+    plot.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the evaluation matrix (default: 1, serial)",
+    )
+    _add_cache_args(plot)
 
     sub.add_parser("list", help="list available benchmarks")
     return parser
@@ -132,9 +175,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
         from .profiling import load_profile
 
         profile = load_profile(args.profile, workload.program)
+        artifacts = optimise_profile(profile, params)
     else:
-        profile = profile_workload(workload, params, scale="test")
-    artifacts = optimise_profile(profile, params)
+        prepared = prepare_workload(
+            args.benchmark,
+            halo_params=params,
+            include_hds=False,
+            cache=cache_from_args(args),
+            workload=workload,
+        )
+        artifacts = prepared.halo
     if args.show_groups:
         for line in artifacts.describe_groups():
             print(line)
@@ -178,8 +228,11 @@ def _write_json(out: Optional[Path], name: str, payload) -> None:
 
 
 def _cmd_plot(args: argparse.Namespace) -> int:
+    cache = cache_from_args(args)
+    times = PhaseTimes()
+    started = time.perf_counter()
     if args.table == 1:
-        rows = reproduce.table1()
+        rows = reproduce.table1(jobs=args.jobs, cache=cache, phase_times=times)
         print(
             format_table(
                 ["Benchmark", "Frag. (%)", "Frag. (bytes)"],
@@ -188,9 +241,10 @@ def _cmd_plot(args: argparse.Namespace) -> int:
             )
         )
         _write_json(args.out, "table1", rows)
+        print(times.report(wall=time.perf_counter() - started))
         return 0
     if args.figure == 12:
-        result = reproduce.figure12(trials=args.trials)
+        result = reproduce.figure12(trials=args.trials, cache=cache, phase_times=times)
         series = result.series[0]
         print(
             bar_chart(
@@ -199,14 +253,22 @@ def _cmd_plot(args: argparse.Namespace) -> int:
             )
         )
         _write_json(args.out, "figure12", result)
+        print(times.report(wall=time.perf_counter() - started))
         return 0
-    evaluations = reproduce.evaluate_all(trials=args.trials, include_random=args.figure == 15)
+    evaluations = reproduce.evaluate_all(
+        trials=args.trials,
+        include_random=args.figure == 15,
+        jobs=args.jobs,
+        cache=cache,
+        phase_times=times,
+    )
     figure = {13: reproduce.figure13, 14: reproduce.figure14, 15: reproduce.figure15}[args.figure]
     result = figure(evaluations)
     for series in result.series:
         print(bar_chart(series.values, title=f"{result.figure} — {series.label}"))
         print()
     _write_json(args.out, f"figure{args.figure}", result)
+    print(times.report(wall=time.perf_counter() - started))
     return 0
 
 

@@ -1,5 +1,6 @@
 """HALO's primary contribution: grouping, identification, and the pipeline."""
 
+from .artifact_cache import ArtifactCache, artifact_key
 from .grouping import Group, GroupingParams, assign_groups, group_contexts
 from .identification import IdentificationResult, synthesise_selectors
 from .pipeline import (
@@ -21,6 +22,7 @@ from .selectors import (
 )
 
 __all__ = [
+    "ArtifactCache",
     "CompiledMatcher",
     "Group",
     "GroupSelector",
@@ -31,6 +33,7 @@ __all__ = [
     "IdentificationResult",
     "NeverMatch",
     "SelectorMatchError",
+    "artifact_key",
     "assign_groups",
     "group_contexts",
     "internal_weight",

@@ -1,6 +1,23 @@
 """Measurement harness: runners, trial methodology, figure reproduction."""
 
-from .experiment import TrialResult, TrialStats, miss_reduction, run_trials, speedup
+from .experiment import (
+    TrialResult,
+    TrialStats,
+    aggregate_trials,
+    miss_reduction,
+    run_trials,
+    speedup,
+    trial_seeds,
+)
+from .parallel import evaluate_all_parallel, run_trials_parallel
+from .prepare import (
+    PhaseTimes,
+    PreparedArtifacts,
+    WorkloadEvaluation,
+    halo_params_for,
+    hds_params_for,
+    prepare_workload,
+)
 from .tracer import AccessTrace, AccessTraceRecorder, replay_geometries
 from .runner import (
     Measurement,
@@ -19,17 +36,27 @@ __all__ = [
     "AccessTraceRecorder",
     "Measurement",
     "PeakTracker",
+    "PhaseTimes",
+    "PreparedArtifacts",
     "TrialResult",
     "TrialStats",
+    "WorkloadEvaluation",
+    "aggregate_trials",
+    "evaluate_all_parallel",
+    "halo_params_for",
+    "hds_params_for",
     "measure_baseline",
     "measure_calder",
     "measure_halo",
     "measure_hds",
     "measure_random_pools",
     "miss_reduction",
+    "prepare_workload",
     "run_measurement",
     "replay_geometries",
     "run_trials",
+    "run_trials_parallel",
     "speedup",
     "total_live_bytes",
+    "trial_seeds",
 ]

@@ -17,6 +17,21 @@ from typing import Callable, Sequence
 from .runner import Measurement
 
 
+def nearest_rank(ordered: Sequence[float], quantile: float) -> float:
+    """The *quantile*-th value of pre-sorted *ordered* by nearest rank.
+
+    The fractional rank ``quantile * (n - 1)`` is rounded half away from
+    zero to the nearest integer index, so the 25th and 75th percentiles
+    are computed symmetrically (the historical implementation truncated
+    one and rounded the other).
+    """
+    if not ordered:
+        raise ValueError("no values")
+    rank = quantile * (len(ordered) - 1)
+    index = int(rank + 0.5)
+    return ordered[min(len(ordered) - 1, max(0, index))]
+
+
 @dataclass(frozen=True)
 class TrialStats:
     """Median and quartiles of one metric over the recorded trials."""
@@ -32,8 +47,8 @@ class TrialStats:
         ordered = sorted(values)
         return TrialStats(
             median=statistics.median(ordered),
-            q25=ordered[max(0, int(0.25 * (len(ordered) - 1)))],
-            q75=ordered[min(len(ordered) - 1, int(round(0.75 * (len(ordered) - 1))))],
+            q25=nearest_rank(ordered, 0.25),
+            q75=nearest_rank(ordered, 0.75),
         )
 
 
@@ -52,6 +67,38 @@ class TrialResult:
         return min(self.measurements, key=lambda m: abs(m.cycles - self.cycles.median))
 
 
+def trial_seeds(trials: int, discard_first: bool = True) -> range:
+    """The seed sequence :func:`run_trials` executes for *trials* trials.
+
+    Exposed so the parallel runner can fan the exact same seeds out to
+    worker processes and aggregate identically.
+    """
+    if trials < 1:
+        raise ValueError(f"need at least one trial, got {trials}")
+    return range(0, trials + (1 if discard_first else 0))
+
+
+def aggregate_trials(
+    measurements: Sequence[Measurement],
+    discard_first: bool = True,
+) -> TrialResult:
+    """Fold seed-ordered *measurements* into a :class:`TrialResult`.
+
+    The single aggregation path shared by the serial and parallel runners:
+    identical measurement lists produce identical results regardless of
+    where the measurements were executed.
+    """
+    kept = list(measurements[1:] if discard_first else measurements)
+    if not kept:
+        raise ValueError("no measurements to aggregate")
+    return TrialResult(
+        config=kept[0].config,
+        measurements=kept,
+        cycles=TrialStats.of([m.cycles for m in kept]),
+        l1_misses=TrialStats.of([float(m.cache.l1_misses) for m in kept]),
+    )
+
+
 def run_trials(
     measure: Callable[[int], Measurement],
     trials: int = 3,
@@ -63,17 +110,8 @@ def run_trials(
     is executed and dropped when ``discard_first`` is set (its placement is
     the least randomised, playing the role of the cold-system run).
     """
-    if trials < 1:
-        raise ValueError(f"need at least one trial, got {trials}")
-    seeds = range(0, trials + (1 if discard_first else 0))
-    measurements = [measure(seed) for seed in seeds]
-    kept = measurements[1:] if discard_first else measurements
-    return TrialResult(
-        config=kept[0].config,
-        measurements=kept,
-        cycles=TrialStats.of([m.cycles for m in kept]),
-        l1_misses=TrialStats.of([float(m.cache.l1_misses) for m in kept]),
-    )
+    seeds = trial_seeds(trials, discard_first)
+    return aggregate_trials([measure(seed) for seed in seeds], discard_first)
 
 
 def miss_reduction(baseline: TrialResult, optimised: TrialResult) -> float:

@@ -1,0 +1,375 @@
+"""Parallel evaluation engine.
+
+The paper's evaluation is embarrassingly parallel: 11 benchmarks × 4
+configurations × N trials, every run independent of every other.  This
+module fans the matrix out over a :class:`concurrent.futures.ProcessPoolExecutor`
+with *deterministic seed assignment* — each worker task is one
+``(benchmark, configuration, seed)`` measurement, seeds are enumerated
+exactly as the serial :func:`~repro.harness.experiment.run_trials` does,
+and results are folded through the same
+:func:`~repro.harness.experiment.aggregate_trials` — so a parallel run
+produces results *identical* to the serial path, just faster.
+
+Artifact handling: the expensive offline phase (profile + analyse) runs
+once per benchmark.  A first wave of prepare tasks populates a shared
+on-disk :class:`~repro.core.artifact_cache.ArtifactCache` (a run-private
+temporary directory when the caller disabled caching), and each worker
+process then loads the pickled artifacts at most once, memoised in
+process-global state.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from concurrent.futures import Future, ProcessPoolExecutor
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, Optional, Sequence
+
+from ..core.artifact_cache import ArtifactCache, artifact_key
+from ..core.pipeline import HaloParams
+from ..hds.pipeline import HdsParams
+from .experiment import TrialResult, aggregate_trials, trial_seeds
+from .prepare import (
+    PROFILE_SCALE,
+    PhaseTimes,
+    PreparedArtifacts,
+    WorkloadEvaluation,
+    halo_params_for,
+    hds_params_for,
+    prepare_workload,
+)
+from .runner import (
+    Measurement,
+    measure_baseline,
+    measure_halo,
+    measure_hds,
+    measure_random_pools,
+)
+from ..workloads.base import get_workload
+
+#: Configurations the evaluation matrix measures, in serial-path order.
+CONFIGS = ("baseline", "halo", "hds", "random-pools")
+
+
+@dataclass(frozen=True)
+class MeasureTask:
+    """One unit of parallel work: a single measured run."""
+
+    workload: str
+    config: str
+    scale: str
+    seed: int
+    cache_dir: Optional[str] = None
+    halo_params: Optional[HaloParams] = None
+    hds_params: Optional[HdsParams] = None
+
+
+@dataclass
+class PreparedSummary:
+    """What a prepare task reports back to the coordinating process.
+
+    The artifacts themselves stay in the cache / worker memo; only the
+    figure metadata and phase timings travel back over the pipe.
+    """
+
+    workload: str
+    key: str
+    halo_groups: int
+    hds_groups: int
+    hds_streams: int
+    graph_nodes: int
+    from_cache: bool
+    times: PhaseTimes
+
+
+# -- worker-process state -----------------------------------------------------
+
+#: Per-process memo of prepared artifacts, keyed by the artifact-cache key.
+_PREPARED: dict[str, PreparedArtifacts] = {}
+
+
+def _prepared_for(
+    name: str,
+    cache_dir: Optional[str],
+    halo_params: Optional[HaloParams],
+    hds_params: Optional[HdsParams],
+    include_hds: bool = True,
+) -> tuple[PreparedArtifacts, PhaseTimes]:
+    """Fetch (or build) the prepared artifacts for *name* in this process.
+
+    Returns the artifacts plus the phase time *this call* actually spent —
+    zero on a process-memo hit, so repeated tasks in one worker never
+    re-account the original profile/analyse cost.
+    """
+    workload = get_workload(name)
+    key = artifact_key(
+        workload=name,
+        profile_scale=PROFILE_SCALE,
+        halo_params=halo_params or halo_params_for(workload),
+        hds_params=hds_params or hds_params_for(workload),
+    )
+    memo = _PREPARED.get(key)
+    if memo is not None and (memo.hds is not None or not include_hds):
+        return memo, PhaseTimes()
+    cache = ArtifactCache(cache_dir) if cache_dir else None
+    prepared = prepare_workload(
+        name,
+        halo_params=halo_params,
+        hds_params=hds_params,
+        include_hds=include_hds,
+        cache=cache,
+        workload=workload,
+    )
+    _PREPARED[key] = prepared
+    return prepared, prepared.times
+
+
+def _prepare_task(
+    name: str,
+    cache_dir: Optional[str],
+    halo_params: Optional[HaloParams],
+    hds_params: Optional[HdsParams],
+    include_hds: bool = True,
+) -> PreparedSummary:
+    """Worker entry point for the prepare wave."""
+    prepared, times = _prepared_for(name, cache_dir, halo_params, hds_params, include_hds)
+    return PreparedSummary(
+        workload=name,
+        key=prepared.key,
+        halo_groups=len(prepared.halo.groups),
+        hds_groups=len(prepared.hds.groups) if prepared.hds is not None else 0,
+        hds_streams=prepared.hds.stream_count if prepared.hds is not None else 0,
+        graph_nodes=len(prepared.profile.graph),
+        from_cache=prepared.from_cache,
+        times=times,
+    )
+
+
+def _measure_task(task: MeasureTask) -> tuple[Measurement, PhaseTimes]:
+    """Worker entry point for one measurement run."""
+    times = PhaseTimes()
+    workload = get_workload(task.workload)
+    if task.config == "baseline":
+        start = time.perf_counter()
+        measurement = measure_baseline(workload, scale=task.scale, seed=task.seed)
+    elif task.config == "random-pools":
+        start = time.perf_counter()
+        measurement = measure_random_pools(workload, scale=task.scale, seed=task.seed)
+    elif task.config in ("halo", "hds"):
+        prepared, prep_times = _prepared_for(
+            task.workload,
+            task.cache_dir,
+            task.halo_params,
+            task.hds_params,
+            include_hds=task.config == "hds",
+        )
+        times.add(prep_times)
+        start = time.perf_counter()
+        if task.config == "halo":
+            measurement = measure_halo(
+                workload, prepared.halo, scale=task.scale, seed=task.seed
+            )
+        else:
+            assert prepared.hds is not None
+            measurement = measure_hds(
+                workload, prepared.hds, scale=task.scale, seed=task.seed
+            )
+    else:
+        raise ValueError(f"unknown configuration {task.config!r}")
+    times.measure += time.perf_counter() - start
+    return measurement, times
+
+
+def _table1_task(
+    name: str,
+    scale: str,
+    cache_dir: Optional[str],
+) -> tuple[str, float, int, PhaseTimes]:
+    """Worker entry point for one Table 1 row."""
+    times = PhaseTimes()
+    workload = get_workload(name)
+    prepared, prep_times = _prepared_for(name, cache_dir, None, None, include_hds=False)
+    times.add(prep_times)
+    start = time.perf_counter()
+    measurement = measure_halo(workload, prepared.halo, scale=scale, seed=1)
+    times.measure += time.perf_counter() - start
+    frag = measurement.frag_at_peak
+    if frag is None:
+        return name, 0.0, 0, times
+    return name, frag.fraction, frag.wasted_bytes, times
+
+
+# -- coordinator side ---------------------------------------------------------
+
+
+@contextmanager
+def _effective_cache_dir(cache: Optional[ArtifactCache]) -> Iterator[str]:
+    """The cache directory shared with workers for one parallel run.
+
+    When the caller runs without a persistent cache, a run-private
+    temporary directory stands in so each benchmark is still profiled
+    exactly once rather than once per worker process.
+    """
+    if cache is not None:
+        cache.root.mkdir(parents=True, exist_ok=True)
+        yield str(cache.root)
+        return
+    with tempfile.TemporaryDirectory(prefix="halo-artifacts-") as tmp:
+        yield tmp
+
+
+def run_trials_parallel(
+    name: str,
+    config: str = "baseline",
+    trials: int = 3,
+    scale: str = "ref",
+    jobs: int = 2,
+    discard_first: bool = True,
+    cache: Optional[ArtifactCache] = None,
+    halo_params: Optional[HaloParams] = None,
+    hds_params: Optional[HdsParams] = None,
+    phase_times: Optional[PhaseTimes] = None,
+) -> TrialResult:
+    """Parallel counterpart of :func:`~repro.harness.experiment.run_trials`.
+
+    Runs the same seed sequence as the serial path for one
+    ``(benchmark, configuration)`` pair and aggregates identically, so the
+    resulting :class:`TrialResult` matches the serial one exactly.
+    """
+    seeds = trial_seeds(trials, discard_first)
+    with _effective_cache_dir(cache) as cache_dir:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            if config in ("halo", "hds"):
+                # One prepare task so measurement workers only load the cache.
+                pool.submit(
+                    _prepare_task, name, cache_dir, halo_params, hds_params,
+                    config == "hds",
+                ).result()
+            futures = [
+                pool.submit(
+                    _measure_task,
+                    MeasureTask(
+                        workload=name,
+                        config=config,
+                        scale=scale,
+                        seed=seed,
+                        cache_dir=cache_dir,
+                        halo_params=halo_params,
+                        hds_params=hds_params,
+                    ),
+                )
+                for seed in seeds
+            ]
+            results = [future.result() for future in futures]
+    if phase_times is not None:
+        for _, times in results:
+            phase_times.add(times)
+    return aggregate_trials([m for m, _ in results], discard_first)
+
+
+def evaluate_all_parallel(
+    benchmarks: Sequence[str],
+    trials: int = 3,
+    scale: str = "ref",
+    include_random: bool = True,
+    jobs: int = 2,
+    cache: Optional[ArtifactCache] = None,
+    phase_times: Optional[PhaseTimes] = None,
+) -> dict[str, WorkloadEvaluation]:
+    """Parallel counterpart of :func:`~repro.harness.reproduce.evaluate_all`.
+
+    Fans the full matrix — every ``(benchmark, configuration, seed)`` — out
+    over *jobs* worker processes.  Deterministic: results are numerically
+    identical to the serial evaluation.
+    """
+    if jobs < 1:
+        raise ValueError(f"need at least one job, got {jobs}")
+    total = PhaseTimes()
+    seeds = trial_seeds(trials, discard_first=True)
+    configs = [c for c in CONFIGS if include_random or c != "random-pools"]
+
+    with _effective_cache_dir(cache) as cache_dir:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            # Wave 1: profile + analyse each benchmark once, into the cache.
+            prepare_futures = {
+                name: pool.submit(_prepare_task, name, cache_dir, None, None, True)
+                for name in benchmarks
+            }
+            summaries = {name: f.result() for name, f in prepare_futures.items()}
+            for summary in summaries.values():
+                total.add(summary.times)
+
+            # Wave 2: every measurement, one task per (benchmark, config, seed).
+            futures: dict[tuple[str, str], list[Future]] = {}
+            for name in benchmarks:
+                for config in configs:
+                    futures[(name, config)] = [
+                        pool.submit(
+                            _measure_task,
+                            MeasureTask(
+                                workload=name,
+                                config=config,
+                                scale=scale,
+                                seed=seed,
+                                cache_dir=cache_dir,
+                            ),
+                        )
+                        for seed in seeds
+                    ]
+
+            evaluations: dict[str, WorkloadEvaluation] = {}
+            for name in benchmarks:
+                trials_by_config: dict[str, TrialResult] = {}
+                for config in configs:
+                    results = [future.result() for future in futures[(name, config)]]
+                    for _, times in results:
+                        total.add(times)
+                    trials_by_config[config] = aggregate_trials(
+                        [m for m, _ in results], discard_first=True
+                    )
+                summary = summaries[name]
+                evaluations[name] = WorkloadEvaluation(
+                    name=name,
+                    baseline=trials_by_config["baseline"],
+                    halo=trials_by_config["halo"],
+                    hds=trials_by_config["hds"],
+                    random_pools=trials_by_config.get("random-pools"),
+                    halo_groups=summary.halo_groups,
+                    hds_groups=summary.hds_groups,
+                    hds_streams=summary.hds_streams,
+                    graph_nodes=summary.graph_nodes,
+                )
+
+    if phase_times is not None:
+        phase_times.add(total)
+    return evaluations
+
+
+def table1_rows_parallel(
+    benchmarks: Sequence[str],
+    scale: str = "ref",
+    jobs: int = 2,
+    cache: Optional[ArtifactCache] = None,
+    phase_times: Optional[PhaseTimes] = None,
+) -> list[tuple[str, float, int]]:
+    """Parallel Table 1: ``(benchmark, fraction, wasted_bytes)`` rows.
+
+    Row order follows *benchmarks* regardless of completion order.
+    """
+    with _effective_cache_dir(cache) as cache_dir:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = {
+                name: pool.submit(_table1_task, name, scale, cache_dir)
+                for name in benchmarks
+            }
+            results = {name: future.result() for name, future in futures.items()}
+    rows = []
+    for name in benchmarks:
+        row_name, fraction, wasted, times = results[name]
+        if phase_times is not None:
+            phase_times.add(times)
+        rows.append((row_name, fraction, wasted))
+    return rows

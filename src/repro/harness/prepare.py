@@ -1,0 +1,251 @@
+"""Shared offline-phase preparation for the evaluation engine.
+
+Both the serial path (:mod:`repro.harness.reproduce`) and the parallel
+engine (:mod:`repro.harness.parallel`) need the same expensive inputs
+before they can measure anything: a trace-recording profile of the
+workload, the HALO artifacts derived from it, and (for Figures 13/14) the
+hot-data-streams artifacts.  :func:`prepare_workload` produces all three,
+consulting an optional :class:`~repro.core.artifact_cache.ArtifactCache`
+so warm re-runs skip the profile and analyse phases entirely, and reports
+how long each phase took so the speedup is observable in the per-phase
+wall-time report.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..core.artifact_cache import ArtifactCache, artifact_key
+from ..core.pipeline import HaloArtifacts, HaloParams, optimise_profile, profile_workload
+from ..hds.pipeline import HdsArtifacts, HdsParams, analyse_profile
+from ..profiling.profiler import ProfileResult
+from ..workloads.base import Workload, get_workload
+from .experiment import TrialResult, miss_reduction, speedup
+
+#: Scale every evaluation profile is recorded at (paper: "workloads are
+#: profiled on small test inputs and measured using larger ref inputs").
+PROFILE_SCALE = "test"
+
+
+def halo_params_for(workload: Workload, **overrides) -> HaloParams:
+    """HALO parameters for *workload*, honouring its artefact-appendix quirks."""
+    merged = dict(workload.halo_overrides)
+    merged.update(overrides)
+    return HaloParams(**merged)
+
+
+def hds_params_for(workload: Workload, **overrides) -> HdsParams:
+    """HDS parameters for *workload*, honouring its quirks."""
+    merged = dict(workload.hds_overrides)
+    merged.update(overrides)
+    return HdsParams(**merged)
+
+
+@dataclass
+class PhaseTimes:
+    """Accumulated wall-time (seconds) per evaluation phase.
+
+    In a parallel run the times are summed across worker tasks, so they
+    report the *work done* per phase rather than elapsed wall-clock; a
+    warm artifact cache shows up as ``profile`` and ``analyse`` collapsing
+    to ~0 while ``measure`` is unchanged.
+    """
+
+    profile: float = 0.0
+    analyse: float = 0.0
+    measure: float = 0.0
+    #: Artifact-cache traffic observed while accumulating.
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    def add(self, other: "PhaseTimes") -> None:
+        """Fold *other*'s counters into this one."""
+        self.profile += other.profile
+        self.analyse += other.analyse
+        self.measure += other.measure
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+
+    def report(self, wall: Optional[float] = None) -> str:
+        """One-line human-readable report."""
+        parts = [
+            f"profile {self.profile:8.2f}s",
+            f"analyse {self.analyse:8.2f}s",
+            f"measure {self.measure:8.2f}s",
+        ]
+        if self.cache_hits or self.cache_misses:
+            parts.append(f"cache {self.cache_hits} hit / {self.cache_misses} miss")
+        line = "phase wall-time:  " + "   ".join(parts)
+        if wall is not None:
+            line += f"   (elapsed {wall:.2f}s)"
+        return line
+
+
+@dataclass
+class PreparedArtifacts:
+    """The offline-phase outputs for one benchmark.
+
+    ``hds`` is None when preparation was requested without the HDS
+    analysis (Table 1 only needs HALO artifacts).
+    """
+
+    workload_name: str
+    profile: ProfileResult
+    halo: HaloArtifacts
+    hds: Optional[HdsArtifacts]
+    key: str
+    from_cache: bool = False
+    times: PhaseTimes = field(default_factory=PhaseTimes)
+
+
+def prepare_workload(
+    name: str,
+    halo_params: Optional[HaloParams] = None,
+    hds_params: Optional[HdsParams] = None,
+    include_hds: bool = True,
+    cache: Optional[ArtifactCache] = None,
+    workload: Optional[Workload] = None,
+) -> PreparedArtifacts:
+    """Profile *name* and derive HALO (and optionally HDS) artifacts.
+
+    Deterministic: two calls with the same arguments produce identical
+    artifacts, whether they run in this process, a worker process, or are
+    replayed from the cache — which is what lets the parallel engine and
+    the warm-cache path reproduce the serial results bit-for-bit.
+    """
+    workload = workload if workload is not None else get_workload(name)
+    halo_params = halo_params or halo_params_for(workload)
+    hds_params = hds_params or hds_params_for(workload)
+    key = artifact_key(
+        workload=name,
+        profile_scale=PROFILE_SCALE,
+        halo_params=halo_params,
+        hds_params=hds_params,
+    )
+    times = PhaseTimes()
+
+    if cache is not None:
+        cached = cache.get(key)
+        if isinstance(cached, PreparedArtifacts) and (cached.hds is not None or not include_hds):
+            times.cache_hits += 1
+            return PreparedArtifacts(
+                workload_name=name,
+                profile=cached.profile,
+                halo=cached.halo,
+                hds=cached.hds,
+                key=key,
+                from_cache=True,
+                times=times,
+            )
+        if isinstance(cached, PreparedArtifacts):
+            # Entry exists but lacks the HDS half: upgrade it in place.
+            times.cache_hits += 1
+            start = time.perf_counter()
+            hds = analyse_profile(cached.profile, hds_params)
+            times.analyse += time.perf_counter() - start
+            prepared = PreparedArtifacts(
+                workload_name=name,
+                profile=cached.profile,
+                halo=cached.halo,
+                hds=hds,
+                key=key,
+                from_cache=True,
+                times=times,
+            )
+            cache.put(key, _strip_for_cache(prepared))
+            return prepared
+        times.cache_misses += 1
+
+    start = time.perf_counter()
+    profile = profile_workload(workload, halo_params, scale=PROFILE_SCALE, record_trace=True)
+    times.profile += time.perf_counter() - start
+
+    start = time.perf_counter()
+    halo = optimise_profile(profile, halo_params)
+    hds = analyse_profile(profile, hds_params) if include_hds else None
+    times.analyse += time.perf_counter() - start
+
+    prepared = PreparedArtifacts(
+        workload_name=name,
+        profile=profile,
+        halo=halo,
+        hds=hds,
+        key=key,
+        from_cache=False,
+        times=times,
+    )
+    if cache is not None:
+        cache.put(key, _strip_for_cache(prepared))
+    return prepared
+
+
+def _strip_for_cache(prepared: PreparedArtifacts) -> PreparedArtifacts:
+    """Copy of *prepared* without run-local timing/cache-state fields."""
+    return PreparedArtifacts(
+        workload_name=prepared.workload_name,
+        profile=prepared.profile,
+        halo=prepared.halo,
+        hds=prepared.hds,
+        key=prepared.key,
+    )
+
+
+@dataclass
+class WorkloadEvaluation:
+    """All measurements for one benchmark."""
+
+    name: str
+    baseline: TrialResult
+    halo: TrialResult
+    hds: TrialResult
+    random_pools: Optional[TrialResult]
+    halo_groups: int
+    hds_groups: int
+    hds_streams: int
+    graph_nodes: int
+
+    @property
+    def halo_miss_reduction(self) -> float:
+        return miss_reduction(self.baseline, self.halo)
+
+    @property
+    def hds_miss_reduction(self) -> float:
+        return miss_reduction(self.baseline, self.hds)
+
+    @property
+    def halo_speedup(self) -> float:
+        return speedup(self.baseline, self.halo)
+
+    @property
+    def hds_speedup(self) -> float:
+        return speedup(self.baseline, self.hds)
+
+    @property
+    def random_speedup(self) -> float:
+        if self.random_pools is None:
+            return 0.0
+        return speedup(self.baseline, self.random_pools)
+
+
+def build_evaluation(
+    prepared: PreparedArtifacts,
+    baseline: TrialResult,
+    halo: TrialResult,
+    hds: TrialResult,
+    random_pools: Optional[TrialResult],
+) -> WorkloadEvaluation:
+    """Assemble a :class:`WorkloadEvaluation` from trial results + artifacts."""
+    assert prepared.hds is not None, "evaluation needs the HDS artifacts"
+    return WorkloadEvaluation(
+        name=prepared.workload_name,
+        baseline=baseline,
+        halo=halo,
+        hds=hds,
+        random_pools=random_pools,
+        halo_groups=len(prepared.halo.groups),
+        hds_groups=len(prepared.hds.groups),
+        hds_streams=prepared.hds.stream_count,
+        graph_nodes=len(prepared.profile.graph),
+    )

@@ -17,12 +17,14 @@ from a single set of runs, exactly as in the paper.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
-from ..core.pipeline import HaloParams, optimise_profile, profile_workload
-from ..hds.pipeline import HdsParams, analyse_profile
-from ..workloads.base import Workload, get_workload
+from ..core.artifact_cache import ArtifactCache
+from ..core.pipeline import HaloParams
+from ..hds.pipeline import analyse_profile
+from ..workloads.base import get_workload
 from .runner import (
     measure_baseline,
     measure_halo,
@@ -30,6 +32,14 @@ from .runner import (
     measure_random_pools,
 )
 from .experiment import TrialResult, miss_reduction, run_trials, speedup
+from .prepare import (
+    PhaseTimes,
+    WorkloadEvaluation,
+    build_evaluation,
+    halo_params_for,
+    hds_params_for,
+    prepare_workload,
+)
 
 #: Benchmarks in the paper's presentation order (Figures 13-15 x-axis).
 PAPER_BENCHMARKS = (
@@ -44,96 +54,41 @@ TABLE1_BENCHMARKS = (
 )
 
 
-@dataclass
-class WorkloadEvaluation:
-    """All measurements for one benchmark."""
-
-    name: str
-    baseline: TrialResult
-    halo: TrialResult
-    hds: TrialResult
-    random_pools: Optional[TrialResult]
-    halo_groups: int
-    hds_groups: int
-    hds_streams: int
-    graph_nodes: int
-
-    @property
-    def halo_miss_reduction(self) -> float:
-        return miss_reduction(self.baseline, self.halo)
-
-    @property
-    def hds_miss_reduction(self) -> float:
-        return miss_reduction(self.baseline, self.hds)
-
-    @property
-    def halo_speedup(self) -> float:
-        return speedup(self.baseline, self.halo)
-
-    @property
-    def hds_speedup(self) -> float:
-        return speedup(self.baseline, self.hds)
-
-    @property
-    def random_speedup(self) -> float:
-        if self.random_pools is None:
-            return 0.0
-        return speedup(self.baseline, self.random_pools)
-
-
-def halo_params_for(workload: Workload, **overrides) -> HaloParams:
-    """HALO parameters for *workload*, honouring its artefact-appendix quirks."""
-    merged = dict(workload.halo_overrides)
-    merged.update(overrides)
-    return HaloParams(**merged)
-
-
-def hds_params_for(workload: Workload, **overrides) -> HdsParams:
-    """HDS parameters for *workload*, honouring its quirks."""
-    merged = dict(workload.hds_overrides)
-    merged.update(overrides)
-    return HdsParams(**merged)
-
-
 def evaluate_workload(
     name: str,
     trials: int = 3,
     scale: str = "ref",
     include_random: bool = True,
     halo_params: Optional[HaloParams] = None,
+    cache: Optional[ArtifactCache] = None,
+    phase_times: Optional[PhaseTimes] = None,
 ) -> WorkloadEvaluation:
-    """Profile, optimise and measure one benchmark under every configuration."""
+    """Profile, optimise and measure one benchmark under every configuration.
+
+    With a *cache*, the profile + analyse phases are skipped on warm
+    re-runs; *phase_times*, when given, accumulates the per-phase
+    wall-time spent here.
+    """
     workload = get_workload(name)
-    params = halo_params = halo_params or halo_params_for(workload)
-    hds_params = hds_params_for(workload)
+    prepared = prepare_workload(name, halo_params=halo_params, cache=cache, workload=workload)
 
-    profile = profile_workload(workload, params, scale="test", record_trace=True)
-    halo_artifacts = optimise_profile(profile, params)
-    hds_artifacts = analyse_profile(profile, hds_params)
-
+    start = time.perf_counter()
     baseline = run_trials(lambda seed: measure_baseline(workload, scale=scale, seed=seed), trials)
     halo = run_trials(
-        lambda seed: measure_halo(workload, halo_artifacts, scale=scale, seed=seed), trials
+        lambda seed: measure_halo(workload, prepared.halo, scale=scale, seed=seed), trials
     )
     hds = run_trials(
-        lambda seed: measure_hds(workload, hds_artifacts, scale=scale, seed=seed), trials
+        lambda seed: measure_hds(workload, prepared.hds, scale=scale, seed=seed), trials
     )
     random_pools = None
     if include_random:
         random_pools = run_trials(
             lambda seed: measure_random_pools(workload, scale=scale, seed=seed), trials
         )
-    return WorkloadEvaluation(
-        name=name,
-        baseline=baseline,
-        halo=halo,
-        hds=hds,
-        random_pools=random_pools,
-        halo_groups=len(halo_artifacts.groups),
-        hds_groups=len(hds_artifacts.groups),
-        hds_streams=hds_artifacts.stream_count,
-        graph_nodes=len(profile.graph),
-    )
+    if phase_times is not None:
+        phase_times.add(prepared.times)
+        phase_times.measure += time.perf_counter() - start
+    return build_evaluation(prepared, baseline, halo, hds, random_pools)
 
 
 def evaluate_all(
@@ -141,10 +96,37 @@ def evaluate_all(
     trials: int = 3,
     scale: str = "ref",
     include_random: bool = True,
+    jobs: int = 1,
+    cache: Optional[ArtifactCache] = None,
+    phase_times: Optional[PhaseTimes] = None,
 ) -> dict[str, WorkloadEvaluation]:
-    """Run the full evaluation matrix (figures 13, 14 and 15 share it)."""
+    """Run the full evaluation matrix (figures 13, 14 and 15 share it).
+
+    ``jobs > 1`` fans the matrix out over worker processes via
+    :mod:`repro.harness.parallel`; results are identical to the serial
+    path either way.
+    """
+    if jobs > 1:
+        from .parallel import evaluate_all_parallel
+
+        return evaluate_all_parallel(
+            benchmarks,
+            trials=trials,
+            scale=scale,
+            include_random=include_random,
+            jobs=jobs,
+            cache=cache,
+            phase_times=phase_times,
+        )
     return {
-        name: evaluate_workload(name, trials=trials, scale=scale, include_random=include_random)
+        name: evaluate_workload(
+            name,
+            trials=trials,
+            scale=scale,
+            include_random=include_random,
+            cache=cache,
+            phase_times=phase_times,
+        )
         for name in benchmarks
     }
 
@@ -217,6 +199,8 @@ def figure12(
     trials: int = 3,
     scale: str = "ref",
     benchmark: str = "omnetpp",
+    cache: Optional[ArtifactCache] = None,
+    phase_times: Optional[PhaseTimes] = None,
 ) -> FigureResult:
     """omnetpp execution time across affinity distances, vs the baseline.
 
@@ -229,18 +213,27 @@ def figure12(
     ``distances`` for the full range.
     """
     workload = get_workload(benchmark)
+    measure_start = time.perf_counter()
     baseline = run_trials(
         lambda seed: measure_baseline(workload, scale=scale, seed=seed), trials
     )
+    measured = time.perf_counter() - measure_start
     times: dict[str, float] = {}
     for distance in distances:
         params = halo_params_for(workload).with_affinity_distance(distance)
-        profile = profile_workload(workload, params, scale="test")
-        artifacts = optimise_profile(profile, params)
-        result = run_trials(
-            lambda seed: measure_halo(workload, artifacts, scale=scale, seed=seed), trials
+        prepared = prepare_workload(
+            benchmark, halo_params=params, include_hds=False, cache=cache, workload=workload
         )
+        if phase_times is not None:
+            phase_times.add(prepared.times)
+        measure_start = time.perf_counter()
+        result = run_trials(
+            lambda seed: measure_halo(workload, prepared.halo, scale=scale, seed=seed), trials
+        )
+        measured += time.perf_counter() - measure_start
         times[str(distance)] = result.cycles.median
+    if phase_times is not None:
+        phase_times.measure += measured
     return FigureResult(
         figure=f"Figure 12: {benchmark} time vs affinity distance",
         series=[FigureSeries("HALO cycles", times)],
@@ -260,15 +253,30 @@ class FragmentationRow:
 def table1(
     benchmarks: Sequence[str] = TABLE1_BENCHMARKS,
     scale: str = "ref",
+    jobs: int = 1,
+    cache: Optional[ArtifactCache] = None,
+    phase_times: Optional[PhaseTimes] = None,
 ) -> list[FragmentationRow]:
     """Fragmentation behaviour of grouped objects at peak memory usage."""
+    if jobs > 1:
+        from .parallel import table1_rows_parallel
+
+        return [
+            FragmentationRow(name, fraction, wasted)
+            for name, fraction, wasted in table1_rows_parallel(
+                benchmarks, scale=scale, jobs=jobs, cache=cache, phase_times=phase_times
+            )
+        ]
     rows = []
     for name in benchmarks:
         workload = get_workload(name)
-        params = halo_params_for(workload)
-        profile = profile_workload(workload, params, scale="test")
-        artifacts = optimise_profile(profile, params)
-        measurement = measure_halo(workload, artifacts, scale=scale, seed=1)
+        prepared = prepare_workload(name, include_hds=False, cache=cache, workload=workload)
+        if phase_times is not None:
+            phase_times.add(prepared.times)
+        start = time.perf_counter()
+        measurement = measure_halo(workload, prepared.halo, scale=scale, seed=1)
+        if phase_times is not None:
+            phase_times.measure += time.perf_counter() - start
         frag = measurement.frag_at_peak
         if frag is None:
             rows.append(FragmentationRow(name, 0.0, 0))
@@ -286,12 +294,22 @@ class RepresentationComparison:
     hot_streams: int
 
 
-def roms_representation_blowup(scale: str = "test") -> RepresentationComparison:
+def roms_representation_blowup(
+    scale: str = "test",
+    cache: Optional[ArtifactCache] = None,
+) -> RepresentationComparison:
     """Affinity-graph nodes vs hot-stream count for roms."""
     workload = get_workload("roms")
-    params = halo_params_for(workload)
-    profile = profile_workload(workload, params, scale=scale, record_trace=True)
-    hds_artifacts = analyse_profile(profile, hds_params_for(workload))
+    if scale == "test":
+        # The standard profile scale: share the evaluation's cached artifacts.
+        prepared = prepare_workload("roms", cache=cache, workload=workload)
+        profile, hds_artifacts = prepared.profile, prepared.hds
+    else:
+        from ..core.pipeline import profile_workload
+
+        params = halo_params_for(workload)
+        profile = profile_workload(workload, params, scale=scale, record_trace=True)
+        hds_artifacts = analyse_profile(profile, hds_params_for(workload))
     return RepresentationComparison(
         benchmark="roms",
         affinity_graph_nodes=len(profile.graph),

@@ -18,7 +18,7 @@ class HeapError(Exception):
     """Raised on invalid heap operations (double free, use-after-free...)."""
 
 
-@dataclass
+@dataclass(slots=True)
 class HeapObject:
     """A live (or once-live) heap allocation.
 

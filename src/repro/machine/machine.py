@@ -21,16 +21,15 @@ two runs produce identical event streams and identical cache behaviour.
 
 from __future__ import annotations
 
-from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Optional, Union
+from typing import Iterable, Optional, Union
 
 from .events import Listener
 from .heap import HeapError, HeapObject, ObjectTable
 from .program import CallSite, Program, ProgramError
 
 
-@dataclass
+@dataclass(slots=True)
 class MachineMetrics:
     """Dynamic instruction-level counters for one run."""
 
@@ -81,6 +80,57 @@ class GroupStateVector:
         return bool(self.value >> bit & 1)
 
 
+class _CallScope:
+    """Context manager for one simulated call through a site.
+
+    All entry work happens in ``__enter__`` (matching the previous
+    ``@contextmanager`` semantics: constructing the scope does nothing),
+    with hot attributes bound to locals and listener dispatch skipped when
+    no listeners are registered.
+    """
+
+    __slots__ = ("_machine", "_site", "_resolved", "_bit")
+
+    def __init__(self, machine: "Machine", site: Union[CallSite, int]) -> None:
+        self._machine = machine
+        self._site = site
+        self._resolved: Optional[CallSite] = None
+        self._bit: Optional[int] = None
+
+    def __enter__(self) -> None:
+        machine = self._machine
+        resolved = self._resolved = machine._resolve_site(self._site)
+        machine.stack.append(resolved)
+        metrics = machine.metrics
+        metrics.calls += 1
+        instrumentation = machine.instrumentation
+        bit = self._bit = (
+            instrumentation.get(resolved.addr) if instrumentation else None
+        )
+        if bit is not None:
+            machine.state_vector.set(bit)
+            metrics.instrumentation_toggles += 1
+        listeners = machine.listeners
+        if listeners:
+            for listener in listeners:
+                listener.on_call(machine, resolved)
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        machine = self._machine
+        resolved = self._resolved
+        listeners = machine.listeners
+        if listeners:
+            for listener in listeners:
+                listener.on_return(machine, resolved)
+        bit = self._bit
+        if bit is not None:
+            machine.state_vector.clear(bit)
+            machine.metrics.instrumentation_toggles += 1
+        popped = machine.stack.pop()
+        assert popped is resolved
+        return False
+
+
 class Machine:
     """Executes workload code against a program, allocator, and memory model.
 
@@ -129,28 +179,16 @@ class Machine:
             return site
         return self.program.site(site)
 
-    @contextmanager
-    def call(self, site: Union[CallSite, int]) -> Iterator[None]:
-        """Execute a call through *site*; the body runs inside the callee."""
-        resolved = self._resolve_site(site)
-        self.stack.append(resolved)
-        self.metrics.calls += 1
-        bit = self.instrumentation.get(resolved.addr)
-        if bit is not None:
-            self.state_vector.set(bit)
-            self.metrics.instrumentation_toggles += 1
-        for listener in self.listeners:
-            listener.on_call(self, resolved)
-        try:
-            yield
-        finally:
-            for listener in self.listeners:
-                listener.on_return(self, resolved)
-            if bit is not None:
-                self.state_vector.clear(bit)
-                self.metrics.instrumentation_toggles += 1
-            popped = self.stack.pop()
-            assert popped is resolved
+    def call(self, site: Union[CallSite, int]) -> "_CallScope":
+        """Execute a call through *site*; the body runs inside the callee.
+
+        Returns a context manager: entry pushes the site on the call stack
+        (toggling its instrumented bit and notifying listeners), exit pops
+        it.  A dedicated slotted object rather than ``@contextmanager`` —
+        calls are one of the simulator's hottest events and the generator
+        machinery dominated their cost.
+        """
+        return _CallScope(self, site)
 
     # ------------------------------------------------------------------
     # Memory management
@@ -163,8 +201,10 @@ class Machine:
         addr = self.allocator.malloc(size)
         obj = self.objects.create(addr, size)
         self.metrics.allocs += 1
-        for listener in self.listeners:
-            listener.on_alloc(self, obj)
+        listeners = self.listeners
+        if listeners:
+            for listener in listeners:
+                listener.on_alloc(self, obj)
         return obj
 
     def calloc(self, count: int, size: int) -> HeapObject:
@@ -212,7 +252,11 @@ class Machine:
         self.metrics.stores += 1
 
     def _access(self, obj: HeapObject, offset: int, size: int, is_store: bool) -> None:
-        obj.check_alive()
+        # The hottest function in the simulator: every workload load/store
+        # lands here.  Inline the liveness check and bind attributes to
+        # locals; skip listener dispatch entirely when none are registered.
+        if not obj.alive:
+            raise HeapError(f"use of freed object #{obj.oid}")
         if offset < 0 or size <= 0 or offset + size > obj.size:
             raise HeapError(
                 f"out-of-bounds access to object #{obj.oid}: "
@@ -220,10 +264,13 @@ class Machine:
             )
         addr = obj.addr + offset
         self.allocator.space.touch_range(addr, size)
-        if self.memory is not None:
-            self.memory.access(addr, size, is_store)
-        for listener in self.listeners:
-            listener.on_access(self, obj, offset, size, is_store)
+        memory = self.memory
+        if memory is not None:
+            memory.access(addr, size, is_store)
+        listeners = self.listeners
+        if listeners:
+            for listener in listeners:
+                listener.on_access(self, obj, offset, size, is_store)
 
     def work(self, cycles: float) -> None:
         """Account *cycles* of non-memory compute (models instruction work)."""

@@ -25,7 +25,7 @@ from __future__ import annotations
 from bisect import bisect_right
 from dataclasses import dataclass
 
-from .graph import AffinityGraph, edge_key
+from .graph import AffinityGraph
 
 
 @dataclass(frozen=True)
@@ -79,6 +79,9 @@ class AffinityRecorder:
 
     def __init__(self, params: AffinityParams | None = None) -> None:
         self.params = params or AffinityParams()
+        # Hot-loop constants, hoisted out of record_access (params is frozen).
+        self._distance = self.params.distance
+        self._enforce_coalloc = self.params.enforce_co_allocatability
         self.graph = AffinityGraph()
         # Most-recent access per object: oid -> (cid, alloc seq,
         # cumulative bytes *after* the access, groupable).  Insertion order
@@ -102,7 +105,12 @@ class AffinityRecorder:
     # -- access recording ---------------------------------------------------
 
     def record_access(self, oid: int, nbytes: int) -> None:
-        """Feed one machine-level heap access through the affinity queue."""
+        """Feed one machine-level heap access through the affinity queue.
+
+        The hottest profiling function: every heap access of every profiled
+        workload passes through here.  Attribute loads are hoisted to
+        locals and the window trim is inlined.
+        """
         if oid == self._last_oid:
             return  # deduplication: same macro-level access
         self._last_oid = oid
@@ -110,11 +118,15 @@ class AffinityRecorder:
         if info is None:
             return  # object allocated before profiling attached; ignore
         cid, alloc_seq, groupable = info
-        self.graph.add_access(cid)
-        distance = self.params.distance
-        edges = self.graph.edges
+        graph = self.graph
+        node_accesses = graph.node_accesses
+        node_accesses[cid] = node_accesses.get(cid, 0) + 1
+        graph.total_accesses += 1
+        distance = self._distance
+        edges = graph.edges
         window = self._window
         now = self._total_bytes
+        co_allocatable = self._co_allocatable
         for v_oid in reversed(window):
             v_cid, v_seq, v_after, v_groupable = window[v_oid]
             if now - v_after >= distance:
@@ -124,19 +136,26 @@ class AffinityRecorder:
             if (
                 groupable
                 and v_groupable
-                and self._co_allocatable(cid, alloc_seq, v_cid, v_seq)
+                and co_allocatable(cid, alloc_seq, v_cid, v_seq)
             ):
-                key = edge_key(cid, v_cid)
+                key = (cid, v_cid) if cid <= v_cid else (v_cid, cid)
                 edges[key] = edges.get(key, 0.0) + 1.0
         # Record (or refresh) this object's position in the window.
         window.pop(oid, None)
-        self._total_bytes = now + nbytes
-        window[oid] = (cid, alloc_seq, self._total_bytes, groupable)
-        self._trim()
+        now += nbytes
+        self._total_bytes = now
+        window[oid] = (cid, alloc_seq, now, groupable)
+        # Trim entries that can never be affinitive again (inlined _trim).
+        while window:
+            oldest = next(iter(window))
+            if now - window[oldest][2] >= distance:
+                del window[oldest]
+            else:
+                break
 
     def _trim(self) -> None:
         """Drop window entries that can never be affinitive again."""
-        distance = self.params.distance
+        distance = self._distance
         window = self._window
         now = self._total_bytes
         while window:
@@ -152,7 +171,7 @@ class AffinityRecorder:
         True iff no allocation strictly between the two (chronologically)
         originated from either context.
         """
-        if not self.params.enforce_co_allocatability:
+        if not self._enforce_coalloc:
             return True
         lo, hi = (seq_a, seq_b) if seq_a <= seq_b else (seq_b, seq_a)
         for ctx in (ctx_a, ctx_b) if ctx_a != ctx_b else (ctx_a,):

@@ -65,12 +65,44 @@ class TestSetAssociativeCache:
         cache.access_line(3)
         assert cache.access_line(3)
 
+    def test_non_power_of_two_set_mapping(self):
+        # Lines a multiple of num_sets apart share a set; others do not.
+        cache = SetAssociativeCache(3 * 1 * 64, 1, 64)  # 3 sets, direct mapped
+        cache.access_line(0)
+        cache.access_line(1)  # set 1: line 0 survives
+        assert cache.contains_line(0)
+        cache.access_line(3)  # 3 % 3 == 0: same set as line 0, evicts it
+        assert not cache.contains_line(0)
+        assert cache.contains_line(1)
+        assert cache.contains_line(3)
+
+    def test_non_power_of_two_lru_eviction(self):
+        # LRU order must hold within a modulo-indexed set too.
+        cache = SetAssociativeCache(3 * 2 * 64, 2, 64)  # 3 sets, 2 ways
+        cache.access_line(0)
+        cache.access_line(3)
+        cache.access_line(0)  # refresh 0 -> LRU is 3
+        cache.access_line(6)  # same set (all = 0 mod 3); evicts 3
+        assert cache.contains_line(0)
+        assert not cache.contains_line(3)
+        assert cache.contains_line(6)
+
     def test_flush_preserves_counters(self):
         cache = SetAssociativeCache(1024, 2, 64)
         cache.access_line(1)
+        cache.access_line(1)
+        cache.access_line(2)
         cache.flush()
         assert not cache.contains_line(1)
-        assert cache.stats.accesses == 1
+        assert not cache.contains_line(2)
+        assert cache.stats.accesses == 3
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 2
+        # Post-flush the cache is cold: the re-access is a fresh miss and
+        # keeps accumulating into the same counters.
+        assert not cache.access_line(1)
+        assert cache.stats.accesses == 4
+        assert cache.stats.misses == 3
 
     def test_miss_rate(self):
         cache = SetAssociativeCache(1024, 2, 64)

@@ -1,0 +1,138 @@
+"""Parallel evaluation engine: serial equivalence and trial aggregation.
+
+The engine's contract is that fanning the evaluation matrix over worker
+processes changes wall-clock time and nothing else — identical seeds,
+identical measurements, identical aggregates.  These tests pin that
+contract on the cheapest workload (deepsjeng at test scale).
+"""
+
+import pytest
+
+from repro.core.artifact_cache import ArtifactCache
+from repro.harness.experiment import (
+    TrialStats,
+    aggregate_trials,
+    nearest_rank,
+    run_trials,
+    trial_seeds,
+)
+from repro.harness.parallel import evaluate_all_parallel, run_trials_parallel
+from repro.harness.prepare import PhaseTimes
+from repro.harness.reproduce import evaluate_workload
+from repro.harness.runner import measure_baseline
+from repro.workloads.base import get_workload
+
+BENCH = "deepsjeng"
+
+
+class TestNearestRank:
+    def test_median_of_odd(self):
+        assert nearest_rank([1.0, 2.0, 3.0], 0.5) == 2.0
+
+    def test_quartiles_are_symmetric(self):
+        # Historically q25 truncated its rank while q75 rounded, so a
+        # reversed distribution produced asymmetric quartiles.  Both ends
+        # must use the same rounding now.
+        values = [1.0, 2.0, 3.0, 4.0]
+        stats = TrialStats.of(values)
+        mirrored = TrialStats.of([5.0 - v for v in values])
+        assert stats.q25 == 5.0 - mirrored.q75
+        assert stats.q75 == 5.0 - mirrored.q25
+
+    def test_bounds_clamped(self):
+        assert nearest_rank([1.0, 2.0], 0.0) == 1.0
+        assert nearest_rank([1.0, 2.0], 1.0) == 2.0
+        assert nearest_rank([7.0], 0.25) == 7.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            nearest_rank([], 0.5)
+
+    def test_unsorted_input_matters_not_for_trialstats(self):
+        assert TrialStats.of([3.0, 1.0, 2.0]) == TrialStats.of([1.0, 2.0, 3.0])
+
+
+class TestTrialSeeds:
+    def test_discard_first_adds_warmup_seed(self):
+        assert list(trial_seeds(3)) == [0, 1, 2, 3]
+        assert list(trial_seeds(3, discard_first=False)) == [0, 1, 2]
+
+    def test_zero_trials_rejected(self):
+        with pytest.raises(ValueError):
+            trial_seeds(0)
+
+    def test_aggregate_drops_first(self):
+        workload = get_workload(BENCH)
+        measurements = [
+            measure_baseline(workload, scale="test", seed=seed) for seed in trial_seeds(2)
+        ]
+        result = aggregate_trials(measurements)
+        assert len(result.measurements) == 2
+        assert result.measurements[0] is measurements[1]
+
+    def test_aggregate_empty_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_trials([])
+
+
+class TestSerialParallelEquivalence:
+    def test_baseline_trials_identical(self):
+        workload = get_workload(BENCH)
+        serial = run_trials(
+            lambda seed: measure_baseline(workload, scale="test", seed=seed), trials=2
+        )
+        parallel = run_trials_parallel(BENCH, "baseline", trials=2, scale="test", jobs=2)
+        assert serial.cycles == parallel.cycles
+        assert serial.l1_misses == parallel.l1_misses
+        assert [m.cycles for m in serial.measurements] == [
+            m.cycles for m in parallel.measurements
+        ]
+        assert [m.cache.l1_misses for m in serial.measurements] == [
+            m.cache.l1_misses for m in parallel.measurements
+        ]
+
+    def test_full_evaluation_identical(self, tmp_path):
+        # The whole engine: prepare wave (profile + analyse through the
+        # shared cache) then one task per (config, seed).
+        cache = ArtifactCache(tmp_path / "cache")
+        times = PhaseTimes()
+        serial = evaluate_workload(BENCH, trials=2, scale="test", include_random=True)
+        parallel = evaluate_all_parallel(
+            [BENCH], trials=2, scale="test", include_random=True,
+            jobs=2, cache=cache, phase_times=times,
+        )[BENCH]
+        for config in ("baseline", "halo", "hds", "random_pools"):
+            s, p = getattr(serial, config), getattr(parallel, config)
+            assert s.cycles == p.cycles, config
+            assert s.l1_misses == p.l1_misses, config
+        assert serial.halo_groups == parallel.halo_groups
+        assert serial.hds_groups == parallel.hds_groups
+        assert serial.hds_streams == parallel.hds_streams
+        assert serial.graph_nodes == parallel.graph_nodes
+        # The phase report saw real work and exactly one cache miss
+        # (the single benchmark, profiled once despite two workers).
+        assert times.measure > 0.0
+        assert times.profile > 0.0
+        assert times.cache_misses == 1
+
+    def test_warm_cache_skips_profiling(self, tmp_path):
+        cache = ArtifactCache(tmp_path / "cache")
+        run_trials_parallel(
+            BENCH, "halo", trials=1, scale="test", jobs=2, cache=cache
+        )
+        warm = PhaseTimes()
+        rerun = run_trials_parallel(
+            BENCH, "halo", trials=1, scale="test", jobs=2, cache=cache,
+            phase_times=warm,
+        )
+        cold = run_trials_parallel(BENCH, "halo", trials=1, scale="test", jobs=2)
+        assert warm.profile == 0.0
+        assert warm.cache_hits >= 1
+        assert warm.cache_misses == 0
+        # And the cached artifacts still reproduce the uncached measurement.
+        assert rerun.cycles == cold.cycles
+        assert rerun.l1_misses == cold.l1_misses
+
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(ValueError):
+            evaluate_all_parallel([BENCH], trials=1, scale="test", jobs=0)

@@ -1,16 +1,24 @@
 #!/usr/bin/env python3
 """Run the full evaluation matrix and write the results JSON.
 
-Usage: python tools/gen_results.py out/results.json [--trials N]
+Usage: python tools/gen_results.py out/results.json [--trials N] [--jobs N]
+           [--cache-dir DIR | --no-cache]
 
 This is the data source for tools/render_experiments.py (and EXPERIMENTS.md).
+``--jobs`` fans the (benchmark, config, seed) matrix over worker processes;
+``--cache-dir`` (default ``.halo-cache``) persists profiling artifacts so a
+re-run skips the profile/analyse phases.  A per-phase wall-time report is
+printed at the end either way.
 """
 
 import argparse
 import json
+import time
 from pathlib import Path
 
+from repro.core.artifact_cache import ArtifactCache
 from repro.harness import reproduce
+from repro.harness.prepare import PhaseTimes
 
 
 def main() -> None:
@@ -18,10 +26,23 @@ def main() -> None:
     parser.add_argument("output", type=Path)
     parser.add_argument("--trials", type=int, default=2)
     parser.add_argument("--scale", default="ref")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for the evaluation matrix")
+    parser.add_argument("--cache-dir", type=Path, default=Path(".halo-cache"),
+                        metavar="DIR", help="artifact cache directory")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the artifact cache")
     args = parser.parse_args()
 
+    cache = None if args.no_cache else ArtifactCache(args.cache_dir)
+    times = PhaseTimes()
+    started = time.perf_counter()
+
     out = {}
-    evals = reproduce.evaluate_all(trials=args.trials, scale=args.scale, include_random=True)
+    evals = reproduce.evaluate_all(
+        trials=args.trials, scale=args.scale, include_random=True,
+        jobs=args.jobs, cache=cache, phase_times=times,
+    )
     out["fig13_hds"] = {n: round(e.hds_miss_reduction * 100, 1) for n, e in evals.items()}
     out["fig13_halo"] = {n: round(e.halo_miss_reduction * 100, 1) for n, e in evals.items()}
     out["fig14_hds"] = {n: round(e.hds_speedup * 100, 1) for n, e in evals.items()}
@@ -32,14 +53,17 @@ def main() -> None:
                 streams=e.hds_streams, nodes=e.graph_nodes)
         for n, e in evals.items()
     }
-    rows = reproduce.table1(scale=args.scale)
+    rows = reproduce.table1(scale=args.scale, jobs=args.jobs, cache=cache, phase_times=times)
     out["table1"] = {
         r.benchmark: [round(r.fraction * 100, 2), round(r.wasted_bytes / 1024, 2)]
         for r in rows
     }
-    blow = reproduce.roms_representation_blowup()
+    blow = reproduce.roms_representation_blowup(cache=cache)
     out["roms_blowup"] = [blow.affinity_graph_nodes, blow.hot_streams]
-    fig12 = reproduce.figure12(distances=(8, 32, 128, 512, 2048, 8192), trials=args.trials, scale=args.scale)
+    fig12 = reproduce.figure12(
+        distances=(8, 32, 128, 512, 2048, 8192), trials=args.trials,
+        scale=args.scale, cache=cache, phase_times=times,
+    )
     out["fig12_baseline"] = fig12.notes["baseline"]
     out["fig12"] = {
         k: round(v / fig12.notes["baseline"] - 1.0, 4)
@@ -48,6 +72,7 @@ def main() -> None:
     args.output.parent.mkdir(parents=True, exist_ok=True)
     args.output.write_text(json.dumps(out, indent=1))
     print(f"wrote {args.output}")
+    print(times.report(wall=time.perf_counter() - started))
 
 
 if __name__ == "__main__":
