@@ -11,7 +11,7 @@ import os
 
 from repro.allocators import ShardedGroupAllocator
 from repro.cache import CacheHierarchy, CostModel
-from repro.core import HaloParams, optimise_profile, profile_workload
+from repro.core import optimise_profile, profile_workload
 from repro.core.pipeline import make_runtime
 from repro.harness.reproduce import halo_params_for
 from repro.harness.runner import PeakTracker

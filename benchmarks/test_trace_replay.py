@@ -1,0 +1,98 @@
+"""Wall-clock baseline for trace-driven parameter sweeps.
+
+Times one grouping-tolerance sweep two ways — direct (re-execute the
+workload and re-profile for every configuration, the only option before
+the trace subsystem existed) and warm-trace replay (record the event
+stream once, then :func:`~repro.trace.sweep.sweep_merge_tolerances`
+against the decoded trace) — checks the two produce identical grouping
+artifacts, and records the honest numbers in ``BENCH_trace_replay.json``
+at the repository root.
+
+The replay path wins twice: the workload's Python object churn is gone
+(events stream out of one decoded buffer), and configurations sharing
+affinity parameters share a single profile replay.  A grouping-only
+sweep therefore replays the profiler exactly once for N configs.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_trace_replay.py -s
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import replace
+from pathlib import Path
+
+from repro.core.pipeline import HaloParams, optimise_profile, profile_workload
+from repro.trace import record_workload, sweep_merge_tolerances
+from repro.workloads.base import get_workload
+
+BENCHMARK = os.environ.get("REPRO_BENCH_TRACE_WORKLOAD", "health")
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "test")
+TOLERANCES = (0.05, 0.1, 0.2, 0.4, 0.8)
+
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_trace_replay.json"
+
+
+def _digest(artifacts) -> list[dict]:
+    return [
+        {
+            "groups": len(a.groups),
+            "group_sizes": sorted(len(g.members) for g in a.groups),
+            "plan_sites": len(a.plan.bit_for_site),
+        }
+        for a in artifacts
+    ]
+
+
+def test_trace_sweep_walltime(tmp_path):
+    workload = get_workload(BENCHMARK)
+    configs = [
+        replace(HaloParams(), grouping=replace(HaloParams().grouping, merge_tolerance=t))
+        for t in TOLERANCES
+    ]
+
+    # Direct: the pre-trace cost model — every configuration re-executes
+    # the workload under the profiler.
+    start = time.perf_counter()
+    direct = [
+        optimise_profile(profile_workload(workload, config, scale=SCALE), config)
+        for config in configs
+    ]
+    direct_wall = time.perf_counter() - start
+
+    # Record once (the cold cost a cache pays a single time per workload).
+    start = time.perf_counter()
+    trace = record_workload(workload, scale=SCALE)
+    record_wall = time.perf_counter() - start
+
+    # Warm replay: sweep every configuration from the recorded events.
+    start = time.perf_counter()
+    replayed = sweep_merge_tolerances(trace, workload.program, TOLERANCES)
+    replay_wall = time.perf_counter() - start
+
+    assert _digest(direct) == _digest(replayed.values())
+
+    speedup = direct_wall / replay_wall
+    # The acceptance bar: a warm sweep beats re-execution by >= 2x.
+    assert speedup >= 2.0, f"warm sweep only {speedup:.2f}x faster than direct"
+
+    record = {
+        "workload": BENCHMARK,
+        "scale": SCALE,
+        "merge_tolerances": list(TOLERANCES),
+        "configs": len(TOLERANCES),
+        "trace_events": trace.header.events,
+        "trace_bytes": len(trace.to_bytes()),
+        "direct_wall_s": round(direct_wall, 2),
+        "record_once_wall_s": round(record_wall, 2),
+        "replay_sweep_wall_s": round(replay_wall, 2),
+        "warm_speedup": round(speedup, 2),
+    }
+    RESULTS_PATH.write_text(json.dumps(record, indent=1) + "\n")
+    print(f"\ndirect {direct_wall:.2f}s   record-once {record_wall:.2f}s   "
+          f"warm sweep {replay_wall:.2f}s   ({speedup:.1f}x)")
+    print(f"wrote {RESULTS_PATH}")

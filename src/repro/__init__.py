@@ -57,6 +57,13 @@ from .harness import (
 from .hds import HdsParams, Sequitur, analyse_profile, extract_hot_streams
 from .machine import Machine, Program, ProgramBuilder
 from .profiling import AffinityGraph, AffinityParams, Profiler, ProfileResult
+from .trace import (
+    EventTrace,
+    TraceRecorder,
+    TraceReplayer,
+    record_workload,
+    replay_profile,
+)
 from .workloads import Workload, get_workload, workload_names
 
 __version__ = "1.0.0"
@@ -68,6 +75,7 @@ __all__ = [
     "BumpAllocator",
     "CacheHierarchy",
     "CostModel",
+    "EventTrace",
     "GroupAllocator",
     "GroupingParams",
     "HaloArtifacts",
@@ -83,6 +91,8 @@ __all__ = [
     "RandomPoolAllocator",
     "Sequitur",
     "SizeClassAllocator",
+    "TraceRecorder",
+    "TraceReplayer",
     "Workload",
     "analyse_profile",
     "extract_hot_streams",
@@ -96,6 +106,8 @@ __all__ = [
     "optimise_profile",
     "optimise_workload",
     "profile_workload",
+    "record_workload",
+    "replay_profile",
     "run_trials",
     "synthesise_selectors",
     "workload_names",

@@ -15,6 +15,9 @@ simulation:
   the evaluation matrix out over N worker processes;
 * ``halo plot --figure 12`` / ``--table 1`` — likewise for the sweep and
   the fragmentation table;
+* ``halo trace record|info|replay|sweep`` — capture a workload's complete
+  machine-event stream once, then inspect it, re-measure from it, or sweep
+  pipeline parameters against it without ever re-executing the workload;
 * ``halo list`` — show the available benchmarks.
 
 Profiling artifacts are cached under ``--cache-dir`` (default
@@ -132,6 +135,62 @@ def _build_parser() -> argparse.ArgumentParser:
         help="worker processes for the evaluation matrix (default: 1, serial)",
     )
     _add_cache_args(plot)
+
+    trace = sub.add_parser(
+        "trace", help="record, inspect, replay, and sweep machine-event traces"
+    )
+    tsub = trace.add_subparsers(dest="trace_command", required=True)
+
+    t_record = tsub.add_parser("record", help="record a workload's event trace")
+    _add_benchmark_arg(t_record)
+    t_record.add_argument("--scale", default="test", help="input scale (test/train/ref)")
+    t_record.add_argument("--seed", type=int, default=0)
+    t_record.add_argument(
+        "-o",
+        "--output",
+        type=Path,
+        default=None,
+        metavar="FILE.trace",
+        help="output path (default: <benchmark>-<scale>.trace)",
+    )
+
+    t_info = tsub.add_parser("info", help="summarise a recorded trace")
+    t_info.add_argument("trace", type=Path, help="trace file to inspect")
+
+    t_replay = tsub.add_parser(
+        "replay", help="re-measure a recorded run (no workload execution)"
+    )
+    t_replay.add_argument("trace", type=Path, help="trace file to replay")
+    t_replay.add_argument("--seed", type=int, default=1, help="address-space seed")
+
+    t_sweep = tsub.add_parser(
+        "sweep", help="sweep pipeline parameters against one recorded trace"
+    )
+    t_sweep.add_argument("trace", type=Path, help="trace file to sweep against")
+    knob = t_sweep.add_mutually_exclusive_group(required=True)
+    knob.add_argument(
+        "--affinity-distance",
+        metavar="A,A,...",
+        help="comma-separated affinity window sizes (paper Figure 12)",
+    )
+    knob.add_argument(
+        "--merge-tolerance",
+        metavar="T,T,...",
+        help="comma-separated grouping merge tolerances",
+    )
+    knob.add_argument(
+        "--max-groups",
+        metavar="N,N,...",
+        help="comma-separated group-count caps",
+    )
+    t_sweep.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes (default: 1, in-process with a shared decode)",
+    )
+    _add_cache_args(t_sweep)
 
     sub.add_parser("list", help="list available benchmarks")
     return parser
@@ -291,6 +350,182 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def trace_info_lines(trace) -> list[str]:
+    """Deterministic summary lines for ``halo trace info``.
+
+    Everything here is a pure function of the recorded event stream (no
+    file sizes, no timings), so the output is stable across machines and
+    suitable as a golden reference.
+    """
+    h = trace.header
+    returns = h.events - (
+        h.calls + h.allocs + h.frees + h.reallocs + h.loads + h.stores + h.works + 1
+    )
+    return [
+        f"workload:        {h.workload} ({h.scale})",
+        f"program:         {h.program}",
+        f"format:          v{h.format}",
+        f"events:          {h.events:,}",
+        f"  calls:         {h.calls:,}",
+        f"  returns:       {returns:,}",
+        f"  allocs:        {h.allocs:,} ({h.alloc_bytes:,} bytes requested)",
+        f"  frees:         {h.frees:,}",
+        f"  reallocs:      {h.reallocs:,}",
+        f"  loads:         {h.loads:,}",
+        f"  stores:        {h.stores:,}",
+        f"  work:          {h.works:,}",
+        f"accessed bytes:  {h.access_bytes:,}",
+    ]
+
+
+def _cmd_trace_record(args: argparse.Namespace) -> int:
+    from .trace import record_workload
+
+    output = args.output
+    if output is None:
+        output = Path(f"{args.benchmark}-{args.scale}.trace")
+    started = time.perf_counter()
+    trace = record_workload(args.benchmark, scale=args.scale, seed=args.seed)
+    elapsed = time.perf_counter() - started
+    trace.save(output)
+    print(
+        f"recorded {args.benchmark} ({args.scale}): {trace.header.events:,} events "
+        f"in {elapsed:.2f}s"
+    )
+    print(f"wrote {output} ({output.stat().st_size:,} bytes)")
+    return 0
+
+
+def _cmd_trace_info(args: argparse.Namespace) -> int:
+    from .trace import EventTrace
+
+    trace = EventTrace.load(args.trace)
+    for line in trace_info_lines(trace):
+        print(line)
+    print(f"bytes on disk:   {args.trace.stat().st_size:,}")
+    return 0
+
+
+def _cmd_trace_replay(args: argparse.Namespace) -> int:
+    from .trace import EventTrace, TraceReplayer
+
+    trace = EventTrace.load(args.trace)
+    workload = get_workload(trace.header.workload)
+    replayer = TraceReplayer(trace, workload.program)
+    measurement = measure_baseline(
+        workload,
+        scale=trace.header.scale,
+        seed=args.seed,
+        driver=replayer.drive,
+    )
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ["cycles", f"{measurement.cycles:,.0f}"],
+                ["heap accesses", f"{measurement.accesses:,}"],
+                ["L1D misses", f"{measurement.cache.l1_misses:,}"],
+                ["L2 misses", f"{measurement.cache.l2_misses:,}"],
+                ["L3 misses", f"{measurement.cache.l3_misses:,}"],
+                ["DTLB misses", f"{measurement.cache.tlb_misses:,}"],
+                ["peak live bytes", f"{measurement.peak_live_bytes:,}"],
+            ],
+            title=(
+                f"{trace.header.workload} baseline ({trace.header.scale}) "
+                "[replayed from trace]"
+            ),
+        )
+    )
+    return 0
+
+
+def _parse_sweep_values(args: argparse.Namespace) -> tuple[str, list]:
+    """The (knob name, parsed value list) selected on a ``trace sweep``."""
+    if args.affinity_distance is not None:
+        return "affinity-distance", [int(v) for v in args.affinity_distance.split(",")]
+    if args.merge_tolerance is not None:
+        return "merge-tolerance", [float(v) for v in args.merge_tolerance.split(",")]
+    values = [None if v.lower() == "none" else int(v) for v in args.max_groups.split(",")]
+    return "max-groups", values
+
+
+def _cmd_trace_sweep(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
+    from .trace import EventTrace
+
+    trace = EventTrace.load(args.trace)
+    workload = get_workload(trace.header.workload)
+    knob, values = _parse_sweep_values(args)
+    base = reproduce.halo_params_for(workload)
+    if knob == "affinity-distance":
+        configs = [base.with_affinity_distance(v) for v in values]
+    elif knob == "merge-tolerance":
+        configs = [
+            replace(base, grouping=replace(base.grouping, merge_tolerance=v))
+            for v in values
+        ]
+    else:
+        configs = [replace(base, max_groups=v) for v in values]
+
+    started = time.perf_counter()
+    if args.jobs > 1:
+        from .harness.parallel import run_sweep_parallel
+
+        times = PhaseTimes()
+        points = run_sweep_parallel(
+            trace.header.workload,
+            configs,
+            jobs=args.jobs,
+            cache=cache_from_args(args),
+            phase_times=times,
+        )
+        rows = [
+            [str(v), str(p.groups), str(p.grouped_contexts), str(p.graph_nodes), str(p.monitored_sites)]
+            for v, p in zip(values, points)
+        ]
+    else:
+        from .core.selectors import monitored_sites
+        from .trace import sweep_pipeline
+
+        artifacts = sweep_pipeline(trace, workload.program, configs)
+        rows = [
+            [
+                str(v),
+                str(len(a.groups)),
+                str(sum(len(g.members) for g in a.groups)),
+                str(len(a.profile.graph)),
+                str(len(monitored_sites(a.identification.selectors))),
+            ]
+            for v, a in zip(values, artifacts)
+        ]
+    elapsed = time.perf_counter() - started
+    print(
+        format_table(
+            [knob, "groups", "grouped ctxs", "graph nodes", "monitored sites"],
+            rows,
+            title=(
+                f"{trace.header.workload}: {len(configs)}-point {knob} sweep "
+                "from one trace"
+            ),
+        )
+    )
+    print(f"\nswept {len(configs)} configs in {elapsed:.2f}s (no workload re-execution)")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    if args.trace_command == "record":
+        return _cmd_trace_record(args)
+    if args.trace_command == "info":
+        return _cmd_trace_info(args)
+    if args.trace_command == "replay":
+        return _cmd_trace_replay(args)
+    if args.trace_command == "sweep":
+        return _cmd_trace_sweep(args)
+    return 1  # pragma: no cover - argparse enforces choices
+
+
 def main(argv: Optional[list[str]] = None) -> int:
     """CLI entry point."""
     args = _build_parser().parse_args(argv)
@@ -307,6 +542,8 @@ def main(argv: Optional[list[str]] = None) -> int:
         return _cmd_plot(args)
     if args.command == "profile":
         return _cmd_profile(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     return 1  # pragma: no cover - argparse enforces choices
 
 

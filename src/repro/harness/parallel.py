@@ -24,22 +24,26 @@ import tempfile
 import time
 from concurrent.futures import Future, ProcessPoolExecutor
 from contextlib import contextmanager
-from dataclasses import dataclass
-from pathlib import Path
+from dataclasses import dataclass, field
 from typing import Iterator, Optional, Sequence
 
 from ..core.artifact_cache import ArtifactCache, artifact_key
-from ..core.pipeline import HaloParams
+from ..core.pipeline import HaloParams, optimise_profile
+from ..core.selectors import monitored_sites
 from ..hds.pipeline import HdsParams
+from ..trace.format import EventTrace
+from ..trace.replay import replay_profile
 from .experiment import TrialResult, aggregate_trials, trial_seeds
 from .prepare import (
     PROFILE_SCALE,
     PhaseTimes,
     PreparedArtifacts,
     WorkloadEvaluation,
+    get_or_record_trace,
     halo_params_for,
     hds_params_for,
     prepare_workload,
+    trace_key_for,
 )
 from .runner import (
     Measurement,
@@ -89,6 +93,35 @@ class PreparedSummary:
 
 #: Per-process memo of prepared artifacts, keyed by the artifact-cache key.
 _PREPARED: dict[str, PreparedArtifacts] = {}
+
+#: Per-process memo of decoded event traces, keyed by the trace cache key.
+#: Decoding is the expensive part of a warm replay, so each worker decodes
+#: a given workload's trace at most once regardless of how many sweep
+#: points it processes.
+_TRACES: dict[str, EventTrace] = {}
+
+
+def _trace_for(name: str, cache_dir: Optional[str]) -> tuple[EventTrace, PhaseTimes]:
+    """Fetch (or record) the event trace for *name* in this process.
+
+    Mirrors :func:`_prepared_for`: the returned :class:`PhaseTimes` covers
+    only work this call actually performed (zero on a memo hit).
+    """
+    key = trace_key_for(name)
+    memo = _TRACES.get(key)
+    if memo is not None:
+        return memo, PhaseTimes()
+    times = PhaseTimes()
+    cache = ArtifactCache(cache_dir) if cache_dir else None
+    trace = get_or_record_trace(name, cache=cache, times=times)
+    _TRACES[key] = trace
+    return trace, times
+
+
+def _record_trace_task(name: str, cache_dir: Optional[str]) -> tuple[str, int, PhaseTimes]:
+    """Worker entry point ensuring *name*'s trace exists in the shared cache."""
+    trace, times = _trace_for(name, cache_dir)
+    return name, trace.header.events, times
 
 
 def _prepared_for(
@@ -373,3 +406,88 @@ def table1_rows_parallel(
             phase_times.add(times)
         rows.append((row_name, fraction, wasted))
     return rows
+
+
+# -- trace-driven parameter sweeps --------------------------------------------
+
+
+@dataclass
+class SweepPoint:
+    """Offline-pipeline summary for one parameter configuration.
+
+    What a sweep wants to see per config: how the affinity graph and the
+    resulting grouping/instrumentation respond to the knobs.  All fields
+    derive from a trace replay — no workload execution is involved.
+    """
+
+    workload: str
+    affinity_distance: int
+    merge_tolerance: float
+    max_groups: Optional[int]
+    groups: int
+    grouped_contexts: int
+    graph_nodes: int
+    monitored_sites: int
+    times: PhaseTimes = field(default_factory=PhaseTimes)
+
+
+def _sweep_task(
+    name: str, halo_params: HaloParams, cache_dir: Optional[str]
+) -> SweepPoint:
+    """Worker entry point: one pipeline run from trace for one config."""
+    times = PhaseTimes()
+    trace, trace_times = _trace_for(name, cache_dir)
+    times.add(trace_times)
+    workload = get_workload(name)
+    start = time.perf_counter()
+    profile = replay_profile(trace, workload.program, halo_params)
+    times.profile += time.perf_counter() - start
+    times.trace_replays += 1
+    start = time.perf_counter()
+    artifacts = optimise_profile(profile, halo_params)
+    times.analyse += time.perf_counter() - start
+    return SweepPoint(
+        workload=name,
+        affinity_distance=halo_params.affinity.distance,
+        merge_tolerance=halo_params.grouping.merge_tolerance,
+        max_groups=halo_params.max_groups,
+        groups=len(artifacts.groups),
+        grouped_contexts=sum(len(g.members) for g in artifacts.groups),
+        graph_nodes=len(profile.graph),
+        monitored_sites=len(monitored_sites(artifacts.identification.selectors)),
+        times=times,
+    )
+
+
+def run_sweep_parallel(
+    name: str,
+    configs: Sequence[HaloParams],
+    jobs: int = 2,
+    cache: Optional[ArtifactCache] = None,
+    phase_times: Optional[PhaseTimes] = None,
+) -> list[SweepPoint]:
+    """Fan a trace-driven parameter sweep out over worker processes.
+
+    The workload is recorded at most once (a first wave populates the
+    shared trace cache); every configuration then replays the recording.
+    Point order follows *configs*.
+    """
+    if jobs < 1:
+        raise ValueError(f"need at least one job, got {jobs}")
+    total = PhaseTimes()
+    with _effective_cache_dir(cache) as cache_dir:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            _, _, record_times = pool.submit(
+                _record_trace_task, name, cache_dir
+            ).result()
+            total.add(record_times)
+            futures = [
+                pool.submit(_sweep_task, name, config, cache_dir)
+                for config in configs
+            ]
+            points = [future.result() for future in futures]
+    for point in points:
+        total.add(point.times)
+    if phase_times is not None:
+        phase_times.add(total)
+    return points

@@ -21,6 +21,9 @@ from ..core.artifact_cache import ArtifactCache, artifact_key
 from ..core.pipeline import HaloArtifacts, HaloParams, optimise_profile, profile_workload
 from ..hds.pipeline import HdsArtifacts, HdsParams, analyse_profile
 from ..profiling.profiler import ProfileResult
+from ..trace.format import EventTrace
+from ..trace.record import record_workload
+from ..trace.replay import replay_profile
 from ..workloads.base import Workload, get_workload
 from .experiment import TrialResult, miss_reduction, speedup
 
@@ -56,17 +59,25 @@ class PhaseTimes:
     profile: float = 0.0
     analyse: float = 0.0
     measure: float = 0.0
+    #: Wall-time spent recording event traces (a one-off per workload).
+    record: float = 0.0
     #: Artifact-cache traffic observed while accumulating.
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Event-trace traffic: fresh recordings vs profile replays from trace.
+    trace_records: int = 0
+    trace_replays: int = 0
 
     def add(self, other: "PhaseTimes") -> None:
         """Fold *other*'s counters into this one."""
         self.profile += other.profile
         self.analyse += other.analyse
         self.measure += other.measure
+        self.record += other.record
         self.cache_hits += other.cache_hits
         self.cache_misses += other.cache_misses
+        self.trace_records += other.trace_records
+        self.trace_replays += other.trace_replays
 
     def report(self, wall: Optional[float] = None) -> str:
         """One-line human-readable report."""
@@ -75,12 +86,63 @@ class PhaseTimes:
             f"analyse {self.analyse:8.2f}s",
             f"measure {self.measure:8.2f}s",
         ]
+        if self.record:
+            parts.append(f"record {self.record:8.2f}s")
         if self.cache_hits or self.cache_misses:
             parts.append(f"cache {self.cache_hits} hit / {self.cache_misses} miss")
+        if self.trace_records or self.trace_replays:
+            parts.append(
+                f"trace {self.trace_records} recorded / {self.trace_replays} replayed"
+            )
         line = "phase wall-time:  " + "   ".join(parts)
         if wall is not None:
             line += f"   (elapsed {wall:.2f}s)"
         return line
+
+
+def trace_key_for(name: str, scale: str = PROFILE_SCALE) -> str:
+    """Cache key of the event trace for (*name*, *scale*).
+
+    Deliberately excludes every HALO/HDS parameter: the recorded event
+    stream is a pure function of the workload and scale, so one cached
+    trace serves all parameter configurations — that sharing is the whole
+    point of trace-driven re-runs.
+    """
+    return artifact_key(
+        workload=name, profile_scale=scale, kind="event-trace"
+    )
+
+
+def get_or_record_trace(
+    name: str,
+    cache: Optional[ArtifactCache] = None,
+    workload: Optional[Workload] = None,
+    scale: str = PROFILE_SCALE,
+    times: Optional[PhaseTimes] = None,
+) -> EventTrace:
+    """Fetch the event trace for *name* from *cache*, recording on a miss.
+
+    The freshly recorded trace is stored back (when a cache is present) so
+    later preparations — in this or any worker process, under any
+    parameter configuration — replay instead of re-executing.
+    """
+    key = trace_key_for(name, scale)
+    if cache is not None:
+        cached = cache.get(key)
+        if isinstance(cached, EventTrace):
+            if times is not None:
+                times.cache_hits += 1
+            return cached
+        if times is not None:
+            times.cache_misses += 1
+    start = time.perf_counter()
+    trace = record_workload(workload if workload is not None else name, scale=scale)
+    if times is not None:
+        times.record += time.perf_counter() - start
+        times.trace_records += 1
+    if cache is not None:
+        cache.put(key, trace)
+    return trace
 
 
 @dataclass
@@ -107,6 +169,8 @@ def prepare_workload(
     include_hds: bool = True,
     cache: Optional[ArtifactCache] = None,
     workload: Optional[Workload] = None,
+    trace: Optional[EventTrace] = None,
+    use_trace: Optional[bool] = None,
 ) -> PreparedArtifacts:
     """Profile *name* and derive HALO (and optionally HDS) artifacts.
 
@@ -114,6 +178,13 @@ def prepare_workload(
     artifacts, whether they run in this process, a worker process, or are
     replayed from the cache — which is what lets the parallel engine and
     the warm-cache path reproduce the serial results bit-for-bit.
+
+    When an event *trace* is supplied (or ``use_trace`` enables the
+    trace-driven path — the default whenever a cache is available), the
+    profile is obtained by replaying the recorded event stream instead of
+    re-executing the workload.  Replay is bit-identical to direct
+    profiling, and the trace's cache key excludes all HALO/HDS parameters,
+    so sweeping parameters re-records nothing.
     """
     workload = workload if workload is not None else get_workload(name)
     halo_params = halo_params or halo_params_for(workload)
@@ -158,9 +229,23 @@ def prepare_workload(
             return prepared
         times.cache_misses += 1
 
-    start = time.perf_counter()
-    profile = profile_workload(workload, halo_params, scale=PROFILE_SCALE, record_trace=True)
-    times.profile += time.perf_counter() - start
+    if use_trace is None:
+        use_trace = trace is not None or cache is not None
+    if use_trace:
+        if trace is None:
+            trace = get_or_record_trace(
+                name, cache=cache, workload=workload, times=times
+            )
+        start = time.perf_counter()
+        profile = replay_profile(trace, workload.program, halo_params, record_trace=True)
+        times.profile += time.perf_counter() - start
+        times.trace_replays += 1
+    else:
+        start = time.perf_counter()
+        profile = profile_workload(
+            workload, halo_params, scale=PROFILE_SCALE, record_trace=True
+        )
+        times.profile += time.perf_counter() - start
 
     start = time.perf_counter()
     halo = optimise_profile(profile, halo_params)

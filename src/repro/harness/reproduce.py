@@ -31,7 +31,7 @@ from .runner import (
     measure_hds,
     measure_random_pools,
 )
-from .experiment import TrialResult, miss_reduction, run_trials, speedup
+from .experiment import run_trials
 from .prepare import (
     PhaseTimes,
     WorkloadEvaluation,

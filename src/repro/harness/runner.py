@@ -83,8 +83,17 @@ def run_measurement(
     instrumentation: Optional[dict[int, int]] = None,
     state_vector=None,
     attach: Optional[Callable[[Machine], None]] = None,
+    driver: Optional[Callable[[Machine], None]] = None,
 ) -> Measurement:
-    """Run *workload* once under the given allocator factory and measure it."""
+    """Run *workload* once under the given allocator factory and measure it.
+
+    When *driver* is given it replaces the workload body: it receives the
+    fully configured machine and is responsible for driving it to
+    ``finish`` — e.g. ``TraceReplayer(trace, workload.program).drive``
+    re-runs a recorded execution, which produces measurements
+    bit-identical to executing the workload at the recorded scale (pass
+    the matching *scale* so the result is labelled correctly).
+    """
     cost_model = cost_model or CostModel()
     space = AddressSpace(seed)
     allocator = make_allocator(space)
@@ -100,7 +109,10 @@ def run_measurement(
     )
     if attach is not None:
         attach(machine)
-    workload.run(machine, scale)
+    if driver is not None:
+        driver(machine)
+    else:
+        workload.run(machine, scale)
     cache = memory.snapshot()
     metrics = machine.metrics
     return Measurement(

@@ -52,5 +52,14 @@ class Listener:
     ) -> None:
         """A load or store hit *size* bytes at *offset* within *obj*."""
 
+    def on_work(self, machine: "Machine", cycles: float) -> None:
+        """The workload accounted *cycles* of non-memory compute.
+
+        Needed by observers that reconstruct complete executions (the
+        event-trace recorder): compute cycles are part of the cost model, so
+        a replay that dropped them could not reproduce measured cycle
+        counts.
+        """
+
     def on_finish(self, machine: "Machine") -> None:
         """The workload finished executing."""

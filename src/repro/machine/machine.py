@@ -80,6 +80,72 @@ class GroupStateVector:
         return bool(self.value >> bit & 1)
 
 
+class _ListenerList(list):
+    """Listener container that keeps the machine's dispatch fast path fresh.
+
+    The machine skips listener dispatch entirely when none are registered,
+    via a cached dispatch tuple (``Machine._dispatch``).  Any mutation of
+    the listener list — including a registration made *mid-run*, while
+    events are already flowing — must invalidate that cache, or the new
+    listener would silently miss every subsequent event.  This subclass
+    rebuilds the cache on every mutating operation, so plain
+    ``machine.listeners.append(listener)`` stays safe.
+    """
+
+    __slots__ = ("_machine",)
+
+    def __init__(self, machine: "Machine", iterable: Iterable[Listener] = ()) -> None:
+        super().__init__(iterable)
+        self._machine = machine
+
+    def _refresh(self) -> None:
+        self._machine._dispatch = tuple(self)
+
+    def append(self, listener: Listener) -> None:
+        """Register *listener* and refresh the dispatch fast path."""
+        super().append(listener)
+        self._refresh()
+
+    def extend(self, listeners: Iterable[Listener]) -> None:
+        """Register each listener and refresh the dispatch fast path."""
+        super().extend(listeners)
+        self._refresh()
+
+    def insert(self, index: int, listener: Listener) -> None:
+        """Insert *listener* at *index* and refresh the dispatch fast path."""
+        super().insert(index, listener)
+        self._refresh()
+
+    def remove(self, listener: Listener) -> None:
+        """Deregister *listener* and refresh the dispatch fast path."""
+        super().remove(listener)
+        self._refresh()
+
+    def pop(self, index: int = -1) -> Listener:
+        """Remove and return the listener at *index*, refreshing dispatch."""
+        listener = super().pop(index)
+        self._refresh()
+        return listener
+
+    def clear(self) -> None:
+        """Deregister every listener and refresh the dispatch fast path."""
+        super().clear()
+        self._refresh()
+
+    def __setitem__(self, index, listener) -> None:
+        super().__setitem__(index, listener)
+        self._refresh()
+
+    def __delitem__(self, index) -> None:
+        super().__delitem__(index)
+        self._refresh()
+
+    def __iadd__(self, listeners):
+        result = super().__iadd__(listeners)
+        self._refresh()
+        return result
+
+
 class _CallScope:
     """Context manager for one simulated call through a site.
 
@@ -110,7 +176,7 @@ class _CallScope:
         if bit is not None:
             machine.state_vector.set(bit)
             metrics.instrumentation_toggles += 1
-        listeners = machine.listeners
+        listeners = machine._dispatch
         if listeners:
             for listener in listeners:
                 listener.on_call(machine, resolved)
@@ -118,7 +184,7 @@ class _CallScope:
     def __exit__(self, exc_type, exc, tb) -> bool:
         machine = self._machine
         resolved = self._resolved
-        listeners = machine.listeners
+        listeners = machine._dispatch
         if listeners:
             for listener in listeners:
                 listener.on_return(machine, resolved)
@@ -160,13 +226,40 @@ class Machine:
         self.program = program
         self.allocator = allocator
         self.memory = memory
-        self.listeners: list[Listener] = list(listeners)
+        #: Dispatch fast path: a tuple snapshot of the listener list, kept
+        #: in sync by :class:`_ListenerList` / the ``listeners`` setter so a
+        #: mid-run registration can never miss events.
+        self._dispatch: tuple[Listener, ...] = ()
+        self.listeners = listeners  # property setter wraps + refreshes
         self.instrumentation = dict(instrumentation or {})
         self.state_vector = state_vector if state_vector is not None else GroupStateVector()
         self.objects = ObjectTable()
         self.metrics = MachineMetrics()
         #: The true dynamic call stack, innermost last.
         self.stack: list[CallSite] = []
+
+    # ------------------------------------------------------------------
+    # Listener registration
+    # ------------------------------------------------------------------
+
+    @property
+    def listeners(self) -> "_ListenerList":
+        """The registered event observers (mutations stay dispatch-safe)."""
+        return self._listeners
+
+    @listeners.setter
+    def listeners(self, value: Iterable[Listener]) -> None:
+        self._listeners = _ListenerList(self, value)
+        self._dispatch = tuple(self._listeners)
+
+    def add_listener(self, listener: Listener) -> Listener:
+        """Register *listener* (valid mid-run: it sees all later events)."""
+        self._listeners.append(listener)
+        return listener
+
+    def remove_listener(self, listener: Listener) -> None:
+        """Deregister *listener*; it receives no further events."""
+        self._listeners.remove(listener)
 
     # ------------------------------------------------------------------
     # Control flow
@@ -201,7 +294,7 @@ class Machine:
         addr = self.allocator.malloc(size)
         obj = self.objects.create(addr, size)
         self.metrics.allocs += 1
-        listeners = self.listeners
+        listeners = self._dispatch
         if listeners:
             for listener in listeners:
                 listener.on_alloc(self, obj)
@@ -218,7 +311,7 @@ class Machine:
     def free(self, obj: HeapObject) -> None:
         """Free *obj*."""
         obj.check_alive()
-        for listener in self.listeners:
+        for listener in self._dispatch:
             listener.on_free(self, obj)
         self.allocator.free(obj.addr)
         self.objects.destroy(obj)
@@ -233,7 +326,7 @@ class Machine:
         new_addr = self.allocator.realloc(obj.addr, new_size)
         self.objects.move(obj, new_addr, new_size)
         self.metrics.reallocs += 1
-        for listener in self.listeners:
+        for listener in self._dispatch:
             listener.on_realloc(self, obj, old_addr, old_size)
         return obj
 
@@ -267,7 +360,7 @@ class Machine:
         memory = self.memory
         if memory is not None:
             memory.access(addr, size, is_store)
-        listeners = self.listeners
+        listeners = self._dispatch
         if listeners:
             for listener in listeners:
                 listener.on_access(self, obj, offset, size, is_store)
@@ -275,6 +368,10 @@ class Machine:
     def work(self, cycles: float) -> None:
         """Account *cycles* of non-memory compute (models instruction work)."""
         self.metrics.compute_cycles += cycles
+        listeners = self._dispatch
+        if listeners:
+            for listener in listeners:
+                listener.on_work(self, cycles)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -282,5 +379,5 @@ class Machine:
 
     def finish(self) -> None:
         """Signal end of run to listeners."""
-        for listener in self.listeners:
+        for listener in self._dispatch:
             listener.on_finish(self)

@@ -1,0 +1,60 @@
+"""Machine-event trace subsystem: record once, re-run the pipeline many times.
+
+The paper's pipeline re-executes its workload for every profiling and
+measurement run.  This package removes that cost the way trace-driven
+binary-optimisation pipelines do: a :class:`TraceRecorder` captures the
+complete machine-event stream (calls, returns, allocations, frees,
+reallocations, heap accesses, compute work) into a compact varint/delta
+binary format, and a :class:`TraceReplayer` (or the lightweight
+:func:`replay_profile`) re-drives the affinity profiler, the HDS pipeline,
+and full allocator/cache measurements directly from the recording.
+
+Because workloads are deterministic in ``(name, scale)`` and never observe
+heap addresses, one trace per workload serves *every* parameter
+configuration — see :mod:`repro.trace.sweep` for the record-once,
+sweep-many helpers.
+"""
+
+from .access import (
+    AccessTrace,
+    AccessTraceRecorder,
+    derive_access_trace,
+    replay_geometries,
+)
+from .format import (
+    EventTrace,
+    TraceFormatError,
+    TraceHeader,
+    TraceReader,
+    TraceWriter,
+)
+from .record import TraceRecorder, record_workload
+from .replay import TraceReplayer, replay_profile
+from .sweep import (
+    sweep_affinity_distances,
+    sweep_cache_geometries,
+    sweep_group_counts,
+    sweep_merge_tolerances,
+    sweep_pipeline,
+)
+
+__all__ = [
+    "AccessTrace",
+    "AccessTraceRecorder",
+    "EventTrace",
+    "TraceFormatError",
+    "TraceHeader",
+    "TraceReader",
+    "TraceRecorder",
+    "TraceReplayer",
+    "TraceWriter",
+    "derive_access_trace",
+    "record_workload",
+    "replay_geometries",
+    "replay_profile",
+    "sweep_affinity_distances",
+    "sweep_cache_geometries",
+    "sweep_group_counts",
+    "sweep_merge_tolerances",
+    "sweep_pipeline",
+]

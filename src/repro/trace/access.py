@@ -1,0 +1,136 @@
+"""Byte-address access traces for cache-geometry what-if studies.
+
+This is the *placement-dependent* view of an execution: a flat array of
+(absolute address, size) pairs, replayable through any number of cache
+geometries without re-running anything — the tool behind the §5.2
+cache-pressure analysis ("on less sophisticated machines, the observed
+speedups may be significantly larger").
+
+It complements the placement-*independent* event trace of
+:mod:`repro.trace.format`: an :class:`AccessTrace` can be captured live
+(attach an :class:`AccessTraceRecorder`) or derived from a recorded event
+trace plus an allocator configuration via :func:`derive_access_trace` —
+one event recording concretises into a different address trace per
+allocator, which is exactly the placement-vs-behaviour split the paper's
+offline/online boundary rests on.
+
+Traces are stored as flat numpy arrays, so a ref-scale run costs a few MiB.
+
+(Relocated from ``repro.harness.tracer``, which remains as a re-export.)
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from ..cache.hierarchy import CacheHierarchy, HierarchyConfig, HierarchyStats
+from ..machine.events import Listener
+from ..machine.machine import Machine
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..machine.program import Program
+    from .format import EventTrace
+
+
+class AccessTraceRecorder(Listener):
+    """Listener recording every heap access as (address, size)."""
+
+    def __init__(self) -> None:
+        self._addresses: list[int] = []
+        self._sizes: list[int] = []
+
+    def on_access(self, machine: Machine, obj, offset: int, size: int, is_store: bool) -> None:
+        """Append the access's absolute address and byte size."""
+        self._addresses.append(obj.addr + offset)
+        self._sizes.append(size)
+
+    def trace(self) -> "AccessTrace":
+        """Freeze the recording into an immutable trace."""
+        return AccessTrace(
+            np.asarray(self._addresses, dtype=np.int64),
+            np.asarray(self._sizes, dtype=np.int32),
+        )
+
+    def __len__(self) -> int:
+        return len(self._addresses)
+
+
+class AccessTrace:
+    """An immutable byte-level access trace."""
+
+    def __init__(self, addresses: np.ndarray, sizes: np.ndarray) -> None:
+        if addresses.shape != sizes.shape:
+            raise ValueError("addresses and sizes must have equal length")
+        self.addresses = addresses
+        self.sizes = sizes
+
+    def __len__(self) -> int:
+        return int(self.addresses.shape[0])
+
+    def line_stream(self, line_size: int = 64) -> np.ndarray:
+        """The trace as a flat array of line addresses (straddles expanded).
+
+        Computed vectorised: for each access, the lines from
+        ``addr >> shift`` to ``(addr + size - 1) >> shift`` inclusive.
+        """
+        shift = line_size.bit_length() - 1
+        first = self.addresses >> shift
+        last = (self.addresses + self.sizes - 1) >> shift
+        spans = (last - first + 1).astype(np.int64)
+        if not len(self):
+            return np.empty(0, dtype=np.int64)
+        # Expand [first, last] ranges with a repeat + cumulative offset trick.
+        total = int(spans.sum())
+        starts = np.repeat(first, spans)
+        offsets = np.arange(total) - np.repeat(np.cumsum(spans) - spans, spans)
+        return starts + offsets
+
+    def replay(self, config: HierarchyConfig | None = None) -> HierarchyStats:
+        """Drive a fresh hierarchy with this trace and return its counters."""
+        hierarchy = CacheHierarchy(config)
+        l1 = hierarchy.l1.access_line
+        l2 = hierarchy.l2.access_line
+        l3 = hierarchy.l3.access_line
+        tlb = hierarchy.tlb.access_page
+        page_shift = hierarchy.config.page_size.bit_length() - 1
+        line_shift = hierarchy.config.line_size.bit_length() - 1
+        for line in self.line_stream(hierarchy.config.line_size).tolist():
+            if not l1(line):
+                if not l2(line):
+                    l3(line)
+            tlb(line << line_shift >> page_shift)
+        return hierarchy.snapshot()
+
+
+def replay_geometries(
+    trace: AccessTrace, configs: Sequence[HierarchyConfig]
+) -> list[HierarchyStats]:
+    """Replay *trace* through each geometry in *configs*."""
+    return [trace.replay(config) for config in configs]
+
+
+def derive_access_trace(
+    trace: "EventTrace",
+    program: "Program",
+    make_allocator=None,
+    seed: int = 0,
+) -> AccessTrace:
+    """Concretise an event trace into a byte-address trace.
+
+    Replays the placement-independent event stream through a real allocator
+    (default: the jemalloc-like size-class baseline) so every access gains
+    an absolute address.  Different allocator factories or seeds yield
+    different address traces from the same recording.
+    """
+    from ..allocators.base import AddressSpace
+    from ..allocators.size_class import SizeClassAllocator
+    from .replay import TraceReplayer
+
+    if make_allocator is None:
+        make_allocator = SizeClassAllocator
+    recorder = AccessTraceRecorder()
+    machine = Machine(program, make_allocator(AddressSpace(seed)), listeners=[recorder])
+    TraceReplayer(trace, program).drive(machine)
+    return recorder.trace()

@@ -1,0 +1,611 @@
+"""Compact binary machine-event trace format.
+
+A trace captures the *complete* event stream of one workload execution at
+the machine-API level — calls, returns, allocations, reallocations, frees,
+heap accesses, and compute-cycle accounting — which is exactly the
+information the Pin tool of the paper extracts from a live process
+(Section 4.1).  Because the simulated workloads are deterministic given
+``(name, scale)`` and never observe heap addresses, one recorded trace
+re-drives the profiler, the HDS pipeline, and any allocator/cache
+configuration without re-interpreting the workload program, the same way
+BOLT-style pipelines decouple one-time profile collection from many
+optimisation passes.
+
+Wire format
+-----------
+
+The container is ``MAGIC | header-length (u32 LE) | header JSON | flags |
+body``.  The header carries workload identity and per-opcode event counts
+(written at close, so ``trace info`` never decodes the body).  The body is
+a zlib-compressed stream of varint/delta-encoded events:
+
+* integers use LEB128 (unsigned) or zigzag-LEB128 (signed deltas);
+* ``CALL`` encodes the site address as a delta against the previous call's
+  address (call sites cluster tightly in the synthetic text segment);
+* object ids in ``LOAD``/``STORE``/``FREE``/``REALLOC`` are deltas against
+  the most recently referenced object id; ``ALLOC`` omits the id entirely —
+  ids are assigned sequentially from zero, mirroring the machine's
+  :class:`~repro.machine.heap.ObjectTable`;
+* ``WORK`` cycles are a varint when integral, a raw little-endian float64
+  otherwise, preserving bit-identical ``compute_cycles`` on replay.
+
+A ref-scale run costs a few MiB compressed.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import BinaryIO, Iterator, Optional, Union
+
+MAGIC = b"HALOTRC1"
+FORMAT_VERSION = 1
+
+#: Body-encoding flag: zlib-compressed event stream.
+FLAG_ZLIB = 0x01
+
+# Event opcodes (wire values; also the tags of decoded event tuples).
+OP_CALL = 0
+OP_RETURN = 1
+OP_ALLOC = 2
+OP_FREE = 3
+OP_REALLOC = 4
+OP_LOAD = 5
+OP_STORE = 6
+OP_WORK = 7       # integral cycles, varint-encoded
+OP_WORK_F64 = 8   # non-integral cycles, raw float64 (decoded as OP_WORK)
+OP_END = 9
+
+_F64 = struct.Struct("<d")
+_U32 = struct.Struct("<I")
+
+#: Flush the raw event buffer into the compressor at this size.
+_FLUSH_THRESHOLD = 1 << 16
+
+
+class TraceFormatError(Exception):
+    """Raised for malformed or unsupported trace containers."""
+
+
+@dataclass
+class TraceHeader:
+    """Identity and summary statistics of one recorded execution.
+
+    The counts are per-opcode event totals; ``alloc_bytes`` sums requested
+    allocation sizes and ``access_bytes`` sums load/store widths, giving
+    ``trace info`` a footprint summary without decoding the body.
+    """
+
+    workload: str = ""
+    scale: str = "test"
+    seed: int = 0
+    program: str = ""
+    format: int = FORMAT_VERSION
+    events: int = 0
+    calls: int = 0
+    allocs: int = 0
+    frees: int = 0
+    reallocs: int = 0
+    loads: int = 0
+    stores: int = 0
+    works: int = 0
+    alloc_bytes: int = 0
+    access_bytes: int = 0
+    extra: dict = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        """Canonical JSON form written into the container."""
+        payload = {k: v for k, v in self.__dict__.items()}
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+    @staticmethod
+    def from_json(text: str) -> "TraceHeader":
+        """Parse a header from its container JSON."""
+        data = json.loads(text)
+        header = TraceHeader()
+        for key, value in data.items():
+            if hasattr(header, key):
+                setattr(header, key, value)
+        return header
+
+
+def encode_uvarint(value: int) -> bytes:
+    """LEB128-encode a non-negative integer (helper for tests/tools)."""
+    if value < 0:
+        raise ValueError(f"uvarint cannot encode negative value {value}")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def zigzag(value: int) -> int:
+    """Map a signed integer to the unsigned zigzag domain."""
+    return (value << 1) if value >= 0 else ((-value << 1) - 1)
+
+
+def unzigzag(value: int) -> int:
+    """Inverse of :func:`zigzag`."""
+    return (value >> 1) if not value & 1 else -((value + 1) >> 1)
+
+
+class TraceWriter:
+    """Streaming encoder for one machine-event stream.
+
+    Events are appended through the ``call``/``ret``/``alloc``/... methods
+    (typically by :class:`~repro.trace.record.TraceRecorder`), encoded
+    incrementally into a zlib compressor, and finalised by :meth:`close`
+    into an :class:`EventTrace`.  Memory stays bounded by the compressed
+    size, so ref-scale recordings do not hold the raw stream.
+    """
+
+    def __init__(
+        self,
+        workload: str = "",
+        scale: str = "test",
+        seed: int = 0,
+        program: str = "",
+    ) -> None:
+        self.header = TraceHeader(
+            workload=workload, scale=scale, seed=seed, program=program
+        )
+        self._buffer = bytearray()
+        self._compressor = zlib.compressobj(6)
+        self._chunks: list[bytes] = []
+        self._last_call_addr = 0
+        self._last_oid = 0
+        self._next_oid = 0
+        self._closed = False
+        self._trace: Optional[EventTrace] = None
+
+    # -- low-level emit ----------------------------------------------------
+
+    def _emit_uvarint(self, value: int) -> None:
+        buffer = self._buffer
+        while True:
+            byte = value & 0x7F
+            value >>= 7
+            if value:
+                buffer.append(byte | 0x80)
+            else:
+                buffer.append(byte)
+                break
+
+    def _maybe_flush(self) -> None:
+        if len(self._buffer) >= _FLUSH_THRESHOLD:
+            self._chunks.append(self._compressor.compress(bytes(self._buffer)))
+            self._buffer.clear()
+
+    # -- event emitters ----------------------------------------------------
+
+    def call(self, site_addr: int) -> None:
+        """Record control entering the call site at *site_addr*."""
+        self._buffer.append(OP_CALL)
+        self._emit_uvarint(zigzag(site_addr - self._last_call_addr))
+        self._last_call_addr = site_addr
+        header = self.header
+        header.events += 1
+        header.calls += 1
+        self._maybe_flush()
+
+    def ret(self) -> None:
+        """Record control returning past the innermost recorded call."""
+        self._buffer.append(OP_RETURN)
+        self.header.events += 1
+        self._maybe_flush()
+
+    def alloc(self, size: int) -> int:
+        """Record an allocation of *size* bytes; returns its implicit oid."""
+        self._buffer.append(OP_ALLOC)
+        self._emit_uvarint(size)
+        oid = self._next_oid
+        self._next_oid = oid + 1
+        self._last_oid = oid
+        header = self.header
+        header.events += 1
+        header.allocs += 1
+        header.alloc_bytes += size
+        self._maybe_flush()
+        return oid
+
+    def free(self, oid: int) -> None:
+        """Record the free of object *oid*."""
+        self._buffer.append(OP_FREE)
+        self._emit_uvarint(zigzag(oid - self._last_oid))
+        self._last_oid = oid
+        header = self.header
+        header.events += 1
+        header.frees += 1
+        self._maybe_flush()
+
+    def realloc(self, oid: int, new_size: int) -> None:
+        """Record the reallocation of object *oid* to *new_size* bytes."""
+        self._buffer.append(OP_REALLOC)
+        self._emit_uvarint(zigzag(oid - self._last_oid))
+        self._emit_uvarint(new_size)
+        self._last_oid = oid
+        header = self.header
+        header.events += 1
+        header.reallocs += 1
+        self._maybe_flush()
+
+    def access(self, oid: int, offset: int, size: int, is_store: bool) -> None:
+        """Record a load or store of *size* bytes at *offset* in *oid*."""
+        buffer = self._buffer
+        buffer.append(OP_STORE if is_store else OP_LOAD)
+        delta = oid - self._last_oid
+        self._last_oid = oid
+        self._emit_uvarint((delta << 1) if delta >= 0 else ((-delta << 1) - 1))
+        self._emit_uvarint(offset)
+        self._emit_uvarint(size)
+        header = self.header
+        header.events += 1
+        if is_store:
+            header.stores += 1
+        else:
+            header.loads += 1
+        header.access_bytes += size
+        if len(buffer) >= _FLUSH_THRESHOLD:
+            self._chunks.append(self._compressor.compress(bytes(buffer)))
+            buffer.clear()
+
+    def work(self, cycles: float) -> None:
+        """Record *cycles* of non-memory compute."""
+        as_int = int(cycles)
+        if as_int == cycles and 0 <= as_int < (1 << 53):
+            self._buffer.append(OP_WORK)
+            self._emit_uvarint(as_int)
+        else:
+            self._buffer.append(OP_WORK_F64)
+            self._buffer.extend(_F64.pack(cycles))
+        header = self.header
+        header.events += 1
+        header.works += 1
+        self._maybe_flush()
+
+    def end(self) -> None:
+        """Record the end-of-run marker (the machine's ``finish``)."""
+        self._buffer.append(OP_END)
+        self.header.events += 1
+
+    # -- finalisation ------------------------------------------------------
+
+    def close(self) -> "EventTrace":
+        """Finalise the stream and return the completed trace (idempotent)."""
+        if not self._closed:
+            if self._buffer:
+                self._chunks.append(self._compressor.compress(bytes(self._buffer)))
+                self._buffer.clear()
+            self._chunks.append(self._compressor.flush())
+            self._closed = True
+            self._trace = EventTrace(self.header, b"".join(self._chunks))
+            self._chunks.clear()
+        assert self._trace is not None
+        return self._trace
+
+
+def _decode_into(
+    data: Union[bytes, bytearray, memoryview],
+    pos: int,
+    end: int,
+    out: list,
+    state: list,
+) -> int:
+    """Decode complete events from ``data[pos:end]`` into *out*.
+
+    *state* is the mutable ``[last_call_addr, last_oid, next_oid]`` decoder
+    state, updated in place.  Returns the offset one past the last *fully*
+    decoded event; a trailing partial event (possible when streaming
+    chunk-by-chunk) is left for the next call.
+    """
+    last_addr, last_oid, next_oid = state
+    append = out.append
+    good = pos
+    try:
+        while pos < end:
+            op = data[pos]
+            pos += 1
+            if op == OP_LOAD or op == OP_STORE:
+                result = data[pos]
+                pos += 1
+                if result & 0x80:
+                    result &= 0x7F
+                    shift = 7
+                    while True:
+                        byte = data[pos]
+                        pos += 1
+                        result |= (byte & 0x7F) << shift
+                        if not byte & 0x80:
+                            break
+                        shift += 7
+                last_oid += (result >> 1) if not result & 1 else -((result + 1) >> 1)
+                offset = data[pos]
+                pos += 1
+                if offset & 0x80:
+                    offset &= 0x7F
+                    shift = 7
+                    while True:
+                        byte = data[pos]
+                        pos += 1
+                        offset |= (byte & 0x7F) << shift
+                        if not byte & 0x80:
+                            break
+                        shift += 7
+                size = data[pos]
+                pos += 1
+                if size & 0x80:
+                    size &= 0x7F
+                    shift = 7
+                    while True:
+                        byte = data[pos]
+                        pos += 1
+                        size |= (byte & 0x7F) << shift
+                        if not byte & 0x80:
+                            break
+                        shift += 7
+                append((op, last_oid, offset, size))
+            elif op == OP_CALL:
+                result = 0
+                shift = 0
+                while True:
+                    byte = data[pos]
+                    pos += 1
+                    result |= (byte & 0x7F) << shift
+                    if not byte & 0x80:
+                        break
+                    shift += 7
+                last_addr += (result >> 1) if not result & 1 else -((result + 1) >> 1)
+                append((OP_CALL, last_addr))
+            elif op == OP_RETURN:
+                append(_RETURN_EVENT)
+            elif op == OP_WORK:
+                result = 0
+                shift = 0
+                while True:
+                    byte = data[pos]
+                    pos += 1
+                    result |= (byte & 0x7F) << shift
+                    if not byte & 0x80:
+                        break
+                    shift += 7
+                append((OP_WORK, float(result)))
+            elif op == OP_ALLOC:
+                result = 0
+                shift = 0
+                while True:
+                    byte = data[pos]
+                    pos += 1
+                    result |= (byte & 0x7F) << shift
+                    if not byte & 0x80:
+                        break
+                    shift += 7
+                last_oid = next_oid
+                next_oid += 1
+                append((OP_ALLOC, result))
+            elif op == OP_FREE:
+                result = 0
+                shift = 0
+                while True:
+                    byte = data[pos]
+                    pos += 1
+                    result |= (byte & 0x7F) << shift
+                    if not byte & 0x80:
+                        break
+                    shift += 7
+                last_oid += (result >> 1) if not result & 1 else -((result + 1) >> 1)
+                append((OP_FREE, last_oid))
+            elif op == OP_REALLOC:
+                result = 0
+                shift = 0
+                while True:
+                    byte = data[pos]
+                    pos += 1
+                    result |= (byte & 0x7F) << shift
+                    if not byte & 0x80:
+                        break
+                    shift += 7
+                last_oid += (result >> 1) if not result & 1 else -((result + 1) >> 1)
+                result = 0
+                shift = 0
+                while True:
+                    byte = data[pos]
+                    pos += 1
+                    result |= (byte & 0x7F) << shift
+                    if not byte & 0x80:
+                        break
+                    shift += 7
+                append((OP_REALLOC, last_oid, result))
+            elif op == OP_WORK_F64:
+                if pos + 8 > end:
+                    raise IndexError("partial float64")
+                append((OP_WORK, _F64.unpack_from(data, pos)[0]))
+                pos += 8
+            elif op == OP_END:
+                append(_END_EVENT)
+            else:
+                raise TraceFormatError(f"unknown opcode {op} at offset {pos - 1}")
+            good = pos
+    except IndexError:
+        pass  # partial trailing event: resume from `good` with more data
+    state[0] = last_addr
+    state[1] = last_oid
+    state[2] = next_oid
+    return good
+
+
+_RETURN_EVENT = (OP_RETURN,)
+_END_EVENT = (OP_END,)
+
+
+class EventTrace:
+    """An immutable recorded event stream plus its identifying header.
+
+    The compressed body is the canonical representation (what travels
+    through the artifact cache and trace files); :meth:`events` decodes it
+    once into a list of event tuples and caches the result, so repeated
+    replays — the parameter-sweep case — pay the decode cost a single time.
+    """
+
+    def __init__(self, header: TraceHeader, body: bytes, flags: int = FLAG_ZLIB) -> None:
+        self.header = header
+        self.body = body
+        self.flags = flags
+        self._events: Optional[list[tuple]] = None
+
+    def __len__(self) -> int:
+        return self.header.events
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        h = self.header
+        return (
+            f"EventTrace({h.workload!r}, scale={h.scale!r}, "
+            f"{h.events} events, {len(self.body)} bytes)"
+        )
+
+    # -- decoding ----------------------------------------------------------
+
+    def _raw_body(self) -> bytes:
+        if self.flags & FLAG_ZLIB:
+            return zlib.decompress(self.body)
+        return self.body
+
+    def events(self) -> list[tuple]:
+        """Decode (once) and return the full event list."""
+        if self._events is None:
+            data = self._raw_body()
+            out: list[tuple] = []
+            state = [0, 0, 0]
+            consumed = _decode_into(data, 0, len(data), out, state)
+            if consumed != len(data):
+                raise TraceFormatError(
+                    f"trailing garbage: decoded {consumed} of {len(data)} body bytes"
+                )
+            if len(out) != self.header.events:
+                raise TraceFormatError(
+                    f"header promises {self.header.events} events, body holds {len(out)}"
+                )
+            self._events = out
+        return self._events
+
+    def iter_events(self, chunk_size: int = 1 << 16) -> Iterator[tuple]:
+        """Stream events without materialising the full list.
+
+        Decompresses and decodes in *chunk_size* steps, holding only one
+        chunk plus any partial trailing event; the constant-memory path for
+        tools that scan very large traces.
+        """
+        if self._events is not None:
+            yield from self._events
+            return
+        decompressor = zlib.decompressobj() if self.flags & FLAG_ZLIB else None
+        pending = bytearray()
+        state = [0, 0, 0]
+        out: list[tuple] = []
+        for start in range(0, len(self.body), chunk_size):
+            chunk = self.body[start:start + chunk_size]
+            pending.extend(decompressor.decompress(chunk) if decompressor else chunk)
+            consumed = _decode_into(pending, 0, len(pending), out, state)
+            del pending[:consumed]
+            yield from out
+            out.clear()
+        if decompressor is not None:
+            pending.extend(decompressor.flush())
+        consumed = _decode_into(pending, 0, len(pending), out, state)
+        if consumed != len(pending):
+            raise TraceFormatError("truncated trace body")
+        yield from out
+
+    # -- container I/O -----------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Serialise the full container (header + body)."""
+        header_json = self.header.to_json().encode()
+        return b"".join(
+            (MAGIC, _U32.pack(len(header_json)), header_json, bytes([self.flags]), self.body)
+        )
+
+    def save(self, path: Union[str, Path]) -> Path:
+        """Write the container to *path*; returns the path."""
+        path = Path(path)
+        path.write_bytes(self.to_bytes())
+        return path
+
+    @staticmethod
+    def from_bytes(raw: bytes) -> "EventTrace":
+        """Parse a container previously produced by :meth:`to_bytes`."""
+        if raw[: len(MAGIC)] != MAGIC:
+            raise TraceFormatError("not a HALO event trace (bad magic)")
+        pos = len(MAGIC)
+        (header_len,) = _U32.unpack_from(raw, pos)
+        pos += 4
+        header = TraceHeader.from_json(raw[pos:pos + header_len].decode())
+        if header.format != FORMAT_VERSION:
+            raise TraceFormatError(f"unsupported trace format version {header.format}")
+        pos += header_len
+        flags = raw[pos]
+        pos += 1
+        return EventTrace(header, raw[pos:], flags=flags)
+
+    @staticmethod
+    def load(path: Union[str, Path]) -> "EventTrace":
+        """Read a container from *path*."""
+        return EventTrace.from_bytes(Path(path).read_bytes())
+
+
+class TraceReader:
+    """Streaming reader over a trace *file*: header up front, events lazily.
+
+    Unlike :meth:`EventTrace.load`, the compressed body is pulled from disk
+    chunk-by-chunk during iteration, so scanning a trace never holds the
+    whole file in memory.
+    """
+
+    def __init__(self, path: Union[str, Path], chunk_size: int = 1 << 16) -> None:
+        self.path = Path(path)
+        self.chunk_size = chunk_size
+        with open(self.path, "rb") as handle:
+            self.header, self.flags, self._body_offset = _read_container_head(handle)
+
+    def __iter__(self) -> Iterator[tuple]:
+        decompressor = zlib.decompressobj() if self.flags & FLAG_ZLIB else None
+        pending = bytearray()
+        state = [0, 0, 0]
+        out: list[tuple] = []
+        with open(self.path, "rb") as handle:
+            handle.seek(self._body_offset)
+            while True:
+                chunk = handle.read(self.chunk_size)
+                if not chunk:
+                    break
+                pending.extend(decompressor.decompress(chunk) if decompressor else chunk)
+                consumed = _decode_into(pending, 0, len(pending), out, state)
+                del pending[:consumed]
+                yield from out
+                out.clear()
+        if decompressor is not None:
+            pending.extend(decompressor.flush())
+        consumed = _decode_into(pending, 0, len(pending), out, state)
+        if consumed != len(pending):
+            raise TraceFormatError(f"truncated trace body in {self.path}")
+        yield from out
+
+
+def _read_container_head(handle: BinaryIO) -> tuple[TraceHeader, int, int]:
+    """Parse magic + header + flags from *handle*; returns body offset too."""
+    magic = handle.read(len(MAGIC))
+    if magic != MAGIC:
+        raise TraceFormatError("not a HALO event trace (bad magic)")
+    (header_len,) = _U32.unpack(handle.read(4))
+    header = TraceHeader.from_json(handle.read(header_len).decode())
+    if header.format != FORMAT_VERSION:
+        raise TraceFormatError(f"unsupported trace format version {header.format}")
+    flags = handle.read(1)[0]
+    return header, flags, len(MAGIC) + 4 + header_len + 1

@@ -1,0 +1,149 @@
+"""Recording machine executions into event traces.
+
+:class:`TraceRecorder` is a :class:`~repro.machine.events.Listener`: attach
+it to any :class:`~repro.machine.machine.Machine` and it streams every
+event — calls, returns, allocations, reallocations, frees, heap accesses,
+compute work — into a :class:`~repro.trace.format.TraceWriter`.  This is
+the analogue of the paper's Pin tool attaching to a live process
+(Section 4.1), except the "process" is the simulated machine.
+
+:func:`record_workload` is the one-call convenience used by the harness
+and CLI: run a named workload once under a recorder and return the trace.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Union
+
+from ..machine.events import Listener
+from .format import EventTrace, TraceWriter
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..machine.heap import HeapObject
+    from ..machine.machine import Machine
+    from ..machine.program import CallSite
+    from ..workloads.base import Workload
+
+
+class TraceRecorder(Listener):
+    """Listener that captures the complete event stream of one execution.
+
+    The recorder is single-use: after the machine's ``finish`` fires (or
+    after an explicit :meth:`close`), the completed trace is available as
+    :attr:`trace`.
+
+    Args:
+        workload: Workload name stored in the trace header.
+        scale: Input scale the workload runs at.
+        seed: Address-space seed of the recorded run (informational only —
+            the event stream is placement-independent).
+        program: Program name stored in the trace header.
+    """
+
+    def __init__(
+        self,
+        workload: str = "",
+        scale: str = "test",
+        seed: int = 0,
+        program: str = "",
+    ) -> None:
+        self.writer = TraceWriter(
+            workload=workload, scale=scale, seed=seed, program=program
+        )
+        self.trace: Optional[EventTrace] = None
+
+    # -- Listener hooks ----------------------------------------------------
+
+    def on_call(self, machine: "Machine", site: "CallSite") -> None:
+        """Record a call event (the site address; context is implicit)."""
+        self.writer.call(site.addr)
+
+    def on_return(self, machine: "Machine", site: "CallSite") -> None:
+        """Record a return past the innermost call."""
+        self.writer.ret()
+
+    def on_alloc(self, machine: "Machine", obj: "HeapObject") -> None:
+        """Record an allocation; oids are implicit (sequential)."""
+        expected = self.writer.alloc(obj.size)
+        if expected != obj.oid:  # pragma: no cover - defensive
+            raise RuntimeError(
+                f"trace oid {expected} diverged from machine oid {obj.oid}; "
+                "was the recorder attached mid-run?"
+            )
+
+    def on_free(self, machine: "Machine", obj: "HeapObject") -> None:
+        """Record a free by object id."""
+        self.writer.free(obj.oid)
+
+    def on_realloc(
+        self, machine: "Machine", obj: "HeapObject", old_addr: int, old_size: int
+    ) -> None:
+        """Record a reallocation (new size; the old one is trace history)."""
+        self.writer.realloc(obj.oid, obj.size)
+
+    def on_access(
+        self,
+        machine: "Machine",
+        obj: "HeapObject",
+        offset: int,
+        size: int,
+        is_store: bool,
+    ) -> None:
+        """Record a load or store within an object."""
+        self.writer.access(obj.oid, offset, size, is_store)
+
+    def on_work(self, machine: "Machine", cycles: float) -> None:
+        """Record compute-cycle accounting."""
+        self.writer.work(cycles)
+
+    def on_finish(self, machine: "Machine") -> None:
+        """Record end-of-run and finalise the trace.
+
+        Idempotent: some pipeline paths signal ``finish`` twice (the
+        workload's own ``run`` plus the profiling driver); only the first
+        is part of the recorded stream.
+        """
+        if self.trace is None:
+            self.writer.end()
+            self.trace = self.writer.close()
+
+    # -- finalisation ------------------------------------------------------
+
+    def close(self) -> EventTrace:
+        """Finalise and return the trace (normally done by ``on_finish``)."""
+        if self.trace is None:
+            self.trace = self.writer.close()
+        return self.trace
+
+
+def record_workload(
+    workload: Union[str, "Workload"],
+    scale: str = "test",
+    seed: int = 0,
+) -> EventTrace:
+    """Execute *workload* once and return its complete event trace.
+
+    The machine uses the default size-class allocator; placement does not
+    influence the event stream (workloads never observe heap addresses), so
+    any recorded run stands in for every allocator/cache configuration.
+    """
+    from ..allocators.base import AddressSpace
+    from ..allocators.size_class import SizeClassAllocator
+    from ..machine.machine import Machine
+    from ..workloads import get_workload
+
+    if isinstance(workload, str):
+        workload = get_workload(workload)
+    recorder = TraceRecorder(
+        workload=workload.name,
+        scale=scale,
+        seed=seed,
+        program=workload.program.name,
+    )
+    machine = Machine(
+        workload.program,
+        SizeClassAllocator(AddressSpace(seed=seed)),
+        listeners=[recorder],
+    )
+    workload.run(machine, scale)
+    return recorder.close()

@@ -1,0 +1,171 @@
+"""Re-driving the pipeline from a recorded event trace.
+
+Two replay paths, trading fidelity against speed:
+
+* :meth:`TraceReplayer.drive` re-executes the event stream against a real
+  :class:`~repro.machine.machine.Machine` — allocator, cache hierarchy,
+  instrumentation bits and listeners all behave exactly as in a direct run,
+  so measurements (cycles, miss counts, fragmentation) are bit-identical to
+  re-running the workload.  Use it to sweep allocator and cache-geometry
+  configurations from one recording.
+* :func:`replay_profile` skips the machine entirely and feeds the profiler
+  through a minimal shim.  The profiler only ever observes object ids,
+  sizes, allocation order, and the call stack — all of which the trace
+  reproduces exactly — so the resulting
+  :class:`~repro.profiling.profiler.ProfileResult` (affinity graph,
+  contexts, HDS reference trace) is bit-identical to profiling the live
+  workload, at a fraction of the cost.  Use it to sweep affinity-window
+  sizes, merge tolerances, and group counts.
+
+Both paths rely on the machine's oid-assignment invariant (sequential from
+zero, ``oid == alloc_seq``), which lets the trace omit allocation ids.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from ..machine.heap import HeapObject
+from .format import (
+    OP_ALLOC,
+    OP_CALL,
+    OP_FREE,
+    OP_LOAD,
+    OP_REALLOC,
+    OP_RETURN,
+    OP_STORE,
+    OP_WORK,
+    EventTrace,
+    TraceFormatError,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.pipeline import HaloParams
+    from ..machine.machine import Machine
+    from ..machine.program import Program
+    from ..profiling.profiler import ProfileResult
+
+
+class TraceReplayer:
+    """Full-fidelity replay of an event trace onto a live machine.
+
+    Args:
+        trace: The recorded event stream.
+        program: The static program of the recorded workload (call events
+            are resolved against its call sites).
+    """
+
+    def __init__(self, trace: EventTrace, program: "Program") -> None:
+        self.trace = trace
+        self.program = program
+
+    def drive(self, machine: "Machine") -> None:
+        """Replay every event through *machine*'s public API.
+
+        Calls ``machine.call/malloc/free/realloc/load/store/work/finish``
+        in recorded order, so the allocator, cache hierarchy, state vector
+        and any attached listeners observe an execution indistinguishable
+        from the original workload run.  Usable as the ``driver`` argument
+        of :func:`repro.harness.runner.run_measurement`.
+        """
+        if machine.program is not self.program and (
+            machine.program.name != self.trace.header.program
+        ):
+            raise TraceFormatError(
+                f"trace was recorded against program {self.trace.header.program!r}, "
+                f"machine runs {machine.program.name!r}"
+            )
+        objects: dict[int, HeapObject] = {}
+        scopes: list = []
+        load = machine.load
+        store = machine.store
+        for event in self.trace.events():
+            op = event[0]
+            if op == OP_LOAD:
+                load(objects[event[1]], event[2], event[3])
+            elif op == OP_STORE:
+                store(objects[event[1]], event[2], event[3])
+            elif op == OP_CALL:
+                scope = machine.call(event[1])
+                scope.__enter__()
+                scopes.append(scope)
+            elif op == OP_RETURN:
+                scopes.pop().__exit__(None, None, None)
+            elif op == OP_ALLOC:
+                obj = machine.malloc(event[1])
+                objects[obj.oid] = obj
+            elif op == OP_FREE:
+                machine.free(objects.pop(event[1]))
+            elif op == OP_REALLOC:
+                machine.realloc(objects[event[1]], event[2])
+            elif op == OP_WORK:
+                machine.work(event[1])
+            else:  # OP_END
+                machine.finish()
+        while scopes:  # pragma: no cover - only on truncated traces
+            scopes.pop().__exit__(None, None, None)
+
+
+class _ProfileShim:
+    """Minimal machine stand-in for :func:`replay_profile`.
+
+    The profiler reads exactly one machine attribute — the live call stack —
+    so the lightweight replay maintains only that.
+    """
+
+    __slots__ = ("stack",)
+
+    def __init__(self) -> None:
+        self.stack: list = []
+
+
+def replay_profile(
+    trace: EventTrace,
+    program: "Program",
+    params: Optional["HaloParams"] = None,
+    record_trace: bool = False,
+) -> "ProfileResult":
+    """Re-drive the affinity profiler from *trace* without a machine.
+
+    Bit-identical to :func:`repro.core.pipeline.profile_workload` on the
+    recorded (workload, scale) — same affinity graph, context table, object
+    maps and (with ``record_trace=True``) HDS reference trace — but skips
+    the workload body, the allocator, bounds checks and metrics, which is
+    what makes warm parameter sweeps cheap.
+    """
+    from ..core.pipeline import HaloParams
+    from ..profiling.profiler import Profiler
+
+    params = params or HaloParams()
+    profiler = Profiler(program, params.affinity, record_trace=record_trace)
+    shim = _ProfileShim()
+    stack = shim.stack
+    sites = program.sites
+    objects: dict[int, HeapObject] = {}
+    next_oid = 0
+    on_access = profiler.on_access
+    on_alloc = profiler.on_alloc
+    on_free = profiler.on_free
+    for event in trace.events():
+        op = event[0]
+        if op == OP_LOAD:
+            on_access(shim, objects[event[1]], event[2], event[3], False)
+        elif op == OP_STORE:
+            on_access(shim, objects[event[1]], event[2], event[3], True)
+        elif op == OP_CALL:
+            stack.append(sites[event[1]])
+        elif op == OP_RETURN:
+            stack.pop()
+        elif op == OP_ALLOC:
+            obj = HeapObject(next_oid, 0, event[1], next_oid)
+            objects[next_oid] = obj
+            next_oid += 1
+            on_alloc(shim, obj)
+        elif op == OP_FREE:
+            obj = objects.pop(event[1])
+            obj.alive = False
+            on_free(shim, obj)
+        elif op == OP_REALLOC:
+            objects[event[1]].size = event[2]
+        # OP_WORK / OP_END carry no profiling information.
+    return profiler.result()

@@ -5,7 +5,6 @@ entry per macro access) that the optimised uniqued-window recorder is
 checked against on random traces.
 """
 
-import random
 from bisect import bisect_right
 from collections import deque
 

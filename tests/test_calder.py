@@ -1,6 +1,5 @@
 """Tests for the Calder et al. name-based placement replication (§2.2.3)."""
 
-import pytest
 
 from repro.allocators import AddressSpace
 from repro.calder import (

@@ -59,7 +59,6 @@ class TestHaloVsAlternatives:
         function refuses because the combined density drops.
         """
         from repro.core import GroupingParams, group_contexts
-        from repro.core.score import score
 
         g = AffinityGraph()
         for node in range(3):

@@ -8,7 +8,6 @@ from repro.harness.runner import (
     measure_halo,
     measure_random_pools,
 )
-from repro.hds import HdsParams, analyse_profile
 from repro.workloads import get_workload, workload_names
 
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.allocators import AddressSpace, SizeClassAllocator
+from repro.allocators import AddressSpace
 from repro.allocators.base import Allocator, AllocatorStats
 from repro.harness.experiment import TrialStats
 from repro.machine import HeapError, ObjectTable

@@ -167,7 +167,6 @@ class TestEndToEndIdentification:
         """Synthesised selectors + instrumented machine identify allocations."""
         from repro.allocators import AddressSpace, SizeClassAllocator
         from repro.machine import GroupStateVector, Machine
-        from repro.profiling import reduced_context
         from repro.rewriting import BoltRewriter
 
         program = demo.program

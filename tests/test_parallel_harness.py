@@ -109,11 +109,14 @@ class TestSerialParallelEquivalence:
         assert serial.hds_groups == parallel.hds_groups
         assert serial.hds_streams == parallel.hds_streams
         assert serial.graph_nodes == parallel.graph_nodes
-        # The phase report saw real work and exactly one cache miss
-        # (the single benchmark, profiled once despite two workers).
+        # The phase report saw real work and exactly two cache misses
+        # (the single benchmark's event trace plus its prepared artifacts,
+        # each produced once despite two workers).
         assert times.measure > 0.0
         assert times.profile > 0.0
-        assert times.cache_misses == 1
+        assert times.cache_misses == 2
+        assert times.trace_records == 1
+        assert times.trace_replays == 1
 
     def test_warm_cache_skips_profiling(self, tmp_path):
         cache = ArtifactCache(tmp_path / "cache")

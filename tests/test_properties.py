@@ -1,6 +1,5 @@
 """Property-based tests on core data structures and invariants."""
 
-import random
 
 from hypothesis import given, settings, strategies as st
 

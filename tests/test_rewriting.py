@@ -3,7 +3,7 @@
 import pytest
 
 from repro.machine import ProgramBuilder
-from repro.rewriting import BoltRewriter, InstrumentationPlan, RewriteError
+from repro.rewriting import BoltRewriter, RewriteError
 
 
 def library_call_program():

@@ -1,0 +1,488 @@
+"""Tests for the event-trace record/replay subsystem (repro.trace).
+
+The load-bearing property is *equivalence*: replaying a recorded trace
+must be bit-identical to direct execution — same affinity graphs, same
+machine metrics, same cache counters — on real workloads, because the
+whole harness now substitutes replays for executions wherever a trace is
+available.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.allocators import AddressSpace, SizeClassAllocator
+from repro.cache.hierarchy import CacheHierarchy
+from repro.core.artifact_cache import ArtifactCache
+from repro.core.pipeline import HaloParams, optimise_profile, profile_workload
+from repro.machine import Machine
+from repro.machine.events import Listener
+from repro.trace import (
+    AccessTraceRecorder,
+    EventTrace,
+    TraceFormatError,
+    TraceReader,
+    TraceRecorder,
+    TraceReplayer,
+    derive_access_trace,
+    record_workload,
+    replay_profile,
+    sweep_affinity_distances,
+    sweep_merge_tolerances,
+)
+from repro.trace.format import (
+    OP_ALLOC,
+    OP_CALL,
+    OP_END,
+    OP_FREE,
+    OP_LOAD,
+    OP_REALLOC,
+    OP_RETURN,
+    OP_STORE,
+    OP_WORK,
+    TraceWriter,
+    encode_uvarint,
+    unzigzag,
+    zigzag,
+)
+from repro.workloads import get_workload
+
+from conftest import alloc_via
+
+#: The equivalence workloads the acceptance criteria name.
+WORKLOADS = ("health", "art", "omnetpp")
+
+
+@pytest.fixture(scope="module")
+def traces() -> dict[str, EventTrace]:
+    """One recorded test-scale trace per equivalence workload."""
+    return {name: record_workload(name, scale="test") for name in WORKLOADS}
+
+
+class TestEncoding:
+    def test_uvarint_round_trip_boundaries(self):
+        writer = TraceWriter()
+        values = [0, 1, 127, 128, 255, 300, 1 << 14, (1 << 35) + 7]
+        for value in values:
+            writer._emit_uvarint(value)
+        data = bytes(writer._buffer)
+        # Decode by hand with the reference encoder as the oracle.
+        assert data == b"".join(encode_uvarint(v) for v in values)
+
+    def test_uvarint_rejects_negative(self):
+        with pytest.raises(ValueError):
+            encode_uvarint(-1)
+
+    def test_zigzag_round_trip(self):
+        for value in (0, 1, -1, 63, -64, 1 << 20, -(1 << 20)):
+            assert unzigzag(zigzag(value)) == value
+
+
+class TestFormat:
+    def _synthetic_trace(self) -> tuple[EventTrace, list[tuple]]:
+        writer = TraceWriter(workload="synthetic", scale="test", program="demo")
+        writer.call(0x401010)
+        writer.alloc(64)  # oid 0
+        writer.access(0, 8, 4, is_store=True)
+        writer.access(0, 8, 4, is_store=False)
+        writer.realloc(0, 128)
+        writer.work(100.0)
+        writer.work(0.625)  # non-integral: float64 path
+        writer.alloc(32)  # oid 1
+        writer.access(1, 0, 8, is_store=False)
+        writer.free(0)
+        writer.ret()
+        writer.end()
+        expected = [
+            (OP_CALL, 0x401010),
+            (OP_ALLOC, 64),
+            (OP_STORE, 0, 8, 4),
+            (OP_LOAD, 0, 8, 4),
+            (OP_REALLOC, 0, 128),
+            (OP_WORK, 100.0),
+            (OP_WORK, 0.625),
+            (OP_ALLOC, 32),
+            (OP_LOAD, 1, 0, 8),
+            (OP_FREE, 0),
+            (OP_RETURN,),
+            (OP_END,),
+        ]
+        return writer.close(), expected
+
+    def test_writer_decodes_to_emitted_events(self):
+        trace, expected = self._synthetic_trace()
+        assert trace.events() == expected
+        assert trace.header.events == len(expected)
+        assert trace.header.allocs == 2
+        assert trace.header.alloc_bytes == 96
+        assert trace.header.reallocs == 1
+        assert trace.header.works == 2
+
+    def test_container_round_trip(self):
+        trace, expected = self._synthetic_trace()
+        back = EventTrace.from_bytes(trace.to_bytes())
+        assert back.events() == expected
+        assert back.header.to_json() == trace.header.to_json()
+
+    def test_save_load_and_streaming_reader(self, tmp_path):
+        trace, expected = self._synthetic_trace()
+        path = trace.save(tmp_path / "t.trace")
+        assert EventTrace.load(path).events() == expected
+        reader = TraceReader(path, chunk_size=3)  # force partial-event rewinds
+        assert reader.header.workload == "synthetic"
+        assert list(reader) == expected
+
+    def test_iter_events_matches_in_small_chunks(self):
+        trace, expected = self._synthetic_trace()
+        fresh = EventTrace.from_bytes(trace.to_bytes())
+        assert list(fresh.iter_events(chunk_size=2)) == expected
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(TraceFormatError):
+            EventTrace.from_bytes(b"NOTATRACE")
+
+    def test_event_count_mismatch_rejected(self):
+        trace, _ = self._synthetic_trace()
+        corrupt = EventTrace(trace.header, trace.body[:-4], flags=trace.flags)
+        with pytest.raises(Exception):  # zlib or format error, never silence
+            corrupt.events()
+
+    def test_close_is_idempotent(self):
+        trace, _ = self._synthetic_trace()
+        writer = TraceWriter()
+        writer.end()
+        first = writer.close()
+        assert writer.close() is first
+
+
+class TestRecorder:
+    def test_records_machine_events(self, demo):
+        recorder = TraceRecorder(workload="demo", program=demo.program.name)
+        machine = Machine(
+            demo.program, SizeClassAllocator(AddressSpace(0)), listeners=[recorder]
+        )
+        obj = alloc_via(machine, [demo.main_a, demo.a_malloc], size=48)
+        machine.store(obj, 0, 8)
+        machine.work(7.0)
+        machine.realloc(obj, 96)
+        machine.free(obj)
+        machine.finish()
+        events = recorder.trace.events()
+        assert events == [
+            (OP_CALL, demo.main_a.addr),
+            (OP_CALL, demo.a_malloc.addr),
+            (OP_ALLOC, 48),
+            (OP_RETURN,),
+            (OP_RETURN,),
+            (OP_STORE, 0, 0, 8),
+            (OP_WORK, 7.0),
+            (OP_REALLOC, 0, 96),
+            (OP_FREE, 0),
+            (OP_END,),
+        ]
+
+    def test_double_finish_records_one_end(self, demo):
+        recorder = TraceRecorder()
+        machine = Machine(
+            demo.program, SizeClassAllocator(AddressSpace(0)), listeners=[recorder]
+        )
+        machine.finish()
+        machine.finish()  # profile_workload's extra finish must be a no-op
+        events = recorder.trace.events()
+        assert events == [(OP_END,)]
+
+
+class TestProfileReplayEquivalence:
+    """Acceptance: replayed profiles are bit-identical on ≥3 workloads."""
+
+    @pytest.mark.parametrize("name", WORKLOADS)
+    def test_profile_bit_identical(self, traces, name):
+        workload = get_workload(name)
+        params = HaloParams()
+        direct = profile_workload(workload, params, scale="test", record_trace=True)
+        replayed = replay_profile(
+            traces[name], workload.program, params, record_trace=True
+        )
+        assert direct.graph == replayed.graph
+        assert direct.full_graph == replayed.full_graph
+        assert direct.object_context == replayed.object_context
+        assert direct.object_site == replayed.object_site
+        assert direct.object_sizes == replayed.object_sizes
+        assert direct.context_stats == replayed.context_stats
+        assert direct.trace == replayed.trace  # the HDS reference trace
+        assert direct.machine_accesses == replayed.machine_accesses
+        assert direct.total_accesses == replayed.total_accesses
+
+    def test_downstream_grouping_identical(self, traces):
+        workload = get_workload("health")
+        params = HaloParams()
+        direct = optimise_profile(
+            profile_workload(workload, params, scale="test"), params
+        )
+        replayed = optimise_profile(
+            replay_profile(traces["health"], workload.program, params), params
+        )
+        assert [sorted(g.members) for g in direct.groups] == [
+            sorted(g.members) for g in replayed.groups
+        ]
+        assert direct.plan.bit_for_site == replayed.plan.bit_for_site
+
+
+class TestMeasurementReplayEquivalence:
+    """Acceptance: replayed measurements match direct cache counters."""
+
+    @pytest.mark.parametrize("name", WORKLOADS)
+    def test_machine_metrics_and_cache_identical(self, traces, name):
+        workload = get_workload(name)
+        # Seed 1 differs from the recording's seed 0: the event stream is
+        # placement-independent, so replay must still match a direct run
+        # under the new placement exactly.
+        direct = Machine(
+            workload.program, SizeClassAllocator(AddressSpace(1)), memory=CacheHierarchy()
+        )
+        workload.run(direct, "test")
+        replay = Machine(
+            workload.program, SizeClassAllocator(AddressSpace(1)), memory=CacheHierarchy()
+        )
+        TraceReplayer(traces[name], workload.program).drive(replay)
+        assert direct.metrics == replay.metrics
+        assert direct.memory.snapshot() == replay.memory.snapshot()
+
+    def test_run_measurement_driver(self, traces):
+        from repro.harness.runner import measure_baseline
+
+        workload = get_workload("health")
+        direct = measure_baseline(workload, scale="test", seed=1)
+        replayer = TraceReplayer(traces["health"], workload.program)
+        replayed = measure_baseline(
+            workload, scale="test", seed=1, driver=replayer.drive
+        )
+        assert direct.cycles == replayed.cycles
+        assert direct.cache == replayed.cache
+        assert direct.accesses == replayed.accesses
+        assert direct.allocs == replayed.allocs
+        assert direct.peak_live_bytes == replayed.peak_live_bytes
+
+    def test_program_mismatch_rejected(self, traces):
+        other = get_workload("art")
+        machine = Machine(other.program, SizeClassAllocator(AddressSpace(0)))
+        with pytest.raises(TraceFormatError):
+            TraceReplayer(traces["health"], get_workload("health").program).drive(machine)
+
+
+class TestSweeps:
+    def test_merge_tolerance_sweep_matches_direct(self, traces):
+        workload = get_workload("health")
+        tolerances = (0.01, 0.2)
+        swept = sweep_merge_tolerances(
+            traces["health"], workload.program, tolerances
+        )
+        for tolerance in tolerances:
+            base = HaloParams()
+            params = dataclasses.replace(
+                base,
+                grouping=dataclasses.replace(base.grouping, merge_tolerance=tolerance),
+            )
+            direct = optimise_profile(
+                profile_workload(workload, params, scale="test"), params
+            )
+            assert [sorted(g.members) for g in swept[tolerance].groups] == [
+                sorted(g.members) for g in direct.groups
+            ]
+
+    def test_affinity_sweep_produces_distinct_profiles(self, traces):
+        workload = get_workload("health")
+        swept = sweep_affinity_distances(
+            traces["health"], workload.program, (64, 4096)
+        )
+        assert swept[64].profile.params.distance == 64
+        assert swept[4096].profile.params.distance == 4096
+        # A 64× wider window must not yield the identical edge multiset.
+        assert swept[64].profile.full_graph != swept[4096].profile.full_graph
+
+
+class TestListenerRegistration:
+    """Regression: the no-listener dispatch fast path must not let a
+    listener registered mid-run miss events."""
+
+    class _Counter(Listener):
+        def __init__(self):
+            self.events = []
+
+        def on_call(self, machine, site):
+            self.events.append(("call", site.addr))
+
+        def on_alloc(self, machine, obj):
+            self.events.append(("alloc", obj.oid))
+
+        def on_access(self, machine, obj, offset, size, is_store):
+            self.events.append(("access", obj.oid))
+
+        def on_work(self, machine, cycles):
+            self.events.append(("work", cycles))
+
+        def on_finish(self, machine):
+            self.events.append(("finish",))
+
+    def test_listener_appended_mid_run_sees_later_events(self, demo):
+        machine = Machine(demo.program, SizeClassAllocator(AddressSpace(0)))
+        # Warm the no-listener fast path with real traffic first.
+        first = alloc_via(machine, [demo.main_a, demo.a_malloc])
+        machine.load(first, 0, 8)
+        listener = self._Counter()
+        machine.listeners.append(listener)
+        second = alloc_via(machine, [demo.main_b, demo.b_malloc])
+        machine.store(second, 0, 8)
+        machine.work(3.0)
+        machine.finish()
+        assert listener.events == [
+            ("call", demo.main_b.addr),
+            ("call", demo.b_malloc.addr),
+            ("alloc", second.oid),
+            ("access", second.oid),
+            ("work", 3.0),
+            ("finish",),
+        ]
+
+    def test_add_and_remove_listener(self, demo):
+        machine = Machine(demo.program, SizeClassAllocator(AddressSpace(0)))
+        listener = machine.add_listener(self._Counter())
+        obj = alloc_via(machine, [demo.main_a, demo.a_malloc])
+        machine.remove_listener(listener)
+        machine.load(obj, 0, 8)  # after removal: not observed
+        assert ("alloc", obj.oid) in listener.events
+        assert ("access", obj.oid) not in listener.events
+
+    @pytest.mark.parametrize("mutate", ["extend", "iadd", "insert", "setter"])
+    def test_every_mutation_path_refreshes_dispatch(self, demo, mutate):
+        machine = Machine(demo.program, SizeClassAllocator(AddressSpace(0)))
+        listener = self._Counter()
+        if mutate == "extend":
+            machine.listeners.extend([listener])
+        elif mutate == "iadd":
+            machine.listeners += [listener]
+        elif mutate == "insert":
+            machine.listeners.insert(0, listener)
+        else:
+            machine.listeners = [listener]
+        obj = alloc_via(machine, [demo.main_a, demo.a_malloc])
+        assert ("alloc", obj.oid) in listener.events
+
+    def test_clear_and_pop_stop_dispatch(self, demo):
+        machine = Machine(demo.program, SizeClassAllocator(AddressSpace(0)))
+        listener = machine.add_listener(self._Counter())
+        machine.listeners.clear()
+        alloc_via(machine, [demo.main_a, demo.a_malloc])
+        assert listener.events == []
+
+
+class TestHarnessIntegration:
+    def test_prepare_caches_trace_across_param_configs(self, tmp_path):
+        from repro.harness.prepare import prepare_workload
+
+        cache = ArtifactCache(tmp_path / "cache")
+        cold = prepare_workload("health", include_hds=False, cache=cache)
+        assert cold.times.trace_records == 1
+        assert cold.times.trace_replays == 1
+        # A different parameter set hits the shared trace: no re-recording.
+        params = HaloParams().with_affinity_distance(256)
+        warm = prepare_workload(
+            "health", halo_params=params, include_hds=False, cache=cache
+        )
+        assert warm.times.trace_records == 0
+        assert warm.times.trace_replays == 1
+        assert warm.times.record == 0.0
+
+    def test_trace_path_matches_direct_preparation(self, tmp_path):
+        from repro.harness.prepare import prepare_workload
+
+        cache = ArtifactCache(tmp_path / "cache")
+        via_trace = prepare_workload("health", include_hds=False, cache=cache)
+        direct = prepare_workload("health", include_hds=False, use_trace=False)
+        assert via_trace.profile.graph == direct.profile.graph
+        assert via_trace.profile.trace == direct.profile.trace
+        assert [sorted(g.members) for g in via_trace.halo.groups] == [
+            sorted(g.members) for g in direct.halo.groups
+        ]
+
+    def test_access_trace_derivation_matches_live_capture(self, traces):
+        import numpy as np
+
+        workload = get_workload("health")
+        recorder = AccessTraceRecorder()
+        machine = Machine(
+            workload.program, SizeClassAllocator(AddressSpace(3)), listeners=[recorder]
+        )
+        workload.run(machine, "test")
+        live = recorder.trace()
+        derived = derive_access_trace(traces["health"], workload.program, seed=3)
+        assert np.array_equal(live.addresses, derived.addresses)
+        assert np.array_equal(live.sizes, derived.sizes)
+
+    def test_tracer_module_reexports(self):
+        from repro.harness import tracer
+
+        from repro.trace import access
+
+        assert tracer.AccessTrace is access.AccessTrace
+        assert tracer.AccessTraceRecorder is access.AccessTraceRecorder
+        assert tracer.replay_geometries is access.replay_geometries
+
+
+#: Golden ``trace info`` lines for health at test scale.  Any change here
+#: means the recorded event stream (or its summary) changed — deliberate
+#: format/workload changes must update this in the same commit.
+HEALTH_INFO_GOLDEN = [
+    "workload:        health (test)",
+    "program:         health",
+    "format:          v1",
+    "events:          282,451",
+    "  calls:         38,797",
+    "  returns:       38,797",
+    "  allocs:        19,586 (950,448 bytes requested)",
+    "  frees:         19,586",
+    "  reallocs:      0",
+    "  loads:         122,724",
+    "  stores:        19,585",
+    "  work:          23,375",
+    "accessed bytes:  1,138,472",
+]
+
+
+class TestCli:
+    def test_trace_info_golden(self, traces):
+        from repro.cli import trace_info_lines
+
+        assert trace_info_lines(traces["health"]) == HEALTH_INFO_GOLDEN
+
+    def test_record_info_replay_sweep_commands(self, tmp_path, capsys, monkeypatch):
+        from repro.cli import main
+
+        monkeypatch.chdir(tmp_path)
+        assert main(["trace", "record", "-b", "health"]) == 0
+        trace_file = tmp_path / "health-test.trace"
+        assert trace_file.exists()
+
+        assert main(["trace", "info", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        for line in HEALTH_INFO_GOLDEN:
+            assert line in out
+
+        assert main(["trace", "replay", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "replayed from trace" in out
+
+        assert (
+            main(
+                [
+                    "trace", "sweep", str(trace_file),
+                    "--merge-tolerance", "0.01,0.2", "--no-cache",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "2-point merge-tolerance sweep" in out
+        assert "no workload re-execution" in out

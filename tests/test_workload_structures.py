@@ -1,6 +1,5 @@
 """Structural invariants of the complex workloads (beyond the shared tests)."""
 
-import pytest
 
 from repro.allocators import AddressSpace, SizeClassAllocator
 from repro.core import HaloParams, optimise_profile, profile_workload
