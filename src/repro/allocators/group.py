@@ -29,6 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Protocol
 
+from ..faults.plan import active_fault_plan
 from .base import (
     AllocationError,
     Allocator,
@@ -127,6 +128,11 @@ class GroupAllocator(Allocator):
             prefix lands on the same cache sets; staggering the starts is
             the §4.4 extension "to reduce allocator-induced conflict
             misses" (Afek, Dice & Morrison's cache-index-aware allocation).
+        max_total_chunks: Cap on chunks the allocator may ever carve.  Once
+            reached (and no spare is reusable), grouped requests degrade to
+            the fallback allocator instead of failing — the paper's "next
+            available allocator" semantics under pool exhaustion.  None
+            means unbounded (the production default).
     """
 
     def __init__(
@@ -141,6 +147,7 @@ class GroupAllocator(Allocator):
         max_grouped_size: int = PAGE_SIZE,
         always_reuse_chunks: bool = False,
         colour_stride: int = 0,
+        max_total_chunks: Optional[int] = None,
     ) -> None:
         super().__init__(space)
         if chunk_size <= 0 or chunk_size & (chunk_size - 1):
@@ -157,6 +164,7 @@ class GroupAllocator(Allocator):
         self.max_spare_chunks = max_spare_chunks
         self.max_grouped_size = max_grouped_size
         self.always_reuse_chunks = always_reuse_chunks
+        self.max_total_chunks = max_total_chunks
         if colour_stride < 0 or colour_stride % MIN_ALIGNMENT:
             raise AllocationError(
                 f"colour stride must be a non-negative multiple of "
@@ -176,6 +184,12 @@ class GroupAllocator(Allocator):
         self.grouped_live_bytes = 0
         self.grouped_allocs = 0
         self.forwarded_allocs = 0
+        #: Grouped requests served by the fallback because the group's
+        #: pool was exhausted (nonzero only under capacity pressure).
+        self.degraded_allocs = 0
+        #: Allocations whose selector consult saw a fault-flipped state
+        #: vector (misprediction modelling; nonzero only under injection).
+        self.faulted_matches = 0
         self.chunks_created = 0
         self.chunks_reused = 0
         self.chunks_purged = 0
@@ -187,7 +201,16 @@ class GroupAllocator(Allocator):
             raise AllocationError(f"invalid malloc size {size}")
         group = None
         if size < self.max_grouped_size:
-            group = self.matcher.match(self.state_vector.value)
+            state = self.state_vector.value
+            plan = active_fault_plan()
+            if plan is not None and plan.state_flip_rate:
+                flipped = plan.flip_state(
+                    state, self.grouped_allocs + self.forwarded_allocs
+                )
+                if flipped != state:
+                    self.faulted_matches += 1
+                    state = flipped
+            group = self.matcher.match(state)
         if group is None:
             self.forwarded_allocs += 1
             return self.fallback.malloc(size, alignment)
@@ -198,10 +221,16 @@ class GroupAllocator(Allocator):
         addr = chunk.try_reserve(size, alignment) if chunk is not None else None
         if addr is None:
             chunk = self._fresh_chunk(group)
+            if chunk is None:
+                # Pool exhausted: degrade to the "next available allocator"
+                # (paper allocation semantics) instead of failing the request.
+                return self._degrade(size, alignment)
             self._current[group] = chunk
             addr = chunk.try_reserve(size, alignment)
-            if addr is None:  # pragma: no cover - size < page << chunk
-                raise AllocationError(f"grouped request of {size} bytes cannot fit a chunk")
+            if addr is None:
+                # A request too large even for an empty chunk (colouring or
+                # header overhead can push a near-page object past the end).
+                return self._degrade(size, alignment)
         self._region_sizes[addr] = size
         self.grouped_live_bytes += size
         self.grouped_allocs += 1
@@ -210,19 +239,41 @@ class GroupAllocator(Allocator):
         # The chunk header itself is written at carve time (residency).
         return addr
 
+    def _degrade(self, size: int, alignment: int) -> int:
+        """Serve a grouped request through the fallback (pool exhausted)."""
+        self.degraded_allocs += 1
+        self.forwarded_allocs += 1
+        return self.fallback.malloc(size, alignment)
+
+    def _chunk_budget(self) -> Optional[int]:
+        """The effective chunk cap: configured limit and/or injected fault."""
+        limit = self.max_total_chunks
+        plan = active_fault_plan()
+        if plan is not None and plan.group_max_chunks is not None:
+            limit = (
+                plan.group_max_chunks
+                if limit is None
+                else min(limit, plan.group_max_chunks)
+            )
+        return limit
+
     def _colour_of(self, group: int) -> int:
         """Per-group bump-start stagger (0 when colouring is disabled)."""
         if not self.colour_stride:
             return 0
         return (group * self.colour_stride) % PAGE_SIZE
 
-    def _fresh_chunk(self, group: int) -> _Chunk:
+    def _fresh_chunk(self, group: int) -> Optional[_Chunk]:
+        """Carve (or recycle) a chunk for *group*; None when exhausted."""
         if self._spares:
             chunk = self._spares.pop()
             chunk.reset(group, self._colour_of(group))
             self.chunks_reused += 1
             self.space.touch_range(chunk.base, _Chunk.HEADER_SIZE)
             return chunk
+        limit = self._chunk_budget()
+        if limit is not None and self.chunks_created >= limit:
+            return None
         if self._slab_cursor + self.chunk_size > self._slab_end:
             base = self.space.reserve(self.slab_size, alignment=self.chunk_size)
             self._slab_cursor = base

@@ -18,7 +18,13 @@ simulation:
 * ``halo trace record|info|replay|sweep`` — capture a workload's complete
   machine-event stream once, then inspect it, re-measure from it, or sweep
   pipeline parameters against it without ever re-executing the workload;
+* ``halo faults inject DIR`` — reproducibly corrupt cached artifacts and
+  traces on disk (resilience testing; consumers must degrade, not die);
 * ``halo list`` — show the available benchmarks.
+
+Parallel runs (``--jobs N``) are resilient: ``--task-timeout`` bounds any
+single worker task, ``--max-retries`` bounds per-cell retries, and
+``--resume`` continues an interrupted matrix from its checkpoint journal.
 
 Profiling artifacts are cached under ``--cache-dir`` (default
 ``.halo-cache``; disable with ``--no-cache``), so a warm re-run skips the
@@ -71,6 +77,30 @@ def cache_from_args(args: argparse.Namespace) -> Optional[ArtifactCache]:
 def _add_benchmark_arg(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "-b", "--benchmark", required=True, choices=workload_names(), help="target benchmark"
+    )
+
+
+def _add_resilience_args(parser: argparse.ArgumentParser) -> None:
+    """Flags shared by the parallel entry points (``--jobs > 1`` only)."""
+    parser.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="kill and retry any worker task running longer than this",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="retries per failed matrix cell before it is reported failed (default: 2)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from the checkpoint journal beside the artifact cache, "
+        "skipping already-completed cells",
     )
 
 
@@ -134,6 +164,7 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="worker processes for the evaluation matrix (default: 1, serial)",
     )
+    _add_resilience_args(plot)
     _add_cache_args(plot)
 
     trace = sub.add_parser(
@@ -190,7 +221,39 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="worker processes (default: 1, in-process with a shared decode)",
     )
+    _add_resilience_args(t_sweep)
     _add_cache_args(t_sweep)
+
+    faults = sub.add_parser(
+        "faults", help="deterministic fault injection for resilience testing"
+    )
+    fsub = faults.add_subparsers(dest="faults_command", required=True)
+    f_inject = fsub.add_parser(
+        "inject",
+        help="corrupt cached artifact/trace files on disk, reproducibly",
+    )
+    f_inject.add_argument(
+        "target",
+        type=Path,
+        help="file or directory (e.g. the artifact cache) to damage",
+    )
+    f_inject.add_argument(
+        "--seed", type=int, default=0, help="fault-plan seed (default: 0)"
+    )
+    f_inject.add_argument(
+        "--mode",
+        choices=("bitflip", "truncate"),
+        default="bitflip",
+        help="corruption applied to each selected file (default: bitflip)",
+    )
+    f_inject.add_argument(
+        "--rate",
+        type=float,
+        default=1.0,
+        metavar="P",
+        help="per-file probability of corruption when targeting a directory "
+        "(default: 1.0, every injectable file)",
+    )
 
     sub.add_parser("list", help="list available benchmarks")
     return parser
@@ -286,12 +349,27 @@ def _write_json(out: Optional[Path], name: str, payload) -> None:
     print(f"\nwrote {path}")
 
 
+def _report_failures(failures) -> None:
+    """Surface permanently failed matrix cells without aborting the run."""
+    for failure in failures:
+        print(f"warning: {failure}", file=sys.stderr)
+
+
 def _cmd_plot(args: argparse.Namespace) -> int:
     cache = cache_from_args(args)
     times = PhaseTimes()
+    failures: list = []
     started = time.perf_counter()
     if args.table == 1:
-        rows = reproduce.table1(jobs=args.jobs, cache=cache, phase_times=times)
+        rows = reproduce.table1(
+            jobs=args.jobs,
+            cache=cache,
+            phase_times=times,
+            task_timeout=args.task_timeout,
+            max_retries=args.max_retries,
+            failures=failures,
+        )
+        _report_failures(failures)
         print(
             format_table(
                 ["Benchmark", "Frag. (%)", "Frag. (bytes)"],
@@ -314,13 +392,26 @@ def _cmd_plot(args: argparse.Namespace) -> int:
         _write_json(args.out, "figure12", result)
         print(times.report(wall=time.perf_counter() - started))
         return 0
+    checkpoint = None
+    if args.jobs > 1 and (cache is not None or args.resume):
+        from .harness.checkpoint import journal_for
+
+        checkpoint = journal_for(
+            args.cache_dir if cache is not None else None, f"figure{args.figure}"
+        )
     evaluations = reproduce.evaluate_all(
         trials=args.trials,
         include_random=args.figure == 15,
         jobs=args.jobs,
         cache=cache,
         phase_times=times,
+        task_timeout=args.task_timeout,
+        max_retries=args.max_retries,
+        checkpoint=checkpoint,
+        resume=args.resume,
+        failures=failures,
     )
+    _report_failures(failures)
     figure = {13: reproduce.figure13, 14: reproduce.figure14, 15: reproduce.figure15}[args.figure]
     result = figure(evaluations)
     for series in result.series:
@@ -470,19 +561,47 @@ def _cmd_trace_sweep(args: argparse.Namespace) -> int:
 
     started = time.perf_counter()
     if args.jobs > 1:
+        from .harness.checkpoint import journal_for
         from .harness.parallel import run_sweep_parallel
 
+        cache = cache_from_args(args)
+        checkpoint = None
+        if cache is not None or args.resume:
+            checkpoint = journal_for(
+                args.cache_dir if cache is not None else None,
+                f"sweep-{trace.header.workload}",
+            )
         times = PhaseTimes()
+        failures: list = []
         points = run_sweep_parallel(
             trace.header.workload,
             configs,
             jobs=args.jobs,
-            cache=cache_from_args(args),
+            cache=cache,
             phase_times=times,
+            task_timeout=args.task_timeout,
+            max_retries=args.max_retries,
+            checkpoint=checkpoint,
+            resume=args.resume,
+            failures=failures,
         )
+        _report_failures(failures)
+        # Label each surviving point from its own parameters — a failed
+        # point leaves a gap, so zipping against `values` would mislabel.
+        knob_of = {
+            "affinity-distance": lambda p: p.affinity_distance,
+            "merge-tolerance": lambda p: p.merge_tolerance,
+            "max-groups": lambda p: p.max_groups,
+        }[knob]
         rows = [
-            [str(v), str(p.groups), str(p.grouped_contexts), str(p.graph_nodes), str(p.monitored_sites)]
-            for v, p in zip(values, points)
+            [
+                str(knob_of(p)),
+                str(p.groups),
+                str(p.grouped_contexts),
+                str(p.graph_nodes),
+                str(p.monitored_sites),
+            ]
+            for p in points
         ]
     else:
         from .core.selectors import monitored_sites
@@ -512,6 +631,28 @@ def _cmd_trace_sweep(args: argparse.Namespace) -> int:
     )
     print(f"\nswept {len(configs)} configs in {elapsed:.2f}s (no workload re-execution)")
     return 0
+
+
+def _cmd_faults(args: argparse.Namespace) -> int:
+    if args.faults_command == "inject":
+        from .faults import FaultPlan, inject_into_path
+
+        plan = FaultPlan(
+            seed=args.seed, corrupt_mode=args.mode, corrupt_rate=args.rate
+        )
+        try:
+            damaged = inject_into_path(args.target, plan)
+        except FileNotFoundError:
+            print(f"error: {args.target} does not exist", file=sys.stderr)
+            return 1
+        for path in damaged:
+            print(f"injected {args.mode} into {path}")
+        print(
+            f"damaged {len(damaged)} file(s) under {args.target} "
+            f"(seed={args.seed}, rate={args.rate})"
+        )
+        return 0
+    return 1  # pragma: no cover - argparse enforces choices
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -544,6 +685,8 @@ def main(argv: Optional[list[str]] = None) -> int:
         return _cmd_profile(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "faults":
+        return _cmd_faults(args)
     return 1  # pragma: no cover - argparse enforces choices
 
 

@@ -1,0 +1,46 @@
+"""Deterministic fault-injection framework.
+
+The paper's safety story — every degraded path collapses to plain
+jemalloc behaviour — is only credible if the degraded paths actually run.
+This package drives them on purpose: a seeded :class:`FaultPlan` can
+truncate or bit-flip cached artifacts and traces, force
+``TraceFormatError`` mid-replay, exhaust the grouped allocator's chunk
+capacity, flip group-state bits to model misprediction, and kill or stall
+parallel workers — all reproducibly, so a chaos run that found a bug is a
+regression test by construction.
+
+See :mod:`repro.faults.plan` for the decision model and
+:mod:`repro.faults.inject` for the on-disk injectors; the chaos suite in
+``tests/test_chaos.py`` asserts the pipeline's end-to-end behaviour under
+randomized plans.
+"""
+
+from .inject import (
+    INJECTABLE_SUFFIXES,
+    bitflip_file,
+    inject_into_file,
+    inject_into_path,
+    truncate_file,
+)
+from .plan import (
+    KILLED_EXIT_STATUS,
+    FaultPlan,
+    active_fault_plan,
+    clear_fault_plan,
+    fault_plan_active,
+    install_fault_plan,
+)
+
+__all__ = [
+    "FaultPlan",
+    "INJECTABLE_SUFFIXES",
+    "KILLED_EXIT_STATUS",
+    "active_fault_plan",
+    "bitflip_file",
+    "clear_fault_plan",
+    "fault_plan_active",
+    "inject_into_file",
+    "inject_into_path",
+    "install_fault_plan",
+    "truncate_file",
+]

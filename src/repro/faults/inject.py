@@ -1,0 +1,96 @@
+"""On-disk fault injectors: deterministic file truncation and bit-flips.
+
+These are the storage half of the fault framework: they damage cached
+artifact pickles and trace containers the way a crashed writer, a bad
+disk, or a torn copy would, so the pipeline's detection points (pickle
+errors in :class:`~repro.core.artifact_cache.ArtifactCache`, the payload
+CRC in :mod:`repro.trace.format`, the checkpoint journal's record
+framing) can be exercised for real rather than mocked.
+
+All damage is a pure function of ``(plan.seed, file name)`` — the same
+plan corrupts the same bytes of the same files on every run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from pathlib import Path
+from typing import Union
+
+from .plan import FaultPlan
+
+#: File suffixes considered injectable when sweeping a directory.
+INJECTABLE_SUFFIXES = (".pkl", ".trace", ".journal", ".tmp")
+
+
+def _file_rng(plan: FaultPlan, path: Path) -> random.Random:
+    """Per-file RNG derived from the plan seed and the file *name*."""
+    digest = hashlib.sha256(repr((plan.seed, path.name)).encode()).digest()
+    return random.Random(int.from_bytes(digest[:8], "big"))
+
+
+def truncate_file(path: Union[str, Path], rng: random.Random) -> int:
+    """Truncate *path* to a strict prefix; returns the new size.
+
+    Keeps between 0% and 90% of the original bytes, so headers may
+    survive while bodies are cut short — the torn-write shape.
+    """
+    path = Path(path)
+    size = path.stat().st_size
+    keep = int(size * rng.uniform(0.0, 0.9))
+    with open(path, "r+b") as handle:
+        handle.truncate(keep)
+    return keep
+
+
+def bitflip_file(path: Union[str, Path], rng: random.Random, flips: int = 8) -> list[int]:
+    """Flip *flips* random bits of *path* in place; returns the offsets hit."""
+    path = Path(path)
+    data = bytearray(path.read_bytes())
+    if not data:
+        return []
+    offsets = []
+    for _ in range(max(1, flips)):
+        offset = rng.randrange(len(data))
+        data[offset] ^= 1 << rng.randrange(8)
+        offsets.append(offset)
+    path.write_bytes(bytes(data))
+    return offsets
+
+
+def inject_into_file(path: Union[str, Path], plan: FaultPlan) -> str:
+    """Damage one file as *plan* prescribes; returns the mode applied."""
+    path = Path(path)
+    rng = _file_rng(plan, path)
+    if plan.corrupt_mode == "truncate":
+        truncate_file(path, rng)
+    elif plan.corrupt_mode == "bitflip":
+        bitflip_file(path, rng)
+    else:
+        raise ValueError(f"unknown corruption mode {plan.corrupt_mode!r}")
+    return plan.corrupt_mode
+
+
+def inject_into_path(target: Union[str, Path], plan: FaultPlan) -> list[Path]:
+    """Corrupt *target* (a file, or every injectable file under a directory).
+
+    Directory sweeps honour ``plan.corrupt_rate``: each candidate file is
+    hit iff the plan's deterministic draw for its name says so.  Returns
+    the files actually damaged, sorted for stable reporting.
+    """
+    target = Path(target)
+    if target.is_file():
+        inject_into_file(target, plan)
+        return [target]
+    if not target.is_dir():
+        raise FileNotFoundError(f"nothing to inject into at {target}")
+    hit: list[Path] = []
+    for candidate in sorted(target.rglob("*")):
+        if not candidate.is_file() or candidate.suffix not in INJECTABLE_SUFFIXES:
+            continue
+        if not plan.decide(plan.corrupt_rate, "corrupt-file", candidate.name):
+            continue
+        inject_into_file(candidate, plan)
+        hit.append(candidate)
+    return hit

@@ -1,0 +1,162 @@
+"""Deterministic fault plans.
+
+HALO's central safety argument is graceful degradation: any allocation the
+grouped allocator cannot serve falls through to the default allocator, a
+corrupt profile artifact is rebuilt, a bad trace is re-recorded — the worst
+case behaves like plain jemalloc.  This module makes those degraded paths
+*testable* by describing, up front and reproducibly, which faults one run
+will experience.
+
+A :class:`FaultPlan` is an immutable, picklable value.  Every decision it
+makes — "does this trace decode fail?", "does this worker die on attempt
+0?" — is a pure function of ``(plan.seed, decision site, decision key)``,
+so the same plan injects the same faults in the coordinating process, in
+every worker process, and on a re-run of the whole pipeline.  There is no
+hidden RNG state to drift.
+
+Consumers reach the plan through a process-global registration
+(:func:`install_fault_plan` / :func:`active_fault_plan`): production code
+never constructs faults, it only *asks* whether one is scheduled at its
+own detection point.  With no plan installed every hook is a cheap ``is
+None`` check, so the instrumented hot paths cost nothing in normal runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+#: Exit status a fault-killed worker process dies with (distinctive in
+#: logs; any nonzero status breaks the pool the same way).
+KILLED_EXIT_STATUS = 86
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A reproducible schedule of faults for one pipeline run.
+
+    All rates are probabilities in ``[0, 1]`` evaluated deterministically
+    per decision key; explicit task tuples name exact victims for tests
+    that need one specific cell to fail.
+
+    Args:
+        seed: Root of every deterministic decision the plan makes.
+        corrupt_mode: How :mod:`repro.faults.inject` damages files
+            (``"bitflip"`` or ``"truncate"``).
+        corrupt_rate: Fraction of files :func:`~repro.faults.inject.inject_into_path`
+            corrupts when given a directory.
+        trace_decode_error_rate: Probability a trace body decode raises
+            :class:`~repro.trace.format.TraceFormatError` (keyed by the
+            trace's workload), modelling corruption surfacing mid-replay.
+        group_max_chunks: When set, a :class:`~repro.allocators.group.GroupAllocator`
+            behaves as if its chunk/slab reservation fails once this many
+            chunks exist — allocations degrade to the fallback allocator.
+        state_flip_rate: Probability (per allocation) that the selector
+            reads a group-state vector with one bit flipped, modelling
+            instrumentation misprediction.
+        state_flip_bits: Width of the bit window flips are drawn from.
+        worker_kill_rate: Probability a worker task hard-kills its process
+            (keyed by task key and attempt number, so retries re-draw).
+        worker_stall_rate: Probability a worker task stalls for
+            ``worker_stall_seconds`` before running.
+        worker_stall_seconds: Stall duration for stalled tasks.
+        kill_tasks: Task keys whose first ``max_kill_attempts`` attempts
+            are hard-killed regardless of ``worker_kill_rate``.
+        stall_tasks: Task keys whose first ``max_kill_attempts`` attempts
+            stall for ``worker_stall_seconds``.
+        max_kill_attempts: Attempt count affected by the explicit task
+            lists (1 = only the first attempt dies, the retry survives).
+    """
+
+    seed: int = 0
+    corrupt_mode: str = "bitflip"
+    corrupt_rate: float = 1.0
+    trace_decode_error_rate: float = 0.0
+    group_max_chunks: Optional[int] = None
+    state_flip_rate: float = 0.0
+    state_flip_bits: int = 8
+    worker_kill_rate: float = 0.0
+    worker_stall_rate: float = 0.0
+    worker_stall_seconds: float = 0.0
+    kill_tasks: tuple = field(default=())
+    stall_tasks: tuple = field(default=())
+    max_kill_attempts: int = 1
+
+    # -- deterministic decisions -------------------------------------------
+
+    def draw(self, site: str, *key) -> float:
+        """Uniform value in ``[0, 1)`` fixed by ``(seed, site, key)``."""
+        digest = hashlib.sha256(
+            repr((self.seed, site, key)).encode()
+        ).digest()
+        return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+    def decide(self, rate: float, site: str, *key) -> bool:
+        """Whether the fault at *site* (probability *rate*) fires for *key*."""
+        return rate > 0.0 and self.draw(site, *key) < rate
+
+    # -- consumer hooks ----------------------------------------------------
+
+    def fail_trace_decode(self, workload: str) -> bool:
+        """Whether decoding *workload*'s trace body should raise."""
+        return self.decide(self.trace_decode_error_rate, "trace-decode", workload)
+
+    def flip_state(self, state: int, index: int) -> int:
+        """The (possibly bit-flipped) state-vector value for allocation *index*."""
+        if not self.decide(self.state_flip_rate, "state-flip", index):
+            return state
+        bit = int(self.draw("state-flip-bit", index) * max(1, self.state_flip_bits))
+        return state ^ (1 << bit)
+
+    def on_worker_task(self, task_key: str, attempt: int) -> None:
+        """Apply scheduled worker faults at the start of one task attempt.
+
+        Called by the parallel engine's worker shim.  A kill is a hard
+        ``os._exit`` — the coordinator sees a broken pool, exactly like an
+        OOM-killed or segfaulted worker.
+        """
+        explicit = attempt < self.max_kill_attempts
+        if (explicit and task_key in self.kill_tasks) or self.decide(
+            self.worker_kill_rate, "worker-kill", task_key, attempt
+        ):
+            os._exit(KILLED_EXIT_STATUS)
+        if (explicit and task_key in self.stall_tasks) or self.decide(
+            self.worker_stall_rate, "worker-stall", task_key, attempt
+        ):
+            time.sleep(self.worker_stall_seconds)
+
+
+# -- process-global registration -----------------------------------------------
+
+_ACTIVE_PLAN: Optional[FaultPlan] = None
+
+
+def install_fault_plan(plan: Optional[FaultPlan]) -> None:
+    """Make *plan* the process's active fault plan (None to clear)."""
+    global _ACTIVE_PLAN
+    _ACTIVE_PLAN = plan
+
+
+def clear_fault_plan() -> None:
+    """Remove the active fault plan."""
+    install_fault_plan(None)
+
+
+def active_fault_plan() -> Optional[FaultPlan]:
+    """The process's active fault plan, or None."""
+    return _ACTIVE_PLAN
+
+
+@contextmanager
+def fault_plan_active(plan: FaultPlan) -> Iterator[FaultPlan]:
+    """Scope *plan* as the active fault plan, restoring the previous one."""
+    previous = active_fault_plan()
+    install_fault_plan(plan)
+    try:
+        yield plan
+    finally:
+        install_fault_plan(previous)

@@ -1,4 +1,4 @@
-"""Parallel evaluation engine.
+"""Resilient parallel evaluation engine.
 
 The paper's evaluation is embarrassingly parallel: 11 benchmarks × 4
 configurations × N trials, every run independent of every other.  This
@@ -10,6 +10,19 @@ and results are folded through the same
 :func:`~repro.harness.experiment.aggregate_trials` — so a parallel run
 produces results *identical* to the serial path, just faster.
 
+Resilience: the engine fails per *cell*, never per *matrix*.  Each task
+runs under a bounded retry policy with exponential backoff and an
+optional per-task timeout; a worker that dies (OOM-kill, segfault,
+injected fault) breaks only its pool, which is rebuilt and the in-flight
+cells resubmitted; a cell that exhausts its retries becomes a
+:class:`FailedMeasurement` in the caller's failure list instead of an
+exception that discards every other result.  With a
+:class:`~repro.harness.checkpoint.CheckpointJournal` attached, every
+completed cell is journalled as it lands, so an interrupted run resumes
+from completed work — and, because cells are deterministic, a resumed run
+is bit-identical to an uninterrupted one.  ``KeyboardInterrupt`` cancels
+pending work and terminates in-flight workers instead of hanging on them.
+
 Artifact handling: the expensive offline phase (profile + analyse) runs
 once per benchmark.  A first wave of prepare tasks populates a shared
 on-disk :class:`~repro.core.artifact_cache.ArtifactCache` (a run-private
@@ -20,19 +33,25 @@ process-global state.
 
 from __future__ import annotations
 
+import logging
 import tempfile
 import time
-from concurrent.futures import Future, ProcessPoolExecutor
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Iterator, Optional, Sequence
+from pathlib import Path
+from typing import Any, Callable, Iterator, Optional, Sequence, Union
 
 from ..core.artifact_cache import ArtifactCache, artifact_key
 from ..core.pipeline import HaloParams, optimise_profile
 from ..core.selectors import monitored_sites
+from ..faults.plan import FaultPlan, clear_fault_plan, install_fault_plan
 from ..hds.pipeline import HdsParams
 from ..trace.format import EventTrace
 from ..trace.replay import replay_profile
+from .checkpoint import CheckpointJournal
 from .experiment import TrialResult, aggregate_trials, trial_seeds
 from .prepare import (
     PROFILE_SCALE,
@@ -53,6 +72,8 @@ from .runner import (
     measure_random_pools,
 )
 from ..workloads.base import get_workload
+
+logger = logging.getLogger(__name__)
 
 #: Configurations the evaluation matrix measures, in serial-path order.
 CONFIGS = ("baseline", "halo", "hds", "random-pools")
@@ -89,6 +110,47 @@ class PreparedSummary:
     times: PhaseTimes
 
 
+@dataclass(frozen=True)
+class FailedMeasurement:
+    """A matrix cell that exhausted its retries.
+
+    Carries enough identity to re-run the cell by hand; stands in the
+    caller's failure list so one bad cell no longer poisons the matrix.
+    """
+
+    workload: str
+    config: str
+    scale: str
+    seed: Optional[int]
+    error: str
+    attempts: int
+    kind: str = "measure"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        where = f"{self.workload}/{self.config}" if self.config else self.workload
+        seed = f" seed={self.seed}" if self.seed is not None else ""
+        return (
+            f"{self.kind} {where}{seed} failed after "
+            f"{self.attempts} attempt(s): {self.error}"
+        )
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry/timeout envelope for one resilient run.
+
+    Args:
+        task_timeout: Seconds one task may run before its workers are
+            terminated and the task is retried (None: no timeout).
+        max_retries: Retries per task after its first attempt.
+        backoff: Base delay before a retry; doubles per attempt.
+    """
+
+    task_timeout: Optional[float] = None
+    max_retries: int = 2
+    backoff: float = 0.25
+
+
 # -- worker-process state -----------------------------------------------------
 
 #: Per-process memo of prepared artifacts, keyed by the artifact-cache key.
@@ -99,6 +161,30 @@ _PREPARED: dict[str, PreparedArtifacts] = {}
 #: a given workload's trace at most once regardless of how many sweep
 #: points it processes.
 _TRACES: dict[str, EventTrace] = {}
+
+
+def _faulted_task(
+    fn: Callable,
+    args: tuple,
+    plan: Optional[FaultPlan],
+    task_key: str,
+    attempt: int,
+):
+    """Worker shim: install the run's fault plan, apply worker faults, run.
+
+    Every task funnels through here so the fault plan reaches allocator
+    and trace hooks in the worker process, and scheduled kills/stalls hit
+    before any real work starts (maximally disruptive, like a crash at
+    task pickup).
+    """
+    if plan is None:
+        return fn(*args)
+    install_fault_plan(plan)
+    try:
+        plan.on_worker_task(task_key, attempt)
+        return fn(*args)
+    finally:
+        clear_fault_plan()
 
 
 def _trace_for(name: str, cache_dir: Optional[str]) -> tuple[EventTrace, PhaseTimes]:
@@ -238,6 +324,256 @@ def _table1_task(
 # -- coordinator side ---------------------------------------------------------
 
 
+@dataclass
+class _TaskSpec:
+    """One schedulable cell: worker callable plus reporting identity."""
+
+    key: str
+    fn: Callable
+    args: tuple
+    workload: str = ""
+    config: str = ""
+    scale: str = ""
+    seed: Optional[int] = None
+    kind: str = "measure"
+
+    def failure(self, error: str, attempts: int) -> FailedMeasurement:
+        return FailedMeasurement(
+            workload=self.workload,
+            config=self.config,
+            scale=self.scale,
+            seed=self.seed,
+            error=error,
+            attempts=attempts,
+            kind=self.kind,
+        )
+
+
+@dataclass
+class _RunReport:
+    """Outcome of one resilient wave: fresh results, failures, retries."""
+
+    fresh: dict[str, Any] = field(default_factory=dict)
+    failures: list[FailedMeasurement] = field(default_factory=list)
+    retries: int = 0
+
+
+class _ResilientRunner:
+    """Task scheduler wrapping one (rebuildable) process pool.
+
+    Owns submission, per-task deadlines, bounded retry with exponential
+    backoff, broken-pool recovery, journalling, and interrupt-safe
+    teardown.  One runner is shared across the waves of a pipeline entry
+    point so worker-process memos survive between waves.
+    """
+
+    def __init__(
+        self,
+        jobs: int,
+        policy: RetryPolicy,
+        fault_plan: Optional[FaultPlan] = None,
+        journal: Optional[CheckpointJournal] = None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError(f"need at least one job, got {jobs}")
+        self.jobs = jobs
+        self.policy = policy
+        self.fault_plan = fault_plan
+        self.journal = journal
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    # -- pool lifecycle ----------------------------------------------------
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+        return self._pool
+
+    def _kill_pool(self) -> None:
+        """Tear the pool down without waiting on in-flight work.
+
+        Worker processes are terminated outright so a stalled or wedged
+        task cannot block the coordinator (plain ``shutdown`` joins the
+        workers, which is exactly the Ctrl-C hang this engine removes).
+        """
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        for process in list(getattr(pool, "_processes", {}).values()):
+            try:
+                process.terminate()
+            except Exception:  # pragma: no cover - best-effort teardown
+                pass
+        pool.shutdown(wait=False, cancel_futures=True)
+
+    def close(self) -> None:
+        """Orderly shutdown after the last wave (waits for idle workers)."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
+
+    def abort(self) -> None:
+        """Emergency teardown: cancel pending futures, terminate workers."""
+        self._kill_pool()
+
+    # -- scheduling --------------------------------------------------------
+
+    def run(self, specs: Sequence[_TaskSpec]) -> _RunReport:
+        """Run every spec to completion, retrying and degrading per policy.
+
+        Returns the wave's report; never raises for task failures.
+        ``KeyboardInterrupt`` (and ``SystemExit``) abort cleanly — pending
+        futures are cancelled and workers terminated — then propagate.
+        """
+        report = _RunReport()
+        try:
+            self._run(specs, report)
+        except (KeyboardInterrupt, SystemExit):
+            logger.warning("interrupted: cancelling pending tasks and terminating workers")
+            self.abort()
+            raise
+        return report
+
+    def _run(self, specs: Sequence[_TaskSpec], report: _RunReport) -> None:
+        pending: deque[tuple[_TaskSpec, int]] = deque((s, 0) for s in specs)
+        delayed: list[tuple[float, _TaskSpec, int]] = []  # (ready_at, spec, attempt)
+        running: dict[Future, tuple[_TaskSpec, int, Optional[float]]] = {}
+        timeout = self.policy.task_timeout
+
+        def settle(spec: _TaskSpec, attempt: int, error: str) -> None:
+            """Schedule a retry for a failed attempt, or record the failure."""
+            if attempt < self.policy.max_retries:
+                ready = time.monotonic() + self.policy.backoff * (2 ** attempt)
+                delayed.append((ready, spec, attempt + 1))
+                report.retries += 1
+                logger.warning(
+                    "task %s attempt %d failed (%s); retrying", spec.key, attempt, error
+                )
+            else:
+                report.failures.append(spec.failure(error, attempts=attempt + 1))
+                logger.error(
+                    "task %s failed permanently after %d attempt(s): %s",
+                    spec.key, attempt + 1, error,
+                )
+
+        while pending or delayed or running:
+            now = time.monotonic()
+            # Promote retry-delayed tasks whose backoff has elapsed.
+            ready = [entry for entry in delayed if entry[0] <= now]
+            for entry in ready:
+                delayed.remove(entry)
+                pending.append((entry[1], entry[2]))
+            # Keep at most `jobs` tasks in flight so a submitted task
+            # starts (almost) immediately and its deadline is meaningful.
+            while pending and len(running) < self.jobs:
+                spec, attempt = pending.popleft()
+                future = self._ensure_pool().submit(
+                    _faulted_task, spec.fn, spec.args, self.fault_plan, spec.key, attempt
+                )
+                deadline = None if timeout is None else time.monotonic() + timeout
+                running[future] = (spec, attempt, deadline)
+
+            if not running:
+                if delayed:  # nothing in flight; sleep out the next backoff
+                    time.sleep(max(0.0, min(e[0] for e in delayed) - time.monotonic()))
+                continue
+
+            # Wait for the first completion, next deadline, or next retry.
+            horizon: Optional[float] = None
+            deadlines = [d for (_, _, d) in running.values() if d is not None]
+            if deadlines:
+                horizon = max(0.0, min(deadlines) - time.monotonic())
+            if delayed:
+                until_retry = max(0.0, min(e[0] for e in delayed) - time.monotonic())
+                horizon = until_retry if horizon is None else min(horizon, until_retry)
+            done, _ = wait(running, timeout=horizon, return_when=FIRST_COMPLETED)
+
+            broken = False
+            for future in done:
+                spec, attempt, _ = running.pop(future)
+                try:
+                    value = future.result()
+                except BrokenProcessPool as exc:
+                    # The dying worker poisons every in-flight future; each
+                    # affected task is retried (the culprit re-draws its
+                    # fate, innocents normally succeed on the fresh pool).
+                    broken = True
+                    settle(spec, attempt, f"worker process died ({exc!r})")
+                except Exception as exc:
+                    settle(spec, attempt, repr(exc))
+                else:
+                    report.fresh[spec.key] = value
+                    if self.journal is not None:
+                        self.journal.append(spec.key, value)
+            if broken:
+                self._kill_pool()
+                for spec, attempt, _ in running.values():
+                    pending.append((spec, attempt))  # bystanders keep their attempt
+                running.clear()
+                continue
+
+            # Enforce per-task deadlines: a stalled worker cannot be
+            # cancelled through the executor API, so the pool is torn down
+            # and every in-flight task rescheduled (expired ones count a
+            # failed attempt, bystanders do not).
+            now = time.monotonic()
+            expired = [
+                future
+                for future, (_, _, deadline) in running.items()
+                if deadline is not None and now >= deadline
+            ]
+            if expired:
+                self._kill_pool()
+                for future in expired:
+                    spec, attempt, _ = running.pop(future)
+                    settle(spec, attempt, f"timed out after {timeout:.1f}s")
+                for spec, attempt, _ in running.values():
+                    pending.append((spec, attempt))
+                running.clear()
+
+
+def _preload(
+    journal: Optional[CheckpointJournal], resume: bool
+) -> dict[str, Any]:
+    """Completed cells a resumed run may skip (empty without ``resume``)."""
+    if journal is None or not resume:
+        return {}
+    done = journal.load()
+    if done:
+        logger.info(
+            "resuming from %s: %d completed cell(s) loaded", journal.path, len(done)
+        )
+    return done
+
+
+def _as_journal(
+    checkpoint: Optional[Union[CheckpointJournal, str, Path]]
+) -> Optional[CheckpointJournal]:
+    if checkpoint is None or isinstance(checkpoint, CheckpointJournal):
+        return checkpoint
+    return CheckpointJournal(checkpoint)
+
+
+def _measure_key(workload: str, config: str, scale: str, seed: int) -> str:
+    return f"measure:{workload}:{config}:{scale}:{seed}"
+
+
+def _aggregate_seeded(
+    cells: dict[int, Measurement], discard_first: bool
+) -> Optional[TrialResult]:
+    """Aggregate surviving per-seed measurements (None if nothing survives).
+
+    The warm-up convention drops seed 0 *when it succeeded*; a failed
+    warm-up cell must not silently promote seed 1 into its place.
+    """
+    seeds = sorted(cells)
+    if discard_first and 0 in cells:
+        seeds = [s for s in seeds if s != 0]
+    if not seeds:
+        return None
+    return aggregate_trials([cells[s] for s in seeds], discard_first=False)
+
+
 @contextmanager
 def _effective_cache_dir(cache: Optional[ArtifactCache]) -> Iterator[str]:
     """The cache directory shared with workers for one parallel run.
@@ -265,42 +601,84 @@ def run_trials_parallel(
     halo_params: Optional[HaloParams] = None,
     hds_params: Optional[HdsParams] = None,
     phase_times: Optional[PhaseTimes] = None,
+    task_timeout: Optional[float] = None,
+    max_retries: int = 2,
+    fault_plan: Optional[FaultPlan] = None,
+    failures: Optional[list[FailedMeasurement]] = None,
 ) -> TrialResult:
     """Parallel counterpart of :func:`~repro.harness.experiment.run_trials`.
 
     Runs the same seed sequence as the serial path for one
     ``(benchmark, configuration)`` pair and aggregates identically, so the
-    resulting :class:`TrialResult` matches the serial one exactly.
+    resulting :class:`TrialResult` matches the serial one exactly.  Cells
+    that fail despite retries land in *failures* (when given) and are
+    excluded from the aggregate; if nothing survives, :class:`RuntimeError`.
     """
     seeds = trial_seeds(trials, discard_first)
+    policy = RetryPolicy(task_timeout=task_timeout, max_retries=max_retries)
     with _effective_cache_dir(cache) as cache_dir:
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
+        runner = _ResilientRunner(jobs, policy, fault_plan=fault_plan)
+        try:
             if config in ("halo", "hds"):
                 # One prepare task so measurement workers only load the cache.
-                pool.submit(
-                    _prepare_task, name, cache_dir, halo_params, hds_params,
-                    config == "hds",
-                ).result()
-            futures = [
-                pool.submit(
-                    _measure_task,
-                    MeasureTask(
+                prep = runner.run([
+                    _TaskSpec(
+                        key=f"prepare:{name}",
+                        fn=_prepare_task,
+                        args=(name, cache_dir, halo_params, hds_params, config == "hds"),
                         workload=name,
                         config=config,
                         scale=scale,
-                        seed=seed,
-                        cache_dir=cache_dir,
-                        halo_params=halo_params,
-                        hds_params=hds_params,
+                        kind="prepare",
+                    )
+                ])
+                if prep.failures:
+                    raise RuntimeError(
+                        f"prepare phase failed for {name}: {prep.failures[0]}"
+                    )
+            specs = [
+                _TaskSpec(
+                    key=_measure_key(name, config, scale, seed),
+                    fn=_measure_task,
+                    args=(
+                        MeasureTask(
+                            workload=name,
+                            config=config,
+                            scale=scale,
+                            seed=seed,
+                            cache_dir=cache_dir,
+                            halo_params=halo_params,
+                            hds_params=hds_params,
+                        ),
                     ),
+                    workload=name,
+                    config=config,
+                    scale=scale,
+                    seed=seed,
                 )
                 for seed in seeds
             ]
-            results = [future.result() for future in futures]
+            report = runner.run(specs)
+        finally:
+            runner.close()
+    if failures is not None:
+        failures.extend(report.failures)
     if phase_times is not None:
-        for _, times in results:
+        phase_times.task_retries += report.retries
+        for _, times in report.fresh.values():
             phase_times.add(times)
-    return aggregate_trials([m for m, _ in results], discard_first)
+    cells = {
+        seed: report.fresh[_measure_key(name, config, scale, seed)][0]
+        for seed in seeds
+        if _measure_key(name, config, scale, seed) in report.fresh
+    }
+    result = _aggregate_seeded(cells, discard_first)
+    if result is None:
+        raise RuntimeError(
+            f"every trial of {name}/{config} failed: "
+            + "; ".join(str(f) for f in report.failures)
+        )
+    return result
 
 
 def evaluate_all_parallel(
@@ -311,71 +689,140 @@ def evaluate_all_parallel(
     jobs: int = 2,
     cache: Optional[ArtifactCache] = None,
     phase_times: Optional[PhaseTimes] = None,
+    task_timeout: Optional[float] = None,
+    max_retries: int = 2,
+    fault_plan: Optional[FaultPlan] = None,
+    checkpoint: Optional[Union[CheckpointJournal, str, Path]] = None,
+    resume: bool = False,
+    failures: Optional[list[FailedMeasurement]] = None,
 ) -> dict[str, WorkloadEvaluation]:
     """Parallel counterpart of :func:`~repro.harness.reproduce.evaluate_all`.
 
     Fans the full matrix — every ``(benchmark, configuration, seed)`` — out
     over *jobs* worker processes.  Deterministic: results are numerically
     identical to the serial evaluation.
+
+    Degradation semantics: a cell that fails all its retries becomes a
+    :class:`FailedMeasurement` in *failures*; its benchmark survives as
+    long as each required configuration keeps at least one measured trial
+    (the optional random-pools series degrades to ``None``).  A benchmark
+    whose prepare phase, or an entire required configuration, fails is
+    dropped from the result dict and reported in *failures* — the rest of
+    the matrix is unaffected.  With *checkpoint* set, completed cells are
+    journalled; ``resume=True`` skips cells the journal already holds.
     """
     if jobs < 1:
         raise ValueError(f"need at least one job, got {jobs}")
     total = PhaseTimes()
     seeds = trial_seeds(trials, discard_first=True)
     configs = [c for c in CONFIGS if include_random or c != "random-pools"]
+    journal = _as_journal(checkpoint)
+    done = _preload(journal, resume)
+    all_failures: list[FailedMeasurement] = []
 
     with _effective_cache_dir(cache) as cache_dir:
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
+        runner = _ResilientRunner(
+            jobs,
+            RetryPolicy(task_timeout=task_timeout, max_retries=max_retries),
+            fault_plan=fault_plan,
+            journal=journal,
+        )
+        try:
             # Wave 1: profile + analyse each benchmark once, into the cache.
-            prepare_futures = {
-                name: pool.submit(_prepare_task, name, cache_dir, None, None, True)
+            prep_specs = [
+                _TaskSpec(
+                    key=f"prepare:{name}",
+                    fn=_prepare_task,
+                    args=(name, cache_dir, None, None, True),
+                    workload=name,
+                    scale=scale,
+                    kind="prepare",
+                )
                 for name in benchmarks
-            }
-            summaries = {name: f.result() for name, f in prepare_futures.items()}
-            for summary in summaries.values():
+                if f"prepare:{name}" not in done
+            ]
+            prep = runner.run(prep_specs)
+            all_failures.extend(prep.failures)
+            total.task_retries += prep.retries
+            for summary in prep.fresh.values():
                 total.add(summary.times)
+            summaries: dict[str, PreparedSummary] = {}
+            for name in benchmarks:
+                summary = prep.fresh.get(f"prepare:{name}", done.get(f"prepare:{name}"))
+                if summary is not None:
+                    summaries[name] = summary
+            survivors = [name for name in benchmarks if name in summaries]
 
             # Wave 2: every measurement, one task per (benchmark, config, seed).
-            futures: dict[tuple[str, str], list[Future]] = {}
-            for name in benchmarks:
-                for config in configs:
-                    futures[(name, config)] = [
-                        pool.submit(
-                            _measure_task,
-                            MeasureTask(
-                                workload=name,
-                                config=config,
-                                scale=scale,
-                                seed=seed,
-                                cache_dir=cache_dir,
-                            ),
-                        )
-                        for seed in seeds
-                    ]
-
-            evaluations: dict[str, WorkloadEvaluation] = {}
-            for name in benchmarks:
-                trials_by_config: dict[str, TrialResult] = {}
-                for config in configs:
-                    results = [future.result() for future in futures[(name, config)]]
-                    for _, times in results:
-                        total.add(times)
-                    trials_by_config[config] = aggregate_trials(
-                        [m for m, _ in results], discard_first=True
-                    )
-                summary = summaries[name]
-                evaluations[name] = WorkloadEvaluation(
-                    name=name,
-                    baseline=trials_by_config["baseline"],
-                    halo=trials_by_config["halo"],
-                    hds=trials_by_config["hds"],
-                    random_pools=trials_by_config.get("random-pools"),
-                    halo_groups=summary.halo_groups,
-                    hds_groups=summary.hds_groups,
-                    hds_streams=summary.hds_streams,
-                    graph_nodes=summary.graph_nodes,
+            measure_specs = [
+                _TaskSpec(
+                    key=_measure_key(name, config, scale, seed),
+                    fn=_measure_task,
+                    args=(
+                        MeasureTask(
+                            workload=name,
+                            config=config,
+                            scale=scale,
+                            seed=seed,
+                            cache_dir=cache_dir,
+                        ),
+                    ),
+                    workload=name,
+                    config=config,
+                    scale=scale,
+                    seed=seed,
                 )
+                for name in survivors
+                for config in configs
+                for seed in seeds
+                if _measure_key(name, config, scale, seed) not in done
+            ]
+            measured = runner.run(measure_specs)
+            all_failures.extend(measured.failures)
+            total.task_retries += measured.retries
+            for _, times in measured.fresh.values():
+                total.add(times)
+        finally:
+            runner.close()
 
+    results = dict(done)
+    results.update(prep.fresh)
+    results.update(measured.fresh)
+
+    evaluations: dict[str, WorkloadEvaluation] = {}
+    for name in survivors:
+        trials_by_config: dict[str, Optional[TrialResult]] = {}
+        for config in configs:
+            cells = {
+                seed: results[_measure_key(name, config, scale, seed)][0]
+                for seed in seeds
+                if _measure_key(name, config, scale, seed) in results
+            }
+            trials_by_config[config] = _aggregate_seeded(cells, discard_first=True)
+        missing = [
+            c for c in ("baseline", "halo", "hds") if trials_by_config.get(c) is None
+        ]
+        if missing:
+            logger.error(
+                "dropping %s from the evaluation: no surviving trials for %s",
+                name, ", ".join(missing),
+            )
+            continue
+        summary = summaries[name]
+        evaluations[name] = WorkloadEvaluation(
+            name=name,
+            baseline=trials_by_config["baseline"],
+            halo=trials_by_config["halo"],
+            hds=trials_by_config["hds"],
+            random_pools=trials_by_config.get("random-pools"),
+            halo_groups=summary.halo_groups,
+            hds_groups=summary.hds_groups,
+            hds_streams=summary.hds_streams,
+            graph_nodes=summary.graph_nodes,
+        )
+
+    if failures is not None:
+        failures.extend(all_failures)
     if phase_times is not None:
         phase_times.add(total)
     return evaluations
@@ -387,24 +834,46 @@ def table1_rows_parallel(
     jobs: int = 2,
     cache: Optional[ArtifactCache] = None,
     phase_times: Optional[PhaseTimes] = None,
+    task_timeout: Optional[float] = None,
+    max_retries: int = 2,
+    fault_plan: Optional[FaultPlan] = None,
+    failures: Optional[list[FailedMeasurement]] = None,
 ) -> list[tuple[str, float, int]]:
     """Parallel Table 1: ``(benchmark, fraction, wasted_bytes)`` rows.
 
-    Row order follows *benchmarks* regardless of completion order.
+    Row order follows *benchmarks* regardless of completion order; rows
+    whose cell failed all retries are omitted and reported via *failures*.
     """
+    policy = RetryPolicy(task_timeout=task_timeout, max_retries=max_retries)
     with _effective_cache_dir(cache) as cache_dir:
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
-            futures = {
-                name: pool.submit(_table1_task, name, scale, cache_dir)
+        runner = _ResilientRunner(jobs, policy, fault_plan=fault_plan)
+        try:
+            report = runner.run([
+                _TaskSpec(
+                    key=f"table1:{name}:{scale}",
+                    fn=_table1_task,
+                    args=(name, scale, cache_dir),
+                    workload=name,
+                    scale=scale,
+                    kind="table1",
+                )
                 for name in benchmarks
-            }
-            results = {name: future.result() for name, future in futures.items()}
+            ])
+        finally:
+            runner.close()
+    if failures is not None:
+        failures.extend(report.failures)
     rows = []
     for name in benchmarks:
-        row_name, fraction, wasted, times = results[name]
+        value = report.fresh.get(f"table1:{name}:{scale}")
+        if value is None:
+            continue
+        row_name, fraction, wasted, times = value
         if phase_times is not None:
             phase_times.add(times)
         rows.append((row_name, fraction, wasted))
+    if phase_times is not None:
+        phase_times.task_retries += report.retries
     return rows
 
 
@@ -459,35 +928,93 @@ def _sweep_task(
     )
 
 
+def _sweep_key(name: str, config: HaloParams) -> str:
+    """Stable journal key for one sweep point (parameter-content hash)."""
+    digest = artifact_key(
+        workload=name,
+        profile_scale=PROFILE_SCALE,
+        halo_params=config,
+        kind="sweep-point",
+    )
+    return f"sweep:{name}:{digest[:16]}"
+
+
 def run_sweep_parallel(
     name: str,
     configs: Sequence[HaloParams],
     jobs: int = 2,
     cache: Optional[ArtifactCache] = None,
     phase_times: Optional[PhaseTimes] = None,
+    task_timeout: Optional[float] = None,
+    max_retries: int = 2,
+    fault_plan: Optional[FaultPlan] = None,
+    checkpoint: Optional[Union[CheckpointJournal, str, Path]] = None,
+    resume: bool = False,
+    failures: Optional[list[FailedMeasurement]] = None,
 ) -> list[SweepPoint]:
     """Fan a trace-driven parameter sweep out over worker processes.
 
     The workload is recorded at most once (a first wave populates the
     shared trace cache); every configuration then replays the recording.
-    Point order follows *configs*.
+    Point order follows *configs*; points that fail every retry are
+    omitted and reported via *failures*.  A corrupt trace never fails a
+    point: the replay layer falls back to direct execution per
+    :func:`~repro.harness.prepare.prepare_workload` semantics.
     """
     if jobs < 1:
         raise ValueError(f"need at least one job, got {jobs}")
     total = PhaseTimes()
+    journal = _as_journal(checkpoint)
+    done = _preload(journal, resume)
+    policy = RetryPolicy(task_timeout=task_timeout, max_retries=max_retries)
     with _effective_cache_dir(cache) as cache_dir:
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
-            _, _, record_times = pool.submit(
-                _record_trace_task, name, cache_dir
-            ).result()
-            total.add(record_times)
-            futures = [
-                pool.submit(_sweep_task, name, config, cache_dir)
-                for config in configs
+        runner = _ResilientRunner(
+            jobs, policy, fault_plan=fault_plan, journal=journal
+        )
+        try:
+            record_key = f"record:{name}"
+            if record_key not in done:
+                record = runner.run([
+                    _TaskSpec(
+                        key=record_key,
+                        fn=_record_trace_task,
+                        args=(name, cache_dir),
+                        workload=name,
+                        kind="record",
+                    )
+                ])
+                all_record_failures = record.failures
+                total.task_retries += record.retries
+                for _, _, record_times in record.fresh.values():
+                    total.add(record_times)
+            else:
+                all_record_failures = []
+            keys = [_sweep_key(name, config) for config in configs]
+            specs = [
+                _TaskSpec(
+                    key=key,
+                    fn=_sweep_task,
+                    args=(name, config, cache_dir),
+                    workload=name,
+                    config=f"point-{index}",
+                    kind="sweep",
+                )
+                for index, (key, config) in enumerate(zip(keys, configs))
+                if key not in done
             ]
-            points = [future.result() for future in futures]
-    for point in points:
-        total.add(point.times)
+            report = runner.run(specs)
+        finally:
+            runner.close()
+    results = dict(done)
+    results.update(report.fresh)
+    points = [results[key] for key in keys if key in results]
+    for point in report.fresh.values():
+        if isinstance(point, SweepPoint):
+            total.add(point.times)
+    total.task_retries += report.retries
+    if failures is not None:
+        failures.extend(all_record_failures)
+        failures.extend(report.failures)
     if phase_times is not None:
         phase_times.add(total)
     return points

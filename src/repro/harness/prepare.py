@@ -13,6 +13,7 @@ wall-time report.
 
 from __future__ import annotations
 
+import logging
 import time
 from dataclasses import dataclass, field
 from typing import Optional
@@ -21,11 +22,13 @@ from ..core.artifact_cache import ArtifactCache, artifact_key
 from ..core.pipeline import HaloArtifacts, HaloParams, optimise_profile, profile_workload
 from ..hds.pipeline import HdsArtifacts, HdsParams, analyse_profile
 from ..profiling.profiler import ProfileResult
-from ..trace.format import EventTrace
+from ..trace.format import EventTrace, TraceFormatError
 from ..trace.record import record_workload
 from ..trace.replay import replay_profile
 from ..workloads.base import Workload, get_workload
 from .experiment import TrialResult, miss_reduction, speedup
+
+logger = logging.getLogger(__name__)
 
 #: Scale every evaluation profile is recorded at (paper: "workloads are
 #: profiled on small test inputs and measured using larger ref inputs").
@@ -67,6 +70,10 @@ class PhaseTimes:
     #: Event-trace traffic: fresh recordings vs profile replays from trace.
     trace_records: int = 0
     trace_replays: int = 0
+    #: Degradations: corrupt traces replaced by direct execution, and
+    #: measurement cells that needed a retry before succeeding.
+    trace_fallbacks: int = 0
+    task_retries: int = 0
 
     def add(self, other: "PhaseTimes") -> None:
         """Fold *other*'s counters into this one."""
@@ -78,6 +85,8 @@ class PhaseTimes:
         self.cache_misses += other.cache_misses
         self.trace_records += other.trace_records
         self.trace_replays += other.trace_replays
+        self.trace_fallbacks += other.trace_fallbacks
+        self.task_retries += other.task_retries
 
     def report(self, wall: Optional[float] = None) -> str:
         """One-line human-readable report."""
@@ -94,6 +103,10 @@ class PhaseTimes:
             parts.append(
                 f"trace {self.trace_records} recorded / {self.trace_replays} replayed"
             )
+        if self.trace_fallbacks:
+            parts.append(f"degraded {self.trace_fallbacks} trace fallback(s)")
+        if self.task_retries:
+            parts.append(f"retried {self.task_retries} task(s)")
         line = "phase wall-time:  " + "   ".join(parts)
         if wall is not None:
             line += f"   (elapsed {wall:.2f}s)"
@@ -125,14 +138,23 @@ def get_or_record_trace(
     The freshly recorded trace is stored back (when a cache is present) so
     later preparations — in this or any worker process, under any
     parameter configuration — replay instead of re-executing.
+
+    A cached trace whose body fails its header checksum is treated as a
+    miss and re-recorded: corruption degrades to a re-record, never to
+    garbage events.
     """
     key = trace_key_for(name, scale)
     if cache is not None:
         cached = cache.get(key)
         if isinstance(cached, EventTrace):
-            if times is not None:
-                times.cache_hits += 1
-            return cached
+            if cached.verify():
+                if times is not None:
+                    times.cache_hits += 1
+                return cached
+            logger.warning(
+                "cached trace for %s (%s) failed its checksum; re-recording",
+                name, scale,
+            )
         if times is not None:
             times.cache_misses += 1
     start = time.perf_counter()
@@ -231,16 +253,31 @@ def prepare_workload(
 
     if use_trace is None:
         use_trace = trace is not None or cache is not None
+    profile = None
     if use_trace:
         if trace is None:
             trace = get_or_record_trace(
                 name, cache=cache, workload=workload, times=times
             )
         start = time.perf_counter()
-        profile = replay_profile(trace, workload.program, halo_params, record_trace=True)
-        times.profile += time.perf_counter() - start
-        times.trace_replays += 1
-    else:
+        try:
+            profile = replay_profile(
+                trace, workload.program, halo_params, record_trace=True
+            )
+            times.trace_replays += 1
+        except TraceFormatError as exc:
+            # Graceful degradation: a corrupt or truncated trace falls
+            # back to direct workload execution, which produces the same
+            # profile the replay would have (replay is bit-identical).
+            logger.warning(
+                "trace replay for %s failed (%s); falling back to direct execution",
+                name, exc,
+            )
+            times.trace_fallbacks += 1
+            profile = None
+        finally:
+            times.profile += time.perf_counter() - start
+    if profile is None:
         start = time.perf_counter()
         profile = profile_workload(
             workload, halo_params, scale=PROFILE_SCALE, record_trace=True

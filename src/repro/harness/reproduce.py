@@ -99,12 +99,18 @@ def evaluate_all(
     jobs: int = 1,
     cache: Optional[ArtifactCache] = None,
     phase_times: Optional[PhaseTimes] = None,
+    task_timeout: Optional[float] = None,
+    max_retries: int = 2,
+    checkpoint=None,
+    resume: bool = False,
+    failures: Optional[list] = None,
 ) -> dict[str, WorkloadEvaluation]:
     """Run the full evaluation matrix (figures 13, 14 and 15 share it).
 
     ``jobs > 1`` fans the matrix out over worker processes via
     :mod:`repro.harness.parallel`; results are identical to the serial
-    path either way.
+    path either way.  The resilience knobs (*task_timeout*, *max_retries*,
+    *checkpoint*/*resume*, *failures*) only apply to the parallel engine.
     """
     if jobs > 1:
         from .parallel import evaluate_all_parallel
@@ -117,6 +123,11 @@ def evaluate_all(
             jobs=jobs,
             cache=cache,
             phase_times=phase_times,
+            task_timeout=task_timeout,
+            max_retries=max_retries,
+            checkpoint=checkpoint,
+            resume=resume,
+            failures=failures,
         )
     return {
         name: evaluate_workload(
@@ -256,6 +267,9 @@ def table1(
     jobs: int = 1,
     cache: Optional[ArtifactCache] = None,
     phase_times: Optional[PhaseTimes] = None,
+    task_timeout: Optional[float] = None,
+    max_retries: int = 2,
+    failures: Optional[list] = None,
 ) -> list[FragmentationRow]:
     """Fragmentation behaviour of grouped objects at peak memory usage."""
     if jobs > 1:
@@ -264,7 +278,8 @@ def table1(
         return [
             FragmentationRow(name, fraction, wasted)
             for name, fraction, wasted in table1_rows_parallel(
-                benchmarks, scale=scale, jobs=jobs, cache=cache, phase_times=phase_times
+                benchmarks, scale=scale, jobs=jobs, cache=cache, phase_times=phase_times,
+                task_timeout=task_timeout, max_retries=max_retries, failures=failures,
             )
         ]
     rows = []

@@ -44,6 +44,9 @@ class Measurement:
     frag_at_peak: Optional[FragmentationSnapshot]
     grouped_allocs: int = 0
     forwarded_allocs: int = 0
+    #: Grouped requests the allocator degraded to its fallback (pool
+    #: exhaustion); zero in healthy runs.
+    degraded_allocs: int = 0
 
 
 def total_live_bytes(allocator: Allocator) -> int:
@@ -130,6 +133,7 @@ def run_measurement(
         frag_at_peak=tracker.frag_at_peak,
         grouped_allocs=getattr(allocator, "grouped_allocs", 0),
         forwarded_allocs=getattr(allocator, "forwarded_allocs", 0),
+        degraded_allocs=getattr(allocator, "degraded_allocs", 0),
     )
 
 

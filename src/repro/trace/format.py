@@ -29,6 +29,11 @@ a zlib-compressed stream of varint/delta-encoded events:
 * ``WORK`` cycles are a varint when integral, a raw little-endian float64
   otherwise, preserving bit-identical ``compute_cycles`` on replay.
 
+Format v2 adds a CRC32 of the (compressed) body to the header, so a
+truncated or bit-flipped trace file is detected as a
+:class:`TraceFormatError` at its first decode instead of being decoded
+into garbage events.  v1 containers (no checksum) remain readable.
+
 A ref-scale run costs a few MiB compressed.
 """
 
@@ -41,8 +46,13 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import BinaryIO, Iterator, Optional, Union
 
+from ..faults.plan import active_fault_plan
+
 MAGIC = b"HALOTRC1"
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+
+#: Container versions this reader understands (v1 predates the body CRC).
+SUPPORTED_FORMATS = (1, 2)
 
 #: Body-encoding flag: zlib-compressed event stream.
 FLAG_ZLIB = 0x01
@@ -94,6 +104,9 @@ class TraceHeader:
     works: int = 0
     alloc_bytes: int = 0
     access_bytes: int = 0
+    #: CRC32 of the stored (compressed) body; None on v1 traces and on
+    #: hand-built headers, which skips verification.
+    crc32: Optional[int] = None
     extra: dict = field(default_factory=dict)
 
     def to_json(self) -> str:
@@ -279,14 +292,21 @@ class TraceWriter:
     # -- finalisation ------------------------------------------------------
 
     def close(self) -> "EventTrace":
-        """Finalise the stream and return the completed trace (idempotent)."""
+        """Finalise the stream and return the completed trace (idempotent).
+
+        Stamps the header with the CRC32 of the compressed body (format
+        v2), so every write path downstream of the writer can detect
+        truncation and bit-flips.
+        """
         if not self._closed:
             if self._buffer:
                 self._chunks.append(self._compressor.compress(bytes(self._buffer)))
                 self._buffer.clear()
             self._chunks.append(self._compressor.flush())
             self._closed = True
-            self._trace = EventTrace(self.header, b"".join(self._chunks))
+            body = b"".join(self._chunks)
+            self.header.crc32 = zlib.crc32(body)
+            self._trace = EventTrace(self.header, body)
             self._chunks.clear()
         assert self._trace is not None
         return self._trace
@@ -474,12 +494,43 @@ class EventTrace:
 
     def _raw_body(self) -> bytes:
         if self.flags & FLAG_ZLIB:
-            return zlib.decompress(self.body)
+            try:
+                return zlib.decompress(self.body)
+            except zlib.error as exc:
+                raise TraceFormatError(f"corrupt compressed trace body: {exc}") from exc
         return self.body
 
+    def verify(self) -> bool:
+        """Whether the stored body matches the header checksum.
+
+        True for v1 traces and hand-built headers (no checksum recorded):
+        absence of evidence is not treated as corruption.
+        """
+        expected = self.header.crc32
+        return expected is None or zlib.crc32(self.body) == expected
+
+    def _check_body(self) -> None:
+        """Raise :class:`TraceFormatError` on checksum mismatch or injected faults."""
+        plan = active_fault_plan()
+        if plan is not None and plan.fail_trace_decode(self.header.workload):
+            raise TraceFormatError(
+                f"fault injection: forced decode failure for {self.header.workload!r}"
+            )
+        if not self.verify():
+            raise TraceFormatError(
+                f"trace body checksum mismatch for {self.header.workload!r} "
+                f"(expected {self.header.crc32:#010x}, got {zlib.crc32(self.body):#010x})"
+            )
+
     def events(self) -> list[tuple]:
-        """Decode (once) and return the full event list."""
+        """Decode (once) and return the full event list.
+
+        The body checksum is verified first (format v2), so truncation and
+        bit-flips surface as :class:`TraceFormatError` at the decode
+        boundary rather than as garbage events downstream.
+        """
         if self._events is None:
+            self._check_body()
             data = self._raw_body()
             out: list[tuple] = []
             state = [0, 0, 0]
@@ -505,6 +556,7 @@ class EventTrace:
         if self._events is not None:
             yield from self._events
             return
+        self._check_body()
         decompressor = zlib.decompressobj() if self.flags & FLAG_ZLIB else None
         pending = bytearray()
         state = [0, 0, 0]
@@ -547,7 +599,7 @@ class EventTrace:
         (header_len,) = _U32.unpack_from(raw, pos)
         pos += 4
         header = TraceHeader.from_json(raw[pos:pos + header_len].decode())
-        if header.format != FORMAT_VERSION:
+        if header.format not in SUPPORTED_FORMATS:
             raise TraceFormatError(f"unsupported trace format version {header.format}")
         pos += header_len
         flags = raw[pos]
@@ -579,17 +631,31 @@ class TraceReader:
         pending = bytearray()
         state = [0, 0, 0]
         out: list[tuple] = []
+        crc = 0
         with open(self.path, "rb") as handle:
             handle.seek(self._body_offset)
             while True:
                 chunk = handle.read(self.chunk_size)
                 if not chunk:
                     break
-                pending.extend(decompressor.decompress(chunk) if decompressor else chunk)
+                crc = zlib.crc32(chunk, crc)
+                try:
+                    pending.extend(
+                        decompressor.decompress(chunk) if decompressor else chunk
+                    )
+                except zlib.error as exc:
+                    raise TraceFormatError(
+                        f"corrupt compressed trace body in {self.path}: {exc}"
+                    ) from exc
                 consumed = _decode_into(pending, 0, len(pending), out, state)
                 del pending[:consumed]
                 yield from out
                 out.clear()
+        if self.header.crc32 is not None and crc != self.header.crc32:
+            raise TraceFormatError(
+                f"trace body checksum mismatch in {self.path} "
+                f"(expected {self.header.crc32:#010x}, got {crc:#010x})"
+            )
         if decompressor is not None:
             pending.extend(decompressor.flush())
         consumed = _decode_into(pending, 0, len(pending), out, state)
@@ -605,7 +671,7 @@ def _read_container_head(handle: BinaryIO) -> tuple[TraceHeader, int, int]:
         raise TraceFormatError("not a HALO event trace (bad magic)")
     (header_len,) = _U32.unpack(handle.read(4))
     header = TraceHeader.from_json(handle.read(header_len).decode())
-    if header.format != FORMAT_VERSION:
+    if header.format not in SUPPORTED_FORMATS:
         raise TraceFormatError(f"unsupported trace format version {header.format}")
     flags = handle.read(1)[0]
     return header, flags, len(MAGIC) + 4 + header_len + 1

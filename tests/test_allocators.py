@@ -379,3 +379,112 @@ class TestGroupAllocatorGrouping:
         assert frag.live_bytes == 8 * 512
         assert frag.wasted_bytes > 0
         assert 0.0 < frag.fraction < 1.0
+
+
+class TestGroupAllocatorDegradation:
+    """Pool exhaustion degrades to the fallback — never an allocation failure."""
+
+    def _make(self, matcher=None, **kwargs):
+        space = AddressSpace(0)
+        fallback = SizeClassAllocator(space)
+        allocator = GroupAllocator(
+            space, fallback, matcher or _AlwaysGroup(), GroupStateVector(), **kwargs
+        )
+        return allocator, fallback
+
+    def test_exact_chunk_capacity_boundary(self):
+        # chunk_size 4096 minus the 64-byte header leaves exactly 4032
+        # usable bytes; a request of that size fills the chunk to the brim.
+        allocator, _ = self._make(chunk_size=4096, slab_size=1 << 16)
+        addr = allocator.malloc(4032)
+        assert allocator.chunks_created == 1
+        assert allocator.degraded_allocs == 0
+        # The chunk is exactly full: the next grouped request needs a new one.
+        allocator.malloc(8)
+        assert allocator.chunks_created == 2
+        assert allocator.free(addr) == 4032
+
+    def test_oversized_for_empty_chunk_degrades(self):
+        # Under the grouping threshold but over what any chunk can hold
+        # (header overhead): must be served by the fallback, not fail.
+        allocator, fallback = self._make(chunk_size=4096, slab_size=1 << 16)
+        addr = allocator.malloc(4040)  # < PAGE_SIZE, > 4096 - 64
+        assert allocator.degraded_allocs == 1
+        assert fallback.stats.total_allocs == 1
+        assert allocator.size_of(addr) == fallback.size_of(addr)
+
+    def test_chunk_budget_exhaustion_serves_all_requests(self):
+        allocator, fallback = self._make(
+            chunk_size=4096, slab_size=1 << 16, max_total_chunks=1
+        )
+        addrs = [allocator.malloc(1024) for _ in range(64)]  # >> one chunk
+        assert len(set(addrs)) == len(addrs)
+        assert allocator.chunks_created == 1
+        assert allocator.degraded_allocs > 0
+        assert allocator.grouped_allocs + allocator.degraded_allocs == 64
+        assert fallback.stats.total_allocs == allocator.degraded_allocs
+        # Every address remains freeable regardless of which side owns it.
+        for addr in addrs:
+            allocator.free(addr)
+        assert allocator.grouped_live_bytes == 0
+        assert fallback.stats.live_bytes == 0
+
+    def test_fallback_owned_address_free_realloc_size_of(self):
+        allocator, fallback = self._make(
+            chunk_size=4096, slab_size=1 << 16, max_total_chunks=0
+        )
+        addr = allocator.malloc(256)  # degraded straight to the fallback
+        assert allocator.degraded_allocs == 1
+        assert allocator.size_of(addr) == fallback.size_of(addr)
+        new = allocator.realloc(addr, 512)
+        assert allocator.size_of(new) >= 512
+        assert allocator.free(new) > 0
+        assert fallback.stats.live_bytes == 0
+
+    def test_spares_reused_before_budget_applies(self):
+        # An exhausted budget still recycles retired chunks, so grouping
+        # continues at steady state instead of degrading forever.
+        allocator, _ = self._make(
+            chunk_size=4096, slab_size=1 << 16, max_total_chunks=2,
+        )
+        first = [allocator.malloc(1024) for _ in range(3)]  # fills chunk 1
+        allocator.malloc(1024)  # spills into chunk 2, which becomes current
+        assert allocator.chunks_created == 2
+        for addr in first:
+            allocator.free(addr)  # chunk 1 empties and is retired as a spare
+        # A fresh group needs a chunk; the budget is spent, so it must come
+        # from the spare list rather than degrading.
+        allocator.matcher = _AlwaysGroup(gid=7)
+        allocator.malloc(512)
+        assert allocator.chunks_reused == 1
+        assert allocator.chunks_created == 2
+        assert allocator.degraded_allocs == 0
+
+    def test_fault_plan_caps_chunks(self):
+        from repro.faults import FaultPlan, fault_plan_active
+
+        allocator, fallback = self._make(chunk_size=4096, slab_size=1 << 16)
+        with fault_plan_active(FaultPlan(group_max_chunks=1)):
+            addrs = [allocator.malloc(1024) for _ in range(16)]
+        assert allocator.chunks_created == 1
+        assert allocator.degraded_allocs > 0
+        assert len(addrs) == 16
+        # Outside the plan the budget lifts again.
+        allocator.malloc(1024)
+        assert allocator.chunks_created == 2
+
+    def test_fault_plan_flips_selector_state(self):
+        from repro.faults import FaultPlan, fault_plan_active
+
+        class _MatchBitZero:
+            def match(self, state):
+                return 0 if state & 1 else None
+
+        allocator, _ = self._make(matcher=_MatchBitZero())
+        with fault_plan_active(FaultPlan(state_flip_rate=1.0, state_flip_bits=1)):
+            for _ in range(8):
+                allocator.malloc(64)
+        # Every consult saw bit 0 flipped (window is one bit wide), so the
+        # never-matching state 0 misclassified into group 0 each time.
+        assert allocator.faulted_matches == 8
+        assert allocator.grouped_allocs == 8

@@ -112,3 +112,32 @@ class TestArtifactCache:
         assert cache.clear() == 2
         assert cache.get("a") is None
         assert cache.clear() == 0
+
+
+class TestFaultInjectedRecovery:
+    """Regression: injector-corrupted entries are misses and get rewritten."""
+
+    def _warm(self, tmp_path):
+        cache = ArtifactCache(tmp_path / "cache")
+        key = artifact_key("health", "test", HaloParams(), HdsParams())
+        cache.put(key, {"payload": list(range(100))})
+        return cache, key
+
+    @pytest.mark.parametrize("mode", ["bitflip", "truncate"])
+    def test_injected_corruption_is_miss_then_rewrite(self, tmp_path, mode):
+        from repro.faults import FaultPlan, inject_into_path
+
+        cache, key = self._warm(tmp_path)
+        damaged = inject_into_path(cache.root, FaultPlan(seed=1, corrupt_mode=mode))
+        assert damaged == [cache.path_for(key)]
+        # Corruption degrades to a miss, never to an exception or garbage.
+        assert cache.get(key) is None
+        assert cache.stats.misses == 1
+        # The producer path rewrites the entry and the cache recovers fully.
+        cache.put(key, {"payload": list(range(100))})
+        assert cache.get(key) == {"payload": list(range(100))}
+
+    def test_zero_byte_entry_is_miss(self, tmp_path):
+        cache, key = self._warm(tmp_path)
+        cache.path_for(key).write_bytes(b"")
+        assert cache.get(key) is None

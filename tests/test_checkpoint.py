@@ -1,0 +1,82 @@
+"""Checkpoint journal: durable appends, corruption-tolerant reads."""
+
+import zlib
+
+from repro.harness.checkpoint import RECORD_MAGIC, CheckpointJournal, journal_for
+
+
+class TestCheckpointJournal:
+    def test_append_load_round_trip(self, tmp_path):
+        journal = CheckpointJournal(tmp_path / "run.journal")
+        journal.append("a", 1)
+        journal.append("b", {"nested": [1, 2]})
+        assert journal.load() == {"a": 1, "b": {"nested": [1, 2]}}
+        assert len(journal) == 2
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        assert CheckpointJournal(tmp_path / "none.journal").load() == {}
+
+    def test_later_records_win(self, tmp_path):
+        journal = CheckpointJournal(tmp_path / "run.journal")
+        journal.append("cell", "old")
+        journal.append("cell", "new")
+        assert journal.load() == {"cell": "new"}
+
+    def test_parent_directories_created(self, tmp_path):
+        journal = CheckpointJournal(tmp_path / "deep" / "er" / "run.journal")
+        journal.append("a", 1)
+        assert journal.load() == {"a": 1}
+
+    def test_torn_tail_ignored(self, tmp_path):
+        journal = CheckpointJournal(tmp_path / "run.journal")
+        journal.append("kept", 1)
+        journal.append("torn", 2)
+        raw = journal.path.read_bytes()
+        journal.path.write_bytes(raw[:-3])  # the crash mid-append shape
+        assert journal.load() == {"kept": 1}
+
+    def test_bitflipped_record_stops_reading(self, tmp_path):
+        journal = CheckpointJournal(tmp_path / "run.journal")
+        journal.append("kept", 1)
+        first_len = journal.path.stat().st_size
+        journal.append("flipped", 2)
+        journal.append("after", 3)
+        raw = bytearray(journal.path.read_bytes())
+        raw[first_len + len(RECORD_MAGIC) + 8 + 2] ^= 0xFF  # inside payload 2
+        journal.path.write_bytes(bytes(raw))
+        # Damage invalidates that record and everything after it; the
+        # cells simply re-run.
+        assert journal.load() == {"kept": 1}
+
+    def test_foreign_file_rejected_gracefully(self, tmp_path):
+        path = tmp_path / "not-a-journal"
+        path.write_bytes(b"something else entirely, long enough to scan")
+        assert CheckpointJournal(path).load() == {}
+
+    def test_clear_removes_file(self, tmp_path):
+        journal = CheckpointJournal(tmp_path / "run.journal")
+        journal.append("a", 1)
+        journal.clear()
+        assert not journal.path.exists()
+        journal.clear()  # idempotent
+        assert journal.load() == {}
+
+    def test_record_framing_crc(self, tmp_path):
+        journal = CheckpointJournal(tmp_path / "run.journal")
+        journal.append("a", 1)
+        raw = journal.path.read_bytes()
+        assert raw.startswith(RECORD_MAGIC)
+        length = int.from_bytes(raw[8:12], "little")
+        crc = int.from_bytes(raw[12:16], "little")
+        payload = raw[16:16 + length]
+        assert zlib.crc32(payload) == crc
+
+
+class TestJournalFor:
+    def test_beside_cache_dir(self, tmp_path):
+        journal = journal_for(tmp_path / "cache", "figure13")
+        assert journal.path == tmp_path / "cache" / "checkpoint-figure13.journal"
+
+    def test_working_directory_without_cache(self):
+        journal = journal_for(None, "sweep")
+        assert journal.path.name == "checkpoint-sweep.journal"

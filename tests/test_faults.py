@@ -1,0 +1,201 @@
+"""Fault-injection framework: deterministic plans, injectors, and hooks.
+
+The framework's contract is determinism — the same plan makes the same
+decisions and damages the same bytes on every run, in every process —
+because a chaos failure is only a regression test if it reproduces.
+"""
+
+import pickle
+import random
+import subprocess
+import sys
+
+import pytest
+
+from repro.cli import main
+from repro.faults import (
+    INJECTABLE_SUFFIXES,
+    FaultPlan,
+    KILLED_EXIT_STATUS,
+    active_fault_plan,
+    bitflip_file,
+    clear_fault_plan,
+    fault_plan_active,
+    inject_into_file,
+    inject_into_path,
+    install_fault_plan,
+    truncate_file,
+)
+from pathlib import Path
+
+
+class TestFaultPlanDecisions:
+    def test_draw_is_deterministic_and_uniform_range(self):
+        plan = FaultPlan(seed=7)
+        values = [plan.draw("site", i) for i in range(64)]
+        assert values == [plan.draw("site", i) for i in range(64)]
+        assert all(0.0 <= v < 1.0 for v in values)
+
+    def test_draw_depends_on_seed_site_and_key(self):
+        assert FaultPlan(seed=1).draw("a", 0) != FaultPlan(seed=2).draw("a", 0)
+        plan = FaultPlan(seed=1)
+        assert plan.draw("a", 0) != plan.draw("b", 0)
+        assert plan.draw("a", 0) != plan.draw("a", 1)
+
+    def test_decide_respects_rate_extremes(self):
+        plan = FaultPlan(seed=3)
+        assert not any(plan.decide(0.0, "s", i) for i in range(32))
+        assert all(plan.decide(1.0, "s", i) for i in range(32))
+
+    def test_fail_trace_decode_keyed_by_workload(self):
+        plan = FaultPlan(seed=0, trace_decode_error_rate=1.0)
+        assert plan.fail_trace_decode("health")
+        assert not FaultPlan(seed=0).fail_trace_decode("health")
+
+    def test_flip_state_flips_one_bit_in_window(self):
+        plan = FaultPlan(seed=5, state_flip_rate=1.0, state_flip_bits=8)
+        for index in range(32):
+            flipped = plan.flip_state(0, index)
+            assert flipped != 0
+            assert bin(flipped).count("1") == 1
+            assert flipped < (1 << 8)
+
+    def test_flip_state_noop_at_zero_rate(self):
+        plan = FaultPlan(seed=5)
+        assert plan.flip_state(0b1010, 0) == 0b1010
+
+    def test_plan_is_immutable_and_picklable(self):
+        plan = FaultPlan(seed=9, kill_tasks=("measure:a:b:c:0",))
+        with pytest.raises(Exception):
+            plan.seed = 10
+        assert pickle.loads(pickle.dumps(plan)) == plan
+
+    def test_on_worker_task_survives_past_kill_window(self):
+        # attempt >= max_kill_attempts: the scheduled kill does not fire,
+        # which is what lets a retried task succeed.
+        plan = FaultPlan(kill_tasks=("victim",), max_kill_attempts=1)
+        plan.on_worker_task("victim", attempt=1)  # must return, not exit
+        plan.on_worker_task("innocent", attempt=0)
+
+    def test_on_worker_task_kill_exits_process(self):
+        # The kill is a hard os._exit, so it needs a sacrificial process.
+        code = (
+            "from repro.faults import FaultPlan\n"
+            "FaultPlan(kill_tasks=('victim',)).on_worker_task('victim', 0)\n"
+            "print('survived')\n"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", code], capture_output=True, text=True
+        )
+        assert proc.returncode == KILLED_EXIT_STATUS
+        assert "survived" not in proc.stdout
+
+
+class TestPlanRegistration:
+    def test_install_and_clear(self):
+        plan = FaultPlan(seed=1)
+        install_fault_plan(plan)
+        try:
+            assert active_fault_plan() is plan
+        finally:
+            clear_fault_plan()
+        assert active_fault_plan() is None
+
+    def test_context_manager_restores_previous(self):
+        outer, inner = FaultPlan(seed=1), FaultPlan(seed=2)
+        with fault_plan_active(outer):
+            with fault_plan_active(inner):
+                assert active_fault_plan() is inner
+            assert active_fault_plan() is outer
+        assert active_fault_plan() is None
+
+    def test_context_manager_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with fault_plan_active(FaultPlan(seed=1)):
+                raise RuntimeError("boom")
+        assert active_fault_plan() is None
+
+
+class TestInjectors:
+    def _file(self, tmp_path, name="victim.pkl", size=4096) -> Path:
+        path = tmp_path / name
+        path.write_bytes(bytes(range(256)) * (size // 256))
+        return path
+
+    def test_truncate_keeps_strict_prefix(self, tmp_path):
+        path = self._file(tmp_path)
+        original = path.read_bytes()
+        kept = truncate_file(path, random.Random(0))
+        assert kept < len(original)
+        assert path.read_bytes() == original[:kept]
+
+    def test_bitflip_changes_content_deterministically(self, tmp_path):
+        a = self._file(tmp_path, "a.pkl")
+        original = a.read_bytes()
+        offsets = bitflip_file(a, random.Random(42))
+        assert a.read_bytes() != original
+        # Same RNG stream => same damage.
+        b = self._file(tmp_path, "b.pkl")
+        assert bitflip_file(b, random.Random(42)) == offsets
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_bitflip_empty_file_is_noop(self, tmp_path):
+        path = tmp_path / "empty.pkl"
+        path.write_bytes(b"")
+        assert bitflip_file(path, random.Random(0)) == []
+
+    def test_inject_into_file_is_plan_deterministic(self, tmp_path):
+        plan = FaultPlan(seed=11, corrupt_mode="bitflip")
+        (tmp_path / "run1").mkdir()
+        (tmp_path / "run2").mkdir()
+        a = self._file(tmp_path / "run1", "same-name.pkl")
+        b = self._file(tmp_path / "run2", "same-name.pkl")
+        inject_into_file(a, plan)
+        inject_into_file(b, plan)
+        # Damage keys on (seed, file name), not path, so reruns in fresh
+        # directories corrupt identically.
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_unknown_mode_rejected(self, tmp_path):
+        path = self._file(tmp_path)
+        with pytest.raises(ValueError):
+            inject_into_file(path, FaultPlan(corrupt_mode="scribble"))
+
+    def test_directory_sweep_filters_suffixes(self, tmp_path):
+        assert ".pkl" in INJECTABLE_SUFFIXES
+        cache = self._file(tmp_path, "entry.pkl")
+        self._file(tmp_path, "notes.txt")
+        hit = inject_into_path(tmp_path, FaultPlan(corrupt_rate=1.0))
+        assert hit == [cache]
+
+    def test_directory_sweep_honours_rate(self, tmp_path):
+        for i in range(8):
+            self._file(tmp_path, f"entry{i}.pkl")
+        assert inject_into_path(tmp_path, FaultPlan(corrupt_rate=0.0)) == []
+        hit = inject_into_path(tmp_path, FaultPlan(corrupt_rate=1.0))
+        assert len(hit) == 8
+
+    def test_single_file_target(self, tmp_path):
+        path = self._file(tmp_path)
+        original = path.read_bytes()
+        assert inject_into_path(path, FaultPlan()) == [path]
+        assert path.read_bytes() != original
+
+    def test_missing_target_rejected(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            inject_into_path(tmp_path / "nope", FaultPlan())
+
+
+class TestFaultsCli:
+    def test_inject_command_damages_cache_dir(self, tmp_path, capsys):
+        path = tmp_path / "entry.pkl"
+        path.write_bytes(b"x" * 1024)
+        original = path.read_bytes()
+        assert main(["faults", "inject", str(tmp_path), "--mode", "bitflip"]) == 0
+        out = capsys.readouterr().out
+        assert "damaged 1 file(s)" in out
+        assert path.read_bytes() != original
+
+    def test_inject_command_missing_target(self, tmp_path, capsys):
+        assert main(["faults", "inject", str(tmp_path / "gone")]) == 1
+        assert "does not exist" in capsys.readouterr().err

@@ -139,3 +139,115 @@ class TestSerialParallelEquivalence:
     def test_jobs_must_be_positive(self):
         with pytest.raises(ValueError):
             evaluate_all_parallel([BENCH], trials=1, scale="test", jobs=0)
+
+
+class TestResilience:
+    """The engine fails per cell, not per matrix — and recovers workers."""
+
+    def test_killed_worker_cell_retried_to_identical_result(self):
+        from repro.faults import FaultPlan
+        from repro.harness.parallel import run_trials_parallel
+
+        clean = run_trials_parallel(BENCH, "baseline", trials=2, scale="test", jobs=2)
+        times = PhaseTimes()
+        failures = []
+        plan = FaultPlan(
+            kill_tasks=(f"measure:{BENCH}:baseline:test:1",), max_kill_attempts=1
+        )
+        survived = run_trials_parallel(
+            BENCH, "baseline", trials=2, scale="test", jobs=2,
+            fault_plan=plan, phase_times=times, failures=failures,
+        )
+        assert failures == []
+        assert times.task_retries >= 1
+        assert survived.cycles == clean.cycles
+        assert survived.l1_misses == clean.l1_misses
+
+    def test_permanent_failure_becomes_failed_measurement(self):
+        from repro.faults import FaultPlan
+        from repro.harness.parallel import FailedMeasurement, run_trials_parallel
+
+        failures = []
+        plan = FaultPlan(
+            kill_tasks=(f"measure:{BENCH}:baseline:test:2",), max_kill_attempts=99
+        )
+        result = run_trials_parallel(
+            BENCH, "baseline", trials=2, scale="test", jobs=2,
+            fault_plan=plan, max_retries=1, failures=failures,
+        )
+        assert len(failures) == 1
+        failure = failures[0]
+        assert isinstance(failure, FailedMeasurement)
+        assert (failure.workload, failure.config, failure.seed) == (BENCH, "baseline", 2)
+        assert failure.attempts == 2
+        # The surviving seeds still aggregate (seed 0 discarded, seed 1 kept).
+        assert len(result.measurements) == 1
+        assert result.measurements[0].seed == 1
+
+    def test_all_cells_failing_raises(self):
+        from repro.faults import FaultPlan
+        from repro.harness.parallel import run_trials_parallel
+
+        plan = FaultPlan(worker_kill_rate=1.0)
+        with pytest.raises(RuntimeError, match="every trial"):
+            run_trials_parallel(
+                BENCH, "baseline", trials=1, scale="test", jobs=2,
+                fault_plan=plan, max_retries=0,
+            )
+
+    def test_stalled_worker_times_out_and_retries(self):
+        from repro.faults import FaultPlan
+        from repro.harness.parallel import run_trials_parallel
+
+        clean = run_trials_parallel(BENCH, "baseline", trials=1, scale="test", jobs=2)
+        times = PhaseTimes()
+        failures = []
+        plan = FaultPlan(
+            stall_tasks=(f"measure:{BENCH}:baseline:test:1",),
+            worker_stall_seconds=60.0,
+            max_kill_attempts=1,  # the retry does not stall
+        )
+        survived = run_trials_parallel(
+            BENCH, "baseline", trials=1, scale="test", jobs=2,
+            fault_plan=plan, task_timeout=8.0, phase_times=times, failures=failures,
+        )
+        assert failures == []
+        assert times.task_retries >= 1
+        assert survived.cycles == clean.cycles
+
+    def test_keyboard_interrupt_aborts_quickly(self):
+        import os
+        import signal
+        import threading
+        import time as time_mod
+
+        from repro.faults import FaultPlan
+        from repro.harness.parallel import run_trials_parallel
+
+        plan = FaultPlan(worker_stall_rate=1.0, worker_stall_seconds=60.0)
+        timer = threading.Timer(1.0, os.kill, (os.getpid(), signal.SIGINT))
+        timer.start()
+        started = time_mod.monotonic()
+        try:
+            with pytest.raises(KeyboardInterrupt):
+                run_trials_parallel(
+                    BENCH, "baseline", trials=2, scale="test", jobs=2, fault_plan=plan
+                )
+        finally:
+            timer.cancel()
+        # Without cancellation the coordinator would sit on 60s stalls.
+        assert time_mod.monotonic() - started < 20.0
+
+    def test_evaluate_all_reports_prepare_failure_and_keeps_rest(self, tmp_path):
+        from repro.faults import FaultPlan
+        from repro.harness.parallel import evaluate_all_parallel
+
+        failures = []
+        plan = FaultPlan(kill_tasks=(f"prepare:{BENCH}",), max_kill_attempts=99)
+        evaluations = evaluate_all_parallel(
+            [BENCH], trials=1, scale="test", include_random=False, jobs=2,
+            cache=ArtifactCache(tmp_path / "cache"),
+            fault_plan=plan, max_retries=1, failures=failures,
+        )
+        assert evaluations == {}
+        assert any(f.kind == "prepare" and f.workload == BENCH for f in failures)

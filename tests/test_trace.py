@@ -434,10 +434,83 @@ class TestHarnessIntegration:
 #: Golden ``trace info`` lines for health at test scale.  Any change here
 #: means the recorded event stream (or its summary) changed — deliberate
 #: format/workload changes must update this in the same commit.
+class TestChecksum:
+    """Format v2: the header carries a CRC32 of the compressed body."""
+
+    def _trace(self) -> EventTrace:
+        writer = TraceWriter(workload="synthetic", scale="test", program="demo")
+        for _ in range(32):
+            writer.alloc(64)
+        writer.end()
+        return writer.close()
+
+    def test_writer_stamps_crc(self):
+        trace = self._trace()
+        assert trace.header.format == 2
+        assert trace.header.crc32 is not None
+        assert trace.verify()
+
+    def test_crc_survives_container_round_trip(self):
+        trace = self._trace()
+        back = EventTrace.from_bytes(trace.to_bytes())
+        assert back.header.crc32 == trace.header.crc32
+        assert back.verify()
+
+    def test_tampered_body_detected(self):
+        trace = self._trace()
+        tampered = bytearray(trace.body)
+        tampered[len(tampered) // 2] ^= 0x01
+        corrupt = EventTrace(trace.header, bytes(tampered), flags=trace.flags)
+        assert not corrupt.verify()
+        with pytest.raises(TraceFormatError):
+            corrupt.events()
+        with pytest.raises(TraceFormatError):
+            list(corrupt.iter_events())
+
+    def test_v1_header_without_crc_still_reads(self):
+        # Backwards compatibility: v1 traces carry no checksum; absence of
+        # evidence is not corruption.
+        trace = self._trace()
+        v1_header = dataclasses.replace(trace.header, format=1, crc32=None)
+        v1 = EventTrace(v1_header, trace.body, flags=trace.flags)
+        assert v1.verify()
+        assert v1.events() == trace.events()
+        back = EventTrace.from_bytes(v1.to_bytes())
+        assert back.header.format == 1
+        assert back.events() == trace.events()
+
+    def test_unsupported_format_rejected(self):
+        trace = self._trace()
+        future = EventTrace(
+            dataclasses.replace(trace.header, format=99), trace.body, flags=trace.flags
+        )
+        with pytest.raises(TraceFormatError):
+            EventTrace.from_bytes(future.to_bytes())
+
+    def test_streaming_reader_detects_on_disk_corruption(self, tmp_path):
+        trace = self._trace()
+        path = trace.save(tmp_path / "t.trace")
+        raw = bytearray(path.read_bytes())
+        raw[-2] ^= 0xFF  # inside the compressed body
+        path.write_bytes(bytes(raw))
+        with pytest.raises(TraceFormatError):
+            list(TraceReader(path))
+
+    def test_fault_plan_forces_decode_failure(self):
+        from repro.faults import FaultPlan, fault_plan_active
+
+        trace = self._trace()
+        plan = FaultPlan(trace_decode_error_rate=1.0)
+        with fault_plan_active(plan):
+            with pytest.raises(TraceFormatError):
+                trace.events()
+        trace.events()  # plan uninstalled: decodes normally again
+
+
 HEALTH_INFO_GOLDEN = [
     "workload:        health (test)",
     "program:         health",
-    "format:          v1",
+    "format:          v2",
     "events:          282,451",
     "  calls:         38,797",
     "  returns:       38,797",
