@@ -56,6 +56,8 @@ from .harness import (
 )
 from .hds import HdsParams, Sequitur, analyse_profile, extract_hot_streams
 from .machine import Machine, Program, ProgramBuilder
+from . import obs
+from .obs import MetricsRegistry, MetricsSnapshot
 from .profiling import AffinityGraph, AffinityParams, Profiler, ProfileResult
 from .trace import (
     EventTrace,
@@ -84,6 +86,8 @@ __all__ = [
     "HierarchyConfig",
     "Machine",
     "Measurement",
+    "MetricsRegistry",
+    "MetricsSnapshot",
     "Profiler",
     "ProfileResult",
     "Program",
@@ -103,6 +107,7 @@ __all__ = [
     "measure_halo",
     "measure_hds",
     "measure_random_pools",
+    "obs",
     "optimise_profile",
     "optimise_workload",
     "profile_workload",

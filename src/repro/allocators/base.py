@@ -162,6 +162,17 @@ class Allocator(ABC):
         self.space = space
         self.stats = AllocatorStats()
 
+    def observable_stats(self) -> dict[str, int]:
+        """Counters for the observability harvest (``measure.alloc.*``).
+
+        Subclasses with richer bookkeeping (e.g. the grouped allocator's
+        chunk churn and degradation counters) extend this dict.
+        """
+        return {
+            "allocs": self.stats.total_allocs,
+            "frees": self.stats.total_frees,
+        }
+
     @abstractmethod
     def malloc(self, size: int, alignment: int = MIN_ALIGNMENT) -> int:
         """Allocate *size* bytes; returns the address."""

@@ -336,6 +336,20 @@ class GroupAllocator(Allocator):
 
     # -- accounting ---------------------------------------------------------------
 
+    def observable_stats(self) -> dict[str, int]:
+        """Base counters plus grouping/degradation/chunk-churn detail."""
+        stats = super().observable_stats()
+        stats.update(
+            grouped_allocs=self.grouped_allocs,
+            forwarded_allocs=self.forwarded_allocs,
+            degraded_allocs=self.degraded_allocs,
+            faulted_matches=self.faulted_matches,
+            chunks_created=self.chunks_created,
+            chunks_reused=self.chunks_reused,
+            chunks_purged=self.chunks_purged,
+        )
+        return stats
+
     def fragmentation(self) -> FragmentationSnapshot:
         """Current live-vs-resident relationship of grouped data (Table 1)."""
         resident = 0

@@ -75,3 +75,54 @@ def to_json(payload: Any, indent: int = 2) -> str:
         raise TypeError(f"cannot serialise {type(obj).__name__}")
 
     return json.dumps(payload, indent=indent, default=default)
+
+
+def allocator_health_rows(evaluations: Mapping[str, Any]) -> list[list[str]]:
+    """Per-benchmark allocator-health rows for :func:`format_table`.
+
+    Sums ``grouped_allocs`` / ``forwarded_allocs`` / ``degraded_allocs``
+    across every HALO trial of each evaluation (duck-typed: anything with
+    ``.halo.measurements`` works).  These counters were previously
+    collected by the runner but never surfaced; a non-zero "degraded"
+    column means grouped requests fell back to the general allocator
+    (pool exhaustion) and the layout was not what the plan intended.
+    """
+    rows = []
+    for name in evaluations:
+        measurements = evaluations[name].halo.measurements
+        grouped = sum(m.grouped_allocs for m in measurements)
+        forwarded = sum(m.forwarded_allocs for m in measurements)
+        degraded = sum(m.degraded_allocs for m in measurements)
+        rows.append([name, f"{grouped:,}", f"{forwarded:,}", f"{degraded:,}"])
+    return rows
+
+
+def allocator_health_table(evaluations: Mapping[str, Any]) -> str:
+    """The allocator-health table printed after ``halo plot`` figures."""
+    return format_table(
+        ["benchmark", "grouped allocs", "forwarded", "degraded"],
+        allocator_health_rows(evaluations),
+        title="Allocator health (HALO config, summed over trials)",
+    )
+
+
+def resilience_summary(times: Any) -> str:
+    """One-line summary of the parallel engine's resilience counters.
+
+    Duck-typed against :class:`repro.harness.prepare.PhaseTimes`
+    (``retries`` / ``requeues`` / ``pool_rebuilds``).  Returns an empty
+    string when every counter is zero — the common, healthy case prints
+    nothing.
+    """
+    parts = []
+    for attr, label in (
+        ("retries", "task retries"),
+        ("requeues", "requeued tasks"),
+        ("pool_rebuilds", "pool rebuilds"),
+    ):
+        value = getattr(times, attr, 0)
+        if value:
+            parts.append(f"{label}: {value}")
+    if not parts:
+        return ""
+    return "resilience: " + ", ".join(parts)

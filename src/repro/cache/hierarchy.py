@@ -57,6 +57,23 @@ class HierarchyStats:
             return 0.0
         return (self.l1_misses - other.l1_misses) / self.l1_misses
 
+    def as_counters(self) -> dict[str, int]:
+        """Counters for the observability harvest (``measure.cache.*``).
+
+        Hit counts are derived — each level only sees the accesses that
+        missed the level above it.
+        """
+        return {
+            "accesses": self.accesses,
+            "l1_hits": self.accesses - self.l1_misses,
+            "l1_misses": self.l1_misses,
+            "l2_hits": self.l1_misses - self.l2_misses,
+            "l2_misses": self.l2_misses,
+            "l3_hits": self.l2_misses - self.l3_misses,
+            "l3_misses": self.l3_misses,
+            "tlb_misses": self.tlb_misses,
+        }
+
 
 class CacheHierarchy:
     """L1D → L2 → L3 → memory, plus a D-TLB, driven by byte-level accesses."""

@@ -20,6 +20,10 @@ simulation:
   pipeline parameters against it without ever re-executing the workload;
 * ``halo faults inject DIR`` — reproducibly corrupt cached artifacts and
   traces on disk (resilience testing; consumers must degrade, not die);
+* ``halo obs export|summary|check`` — inspect a metrics snapshot written
+  by ``--metrics-out`` (on ``plot`` and ``trace sweep``), convert it to
+  Prometheus text or a Perfetto-loadable Chrome trace, or gate it against
+  a committed ``BENCH_*.json`` baseline (see ``docs/OBSERVABILITY.md``);
 * ``halo list`` — show the available benchmarks.
 
 Parallel runs (``--jobs N``) are resilient: ``--task-timeout`` bounds any
@@ -35,12 +39,19 @@ profile and analyse phases — the per-phase wall-time report printed after
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
-import time
 from pathlib import Path
-from typing import Optional
+from typing import Iterator, Optional
 
-from .analysis.report import bar_chart, format_table, to_json
+from . import obs
+from .analysis.report import (
+    allocator_health_table,
+    bar_chart,
+    format_table,
+    resilience_summary,
+    to_json,
+)
 from .core.artifact_cache import ArtifactCache
 from .core.pipeline import optimise_profile, profile_workload
 from .harness import reproduce
@@ -78,6 +89,62 @@ def _add_benchmark_arg(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "-b", "--benchmark", required=True, choices=workload_names(), help="target benchmark"
     )
+
+
+def _add_metrics_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--metrics-out",
+        type=Path,
+        default=None,
+        metavar="FILE.json",
+        help="write an observability snapshot (counters, gauges, spans) "
+        "here; inspect it with `halo obs`",
+    )
+
+
+@contextlib.contextmanager
+def _metrics_session(
+    path: Optional[Path], times: Optional[PhaseTimes] = None
+) -> Iterator[None]:
+    """Install a metrics registry for the duration of a command.
+
+    No-op (observability fully disabled) unless ``--metrics-out`` was
+    given.  On exit the registry is uninstalled, worker-side metrics
+    carried back on *times* are merged in, and the combined snapshot is
+    written to *path* as JSON.
+    """
+    if path is None:
+        yield
+        return
+    registry = obs.MetricsRegistry()
+    obs.install(registry)
+    try:
+        yield
+    finally:
+        obs.uninstall()
+        snapshot = registry.snapshot()
+        if times is not None and times.metrics is not None:
+            snapshot.merge(times.metrics)
+        path.write_text(obs.snapshot_to_json(snapshot))
+        print(f"wrote metrics snapshot {path}")
+
+
+def _parse_benchmarks(args: argparse.Namespace) -> Optional[tuple[str, ...]]:
+    """The validated ``--benchmarks`` list, or None for the paper default."""
+    raw = getattr(args, "benchmarks", None)
+    if raw is None:
+        return None
+    names = tuple(name.strip() for name in raw.split(",") if name.strip())
+    known = set(workload_names())
+    unknown = [name for name in names if name not in known]
+    if unknown:
+        raise SystemExit(
+            f"error: unknown benchmark(s) {', '.join(unknown)}; "
+            f"choose from {', '.join(sorted(known))}"
+        )
+    if not names:
+        raise SystemExit("error: --benchmarks is empty")
+    return names
 
 
 def _add_resilience_args(parser: argparse.ArgumentParser) -> None:
@@ -156,6 +223,18 @@ def _build_parser() -> argparse.ArgumentParser:
     group.add_argument("--figure", type=int, choices=(12, 13, 14, 15))
     group.add_argument("--table", type=int, choices=(1,))
     plot.add_argument("--trials", type=int, default=3)
+    plot.add_argument(
+        "--benchmarks",
+        metavar="NAME,NAME,...",
+        default=None,
+        help="comma-separated benchmark subset (default: the paper's set; "
+        "ignored by --figure 12, which sweeps a fixed pair)",
+    )
+    plot.add_argument(
+        "--scale",
+        default="ref",
+        help="measurement input scale (test/train/ref; default: ref)",
+    )
     plot.add_argument("--out", type=Path, default=None, help="directory for JSON output")
     plot.add_argument(
         "--jobs",
@@ -166,6 +245,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_resilience_args(plot)
     _add_cache_args(plot)
+    _add_metrics_arg(plot)
 
     trace = sub.add_parser(
         "trace", help="record, inspect, replay, and sweep machine-event traces"
@@ -184,6 +264,7 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="FILE.trace",
         help="output path (default: <benchmark>-<scale>.trace)",
     )
+    _add_metrics_arg(t_record)
 
     t_info = tsub.add_parser("info", help="summarise a recorded trace")
     t_info.add_argument("trace", type=Path, help="trace file to inspect")
@@ -223,6 +304,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_resilience_args(t_sweep)
     _add_cache_args(t_sweep)
+    _add_metrics_arg(t_sweep)
 
     faults = sub.add_parser(
         "faults", help="deterministic fault injection for resilience testing"
@@ -253,6 +335,51 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="P",
         help="per-file probability of corruption when targeting a directory "
         "(default: 1.0, every injectable file)",
+    )
+
+    obs_parser = sub.add_parser(
+        "obs", help="inspect, export, and regression-check metrics snapshots"
+    )
+    osub = obs_parser.add_subparsers(dest="obs_command", required=True)
+
+    o_export = osub.add_parser(
+        "export", help="convert a snapshot to another observability format"
+    )
+    o_export.add_argument(
+        "-i", "--input", type=Path, required=True, metavar="SNAP.json",
+        help="snapshot written by --metrics-out",
+    )
+    o_export.add_argument(
+        "--format",
+        choices=obs.EXPORT_FORMATS,
+        default="jsonl",
+        help="output format (chrome-trace loads in Perfetto / chrome://tracing)",
+    )
+    o_export.add_argument(
+        "-o", "--output", type=Path, default=None, metavar="FILE",
+        help="write here instead of stdout",
+    )
+
+    o_summary = osub.add_parser("summary", help="human-readable snapshot summary")
+    o_summary.add_argument(
+        "-i", "--input", type=Path, required=True, metavar="SNAP.json",
+        help="snapshot written by --metrics-out",
+    )
+
+    o_check = osub.add_parser(
+        "check", help="compare a snapshot against a committed benchmark baseline"
+    )
+    o_check.add_argument(
+        "-i", "--input", type=Path, required=True, metavar="SNAP.json",
+        help="snapshot written by --metrics-out",
+    )
+    o_check.add_argument(
+        "--baseline", type=Path, required=True, metavar="BENCH.json",
+        help="committed baseline (BENCH_eval_walltime.json / BENCH_trace_replay.json)",
+    )
+    o_check.add_argument(
+        "--tolerance", type=float, default=0.5, metavar="F",
+        help="allowed fractional regression before failing (default: 0.5)",
     )
 
     sub.add_parser("list", help="list available benchmarks")
@@ -332,6 +459,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 ["groups", "-", str(len(artifacts.groups))],
                 ["monitored sites", "-", str(artifacts.plan.bits_used)],
                 ["grouped allocs", "-", f"{optimised.grouped_allocs:,}"],
+                ["degraded allocs", "-", f"{optimised.degraded_allocs:,}"],
             ],
             title=f"{args.benchmark} ({args.scale})",
         )
@@ -356,12 +484,33 @@ def _report_failures(failures) -> None:
 
 
 def _cmd_plot(args: argparse.Namespace) -> int:
+    benchmarks = _parse_benchmarks(args)
+    target = f"table{args.table}" if args.table else f"figure{args.figure}"
     cache = cache_from_args(args)
     times = PhaseTimes()
     failures: list = []
-    started = time.perf_counter()
+    with _metrics_session(args.metrics_out, times):
+        with obs.span(f"halo.plot.{target}", scale=args.scale) as root:
+            ret = _run_plot(args, benchmarks, cache, times, failures)
+        print(times.report(wall=root.elapsed))
+        summary = resilience_summary(times)
+        if summary:
+            print(summary)
+    return ret
+
+
+def _run_plot(
+    args: argparse.Namespace,
+    benchmarks: Optional[tuple[str, ...]],
+    cache: Optional[ArtifactCache],
+    times: PhaseTimes,
+    failures: list,
+) -> int:
+    """The body of ``halo plot`` (split out so the root span wraps it)."""
     if args.table == 1:
         rows = reproduce.table1(
+            benchmarks=benchmarks or reproduce.TABLE1_BENCHMARKS,
+            scale=args.scale,
             jobs=args.jobs,
             cache=cache,
             phase_times=times,
@@ -378,7 +527,6 @@ def _cmd_plot(args: argparse.Namespace) -> int:
             )
         )
         _write_json(args.out, "table1", rows)
-        print(times.report(wall=time.perf_counter() - started))
         return 0
     if args.figure == 12:
         result = reproduce.figure12(trials=args.trials, cache=cache, phase_times=times)
@@ -390,7 +538,6 @@ def _cmd_plot(args: argparse.Namespace) -> int:
             )
         )
         _write_json(args.out, "figure12", result)
-        print(times.report(wall=time.perf_counter() - started))
         return 0
     checkpoint = None
     if args.jobs > 1 and (cache is not None or args.resume):
@@ -400,7 +547,9 @@ def _cmd_plot(args: argparse.Namespace) -> int:
             args.cache_dir if cache is not None else None, f"figure{args.figure}"
         )
     evaluations = reproduce.evaluate_all(
+        benchmarks=benchmarks or reproduce.PAPER_BENCHMARKS,
         trials=args.trials,
+        scale=args.scale,
         include_random=args.figure == 15,
         jobs=args.jobs,
         cache=cache,
@@ -417,8 +566,8 @@ def _cmd_plot(args: argparse.Namespace) -> int:
     for series in result.series:
         print(bar_chart(series.values, title=f"{result.figure} — {series.label}"))
         print()
+    print(allocator_health_table(evaluations))
     _write_json(args.out, f"figure{args.figure}", result)
-    print(times.report(wall=time.perf_counter() - started))
     return 0
 
 
@@ -475,15 +624,17 @@ def _cmd_trace_record(args: argparse.Namespace) -> int:
     output = args.output
     if output is None:
         output = Path(f"{args.benchmark}-{args.scale}.trace")
-    started = time.perf_counter()
-    trace = record_workload(args.benchmark, scale=args.scale, seed=args.seed)
-    elapsed = time.perf_counter() - started
-    trace.save(output)
-    print(
-        f"recorded {args.benchmark} ({args.scale}): {trace.header.events:,} events "
-        f"in {elapsed:.2f}s"
-    )
-    print(f"wrote {output} ({output.stat().st_size:,} bytes)")
+    with _metrics_session(args.metrics_out):
+        with obs.span(
+            "halo.trace.record", workload=args.benchmark, scale=args.scale
+        ) as sp:
+            trace = record_workload(args.benchmark, scale=args.scale, seed=args.seed)
+        trace.save(output)
+        print(
+            f"recorded {args.benchmark} ({args.scale}): {trace.header.events:,} events "
+            f"in {sp.elapsed:.2f}s"
+        )
+        print(f"wrote {output} ({output.stat().st_size:,} bytes)")
     return 0
 
 
@@ -559,7 +710,42 @@ def _cmd_trace_sweep(args: argparse.Namespace) -> int:
     else:
         configs = [replace(base, max_groups=v) for v in values]
 
-    started = time.perf_counter()
+    times = PhaseTimes()
+    with _metrics_session(args.metrics_out, times):
+        with obs.span(
+            "halo.trace.sweep", workload=trace.header.workload, knob=knob
+        ) as sweep_span:
+            rows = _run_sweep(args, trace, workload, knob, values, configs, times)
+        print(
+            format_table(
+                [knob, "groups", "grouped ctxs", "graph nodes", "monitored sites"],
+                rows,
+                title=(
+                    f"{trace.header.workload}: {len(configs)}-point {knob} sweep "
+                    "from one trace"
+                ),
+            )
+        )
+        print(
+            f"\nswept {len(configs)} configs in {sweep_span.elapsed:.2f}s "
+            "(no workload re-execution)"
+        )
+        summary = resilience_summary(times)
+        if summary:
+            print(summary)
+    return 0
+
+
+def _run_sweep(
+    args: argparse.Namespace,
+    trace,
+    workload,
+    knob: str,
+    values: list,
+    configs: list,
+    times: PhaseTimes,
+) -> list[list[str]]:
+    """Execute a ``trace sweep`` and return its table rows."""
     if args.jobs > 1:
         from .harness.checkpoint import journal_for
         from .harness.parallel import run_sweep_parallel
@@ -571,7 +757,6 @@ def _cmd_trace_sweep(args: argparse.Namespace) -> int:
                 args.cache_dir if cache is not None else None,
                 f"sweep-{trace.header.workload}",
             )
-        times = PhaseTimes()
         failures: list = []
         points = run_sweep_parallel(
             trace.header.workload,
@@ -593,7 +778,7 @@ def _cmd_trace_sweep(args: argparse.Namespace) -> int:
             "merge-tolerance": lambda p: p.merge_tolerance,
             "max-groups": lambda p: p.max_groups,
         }[knob]
-        rows = [
+        return [
             [
                 str(knob_of(p)),
                 str(p.groups),
@@ -603,34 +788,20 @@ def _cmd_trace_sweep(args: argparse.Namespace) -> int:
             ]
             for p in points
         ]
-    else:
-        from .core.selectors import monitored_sites
-        from .trace import sweep_pipeline
+    from .core.selectors import monitored_sites
+    from .trace import sweep_pipeline
 
-        artifacts = sweep_pipeline(trace, workload.program, configs)
-        rows = [
-            [
-                str(v),
-                str(len(a.groups)),
-                str(sum(len(g.members) for g in a.groups)),
-                str(len(a.profile.graph)),
-                str(len(monitored_sites(a.identification.selectors))),
-            ]
-            for v, a in zip(values, artifacts)
+    artifacts = sweep_pipeline(trace, workload.program, configs)
+    return [
+        [
+            str(v),
+            str(len(a.groups)),
+            str(sum(len(g.members) for g in a.groups)),
+            str(len(a.profile.graph)),
+            str(len(monitored_sites(a.identification.selectors))),
         ]
-    elapsed = time.perf_counter() - started
-    print(
-        format_table(
-            [knob, "groups", "grouped ctxs", "graph nodes", "monitored sites"],
-            rows,
-            title=(
-                f"{trace.header.workload}: {len(configs)}-point {knob} sweep "
-                "from one trace"
-            ),
-        )
-    )
-    print(f"\nswept {len(configs)} configs in {elapsed:.2f}s (no workload re-execution)")
-    return 0
+        for v, a in zip(values, artifacts)
+    ]
 
 
 def _cmd_faults(args: argparse.Namespace) -> int:
@@ -652,6 +823,95 @@ def _cmd_faults(args: argparse.Namespace) -> int:
             f"(seed={args.seed}, rate={args.rate})"
         )
         return 0
+    return 1  # pragma: no cover - argparse enforces choices
+
+
+def _load_snapshot(path: Path) -> "obs.MetricsSnapshot":
+    """Load a ``--metrics-out`` snapshot, exiting cleanly on bad input."""
+    try:
+        return obs.snapshot_from_json(path.read_text())
+    except FileNotFoundError:
+        raise SystemExit(f"error: {path} does not exist")
+    except ValueError as exc:
+        raise SystemExit(f"error: {path}: {exc}")
+
+
+def obs_summary_lines(snapshot) -> list[str]:
+    """Human-readable summary of a metrics snapshot (``halo obs summary``).
+
+    Three sections: a counters table (sorted by key), gauges, and a span
+    roll-up aggregating total seconds and call counts per span name.
+    """
+    lines: list[str] = []
+    if snapshot.counters:
+        rows = [
+            [key, f"{value:,.3f}".rstrip("0").rstrip(".")]
+            for key, value in sorted(snapshot.counters.items())
+        ]
+        lines.append(format_table(["counter", "value"], rows, title="Counters"))
+    if snapshot.gauges:
+        rows = [
+            [key, f"{value:,.3f}".rstrip("0").rstrip(".")]
+            for key, value in sorted(snapshot.gauges.items())
+        ]
+        lines.append("")
+        lines.append(format_table(["gauge", "value"], rows, title="Gauges"))
+    if snapshot.histograms:
+        rows = [
+            [key, f"{h.count:,}", f"{h.total:.3f}"]
+            for key, h in sorted(snapshot.histograms.items())
+        ]
+        lines.append("")
+        lines.append(
+            format_table(["histogram", "count", "sum (s)"], rows, title="Histograms")
+        )
+    if snapshot.spans:
+        totals: dict[str, list[float]] = {}
+        for span in snapshot.spans:
+            entry = totals.setdefault(span.name, [0.0, 0])
+            entry[0] += span.duration
+            entry[1] += 1
+        rows = [
+            [name, str(count), f"{seconds:.3f}"]
+            for name, (seconds, count) in sorted(totals.items())
+        ]
+        lines.append("")
+        lines.append(
+            format_table(
+                ["span", "count", "total (s)"],
+                rows,
+                title=f"Spans ({len(snapshot.spans)} recorded)",
+            )
+        )
+    if not lines:
+        lines.append("(empty snapshot)")
+    return lines
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    if args.obs_command == "export":
+        rendered = obs.render(_load_snapshot(args.input), args.format)
+        if args.output is not None:
+            args.output.write_text(rendered)
+            print(f"wrote {args.output}")
+        else:
+            print(rendered, end="" if rendered.endswith("\n") else "\n")
+        return 0
+    if args.obs_command == "summary":
+        for line in obs_summary_lines(_load_snapshot(args.input)):
+            print(line)
+        return 0
+    if args.obs_command == "check":
+        snapshot = _load_snapshot(args.input)
+        try:
+            passed, report = obs.run_gate(
+                snapshot, args.baseline, tolerance=args.tolerance
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(report)
+        return 0 if passed else 1
     return 1  # pragma: no cover - argparse enforces choices
 
 
@@ -687,6 +947,8 @@ def main(argv: Optional[list[str]] = None) -> int:
         return _cmd_trace(args)
     if args.command == "faults":
         return _cmd_faults(args)
+    if args.command == "obs":
+        return _cmd_obs(args)
     return 1  # pragma: no cover - argparse enforces choices
 
 

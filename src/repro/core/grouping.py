@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ..profiling.graph import AffinityGraph
+from .. import obs
 from .score import internal_weight, merge_benefit
 
 
@@ -88,6 +89,8 @@ def group_contexts(
     working = graph.filtered_by_min_weight(params.min_weight)
     available = set(working.nodes)
     groups: list[Group] = []
+    seeds = 0
+    merge_steps = 0
 
     while available:
         seed_edge = _strongest_available_edge(working, available)
@@ -95,6 +98,7 @@ def group_contexts(
             break  # no edges left: remaining nodes can never gain members
         members = {_hotter_endpoint(working, seed_edge)}
         available -= members
+        seeds += 1
 
         # Grow the group around the seed.
         while len(members) < params.max_group_members:
@@ -115,12 +119,17 @@ def group_contexts(
                 break
             members.add(best_match)
             available.discard(best_match)
+            merge_steps += 1
 
         weight = internal_weight(working, members)
         if weight >= working.total_accesses * params.group_threshold:
             accesses = sum(working.accesses_of(cid) for cid in members)
             groups.append(Group(len(groups), frozenset(members), weight, accesses))
 
+    # Observability harvest: one publish per grouping run, counted
+    # locally above so the inner loop stays uninstrumented.
+    obs.inc("analyse.grouping.seeds", seeds)
+    obs.inc("analyse.grouping.merge_steps", merge_steps)
     return groups
 
 

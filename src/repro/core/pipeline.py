@@ -29,6 +29,7 @@ from ..machine.program import Program
 from ..profiling.affinity import AffinityParams
 from ..profiling.profiler import Profiler, ProfileResult
 from ..rewriting.bolt import BoltRewriter, InstrumentationPlan
+from .. import obs
 from .grouping import Group, GroupingParams, assign_groups, group_contexts
 from .identification import IdentificationResult, synthesise_selectors
 from .selectors import CompiledMatcher, monitored_sites
@@ -158,6 +159,17 @@ def optimise_profile(profile: ProfileResult, params: HaloParams | None = None) -
         site_allowed=rewriter.can_instrument,
     )
     plan = rewriter.instrument(monitored_sites(identification.selectors))
+    if obs.active_registry() is not None:
+        labels = {"program": profile.program.name}
+        obs.inc("analyse.runs", 1, **labels)
+        obs.inc("analyse.groups", len(groups), **labels)
+        obs.inc("analyse.grouped_contexts", sum(len(g.members) for g in groups), **labels)
+        obs.inc("analyse.selectors", len(identification.selectors), **labels)
+        obs.inc(
+            "analyse.monitored_sites",
+            len(monitored_sites(identification.selectors)),
+            **labels,
+        )
     return HaloArtifacts(
         program=profile.program,
         profile=profile,

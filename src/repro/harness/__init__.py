@@ -18,7 +18,7 @@ from .prepare import (
     hds_params_for,
     prepare_workload,
 )
-from .tracer import AccessTrace, AccessTraceRecorder, replay_geometries
+from ..trace.access import AccessTrace, AccessTraceRecorder, replay_geometries
 from .runner import (
     Measurement,
     PeakTracker,

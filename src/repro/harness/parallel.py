@@ -49,6 +49,8 @@ from ..core.pipeline import HaloParams, optimise_profile
 from ..core.selectors import monitored_sites
 from ..faults.plan import FaultPlan, clear_fault_plan, install_fault_plan
 from ..hds.pipeline import HdsParams
+from ..obs import metrics as obs_metrics
+from ..obs.spans import phase_span
 from ..trace.format import EventTrace
 from ..trace.replay import replay_profile
 from .checkpoint import CheckpointJournal
@@ -206,7 +208,9 @@ def _trace_for(name: str, cache_dir: Optional[str]) -> tuple[EventTrace, PhaseTi
 
 def _record_trace_task(name: str, cache_dir: Optional[str]) -> tuple[str, int, PhaseTimes]:
     """Worker entry point ensuring *name*'s trace exists in the shared cache."""
-    trace, times = _trace_for(name, cache_dir)
+    with obs_metrics.collecting() as registry:
+        trace, times = _trace_for(name, cache_dir)
+        times.metrics = registry.snapshot()
     return name, trace.header.events, times
 
 
@@ -254,7 +258,9 @@ def _prepare_task(
     include_hds: bool = True,
 ) -> PreparedSummary:
     """Worker entry point for the prepare wave."""
-    prepared, times = _prepared_for(name, cache_dir, halo_params, hds_params, include_hds)
+    with obs_metrics.collecting() as registry:
+        prepared, times = _prepared_for(name, cache_dir, halo_params, hds_params, include_hds)
+        times.metrics = registry.snapshot()
     return PreparedSummary(
         workload=name,
         key=prepared.key,
@@ -269,36 +275,38 @@ def _prepare_task(
 
 def _measure_task(task: MeasureTask) -> tuple[Measurement, PhaseTimes]:
     """Worker entry point for one measurement run."""
-    times = PhaseTimes()
-    workload = get_workload(task.workload)
-    if task.config == "baseline":
-        start = time.perf_counter()
-        measurement = measure_baseline(workload, scale=task.scale, seed=task.seed)
-    elif task.config == "random-pools":
-        start = time.perf_counter()
-        measurement = measure_random_pools(workload, scale=task.scale, seed=task.seed)
-    elif task.config in ("halo", "hds"):
-        prepared, prep_times = _prepared_for(
-            task.workload,
-            task.cache_dir,
-            task.halo_params,
-            task.hds_params,
-            include_hds=task.config == "hds",
-        )
-        times.add(prep_times)
-        start = time.perf_counter()
-        if task.config == "halo":
-            measurement = measure_halo(
-                workload, prepared.halo, scale=task.scale, seed=task.seed
+    with obs_metrics.collecting() as registry:
+        times = PhaseTimes()
+        workload = get_workload(task.workload)
+        span = phase_span(times, "measure", workload=task.workload, config=task.config)
+        if task.config == "baseline":
+            with span:
+                measurement = measure_baseline(workload, scale=task.scale, seed=task.seed)
+        elif task.config == "random-pools":
+            with span:
+                measurement = measure_random_pools(workload, scale=task.scale, seed=task.seed)
+        elif task.config in ("halo", "hds"):
+            prepared, prep_times = _prepared_for(
+                task.workload,
+                task.cache_dir,
+                task.halo_params,
+                task.hds_params,
+                include_hds=task.config == "hds",
             )
+            times.add(prep_times)
+            with span:
+                if task.config == "halo":
+                    measurement = measure_halo(
+                        workload, prepared.halo, scale=task.scale, seed=task.seed
+                    )
+                else:
+                    assert prepared.hds is not None
+                    measurement = measure_hds(
+                        workload, prepared.hds, scale=task.scale, seed=task.seed
+                    )
         else:
-            assert prepared.hds is not None
-            measurement = measure_hds(
-                workload, prepared.hds, scale=task.scale, seed=task.seed
-            )
-    else:
-        raise ValueError(f"unknown configuration {task.config!r}")
-    times.measure += time.perf_counter() - start
+            raise ValueError(f"unknown configuration {task.config!r}")
+        times.metrics = registry.snapshot()
     return measurement, times
 
 
@@ -308,13 +316,14 @@ def _table1_task(
     cache_dir: Optional[str],
 ) -> tuple[str, float, int, PhaseTimes]:
     """Worker entry point for one Table 1 row."""
-    times = PhaseTimes()
-    workload = get_workload(name)
-    prepared, prep_times = _prepared_for(name, cache_dir, None, None, include_hds=False)
-    times.add(prep_times)
-    start = time.perf_counter()
-    measurement = measure_halo(workload, prepared.halo, scale=scale, seed=1)
-    times.measure += time.perf_counter() - start
+    with obs_metrics.collecting() as registry:
+        times = PhaseTimes()
+        workload = get_workload(name)
+        prepared, prep_times = _prepared_for(name, cache_dir, None, None, include_hds=False)
+        times.add(prep_times)
+        with phase_span(times, "measure", workload=name, config="halo"):
+            measurement = measure_halo(workload, prepared.halo, scale=scale, seed=1)
+        times.metrics = registry.snapshot()
     frag = measurement.frag_at_peak
     if frag is None:
         return name, 0.0, 0, times
@@ -351,11 +360,18 @@ class _TaskSpec:
 
 @dataclass
 class _RunReport:
-    """Outcome of one resilient wave: fresh results, failures, retries."""
+    """Outcome of one resilient wave: fresh results, failures, churn.
+
+    ``requeues`` counts healthy bystander tasks rescheduled because a
+    *different* task broke or timed out the pool; ``pool_rebuilds``
+    counts the teardown/rebuild cycles themselves.
+    """
 
     fresh: dict[str, Any] = field(default_factory=dict)
     failures: list[FailedMeasurement] = field(default_factory=list)
     retries: int = 0
+    requeues: int = 0
+    pool_rebuilds: int = 0
 
 
 class _ResilientRunner:
@@ -437,7 +453,8 @@ class _ResilientRunner:
     def _run(self, specs: Sequence[_TaskSpec], report: _RunReport) -> None:
         pending: deque[tuple[_TaskSpec, int]] = deque((s, 0) for s in specs)
         delayed: list[tuple[float, _TaskSpec, int]] = []  # (ready_at, spec, attempt)
-        running: dict[Future, tuple[_TaskSpec, int, Optional[float]]] = {}
+        # future -> (spec, attempt, deadline, submitted_at)
+        running: dict[Future, tuple[_TaskSpec, int, Optional[float], float]] = {}
         timeout = self.policy.task_timeout
 
         def settle(spec: _TaskSpec, attempt: int, error: str) -> None:
@@ -446,15 +463,25 @@ class _ResilientRunner:
                 ready = time.monotonic() + self.policy.backoff * (2 ** attempt)
                 delayed.append((ready, spec, attempt + 1))
                 report.retries += 1
+                obs_metrics.inc("harness.task_retries", 1, kind=spec.kind)
                 logger.warning(
                     "task %s attempt %d failed (%s); retrying", spec.key, attempt, error
                 )
             else:
                 report.failures.append(spec.failure(error, attempts=attempt + 1))
+                obs_metrics.inc("harness.task_failures", 1, kind=spec.kind)
                 logger.error(
                     "task %s failed permanently after %d attempt(s): %s",
                     spec.key, attempt + 1, error,
                 )
+
+        def rebuild(bystanders: int) -> None:
+            """Account one pool teardown and its requeued healthy tasks."""
+            report.pool_rebuilds += 1
+            obs_metrics.inc("harness.pool_rebuilds", 1)
+            if bystanders:
+                report.requeues += bystanders
+                obs_metrics.inc("harness.task_requeues", bystanders)
 
         while pending or delayed or running:
             now = time.monotonic()
@@ -471,7 +498,8 @@ class _ResilientRunner:
                     _faulted_task, spec.fn, spec.args, self.fault_plan, spec.key, attempt
                 )
                 deadline = None if timeout is None else time.monotonic() + timeout
-                running[future] = (spec, attempt, deadline)
+                running[future] = (spec, attempt, deadline, time.monotonic())
+                obs_metrics.inc("harness.tasks", 1, kind=spec.kind)
 
             if not running:
                 if delayed:  # nothing in flight; sleep out the next backoff
@@ -480,7 +508,7 @@ class _ResilientRunner:
 
             # Wait for the first completion, next deadline, or next retry.
             horizon: Optional[float] = None
-            deadlines = [d for (_, _, d) in running.values() if d is not None]
+            deadlines = [d for (_, _, d, _) in running.values() if d is not None]
             if deadlines:
                 horizon = max(0.0, min(deadlines) - time.monotonic())
             if delayed:
@@ -490,7 +518,7 @@ class _ResilientRunner:
 
             broken = False
             for future in done:
-                spec, attempt, _ = running.pop(future)
+                spec, attempt, _, submitted = running.pop(future)
                 try:
                     value = future.result()
                 except BrokenProcessPool as exc:
@@ -502,12 +530,16 @@ class _ResilientRunner:
                 except Exception as exc:
                     settle(spec, attempt, repr(exc))
                 else:
+                    obs_metrics.observe(
+                        "harness.task_seconds", time.monotonic() - submitted, kind=spec.kind
+                    )
                     report.fresh[spec.key] = value
                     if self.journal is not None:
                         self.journal.append(spec.key, value)
             if broken:
                 self._kill_pool()
-                for spec, attempt, _ in running.values():
+                rebuild(bystanders=len(running))
+                for spec, attempt, _, _ in running.values():
                     pending.append((spec, attempt))  # bystanders keep their attempt
                 running.clear()
                 continue
@@ -519,17 +551,28 @@ class _ResilientRunner:
             now = time.monotonic()
             expired = [
                 future
-                for future, (_, _, deadline) in running.items()
+                for future, (_, _, deadline, _) in running.items()
                 if deadline is not None and now >= deadline
             ]
             if expired:
                 self._kill_pool()
                 for future in expired:
-                    spec, attempt, _ = running.pop(future)
+                    spec, attempt, _, _ = running.pop(future)
+                    obs_metrics.inc("harness.task_timeouts", 1, kind=spec.kind)
                     settle(spec, attempt, f"timed out after {timeout:.1f}s")
-                for spec, attempt, _ in running.values():
+                rebuild(bystanders=len(running))
+                for spec, attempt, _, _ in running.values():
                     pending.append((spec, attempt))
                 running.clear()
+
+
+def _fold_report(phase_times: Optional[PhaseTimes], report: _RunReport) -> None:
+    """Accumulate one wave's operational churn into *phase_times*."""
+    if phase_times is None:
+        return
+    phase_times.task_retries += report.retries
+    phase_times.requeues += report.requeues
+    phase_times.pool_rebuilds += report.pool_rebuilds
 
 
 def _preload(
@@ -616,6 +659,7 @@ def run_trials_parallel(
     """
     seeds = trial_seeds(trials, discard_first)
     policy = RetryPolicy(task_timeout=task_timeout, max_retries=max_retries)
+    prep: Optional[_RunReport] = None
     with _effective_cache_dir(cache) as cache_dir:
         runner = _ResilientRunner(jobs, policy, fault_plan=fault_plan)
         try:
@@ -663,8 +707,12 @@ def run_trials_parallel(
             runner.close()
     if failures is not None:
         failures.extend(report.failures)
+    _fold_report(phase_times, report)
     if phase_times is not None:
-        phase_times.task_retries += report.retries
+        if prep is not None:
+            _fold_report(phase_times, prep)
+            for summary in prep.fresh.values():
+                phase_times.add(summary.times)
         for _, times in report.fresh.values():
             phase_times.add(times)
     cells = {
@@ -743,7 +791,7 @@ def evaluate_all_parallel(
             ]
             prep = runner.run(prep_specs)
             all_failures.extend(prep.failures)
-            total.task_retries += prep.retries
+            _fold_report(total, prep)
             for summary in prep.fresh.values():
                 total.add(summary.times)
             summaries: dict[str, PreparedSummary] = {}
@@ -779,7 +827,7 @@ def evaluate_all_parallel(
             ]
             measured = runner.run(measure_specs)
             all_failures.extend(measured.failures)
-            total.task_retries += measured.retries
+            _fold_report(total, measured)
             for _, times in measured.fresh.values():
                 total.add(times)
         finally:
@@ -872,8 +920,7 @@ def table1_rows_parallel(
         if phase_times is not None:
             phase_times.add(times)
         rows.append((row_name, fraction, wasted))
-    if phase_times is not None:
-        phase_times.task_retries += report.retries
+    _fold_report(phase_times, report)
     return rows
 
 
@@ -904,17 +951,17 @@ def _sweep_task(
     name: str, halo_params: HaloParams, cache_dir: Optional[str]
 ) -> SweepPoint:
     """Worker entry point: one pipeline run from trace for one config."""
-    times = PhaseTimes()
-    trace, trace_times = _trace_for(name, cache_dir)
-    times.add(trace_times)
-    workload = get_workload(name)
-    start = time.perf_counter()
-    profile = replay_profile(trace, workload.program, halo_params)
-    times.profile += time.perf_counter() - start
-    times.trace_replays += 1
-    start = time.perf_counter()
-    artifacts = optimise_profile(profile, halo_params)
-    times.analyse += time.perf_counter() - start
+    with obs_metrics.collecting() as registry:
+        times = PhaseTimes()
+        trace, trace_times = _trace_for(name, cache_dir)
+        times.add(trace_times)
+        workload = get_workload(name)
+        with phase_span(times, "profile", workload=name, source="trace"):
+            profile = replay_profile(trace, workload.program, halo_params)
+        times.trace_replays += 1
+        with phase_span(times, "analyse", workload=name):
+            artifacts = optimise_profile(profile, halo_params)
+        times.metrics = registry.snapshot()
     return SweepPoint(
         workload=name,
         affinity_distance=halo_params.affinity.distance,
@@ -984,7 +1031,7 @@ def run_sweep_parallel(
                     )
                 ])
                 all_record_failures = record.failures
-                total.task_retries += record.retries
+                _fold_report(total, record)
                 for _, _, record_times in record.fresh.values():
                     total.add(record_times)
             else:
@@ -1011,7 +1058,7 @@ def run_sweep_parallel(
     for point in report.fresh.values():
         if isinstance(point, SweepPoint):
             total.add(point.times)
-    total.task_retries += report.retries
+    _fold_report(total, report)
     if failures is not None:
         failures.extend(all_record_failures)
         failures.extend(report.failures)

@@ -14,11 +14,12 @@ wall-time report.
 from __future__ import annotations
 
 import logging
-import time
 from dataclasses import dataclass, field
 from typing import Optional
 
 from ..core.artifact_cache import ArtifactCache, artifact_key
+from ..obs.metrics import MetricsSnapshot
+from ..obs.spans import phase_span
 from ..core.pipeline import HaloArtifacts, HaloParams, optimise_profile, profile_workload
 from ..hds.pipeline import HdsArtifacts, HdsParams, analyse_profile
 from ..profiling.profiler import ProfileResult
@@ -74,9 +75,17 @@ class PhaseTimes:
     #: measurement cells that needed a retry before succeeding.
     trace_fallbacks: int = 0
     task_retries: int = 0
+    #: Resilient-engine churn: healthy tasks requeued after a pool
+    #: rebuild, and the rebuilds themselves.
+    requeues: int = 0
+    pool_rebuilds: int = 0
+    #: Metrics collected in the process that produced these times
+    #: (worker tasks attach a snapshot here so the coordinator can merge
+    #: it; ``None`` on the serial path, which publishes directly).
+    metrics: Optional[MetricsSnapshot] = None
 
     def add(self, other: "PhaseTimes") -> None:
-        """Fold *other*'s counters into this one."""
+        """Fold *other*'s counters (and metrics snapshot) into this one."""
         self.profile += other.profile
         self.analyse += other.analyse
         self.measure += other.measure
@@ -87,6 +96,12 @@ class PhaseTimes:
         self.trace_replays += other.trace_replays
         self.trace_fallbacks += other.trace_fallbacks
         self.task_retries += other.task_retries
+        self.requeues += other.requeues
+        self.pool_rebuilds += other.pool_rebuilds
+        if other.metrics is not None:
+            if self.metrics is None:
+                self.metrics = MetricsSnapshot()
+            self.metrics.merge(other.metrics)
 
     def report(self, wall: Optional[float] = None) -> str:
         """One-line human-readable report."""
@@ -107,6 +122,10 @@ class PhaseTimes:
             parts.append(f"degraded {self.trace_fallbacks} trace fallback(s)")
         if self.task_retries:
             parts.append(f"retried {self.task_retries} task(s)")
+        if self.requeues:
+            parts.append(f"requeued {self.requeues} task(s)")
+        if self.pool_rebuilds:
+            parts.append(f"rebuilt pool {self.pool_rebuilds}x")
         line = "phase wall-time:  " + "   ".join(parts)
         if wall is not None:
             line += f"   (elapsed {wall:.2f}s)"
@@ -157,10 +176,9 @@ def get_or_record_trace(
             )
         if times is not None:
             times.cache_misses += 1
-    start = time.perf_counter()
-    trace = record_workload(workload if workload is not None else name, scale=scale)
+    with phase_span(times, "record", workload=name):
+        trace = record_workload(workload if workload is not None else name, scale=scale)
     if times is not None:
-        times.record += time.perf_counter() - start
         times.trace_records += 1
     if cache is not None:
         cache.put(key, trace)
@@ -235,9 +253,8 @@ def prepare_workload(
         if isinstance(cached, PreparedArtifacts):
             # Entry exists but lacks the HDS half: upgrade it in place.
             times.cache_hits += 1
-            start = time.perf_counter()
-            hds = analyse_profile(cached.profile, hds_params)
-            times.analyse += time.perf_counter() - start
+            with phase_span(times, "analyse", workload=name):
+                hds = analyse_profile(cached.profile, hds_params)
             prepared = PreparedArtifacts(
                 workload_name=name,
                 profile=cached.profile,
@@ -259,35 +276,31 @@ def prepare_workload(
             trace = get_or_record_trace(
                 name, cache=cache, workload=workload, times=times
             )
-        start = time.perf_counter()
-        try:
-            profile = replay_profile(
-                trace, workload.program, halo_params, record_trace=True
-            )
-            times.trace_replays += 1
-        except TraceFormatError as exc:
-            # Graceful degradation: a corrupt or truncated trace falls
-            # back to direct workload execution, which produces the same
-            # profile the replay would have (replay is bit-identical).
-            logger.warning(
-                "trace replay for %s failed (%s); falling back to direct execution",
-                name, exc,
-            )
-            times.trace_fallbacks += 1
-            profile = None
-        finally:
-            times.profile += time.perf_counter() - start
+        with phase_span(times, "profile", workload=name, source="trace"):
+            try:
+                profile = replay_profile(
+                    trace, workload.program, halo_params, record_trace=True
+                )
+                times.trace_replays += 1
+            except TraceFormatError as exc:
+                # Graceful degradation: a corrupt or truncated trace falls
+                # back to direct workload execution, which produces the same
+                # profile the replay would have (replay is bit-identical).
+                logger.warning(
+                    "trace replay for %s failed (%s); falling back to direct execution",
+                    name, exc,
+                )
+                times.trace_fallbacks += 1
+                profile = None
     if profile is None:
-        start = time.perf_counter()
-        profile = profile_workload(
-            workload, halo_params, scale=PROFILE_SCALE, record_trace=True
-        )
-        times.profile += time.perf_counter() - start
+        with phase_span(times, "profile", workload=name, source="direct"):
+            profile = profile_workload(
+                workload, halo_params, scale=PROFILE_SCALE, record_trace=True
+            )
 
-    start = time.perf_counter()
-    halo = optimise_profile(profile, halo_params)
-    hds = analyse_profile(profile, hds_params) if include_hds else None
-    times.analyse += time.perf_counter() - start
+    with phase_span(times, "analyse", workload=name):
+        halo = optimise_profile(profile, halo_params)
+        hds = analyse_profile(profile, hds_params) if include_hds else None
 
     prepared = PreparedArtifacts(
         workload_name=name,

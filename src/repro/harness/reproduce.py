@@ -17,12 +17,12 @@ from a single set of runs, exactly as in the paper.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from ..core.artifact_cache import ArtifactCache
 from ..core.pipeline import HaloParams
+from ..obs.spans import phase_span
 from ..hds.pipeline import analyse_profile
 from ..workloads.base import get_workload
 from .runner import (
@@ -72,22 +72,23 @@ def evaluate_workload(
     workload = get_workload(name)
     prepared = prepare_workload(name, halo_params=halo_params, cache=cache, workload=workload)
 
-    start = time.perf_counter()
-    baseline = run_trials(lambda seed: measure_baseline(workload, scale=scale, seed=seed), trials)
-    halo = run_trials(
-        lambda seed: measure_halo(workload, prepared.halo, scale=scale, seed=seed), trials
-    )
-    hds = run_trials(
-        lambda seed: measure_hds(workload, prepared.hds, scale=scale, seed=seed), trials
-    )
-    random_pools = None
-    if include_random:
-        random_pools = run_trials(
-            lambda seed: measure_random_pools(workload, scale=scale, seed=seed), trials
+    with phase_span(phase_times, "measure", workload=name):
+        baseline = run_trials(
+            lambda seed: measure_baseline(workload, scale=scale, seed=seed), trials
         )
+        halo = run_trials(
+            lambda seed: measure_halo(workload, prepared.halo, scale=scale, seed=seed), trials
+        )
+        hds = run_trials(
+            lambda seed: measure_hds(workload, prepared.hds, scale=scale, seed=seed), trials
+        )
+        random_pools = None
+        if include_random:
+            random_pools = run_trials(
+                lambda seed: measure_random_pools(workload, scale=scale, seed=seed), trials
+            )
     if phase_times is not None:
         phase_times.add(prepared.times)
-        phase_times.measure += time.perf_counter() - start
     return build_evaluation(prepared, baseline, halo, hds, random_pools)
 
 
@@ -224,11 +225,10 @@ def figure12(
     ``distances`` for the full range.
     """
     workload = get_workload(benchmark)
-    measure_start = time.perf_counter()
-    baseline = run_trials(
-        lambda seed: measure_baseline(workload, scale=scale, seed=seed), trials
-    )
-    measured = time.perf_counter() - measure_start
+    with phase_span(phase_times, "measure", workload=benchmark):
+        baseline = run_trials(
+            lambda seed: measure_baseline(workload, scale=scale, seed=seed), trials
+        )
     times: dict[str, float] = {}
     for distance in distances:
         params = halo_params_for(workload).with_affinity_distance(distance)
@@ -237,14 +237,11 @@ def figure12(
         )
         if phase_times is not None:
             phase_times.add(prepared.times)
-        measure_start = time.perf_counter()
-        result = run_trials(
-            lambda seed: measure_halo(workload, prepared.halo, scale=scale, seed=seed), trials
-        )
-        measured += time.perf_counter() - measure_start
+        with phase_span(phase_times, "measure", workload=benchmark, distance=distance):
+            result = run_trials(
+                lambda seed: measure_halo(workload, prepared.halo, scale=scale, seed=seed), trials
+            )
         times[str(distance)] = result.cycles.median
-    if phase_times is not None:
-        phase_times.measure += measured
     return FigureResult(
         figure=f"Figure 12: {benchmark} time vs affinity distance",
         series=[FigureSeries("HALO cycles", times)],
@@ -288,10 +285,8 @@ def table1(
         prepared = prepare_workload(name, include_hds=False, cache=cache, workload=workload)
         if phase_times is not None:
             phase_times.add(prepared.times)
-        start = time.perf_counter()
-        measurement = measure_halo(workload, prepared.halo, scale=scale, seed=1)
-        if phase_times is not None:
-            phase_times.measure += time.perf_counter() - start
+        with phase_span(phase_times, "measure", workload=name):
+            measurement = measure_halo(workload, prepared.halo, scale=scale, seed=1)
         frag = measurement.frag_at_peak
         if frag is None:
             rows.append(FragmentationRow(name, 0.0, 0))

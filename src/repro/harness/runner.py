@@ -22,8 +22,9 @@ from ..cache.timing import CostModel
 from ..core.pipeline import HaloArtifacts, make_runtime as make_halo_runtime
 from ..hds.pipeline import HdsArtifacts, make_runtime as make_hds_runtime
 from ..machine.events import Listener
-from ..machine.machine import Machine
+from ..machine.machine import Machine, MachineMetrics
 from ..workloads.base import Workload
+from .. import obs
 
 
 @dataclass
@@ -118,6 +119,7 @@ def run_measurement(
         workload.run(machine, scale)
     cache = memory.snapshot()
     metrics = machine.metrics
+    _publish_measurement_metrics(workload.name, config, metrics, cache, allocator, tracker)
     return Measurement(
         workload=workload.name,
         config=config,
@@ -135,6 +137,36 @@ def run_measurement(
         forwarded_allocs=getattr(allocator, "forwarded_allocs", 0),
         degraded_allocs=getattr(allocator, "degraded_allocs", 0),
     )
+
+
+def _publish_measurement_metrics(
+    workload: str,
+    config: str,
+    metrics: MachineMetrics,
+    cache: HierarchyStats,
+    allocator: Allocator,
+    tracker: PeakTracker,
+) -> None:
+    """Harvest one finished run into the active metrics registry.
+
+    This is the single publish point for the deterministic ``measure.*``
+    counter family: everything comes from stats the run already
+    collected, so the hot paths are untouched and the counters are
+    integer totals that merge identically in any order (serial vs
+    ``--jobs N`` runs agree bit-for-bit).  A no-op when observability is
+    off.
+    """
+    if obs.active_registry() is None:
+        return
+    labels = {"workload": workload, "config": config}
+    obs.inc("measure.runs", 1, **labels)
+    obs.inc("measure.peak_live_bytes", tracker.peak_live, **labels)
+    for name, value in metrics.as_counters().items():
+        obs.inc(f"measure.machine.{name}", value, **labels)
+    for name, value in cache.as_counters().items():
+        obs.inc(f"measure.cache.{name}", value, **labels)
+    for name, value in allocator.observable_stats().items():
+        obs.inc(f"measure.alloc.{name}", value, **labels)
 
 
 def measure_baseline(

@@ -1,13 +1,23 @@
-"""Backwards-compatible re-export of the byte-address trace tools.
+"""Deprecated re-export of the byte-address trace tools.
 
 The implementation moved to :mod:`repro.trace.access` when the full
 event-trace subsystem (:mod:`repro.trace`) unified the repo's notions of
-"trace"; import from there in new code.
+"trace".  Importing this module warns; import from
+:mod:`repro.trace.access` instead.  The shim will be removed once
+nothing in the wild imports it.
 """
 
 from __future__ import annotations
 
-from ..trace.access import (  # noqa: F401
+import warnings
+
+warnings.warn(
+    "repro.harness.tracer is deprecated; import from repro.trace.access instead",
+    DeprecationWarning,
+    stacklevel=2,
+)
+
+from ..trace.access import (  # noqa: F401,E402
     AccessTrace,
     AccessTraceRecorder,
     derive_access_trace,

@@ -49,6 +49,23 @@ class MachineMetrics:
         """Total heap accesses (loads + stores)."""
         return self.loads + self.stores
 
+    def as_counters(self) -> dict[str, int]:
+        """Integer counters for the observability harvest (``measure.machine.*``).
+
+        ``compute_cycles`` is deliberately excluded: it is a float, and
+        the deterministic ``measure.*`` family guarantees bit-identical
+        totals regardless of summation order, which only integers give.
+        """
+        return {
+            "loads": self.loads,
+            "stores": self.stores,
+            "allocs": self.allocs,
+            "frees": self.frees,
+            "reallocs": self.reallocs,
+            "calls": self.calls,
+            "instrumentation_toggles": self.instrumentation_toggles,
+        }
+
 
 class GroupStateVector:
     """The shared 'group state' bit vector from Section 4.3.

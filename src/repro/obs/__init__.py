@@ -1,0 +1,86 @@
+"""Unified observability: metrics registry, span tracing, exporters, gate.
+
+Usage from instrumented code (all no-ops when no registry is installed)::
+
+    from .. import obs
+
+    obs.inc("measure.runs", 1, workload=name, config=config)
+    with obs.span("halo.plot", figure="13"):
+        ...
+
+Usage from a collection point (CLI, tests)::
+
+    registry = obs.install(obs.MetricsRegistry())
+    ...run the pipeline...
+    obs.uninstall()
+    snapshot = registry.snapshot()
+    print(obs.to_prometheus(snapshot))
+
+See ``docs/OBSERVABILITY.md`` for the metric catalogue, the span
+hierarchy, and how to open a Chrome-trace export in Perfetto.
+"""
+
+from .catalogue import CATALOGUE, help_for
+from .export import (
+    EXPORT_FORMATS,
+    render,
+    snapshot_from_json,
+    snapshot_to_json,
+    to_chrome_trace,
+    to_jsonl,
+    to_prometheus,
+)
+from .metrics import (
+    DEFAULT_BUCKETS,
+    HistogramData,
+    MetricsRegistry,
+    MetricsSnapshot,
+    SpanData,
+    active_registry,
+    collecting,
+    gauge_max,
+    gauge_set,
+    inc,
+    install,
+    metric_key,
+    observe,
+    split_metric_key,
+    uninstall,
+)
+from .regression import Check, compare_snapshot, render_checks, run_gate
+from .spans import PhaseSpan, Span, phase_span, span
+
+__all__ = [
+    "CATALOGUE",
+    "help_for",
+    "EXPORT_FORMATS",
+    "render",
+    "snapshot_from_json",
+    "snapshot_to_json",
+    "to_chrome_trace",
+    "to_jsonl",
+    "to_prometheus",
+    "DEFAULT_BUCKETS",
+    "HistogramData",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "SpanData",
+    "active_registry",
+    "collecting",
+    "gauge_max",
+    "gauge_set",
+    "inc",
+    "install",
+    "metric_key",
+    "observe",
+    "split_metric_key",
+    "uninstall",
+    "Check",
+    "compare_snapshot",
+    "render_checks",
+    "run_gate",
+    "PhaseSpan",
+    "Span",
+    "phase_span",
+    "span",
+]

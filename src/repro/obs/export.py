@@ -1,0 +1,278 @@
+"""Exporters: snapshot JSON, JSONL, Prometheus text, Chrome trace_event.
+
+All four formats are deterministic for a given snapshot — keys are
+sorted and field order is fixed — so golden tests can compare exact
+strings and repeated exports of the same run diff clean.
+
+* :func:`snapshot_to_json` / :func:`snapshot_from_json` — the canonical
+  on-disk form written by ``--metrics-out`` and read back by
+  ``halo obs export|summary|check``.
+* :func:`to_jsonl` — one JSON object per line (counter / gauge /
+  histogram / span events), for log shippers.
+* :func:`to_prometheus` — text exposition format with ``# HELP`` lines
+  from :mod:`repro.obs.catalogue`; suitable for a node-exporter textfile
+  collector.
+* :func:`to_chrome_trace` — Chrome ``trace_event`` JSON ("X" complete
+  events, microsecond timestamps) loadable in Perfetto or
+  ``chrome://tracing``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from .catalogue import help_for
+from .metrics import HistogramData, MetricsSnapshot, SpanData, split_metric_key
+
+__all__ = [
+    "SNAPSHOT_FORMAT",
+    "EXPORT_FORMATS",
+    "snapshot_to_json",
+    "snapshot_from_json",
+    "to_jsonl",
+    "to_prometheus",
+    "to_chrome_trace",
+    "render",
+]
+
+#: Identifier stamped into snapshot files; guards ``obs`` against
+#: being pointed at an arbitrary JSON file.
+SNAPSHOT_FORMAT = "halo-metrics-v1"
+
+#: Formats understood by :func:`render` / ``halo obs export --format``.
+EXPORT_FORMATS = ("jsonl", "prometheus", "chrome-trace")
+
+
+# -- canonical snapshot file -----------------------------------------------
+
+
+def snapshot_to_json(snapshot: MetricsSnapshot) -> str:
+    """Serialise *snapshot* to the canonical indented-JSON document."""
+    doc = {
+        "format": SNAPSHOT_FORMAT,
+        "counters": {key: snapshot.counters[key] for key in sorted(snapshot.counters)},
+        "gauges": {key: snapshot.gauges[key] for key in sorted(snapshot.gauges)},
+        "histograms": {
+            key: {
+                "buckets": list(hist.buckets),
+                "counts": list(hist.counts),
+                "total": hist.total,
+                "count": hist.count,
+            }
+            for key, hist in sorted(snapshot.histograms.items())
+        },
+        "spans": [
+            {
+                "name": span.name,
+                "start": span.start,
+                "duration": span.duration,
+                "depth": span.depth,
+                "parent": span.parent,
+                "pid": span.pid,
+                "attrs": span.attrs,
+            }
+            for span in snapshot.spans
+        ],
+    }
+    return json.dumps(doc, indent=1)
+
+
+def snapshot_from_json(text: str) -> MetricsSnapshot:
+    """Parse a document produced by :func:`snapshot_to_json`."""
+    doc = json.loads(text)
+    if not isinstance(doc, dict) or doc.get("format") != SNAPSHOT_FORMAT:
+        raise ValueError(f"not a {SNAPSHOT_FORMAT} snapshot")
+    return MetricsSnapshot(
+        counters=dict(doc.get("counters", {})),
+        gauges=dict(doc.get("gauges", {})),
+        histograms={
+            key: HistogramData(
+                tuple(entry["buckets"]), list(entry["counts"]), entry["total"], entry["count"]
+            )
+            for key, entry in doc.get("histograms", {}).items()
+        },
+        spans=[
+            SpanData(
+                entry["name"],
+                entry["start"],
+                entry["duration"],
+                entry.get("depth", 0),
+                entry.get("parent", -1),
+                entry.get("pid", 0),
+                dict(entry.get("attrs", {})),
+            )
+            for entry in doc.get("spans", [])
+        ],
+    )
+
+
+# -- JSONL event stream ----------------------------------------------------
+
+
+def to_jsonl(snapshot: MetricsSnapshot) -> str:
+    """Render *snapshot* as one compact JSON object per line."""
+    lines: list[str] = []
+
+    def emit(obj: dict[str, Any]) -> None:
+        lines.append(json.dumps(obj, separators=(",", ":")))
+
+    for key in sorted(snapshot.counters):
+        name, labels = split_metric_key(key)
+        emit({"type": "counter", "name": name, "labels": labels, "value": snapshot.counters[key]})
+    for key in sorted(snapshot.gauges):
+        name, labels = split_metric_key(key)
+        emit({"type": "gauge", "name": name, "labels": labels, "value": snapshot.gauges[key]})
+    for key in sorted(snapshot.histograms):
+        name, labels = split_metric_key(key)
+        hist = snapshot.histograms[key]
+        emit(
+            {
+                "type": "histogram",
+                "name": name,
+                "labels": labels,
+                "buckets": list(hist.buckets),
+                "counts": list(hist.counts),
+                "sum": hist.total,
+                "count": hist.count,
+            }
+        )
+    for span in snapshot.spans:
+        emit(
+            {
+                "type": "span",
+                "name": span.name,
+                "start": round(span.start, 9),
+                "duration": round(span.duration, 9),
+                "depth": span.depth,
+                "parent": span.parent,
+                "pid": span.pid,
+                "attrs": span.attrs,
+            }
+        )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# -- Prometheus text exposition --------------------------------------------
+
+
+def _prom_name(name: str, prefix: str) -> str:
+    """Mangle a dotted metric name into a Prometheus identifier."""
+    return f"{prefix}_{name}".replace(".", "_").replace("-", "_")
+
+
+def _prom_labels(labels: dict[str, str], extra: tuple[tuple[str, str], ...] = ()) -> str:
+    """Render a label dict (plus fixed extras) as ``{a="1",b="x"}``."""
+    items = [(k, labels[k]) for k in sorted(labels)] + list(extra)
+    if not items:
+        return ""
+    return "{" + ",".join(f'{k}="{v}"' for k, v in items) + "}"
+
+
+def _fmt_value(value: float) -> str:
+    """Format a sample value; integral floats print without ``.0``."""
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def to_prometheus(snapshot: MetricsSnapshot, prefix: str = "halo") -> str:
+    """Render *snapshot* in the Prometheus text exposition format.
+
+    Counters gain a ``_total`` suffix; histograms render cumulative
+    ``_bucket``/``_sum``/``_count`` series.  ``# HELP``/``# TYPE``
+    headers are emitted once per metric family, with help text from the
+    catalogue.
+    """
+    lines: list[str] = []
+    seen_headers: set[str] = set()
+
+    def header(name: str, mangled: str, kind: str) -> None:
+        if mangled in seen_headers:
+            return
+        seen_headers.add(mangled)
+        help_text = help_for(name)
+        if help_text:
+            lines.append(f"# HELP {mangled} {help_text}")
+        lines.append(f"# TYPE {mangled} {kind}")
+
+    for key in sorted(snapshot.counters):
+        name, labels = split_metric_key(key)
+        mangled = _prom_name(name, prefix) + "_total"
+        header(name, mangled, "counter")
+        lines.append(f"{mangled}{_prom_labels(labels)} {_fmt_value(snapshot.counters[key])}")
+    for key in sorted(snapshot.gauges):
+        name, labels = split_metric_key(key)
+        mangled = _prom_name(name, prefix)
+        header(name, mangled, "gauge")
+        lines.append(f"{mangled}{_prom_labels(labels)} {_fmt_value(snapshot.gauges[key])}")
+    for key in sorted(snapshot.histograms):
+        name, labels = split_metric_key(key)
+        mangled = _prom_name(name, prefix)
+        header(name, mangled, "histogram")
+        hist = snapshot.histograms[key]
+        cumulative = 0
+        for bound, count in zip(hist.buckets, hist.counts):
+            cumulative += count
+            lines.append(
+                f"{mangled}_bucket{_prom_labels(labels, (('le', _fmt_value(bound)),))} {cumulative}"
+            )
+        lines.append(f"{mangled}_bucket{_prom_labels(labels, (('le', '+Inf'),))} {hist.count}")
+        lines.append(f"{mangled}_sum{_prom_labels(labels)} {_fmt_value(hist.total)}")
+        lines.append(f"{mangled}_count{_prom_labels(labels)} {hist.count}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# -- Chrome trace_event JSON -----------------------------------------------
+
+
+def to_chrome_trace(snapshot: MetricsSnapshot) -> str:
+    """Render the snapshot's spans as Chrome ``trace_event`` JSON.
+
+    Each span becomes an ``"X"`` (complete) event with microsecond
+    ``ts``/``dur``.  Each originating process gets its own ``pid`` with
+    a ``process_name`` metadata record, so a parallel run opens in
+    Perfetto as one track per worker.  Field order within every event is
+    fixed for golden-test stability.
+    """
+    events: list[dict[str, Any]] = []
+    pids: list[int] = []
+    for span in snapshot.spans:
+        if span.pid not in pids:
+            pids.append(span.pid)
+    for pid in pids:
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": f"halo pid {pid}"},
+            }
+        )
+    for span in snapshot.spans:
+        events.append(
+            {
+                "name": span.name,
+                "cat": "halo",
+                "ph": "X",
+                "ts": round(span.start * 1e6, 3),
+                "dur": round(span.duration * 1e6, 3),
+                "pid": span.pid,
+                "tid": 0,
+                "args": {key: span.attrs[key] for key in sorted(span.attrs)},
+            }
+        )
+    doc = {"traceEvents": events, "displayTimeUnit": "ms"}
+    return json.dumps(doc, indent=1)
+
+
+def render(snapshot: MetricsSnapshot, fmt: str) -> str:
+    """Dispatch to an exporter by format name (see :data:`EXPORT_FORMATS`)."""
+    if fmt == "jsonl":
+        return to_jsonl(snapshot)
+    if fmt == "prometheus":
+        return to_prometheus(snapshot)
+    if fmt == "chrome-trace":
+        return to_chrome_trace(snapshot)
+    raise ValueError(f"unknown export format {fmt!r} (expected one of {EXPORT_FORMATS})")

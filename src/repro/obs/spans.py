@@ -1,0 +1,91 @@
+"""Hierarchical span tracing: the one implementation of phase timing.
+
+A :class:`Span` is a context manager that times a region on the
+monotonic ``perf_counter`` clock and — when a metrics registry is
+installed — records a :class:`~repro.obs.metrics.SpanData` with its
+nesting depth and parent.  Spans always measure, even with no registry:
+``span.elapsed`` is valid after the block either way, which is what lets
+the ad-hoc ``time.perf_counter()`` blocks that used to be scattered
+through ``cli.py`` / ``harness/`` collapse onto this module.
+
+:class:`PhaseSpan` additionally folds the elapsed time into a
+``PhaseTimes`` accumulator field and a ``phase.seconds{phase=...}``
+counter, so the human-readable phase report and the exported metric
+stream are fed from the same measurement.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Any, Optional
+
+from . import metrics
+
+__all__ = ["Span", "PhaseSpan", "span", "phase_span"]
+
+
+class Span:
+    """Context manager timing one named region of the pipeline.
+
+    After the ``with`` block exits, ``elapsed`` holds the region's wall
+    time in seconds.  Nested spans recorded in the same registry form a
+    parent/child tree (rendered by the Chrome ``trace_event`` exporter).
+    """
+
+    __slots__ = ("name", "attrs", "elapsed", "_registry", "_index", "_started")
+
+    def __init__(self, name: str, **attrs: Any) -> None:
+        """Create a span called *name*; *attrs* become span attributes."""
+        self.name = name
+        self.attrs = attrs
+        self.elapsed = 0.0
+        self._registry: Optional[metrics.MetricsRegistry] = None
+        self._index = -1
+        self._started = 0.0
+
+    def __enter__(self) -> "Span":
+        registry = metrics.active_registry()
+        self._registry = registry
+        self._started = perf_counter()
+        if registry is not None:
+            self._index = registry.begin_span(self.name, self._started, dict(self.attrs))
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.elapsed = perf_counter() - self._started
+        if self._registry is not None:
+            self._registry.end_span(self._index, self.elapsed)
+            self._registry = None
+
+
+class PhaseSpan(Span):
+    """Span that also feeds a ``PhaseTimes`` accumulator.
+
+    *times* is duck-typed (any object with a float attribute named
+    *phase*); passing ``None`` skips the accumulator but still records
+    the span and the ``phase.seconds`` counter.
+    """
+
+    __slots__ = ("times", "phase")
+
+    def __init__(self, times: Optional[Any], phase: str, **attrs: Any) -> None:
+        """Time the pipeline phase *phase*, accumulating into *times*."""
+        super().__init__(f"phase.{phase}", **attrs)
+        self.times = times
+        self.phase = phase
+
+    def __exit__(self, *exc_info: object) -> None:
+        super().__exit__(*exc_info)
+        if self.times is not None:
+            setattr(self.times, self.phase, getattr(self.times, self.phase) + self.elapsed)
+        metrics.inc("phase.seconds", self.elapsed, phase=self.phase)
+
+
+def span(name: str, **attrs: Any) -> Span:
+    """Convenience constructor: ``with span("halo.plot") as s: ...``."""
+    return Span(name, **attrs)
+
+
+def phase_span(times: Optional[Any], phase: str, **attrs: Any) -> PhaseSpan:
+    """Convenience constructor for :class:`PhaseSpan`."""
+    return PhaseSpan(times, phase, **attrs)

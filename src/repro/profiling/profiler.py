@@ -19,6 +19,7 @@ from ..machine.events import Listener
 from ..machine.heap import HeapObject
 from ..machine.machine import Machine
 from ..machine.program import Program
+from .. import obs
 from .affinity import AffinityParams, AffinityRecorder
 from .graph import AffinityGraph
 from .shadow import ContextTable, reduced_context
@@ -105,10 +106,14 @@ class Profiler(Listener):
         self._last_trace_oid: Optional[int] = None
         self._next_breaker = -1
         self.machine_accesses = 0
+        #: Deepest shadow call stack seen at an allocation (observability).
+        self.max_stack_depth = 0
 
     # -- listener hooks -----------------------------------------------------
 
     def on_alloc(self, machine: Machine, obj: HeapObject) -> None:
+        if len(machine.stack) > self.max_stack_depth:
+            self.max_stack_depth = len(machine.stack)
         chain = reduced_context(self.program, machine.stack)
         cid = self.contexts.intern(chain)
         self.object_context[obj.oid] = cid
@@ -151,8 +156,24 @@ class Profiler(Listener):
     # -- results --------------------------------------------------------------
 
     def result(self) -> ProfileResult:
-        """Finalise profiling and return the collected profile."""
+        """Finalise profiling and return the collected profile.
+
+        Also the ``profile.*`` observability harvest point: everything is
+        folded from stats this listener already gathered, so the per-event
+        hooks stay uninstrumented.
+        """
         full_graph = self.recorder.graph
+        if obs.active_registry() is not None:
+            graph = self.recorder.filtered_graph()
+            labels = {"program": self.program.name}
+            obs.inc("profile.runs", 1, **labels)
+            obs.inc("profile.contexts", len(self.contexts), **labels)
+            obs.inc("profile.graph_nodes", len(graph), **labels)
+            obs.inc("profile.graph_edges", len(graph.edges), **labels)
+            obs.inc("profile.machine_accesses", self.machine_accesses, **labels)
+            obs.inc("profile.access_bytes", self.recorder.total_access_bytes, **labels)
+            obs.gauge_max("profile.affinity_queue_len", self.recorder.queue_length, **labels)
+            obs.gauge_max("profile.shadow_stack_depth_max", self.max_stack_depth, **labels)
         return ProfileResult(
             program=self.program,
             params=self.params,

@@ -127,10 +127,13 @@ def record_workload(
     influence the event stream (workloads never observe heap addresses), so
     any recorded run stands in for every allocator/cache configuration.
     """
+    from time import perf_counter
+
     from ..allocators.base import AddressSpace
     from ..allocators.size_class import SizeClassAllocator
     from ..machine.machine import Machine
     from ..workloads import get_workload
+    from .. import obs
 
     if isinstance(workload, str):
         workload = get_workload(workload)
@@ -145,5 +148,12 @@ def record_workload(
         SizeClassAllocator(AddressSpace(seed=seed)),
         listeners=[recorder],
     )
+    started = perf_counter()
     workload.run(machine, scale)
-    return recorder.close()
+    trace = recorder.close()
+    if obs.active_registry() is not None:
+        # Record throughput harvest (events and wall seconds per workload).
+        obs.inc("trace.records", 1, workload=workload.name)
+        obs.inc("trace.record.events", trace.header.events, workload=workload.name)
+        obs.inc("trace.record.seconds", perf_counter() - started, workload=workload.name)
+    return trace

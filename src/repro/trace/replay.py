@@ -23,9 +23,11 @@ zero, ``oid == alloc_seq``), which lets the trace omit allocation ids.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import TYPE_CHECKING, Optional
 
 from ..machine.heap import HeapObject
+from .. import obs
 from .format import (
     OP_ALLOC,
     OP_CALL,
@@ -75,6 +77,7 @@ class TraceReplayer:
                 f"trace was recorded against program {self.trace.header.program!r}, "
                 f"machine runs {machine.program.name!r}"
             )
+        started = perf_counter()
         objects: dict[int, HeapObject] = {}
         scopes: list = []
         load = machine.load
@@ -104,6 +107,17 @@ class TraceReplayer:
                 machine.finish()
         while scopes:  # pragma: no cover - only on truncated traces
             scopes.pop().__exit__(None, None, None)
+        _publish_replay_metrics(self.trace, perf_counter() - started)
+
+
+def _publish_replay_metrics(trace: EventTrace, elapsed: float) -> None:
+    """Replay-throughput harvest (``trace.replay.*``); no-op when obs is off."""
+    if obs.active_registry() is None:
+        return
+    workload = trace.header.workload
+    obs.inc("trace.replays", 1, workload=workload)
+    obs.inc("trace.replay.events", trace.header.events, workload=workload)
+    obs.inc("trace.replay.seconds", elapsed, workload=workload)
 
 
 class _ProfileShim:
@@ -137,6 +151,7 @@ def replay_profile(
     from ..profiling.profiler import Profiler
 
     params = params or HaloParams()
+    started = perf_counter()
     profiler = Profiler(program, params.affinity, record_trace=record_trace)
     shim = _ProfileShim()
     stack = shim.stack
@@ -168,4 +183,5 @@ def replay_profile(
         elif op == OP_REALLOC:
             objects[event[1]].size = event[2]
         # OP_WORK / OP_END carry no profiling information.
+    _publish_replay_metrics(trace, perf_counter() - started)
     return profiler.result()

@@ -1,0 +1,154 @@
+"""Golden tests for the observability exporters.
+
+A hand-built snapshot with fixed values pins the exact output of every
+format — field order, rounding, label sorting, help text.  Any diff here
+means downstream consumers (Prometheus scrapers, Perfetto, log shippers)
+would see a format change; deliberate changes must update the goldens in
+the same commit.
+"""
+
+import json
+
+import pytest
+
+from repro.obs import export
+from repro.obs.metrics import HistogramData, MetricsSnapshot, SpanData
+
+
+def sample_snapshot() -> MetricsSnapshot:
+    """A small snapshot exercising every exporter feature.
+
+    Two processes (pids 101/202), nested spans, a labelled counter, a
+    bare counter, a gauge, and a histogram with under/in/overflow
+    observations.
+    """
+    hist = HistogramData(buckets=(0.1, 1.0))
+    hist.observe(0.05)
+    hist.observe(0.5)
+    hist.observe(5.0)
+    return MetricsSnapshot(
+        counters={
+            'measure.runs{config="halo",workload="health"}': 2,
+            "analyse.runs": 1,
+        },
+        gauges={'profile.affinity_queue_len{program="health"}': 16},
+        histograms={'harness.task_seconds{kind="measure"}': hist},
+        spans=[
+            SpanData("phase.profile", 0.5, 1.25, 0, -1, 101, {"workload": "health"}),
+            SpanData("phase.measure", 2.0, 0.125, 1, 0, 101, {}),
+            SpanData("phase.profile", 0.25, 2.0, 0, -1, 202, {"source": "trace"}),
+        ],
+    )
+
+
+GOLDEN_PROMETHEUS = """\
+# HELP halo_analyse_runs_total Grouping/identification pipeline executions.
+# TYPE halo_analyse_runs_total counter
+halo_analyse_runs_total 1
+# HELP halo_measure_runs_total Finished measurement runs (workload seeds executed).
+# TYPE halo_measure_runs_total counter
+halo_measure_runs_total{config="halo",workload="health"} 2
+# HELP halo_profile_affinity_queue_len Affinity sliding-window queue length at harvest (gauge).
+# TYPE halo_profile_affinity_queue_len gauge
+halo_profile_affinity_queue_len{program="health"} 16
+# HELP halo_harness_task_seconds Per-task wall latency histogram (label: kind).
+# TYPE halo_harness_task_seconds histogram
+halo_harness_task_seconds_bucket{kind="measure",le="0.1"} 1
+halo_harness_task_seconds_bucket{kind="measure",le="1"} 2
+halo_harness_task_seconds_bucket{kind="measure",le="+Inf"} 3
+halo_harness_task_seconds_sum{kind="measure"} 5.55
+halo_harness_task_seconds_count{kind="measure"} 3
+"""
+
+GOLDEN_JSONL = """\
+{"type":"counter","name":"analyse.runs","labels":{},"value":1}
+{"type":"counter","name":"measure.runs","labels":{"config":"halo","workload":"health"},"value":2}
+{"type":"gauge","name":"profile.affinity_queue_len","labels":{"program":"health"},"value":16}
+{"type":"histogram","name":"harness.task_seconds","labels":{"kind":"measure"},"buckets":[0.1,1.0],"counts":[1,1,1],"sum":5.55,"count":3}
+{"type":"span","name":"phase.profile","start":0.5,"duration":1.25,"depth":0,"parent":-1,"pid":101,"attrs":{"workload":"health"}}
+{"type":"span","name":"phase.measure","start":2.0,"duration":0.125,"depth":1,"parent":0,"pid":101,"attrs":{}}
+{"type":"span","name":"phase.profile","start":0.25,"duration":2.0,"depth":0,"parent":-1,"pid":202,"attrs":{"source":"trace"}}
+"""
+
+
+class TestPrometheus:
+    def test_golden(self):
+        assert export.to_prometheus(sample_snapshot()) == GOLDEN_PROMETHEUS
+
+    def test_empty_snapshot(self):
+        assert export.to_prometheus(MetricsSnapshot()) == ""
+
+    def test_bucket_counts_are_cumulative(self):
+        text = export.to_prometheus(sample_snapshot())
+        counts = [
+            int(line.rsplit(" ", 1)[1])
+            for line in text.splitlines()
+            if "_bucket{" in line
+        ]
+        assert counts == sorted(counts)
+        assert counts[-1] == 3  # +Inf bucket holds the full count
+
+
+class TestJsonl:
+    def test_golden(self):
+        assert export.to_jsonl(sample_snapshot()) == GOLDEN_JSONL
+
+    def test_every_line_parses(self):
+        for line in export.to_jsonl(sample_snapshot()).splitlines():
+            obj = json.loads(line)
+            assert obj["type"] in {"counter", "gauge", "histogram", "span"}
+
+
+class TestChromeTrace:
+    #: Field order required of every "X" (complete) event; pinned so the
+    #: file diffs clean and stays loadable in Perfetto/chrome://tracing.
+    X_EVENT_FIELDS = ["name", "cat", "ph", "ts", "dur", "pid", "tid", "args"]
+
+    def test_schema(self):
+        doc = json.loads(export.to_chrome_trace(sample_snapshot()))
+        assert doc["displayTimeUnit"] == "ms"
+        events = doc["traceEvents"]
+        metas = [e for e in events if e["ph"] == "M"]
+        complete = [e for e in events if e["ph"] == "X"]
+        assert [m["pid"] for m in metas] == [101, 202]
+        assert all(m["name"] == "process_name" for m in metas)
+        assert len(complete) == 3
+        for event in complete:
+            assert list(event) == self.X_EVENT_FIELDS
+            assert event["cat"] == "halo"
+            assert isinstance(event["ts"], float)
+            assert event["dur"] >= 0
+
+    def test_microsecond_conversion(self):
+        doc = json.loads(export.to_chrome_trace(sample_snapshot()))
+        first = next(e for e in doc["traceEvents"] if e["ph"] == "X")
+        assert first["ts"] == 500000.0
+        assert first["dur"] == 1250000.0
+
+    def test_deterministic(self):
+        assert export.to_chrome_trace(sample_snapshot()) == export.to_chrome_trace(
+            sample_snapshot()
+        )
+
+
+class TestSnapshotRoundTrip:
+    def test_json_round_trip(self):
+        snap = sample_snapshot()
+        assert export.snapshot_from_json(export.snapshot_to_json(snap)) == snap
+
+    def test_rejects_foreign_json(self):
+        with pytest.raises(ValueError, match="halo-metrics-v1"):
+            export.snapshot_from_json('{"hello": "world"}')
+        with pytest.raises(ValueError):
+            export.snapshot_from_json("[]")
+
+
+class TestRenderDispatch:
+    def test_all_formats(self):
+        snap = sample_snapshot()
+        for fmt in export.EXPORT_FORMATS:
+            assert export.render(snap, fmt)
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ValueError, match="unknown export format"):
+            export.render(sample_snapshot(), "xml")

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Gate a metrics snapshot against a committed benchmark baseline.
+
+Usage: PYTHONPATH=src python tools/check_regression.py \
+           --snapshot out/metrics.json \
+           --baseline BENCH_eval_walltime.json [--tolerance 0.5]
+
+The snapshot is one written by ``--metrics-out`` (``halo plot`` /
+``halo trace sweep``); the baseline is one of the committed
+``BENCH_*.json`` files, whose schema selects the comparison
+(phase wall-time upper bounds for the evaluation baseline, replay/record
+throughput lower bounds for the trace baseline).  Exits non-zero when any
+check regresses past the tolerance, which is what makes it usable as a CI
+gate.  Equivalent to ``halo obs check``; this standalone form keeps CI
+pipelines independent of the installed entry point.
+"""
+
+import argparse
+import sys
+from pathlib import Path
+
+# Allow running without PYTHONPATH when invoked from the repo root.
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.obs import run_gate, snapshot_from_json  # noqa: E402
+
+
+def main() -> int:
+    """Parse arguments, run the gate, print the report, return exit code."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--snapshot", type=Path, required=True, metavar="SNAP.json",
+        help="metrics snapshot written by --metrics-out",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, required=True, metavar="BENCH.json",
+        help="committed baseline to compare against",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.5, metavar="F",
+        help="allowed fractional regression before failing (default: 0.5)",
+    )
+    args = parser.parse_args()
+
+    try:
+        snapshot = snapshot_from_json(args.snapshot.read_text())
+    except FileNotFoundError:
+        print(f"error: {args.snapshot} does not exist", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"error: {args.snapshot}: {exc}", file=sys.stderr)
+        return 2
+    try:
+        passed, report = run_gate(snapshot, args.baseline, tolerance=args.tolerance)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(report)
+    return 0 if passed else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
