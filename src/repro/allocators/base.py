@@ -22,6 +22,7 @@ from __future__ import annotations
 import random
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
+from typing import Iterator
 
 PAGE_SIZE = 4096
 PAGE_SHIFT = 12
@@ -172,6 +173,17 @@ class Allocator(ABC):
             "allocs": self.stats.total_allocs,
             "frees": self.stats.total_frees,
         }
+
+    def iter_live_regions(self) -> "Iterator[tuple[int, int]]":
+        """Yield ``(addr, size)`` for every live block, nested allocators
+        included.
+
+        Consumed by the heap sanitizer's liveness and cross-allocator
+        overlap checks.  The default yields nothing, so allocators without
+        per-region bookkeeping degrade to "nothing to check" instead of
+        failing the walk.
+        """
+        return iter(())
 
     @abstractmethod
     def malloc(self, size: int, alignment: int = MIN_ALIGNMENT) -> int:

@@ -72,3 +72,6 @@ class BumpAllocator(Allocator):
     def owns(self, addr: int) -> bool:
         """Whether *addr* was handed out by this allocator and is live."""
         return addr in self._sizes
+
+    def iter_live_regions(self):
+        yield from self._sizes.items()

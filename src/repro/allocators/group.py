@@ -82,6 +82,10 @@ class _Chunk:
         self.colour = colour
         self.cursor = self.base + self.HEADER_SIZE + colour
         self.live_regions = 0
+        # The high-water mark belongs to the previous tenant; carrying it
+        # across a reuse misattributes its bump footprint to the new group
+        # (and breaks the cursor/high-water coherence the sanitizer checks).
+        self.high_water = self.cursor
 
 
 @dataclass
@@ -90,6 +94,11 @@ class FragmentationSnapshot:
 
     live_bytes: int
     resident_bytes: int
+    #: Sum of per-chunk bump high-water footprints (bytes past each chunk
+    #: header the cursor ever reached).  Bounded by ``resident_bytes`` modulo
+    #: page rounding; a reused spare carrying a stale high-water mark from
+    #: its previous tenant shows up here as over-reporting.
+    high_water_bytes: int = 0
 
     @property
     def wasted_bytes(self) -> int:
@@ -220,6 +229,12 @@ class GroupAllocator(Allocator):
         chunk = self._current.get(group)
         addr = chunk.try_reserve(size, alignment) if chunk is not None else None
         if addr is None:
+            if chunk is not None and chunk.live_regions == 0:
+                # free() skips retirement while a chunk is current; if the
+                # displaced chunk already drained we must retire it here,
+                # otherwise it is orphaned — never reused, never purged.
+                del self._current[group]
+                self._retire(chunk)
             chunk = self._fresh_chunk(group)
             if chunk is None:
                 # Pool exhausted: degrade to the "next available allocator"
@@ -329,6 +344,13 @@ class GroupAllocator(Allocator):
             return self.fallback.realloc(addr, new_size)
         old_size = self.size_of(addr)
         if new_size <= old_size:
+            # Shrink in place — but the recorded size must follow, or a later
+            # free() credits back the stale larger size and live-byte
+            # accounting drifts negative.
+            self._region_sizes[addr] = new_size
+            self.grouped_live_bytes -= old_size - new_size
+            self.stats.on_free(old_size)
+            self.stats.on_alloc(new_size)
             return addr
         new_addr = self.malloc(new_size)
         self.free(addr)
@@ -353,13 +375,21 @@ class GroupAllocator(Allocator):
     def fragmentation(self) -> FragmentationSnapshot:
         """Current live-vs-resident relationship of grouped data (Table 1)."""
         resident = 0
+        high_water = 0
         for chunk in self._chunks.values():
             resident += self.space.resident_bytes_in(chunk.base, chunk.size)
+            high_water += chunk.high_water - (chunk.base + _Chunk.HEADER_SIZE)
         return FragmentationSnapshot(
-            live_bytes=self.grouped_live_bytes, resident_bytes=resident
+            live_bytes=self.grouped_live_bytes,
+            resident_bytes=resident,
+            high_water_bytes=high_water,
         )
 
     @property
     def total_live_bytes(self) -> int:
         """Live bytes across grouped data and the fallback allocator."""
         return self.grouped_live_bytes + self.fallback.stats.live_bytes
+
+    def iter_live_regions(self):
+        yield from self._region_sizes.items()
+        yield from self.fallback.iter_live_regions()

@@ -60,3 +60,8 @@ class RandomPoolAllocator(Allocator):
         if pool is None:
             return self.fallback.size_of(addr)
         return pool.size_of(addr)
+
+    def iter_live_regions(self):
+        for pool in self._pools:
+            yield from pool.iter_live_regions()
+        yield from self.fallback.iter_live_regions()

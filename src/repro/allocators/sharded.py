@@ -88,6 +88,11 @@ class ShardedGroupAllocator(GroupAllocator):
             if addr is None:
                 addr = chunk.try_reserve(reserve, 16)
         if addr is None:
+            if chunk is not None and chunk.live_regions == 0:
+                # Same rule as the bump variant: a drained current chunk is
+                # only ever retired here, at displacement time.
+                del self._current[group]
+                self._retire(chunk)
             chunk = self._sharded_fresh_chunk(group)
             self._current[group] = chunk
             addr = chunk.try_reserve(reserve, 16)

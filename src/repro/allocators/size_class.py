@@ -217,3 +217,7 @@ class SizeClassAllocator(Allocator):
     def size_classes(self) -> list[int]:
         """The allocator's ascending size-class list."""
         return list(self._classes)
+
+    def iter_live_regions(self):
+        for addr, (size, _run) in self._live.items():
+            yield addr, size

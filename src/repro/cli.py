@@ -20,6 +20,9 @@ simulation:
   pipeline parameters against it without ever re-executing the workload;
 * ``halo faults inject DIR`` — reproducibly corrupt cached artifacts and
   traces on disk (resilience testing; consumers must degrade, not die);
+* ``halo sanitize fuzz`` — differentially fuzz the allocator families
+  against the shadow-heap oracle and invariant checker (the same checks
+  ``--sanitize`` attaches to ``baseline``/``run``/``plot`` measurements);
 * ``halo obs export|summary|check`` — inspect a metrics snapshot written
   by ``--metrics-out`` (on ``plot`` and ``trace sweep``), convert it to
   Prometheus text or a Perfetto-loadable Chrome trace, or gate it against
@@ -57,6 +60,7 @@ from .core.pipeline import optimise_profile, profile_workload
 from .harness import reproduce
 from .harness.prepare import PhaseTimes, prepare_workload
 from .harness.runner import measure_baseline, measure_halo
+from .sanitize import FAMILIES as SANITIZE_FAMILIES
 from .workloads.base import get_workload, workload_names
 
 #: Default on-disk artifact cache location (overridden by ``--cache-dir``).
@@ -89,6 +93,38 @@ def _add_benchmark_arg(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "-b", "--benchmark", required=True, choices=workload_names(), help="target benchmark"
     )
+
+
+def _add_sanitize_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--sanitize",
+        nargs="?",
+        const=1024,
+        type=int,
+        default=None,
+        metavar="N",
+        help="enable the heap sanitizer: shadow-heap oracle on every heap op "
+        "plus a full invariant walk every N ops (default 1024 when the flag "
+        "is given bare); see docs/SANITIZER.md",
+    )
+
+
+@contextlib.contextmanager
+def _sanitize_session(args: argparse.Namespace) -> Iterator[None]:
+    """Scope the heap sanitizer over a command when ``--sanitize`` was given.
+
+    The config is installed process-globally, so it reaches every machine
+    the command constructs — including in worker processes under
+    ``--jobs N``, which inherit it through the parallel harness.
+    """
+    interval = getattr(args, "sanitize", None)
+    if interval is None:
+        yield
+        return
+    from .sanitize import SanitizerConfig, sanitizer_active
+
+    with sanitizer_active(SanitizerConfig(check_interval=interval)):
+        yield
 
 
 def _add_metrics_arg(parser: argparse.ArgumentParser) -> None:
@@ -181,6 +217,7 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_benchmark_arg(baseline)
     baseline.add_argument("--scale", default="ref", help="input scale (test/train/ref)")
     baseline.add_argument("--seed", type=int, default=1)
+    _add_sanitize_arg(baseline)
 
     run = sub.add_parser("run", help="run the full HALO pipeline on a benchmark")
     _add_benchmark_arg(run)
@@ -198,6 +235,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="reuse a saved profile instead of re-profiling",
     )
     run.add_argument("--show-groups", action="store_true", help="print the allocation groups")
+    _add_sanitize_arg(run)
     _add_cache_args(run)
     run.add_argument(
         "--dump-graph",
@@ -244,6 +282,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="worker processes for the evaluation matrix (default: 1, serial)",
     )
     _add_resilience_args(plot)
+    _add_sanitize_arg(plot)
     _add_cache_args(plot)
     _add_metrics_arg(plot)
 
@@ -380,6 +419,25 @@ def _build_parser() -> argparse.ArgumentParser:
     o_check.add_argument(
         "--tolerance", type=float, default=0.5, metavar="F",
         help="allowed fractional regression before failing (default: 0.5)",
+    )
+
+    sanitize = sub.add_parser(
+        "sanitize", help="heap-sanitizer tools (differential allocator fuzzing)"
+    )
+    szsub = sanitize.add_subparsers(dest="sanitize_command", required=True)
+    s_fuzz = szsub.add_parser(
+        "fuzz",
+        help="fuzz the allocator families against the shadow-heap oracle",
+    )
+    s_fuzz.add_argument("--seed", type=int, default=0, help="scenario seed")
+    s_fuzz.add_argument(
+        "--ops", type=int, default=20000, help="heap ops per scenario (default: 20000)"
+    )
+    s_fuzz.add_argument(
+        "--family",
+        choices=("all",) + SANITIZE_FAMILIES,
+        default="all",
+        help="restrict to one allocator family (default: all)",
     )
 
     sub.add_parser("list", help="list available benchmarks")
@@ -915,6 +973,53 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     return 1  # pragma: no cover - argparse enforces choices
 
 
+def _cmd_sanitize(args: argparse.Namespace) -> int:
+    if args.sanitize_command == "fuzz":
+        return _cmd_sanitize_fuzz(args)
+    return 1  # pragma: no cover - argparse enforces choices
+
+
+def _cmd_sanitize_fuzz(args: argparse.Namespace) -> int:
+    from .sanitize import default_scenarios, format_ops, run_fuzz
+
+    failed = 0
+    rows = []
+    for config in default_scenarios(args.seed, args.ops, args.family):
+        report = run_fuzz(config)
+        variant = []
+        if config.colour_stride:
+            variant.append(f"colour={config.colour_stride}")
+        if config.always_reuse_chunks:
+            variant.append("always-reuse")
+        if config.chunk_budget is not None:
+            variant.append(f"chunk-budget={config.chunk_budget}")
+        label = f"{config.family}" + (f" ({', '.join(variant)})" if variant else "")
+        rows.append([label, f"{report.executed:,}", "ok" if report.ok else "FAIL"])
+        if not report.ok:
+            failed += 1
+            print(f"\n{label}: {len(report.findings)} finding(s)", file=sys.stderr)
+            for finding in report.findings:
+                print(f"  {finding}", file=sys.stderr)
+            if report.reproducer is not None:
+                print(
+                    f"minimal reproducer ({len(report.reproducer)} ops):",
+                    file=sys.stderr,
+                )
+                print(format_ops(report.reproducer), file=sys.stderr)
+    print(
+        format_table(
+            ["scenario", "ops", "result"],
+            rows,
+            title=f"sanitize fuzz (seed {args.seed})",
+        )
+    )
+    if failed:
+        print(f"\n{failed} scenario(s) failed", file=sys.stderr)
+        return 1
+    print("\nall scenarios clean")
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     if args.trace_command == "record":
         return _cmd_trace_record(args)
@@ -936,13 +1041,18 @@ def main(argv: Optional[list[str]] = None) -> int:
             print(f"{name:10s} {workload.suite:14s} {workload.description}")
         return 0
     if args.command == "baseline":
-        return _cmd_baseline(args)
+        with _sanitize_session(args):
+            return _cmd_baseline(args)
     if args.command == "run":
-        return _cmd_run(args)
+        with _sanitize_session(args):
+            return _cmd_run(args)
     if args.command == "plot":
-        return _cmd_plot(args)
+        with _sanitize_session(args):
+            return _cmd_plot(args)
     if args.command == "profile":
         return _cmd_profile(args)
+    if args.command == "sanitize":
+        return _cmd_sanitize(args)
     if args.command == "trace":
         return _cmd_trace(args)
     if args.command == "faults":

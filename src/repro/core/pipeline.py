@@ -29,6 +29,8 @@ from ..machine.program import Program
 from ..profiling.affinity import AffinityParams
 from ..profiling.profiler import Profiler, ProfileResult
 from ..rewriting.bolt import BoltRewriter, InstrumentationPlan
+from ..sanitize.invariants import active_sanitizer
+from ..sanitize.shadow import SanitizerListener
 from .. import obs
 from .grouping import Group, GroupingParams, assign_groups, group_contexts
 from .identification import IdentificationResult, synthesise_selectors
@@ -133,9 +135,13 @@ def profile_workload(
     space = AddressSpace(seed)
     allocator = SizeClassAllocator(space)
     profiler = Profiler(program, params.affinity, record_trace=record_trace)
-    machine = Machine(program, allocator, listeners=[profiler])
+    listeners: list = [profiler]
+    sanitizer_config = active_sanitizer()
+    if sanitizer_config is not None:
+        listeners.append(SanitizerListener(sanitizer_config))
+    machine = Machine(program, allocator, listeners=listeners)
     workload.run(machine, scale)
-    machine.finish()
+    machine.finish()  # the sanitizer's phase-boundary check runs here
     return profiler.result()
 
 

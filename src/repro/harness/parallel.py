@@ -49,6 +49,12 @@ from ..core.pipeline import HaloParams, optimise_profile
 from ..core.selectors import monitored_sites
 from ..faults.plan import FaultPlan, clear_fault_plan, install_fault_plan
 from ..hds.pipeline import HdsParams
+from ..sanitize.invariants import (
+    SanitizerConfig,
+    active_sanitizer,
+    clear_sanitizer,
+    install_sanitizer,
+)
 from ..obs import metrics as obs_metrics
 from ..obs.spans import phase_span
 from ..trace.format import EventTrace
@@ -171,22 +177,31 @@ def _faulted_task(
     plan: Optional[FaultPlan],
     task_key: str,
     attempt: int,
+    sanitize: Optional[SanitizerConfig] = None,
 ):
     """Worker shim: install the run's fault plan, apply worker faults, run.
 
-    Every task funnels through here so the fault plan reaches allocator
-    and trace hooks in the worker process, and scheduled kills/stalls hit
-    before any real work starts (maximally disruptive, like a crash at
-    task pickup).
+    Every task funnels through here so the fault plan — and, when active,
+    the heap-sanitizer config — reaches allocator and trace hooks in the
+    worker process, and scheduled kills/stalls hit before any real work
+    starts (maximally disruptive, like a crash at task pickup).  Shipping
+    the sanitizer config this way is what makes ``--jobs N --sanitize``
+    check exactly the ops a serial run would.
     """
-    if plan is None:
-        return fn(*args)
-    install_fault_plan(plan)
+    if sanitize is not None:
+        install_sanitizer(sanitize)
     try:
-        plan.on_worker_task(task_key, attempt)
-        return fn(*args)
+        if plan is None:
+            return fn(*args)
+        install_fault_plan(plan)
+        try:
+            plan.on_worker_task(task_key, attempt)
+            return fn(*args)
+        finally:
+            clear_fault_plan()
     finally:
-        clear_fault_plan()
+        if sanitize is not None:
+            clear_sanitizer()
 
 
 def _trace_for(name: str, cache_dir: Optional[str]) -> tuple[EventTrace, PhaseTimes]:
@@ -395,6 +410,9 @@ class _ResilientRunner:
         self.jobs = jobs
         self.policy = policy
         self.fault_plan = fault_plan
+        # Captured at construction on the coordinator: workers inherit the
+        # same sanitizer configuration the serial path would run under.
+        self.sanitize = active_sanitizer()
         self.journal = journal
         self._pool: Optional[ProcessPoolExecutor] = None
 
@@ -495,7 +513,13 @@ class _ResilientRunner:
             while pending and len(running) < self.jobs:
                 spec, attempt = pending.popleft()
                 future = self._ensure_pool().submit(
-                    _faulted_task, spec.fn, spec.args, self.fault_plan, spec.key, attempt
+                    _faulted_task,
+                    spec.fn,
+                    spec.args,
+                    self.fault_plan,
+                    spec.key,
+                    attempt,
+                    self.sanitize,
                 )
                 deadline = None if timeout is None else time.monotonic() + timeout
                 running[future] = (spec, attempt, deadline, time.monotonic())

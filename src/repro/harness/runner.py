@@ -23,6 +23,8 @@ from ..core.pipeline import HaloArtifacts, make_runtime as make_halo_runtime
 from ..hds.pipeline import HdsArtifacts, make_runtime as make_hds_runtime
 from ..machine.events import Listener
 from ..machine.machine import Machine, MachineMetrics
+from ..sanitize.invariants import active_sanitizer
+from ..sanitize.shadow import SanitizerListener
 from ..workloads.base import Workload
 from .. import obs
 
@@ -103,11 +105,17 @@ def run_measurement(
     allocator = make_allocator(space)
     memory = CacheHierarchy(hierarchy_config)
     tracker = PeakTracker(allocator)
+    listeners: list = [tracker]
+    sanitizer = None
+    sanitizer_config = active_sanitizer()
+    if sanitizer_config is not None:
+        sanitizer = SanitizerListener(sanitizer_config)
+        listeners.append(sanitizer)
     machine = Machine(
         workload.program,
         allocator,
         memory=memory,
-        listeners=[tracker],
+        listeners=listeners,
         instrumentation=instrumentation,
         state_vector=state_vector,
     )
@@ -117,6 +125,10 @@ def run_measurement(
         driver(machine)
     else:
         workload.run(machine, scale)
+    if sanitizer is not None:
+        # ``run_measurement`` does not call ``machine.finish()``, so the
+        # phase-boundary check must run explicitly.
+        sanitizer.final_check(machine)
     cache = memory.snapshot()
     metrics = machine.metrics
     _publish_measurement_metrics(workload.name, config, metrics, cache, allocator, tracker)

@@ -147,7 +147,11 @@ def extract_hot_streams(
                 window = tuple(expansion[start : start + params.max_elements])
                 if len(window) >= params.min_elements:
                     candidates.append((freq * len(window), None, window))
-    candidates.sort(key=lambda item: (-item[0], item[1].rid if item[1] else -1, item[2]))
+    # Tie-break on (heat, rid) only: the window tuples hold arbitrary trace
+    # symbols, which need not be mutually comparable (mixed ints and strings
+    # raise TypeError).  Candidate construction order is deterministic and
+    # the sort is stable, so equal-key windows keep their insertion order.
+    candidates.sort(key=lambda item: (-item[0], item[1].rid if item[1] else -1))
 
     # Select hottest-first until the target coverage of the trace is
     # accounted for; enforce minimality against already-selected rules.

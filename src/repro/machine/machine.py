@@ -398,3 +398,15 @@ class Machine:
         """Signal end of run to listeners."""
         for listener in self._dispatch:
             listener.on_finish(self)
+
+    def validate_heap(self) -> list:
+        """Cross-check the object table against the allocator's bookkeeping.
+
+        Returns the list of sanitizer :class:`~repro.sanitize.Finding`
+        violations (empty when the heap is coherent).  This is the
+        on-demand entry point; continuous checking attaches a
+        :class:`~repro.sanitize.SanitizerListener` instead.
+        """
+        from ..sanitize.invariants import validate_machine
+
+        return validate_machine(self)

@@ -74,6 +74,10 @@ CATALOGUE: dict[str, str] = {
     "trace.replays": "Profiles driven from a recorded trace.",
     "trace.replay.events": "Events replayed from traces.",
     "trace.replay.seconds": "Wall seconds spent replaying traces.",
+    # heap sanitizer (deterministic: op counts fix the check schedule)
+    "sanitize.checks": "Full heap-invariant walks executed by the sanitizer.",
+    "sanitize.findings": "Invariant/oracle violations the sanitizer reported.",
+    "sanitize.shadow.ops": "Heap operations mirrored into the shadow-heap oracle.",
     # resilient-runner operations
     "harness.tasks": "Parallel tasks submitted (label: kind).",
     "harness.task_seconds": "Per-task wall latency histogram (label: kind).",

@@ -1,0 +1,67 @@
+"""Heap sanitizer: invariant checker, shadow-heap oracle, differential fuzzer.
+
+The paper's claims rest on the group allocator's placement and reclamation
+semantics (Section 4.4, Figure 11); this package is the machinery that
+*checks* those semantics instead of trusting them:
+
+* :mod:`repro.sanitize.invariants` — a full walk over every allocator's
+  internal state (chunk geometry, ``live_regions`` accounting, spare-list
+  bounds, cross-allocator region overlap), run at phase boundaries and
+  every Nth heap op under ``--sanitize``;
+* :mod:`repro.sanitize.shadow` — an order-preserving reference allocator
+  mirroring every malloc/free/realloc as a machine listener, cross-checking
+  liveness, ``size_of`` and double-free behaviour against the real
+  allocator;
+* :mod:`repro.sanitize.fuzz` — seeded differential fuzzing of all four
+  allocator families against the oracle (``halo sanitize fuzz``), with
+  ddmin-style shrinking of failing sequences to a minimal reproducer.
+
+See ``docs/SANITIZER.md`` for usage and the bug classes each layer catches.
+"""
+
+from .invariants import (
+    Finding,
+    SanitizerConfig,
+    SanitizerError,
+    active_sanitizer,
+    clear_sanitizer,
+    install_sanitizer,
+    sanitizer_active,
+    validate_allocator,
+    validate_machine,
+)
+from .shadow import SanitizerListener, ShadowHeap
+from .fuzz import (
+    FAMILIES,
+    FuzzConfig,
+    FuzzReport,
+    default_scenarios,
+    format_ops,
+    generate_ops,
+    run_fuzz,
+    run_ops,
+    shrink_ops,
+)
+
+__all__ = [
+    "FAMILIES",
+    "Finding",
+    "FuzzConfig",
+    "FuzzReport",
+    "SanitizerConfig",
+    "SanitizerError",
+    "SanitizerListener",
+    "ShadowHeap",
+    "active_sanitizer",
+    "clear_sanitizer",
+    "default_scenarios",
+    "format_ops",
+    "generate_ops",
+    "install_sanitizer",
+    "run_fuzz",
+    "run_ops",
+    "sanitizer_active",
+    "shrink_ops",
+    "validate_allocator",
+    "validate_machine",
+]

@@ -1,0 +1,375 @@
+"""Differential fuzz harness for the allocator families.
+
+``run_fuzz`` drives seeded random heap-op sequences — sizes skewed around
+``max_grouped_size``, page and chunk boundaries; colouring on or off; fault
+plans active — against a real allocator with the :class:`ShadowHeap`
+oracle mirroring every op, and runs the invariant walk every
+``check_interval`` ops.  Any disagreement (overlap, double free, size
+drift, violated invariant, unexpected exception) is a finding, and the
+failing sequence is shrunk ddmin-style to a minimal reproducer.
+
+Op encoding is deliberately *relative* so that any subsequence of a
+failing sequence is itself executable:
+
+* ``("malloc", size, group)`` — allocate ``size`` bytes; ``group`` is the
+  group id the matcher will report (``None`` forwards to the fallback);
+  families without grouping ignore it;
+* ``("free", k)`` — free the ``k mod len(live)``-th live region;
+* ``("realloc", k, new_size)`` — realloc the ``k mod len(live)``-th live
+  region;
+* ``("corrupt", tag)`` — invoke a registered corruptor on the allocator
+  (test fixtures use this to plant deliberate state damage and check that
+  shrinking reduces the sequence around it).
+
+Exposed through the CLI as ``halo sanitize fuzz``.
+"""
+
+from __future__ import annotations
+
+import random
+from contextlib import nullcontext
+from dataclasses import dataclass, replace
+from typing import Callable, Optional, Sequence
+
+from ..allocators.base import AddressSpace, PAGE_SIZE
+from ..allocators.bump import BumpAllocator
+from ..allocators.group import GroupAllocator, _Chunk
+from ..allocators.random_group import RandomPoolAllocator
+from ..allocators.sharded import ShardedGroupAllocator
+from ..allocators.size_class import SizeClassAllocator
+from ..faults.plan import FaultPlan, fault_plan_active
+from .invariants import Finding, validate_allocator
+from .shadow import ShadowHeap
+
+#: Allocator families the fuzzer covers.
+FAMILIES = ("size-class", "bump", "random-pools", "group", "sharded")
+
+Op = tuple
+Corruptors = dict[str, Callable]
+
+
+class _FixedMatcher:
+    """Group selector driven by the fuzzer: whatever group the op names."""
+
+    def __init__(self) -> None:
+        self.group: Optional[int] = None
+
+    def match(self, state: int) -> Optional[int]:
+        return self.group
+
+
+class _FixedState:
+    """State-vector stand-in; the fixed matcher never reads it."""
+
+    value = 0
+
+
+@dataclass(frozen=True)
+class FuzzConfig:
+    """One fuzzing scenario: a family plus allocator-shaping knobs.
+
+    The group-family defaults use a small chunk so chunk exhaustion,
+    retirement and spare reuse all happen within a few thousand ops —
+    with the paper's 1 MiB chunks a short fuzz run never displaces a
+    current chunk.
+    """
+
+    family: str = "group"
+    seed: int = 0
+    ops: int = 10_000
+    check_interval: int = 256
+    chunk_size: int = 1 << 14
+    slab_size: int = 1 << 18
+    max_spare_chunks: int = 1
+    max_grouped_size: int = PAGE_SIZE
+    always_reuse_chunks: bool = False
+    colour_stride: int = 0
+    groups: int = 4
+    pool_size: int = 1 << 22
+    #: When set, the whole run executes under
+    #: ``FaultPlan(group_max_chunks=...)`` so the degrade-to-fallback path
+    #: is part of the fuzzed surface.
+    chunk_budget: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.family not in FAMILIES:
+            raise ValueError(
+                f"unknown family {self.family!r}; expected one of {FAMILIES}"
+            )
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one fuzz run."""
+
+    config: FuzzConfig
+    findings: list[Finding]
+    executed: int
+    reproducer: Optional[list[Op]] = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+
+def generate_ops(config: FuzzConfig) -> list[Op]:
+    """Deterministic op sequence for *config* (same seed, same ops)."""
+    # String seeding is deterministic across processes (unlike tuple
+    # hashing, which PYTHONHASHSEED randomises).
+    rng = random.Random(f"{config.seed}:{config.family}:{config.ops}")
+    boundary = _size_anchors(config)
+    ops: list[Op] = []
+    live = 0
+    # Bump pools (standalone or behind the random-pools scatter) inherit
+    # the base-class realloc, whose shrink path intentionally leaves their
+    # bookkeeping untouched; keep those families realloc-free.
+    reallocs = config.family not in ("bump", "random-pools")
+    for _ in range(config.ops):
+        roll = rng.random()
+        if live and roll < 0.38:
+            ops.append(("free", rng.randrange(1 << 30)))
+            live -= 1
+        elif reallocs and live and roll < 0.50:
+            ops.append(("realloc", rng.randrange(1 << 30), _draw_size(rng, boundary, config)))
+        else:
+            group: Optional[int] = None
+            if rng.random() < 0.9:
+                group = rng.randrange(config.groups)
+            ops.append(("malloc", _draw_size(rng, boundary, config), group))
+            live += 1
+    return ops
+
+
+def _size_anchors(config: FuzzConfig) -> list[int]:
+    """Sizes worth clustering around: class edges and structural limits."""
+    payload = config.chunk_size - _Chunk.HEADER_SIZE
+    anchors = [
+        8,
+        16,
+        64,
+        256,
+        1024,
+        PAGE_SIZE,
+        config.max_grouped_size,
+        payload,
+    ]
+    if config.family == "size-class":
+        # Straddle the small/large split too.
+        anchors.append(14336)
+    return anchors
+
+
+def _draw_size(rng: random.Random, anchors: Sequence[int], config: FuzzConfig) -> int:
+    if rng.random() < 0.6:
+        size = rng.choice(anchors) + rng.randrange(-16, 17)
+    else:
+        size = 1 << rng.randrange(0, 13)
+        size += rng.randrange(size)
+    ceiling = config.pool_size if config.family == "bump" else 2 * config.max_grouped_size
+    return max(1, min(size, ceiling))
+
+
+def _build_allocator(config: FuzzConfig, space: AddressSpace):
+    if config.family == "size-class":
+        return SizeClassAllocator(space)
+    if config.family == "bump":
+        return BumpAllocator(space, pool_size=config.pool_size)
+    if config.family == "random-pools":
+        return RandomPoolAllocator(
+            space,
+            SizeClassAllocator(space),
+            pools=config.groups,
+            seed=config.seed,
+            pool_size=config.pool_size,
+        )
+    cls = ShardedGroupAllocator if config.family == "sharded" else GroupAllocator
+    return cls(
+        space,
+        SizeClassAllocator(space),
+        _FixedMatcher(),
+        _FixedState(),
+        chunk_size=config.chunk_size,
+        slab_size=config.slab_size,
+        max_spare_chunks=config.max_spare_chunks,
+        max_grouped_size=config.max_grouped_size,
+        always_reuse_chunks=config.always_reuse_chunks,
+        colour_stride=config.colour_stride,
+    )
+
+
+def run_ops(
+    ops: Sequence[Op],
+    config: FuzzConfig,
+    corruptors: Optional[Corruptors] = None,
+) -> list[Finding]:
+    """Execute *ops* against a fresh allocator; stop at the first failure.
+
+    Stopping at the first finding keeps re-execution cheap during
+    shrinking: a candidate subsequence either reproduces the failure
+    (usually early) or runs clean.
+    """
+    plan = (
+        fault_plan_active(FaultPlan(group_max_chunks=config.chunk_budget))
+        if config.chunk_budget is not None
+        else nullcontext()
+    )
+    space = AddressSpace(seed=config.seed)
+    allocator = _build_allocator(config, space)
+    matcher = getattr(allocator, "matcher", None)
+    shadow = ShadowHeap()
+    live: list[int] = []
+    findings: list[Finding] = []
+    with plan:
+        for index, op in enumerate(ops):
+            try:
+                kind = op[0]
+                if kind == "malloc":
+                    _, size, group = op
+                    if matcher is not None:
+                        matcher.group = group
+                    addr = allocator.malloc(size)
+                    findings.extend(shadow.malloc(addr, size))
+                    live.append(addr)
+                    reported = allocator.size_of(addr)
+                    if reported != size:
+                        findings.append(
+                            Finding(
+                                "fuzz.size-of",
+                                f"op {index}: size_of({addr:#x}) reports "
+                                f"{reported}, requested {size}",
+                            )
+                        )
+                elif kind == "free":
+                    if not live:
+                        continue
+                    addr = live.pop(op[1] % len(live))
+                    reported = allocator.free(addr)
+                    findings.extend(shadow.free(addr, reported))
+                elif kind == "realloc":
+                    if not live:
+                        continue
+                    slot = op[1] % len(live)
+                    new_size = op[2]
+                    old_addr = live[slot]
+                    new_addr = allocator.realloc(old_addr, new_size)
+                    live[slot] = new_addr
+                    findings.extend(shadow.realloc(old_addr, new_addr, new_size))
+                    reported = allocator.size_of(new_addr)
+                    if reported != new_size:
+                        findings.append(
+                            Finding(
+                                "fuzz.size-of",
+                                f"op {index}: after realloc, "
+                                f"size_of({new_addr:#x}) reports {reported}, "
+                                f"expected {new_size}",
+                            )
+                        )
+                elif kind == "corrupt":
+                    corruptor = (corruptors or {}).get(op[1])
+                    if corruptor is not None:
+                        corruptor(allocator)
+                else:
+                    findings.append(
+                        Finding("fuzz.bad-op", f"op {index}: unknown op {op!r}")
+                    )
+            except Exception as exc:
+                findings.append(
+                    Finding(
+                        "fuzz.exception",
+                        f"op {index} {op!r} raised {exc!r}",
+                    )
+                )
+            if findings:
+                return findings
+            if config.check_interval and (index + 1) % config.check_interval == 0:
+                findings.extend(validate_allocator(allocator))
+                if findings:
+                    return findings
+        findings.extend(validate_allocator(allocator))
+        findings.extend(shadow.diff_live(allocator.iter_live_regions()))
+    return findings
+
+
+def shrink_ops(
+    ops: Sequence[Op],
+    config: FuzzConfig,
+    corruptors: Optional[Corruptors] = None,
+    max_runs: int = 2000,
+) -> list[Op]:
+    """ddmin-style minimisation: drop chunks while the failure persists."""
+    budget = [max_runs]
+
+    def fails(candidate: list[Op]) -> bool:
+        if budget[0] <= 0:
+            return False
+        budget[0] -= 1
+        return bool(run_ops(candidate, config, corruptors))
+
+    current = list(ops)
+    chunk = max(1, len(current) // 2)
+    while True:
+        reduced = False
+        index = 0
+        while index < len(current):
+            candidate = current[:index] + current[index + chunk :]
+            if candidate and fails(candidate):
+                current = candidate
+                reduced = True
+            else:
+                index += chunk
+        if chunk == 1:
+            if not reduced or budget[0] <= 0:
+                return current
+        else:
+            chunk = max(1, chunk // 2)
+
+
+def format_ops(ops: Sequence[Op]) -> str:
+    """Render a reproducer as one op per line (for reports and the CLI)."""
+    return "\n".join(f"  {index:>4}: {op!r}" for index, op in enumerate(ops))
+
+
+def run_fuzz(
+    config: FuzzConfig,
+    corruptors: Optional[Corruptors] = None,
+    extra_ops: Sequence[Op] = (),
+) -> FuzzReport:
+    """Generate, execute, and (on failure) shrink one fuzz scenario.
+
+    *extra_ops* are spliced in ahead of the generated sequence — test
+    fixtures use this to plant ``("corrupt", tag)`` ops.
+    """
+    ops = list(extra_ops) + generate_ops(config)
+    findings = run_ops(ops, config, corruptors)
+    if not findings:
+        return FuzzReport(config=config, findings=[], executed=len(ops))
+    reproducer = shrink_ops(ops, config, corruptors)
+    # Report the findings of the *minimal* sequence: same failure, smallest
+    # context.
+    final = run_ops(reproducer, config, corruptors)
+    return FuzzReport(
+        config=config,
+        findings=final or findings,
+        executed=len(ops),
+        reproducer=reproducer,
+    )
+
+
+def default_scenarios(seed: int, ops: int, family: Optional[str] = None) -> list[FuzzConfig]:
+    """The scenario matrix ``halo sanitize fuzz`` runs.
+
+    Each family runs plain; the group families additionally run with
+    colouring enabled, with ``always_reuse_chunks`` (the omnetpp/xalanc
+    configuration), and under a fault-plan chunk budget so the degraded
+    path is exercised.
+    """
+    families = FAMILIES if family in (None, "all") else (family,)
+    scenarios: list[FuzzConfig] = []
+    for name in families:
+        base = FuzzConfig(family=name, seed=seed, ops=ops)
+        scenarios.append(base)
+        if name in ("group", "sharded"):
+            scenarios.append(replace(base, colour_stride=128))
+            scenarios.append(replace(base, always_reuse_chunks=True))
+            scenarios.append(replace(base, chunk_budget=6))
+    return scenarios

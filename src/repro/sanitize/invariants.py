@@ -1,0 +1,686 @@
+"""Allocator-state invariant checker (the sanitizer's structural half).
+
+``validate_allocator`` walks an allocator's *internal* bookkeeping — chunk
+geometry, region tables, spare lists, per-run slot accounting — and returns
+a list of :class:`Finding` objects describing every violated invariant.
+``validate_machine`` adds the machine-level cross-check: every live
+:class:`~repro.machine.heap.HeapObject` must be sized identically by the
+allocator that placed it.
+
+The walk is read-only.  It never mutates allocator state, so running it at
+phase boundaries (or every Nth heap op under ``--sanitize``) cannot change
+any measurement — only detect when one would have been wrong.
+
+The invariants encode the group-allocator contract from paper Section 4.4:
+
+* every chunk is registered under its own (size-aligned) base, so the
+  ``free`` address-masking trick can find it;
+* the bump cursor stays inside the chunk, past the header and the colour
+  offset (colouring may push the start beyond a tiny chunk's end, in which
+  case the chunk simply never serves a region);
+* ``high_water == cursor`` — ``try_reserve`` moves both together and
+  ``reset`` re-synchronises them, so any divergence means a stale mark
+  (the spare-reuse bug this module was built to catch);
+* each chunk's ``live_regions`` equals the number of recorded regions that
+  mask to it, and ``grouped_live_bytes`` equals the sum of recorded sizes;
+* an *empty* chunk is always reachable — current for its group or on the
+  spare list — otherwise it has been orphaned and will never be reused or
+  purged (the displaced-current bug);
+* the spare list is bounded by ``max_spare_chunks`` plus the purged count
+  (purged chunks remain reusable), unless ``always_reuse_chunks``;
+* no two live regions overlap anywhere in the allocator tree sharing one
+  :class:`~repro.allocators.base.AddressSpace`.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional
+
+from ..allocators.base import PAGE_SIZE, align_up
+from ..allocators.bump import BumpAllocator
+from ..allocators.group import GroupAllocator, _Chunk
+from ..allocators.random_group import RandomPoolAllocator
+from ..allocators.size_class import SizeClassAllocator
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One violated invariant: a stable rule id plus a human explanation."""
+
+    rule: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.rule}] {self.detail}"
+
+
+class SanitizerError(Exception):
+    """Raised (under ``fail_fast``) when the sanitizer finds violations."""
+
+    def __init__(self, findings: Iterable[Finding]) -> None:
+        self.findings = list(findings)
+        lines = "\n".join(f"  {finding}" for finding in self.findings)
+        super().__init__(
+            f"{len(self.findings)} heap sanitizer finding(s):\n{lines}"
+        )
+
+
+@dataclass(frozen=True)
+class SanitizerConfig:
+    """Process-global sanitizer settings.
+
+    Frozen and picklable on purpose: the parallel harness ships the active
+    config to worker processes exactly like a
+    :class:`~repro.faults.plan.FaultPlan`, so ``--jobs N`` runs sanitize
+    the same ops a serial run would.
+
+    Attributes:
+        check_interval: Run the full invariant walk after every Nth heap
+            operation (malloc/free/realloc).  ``0`` checks only at phase
+            boundaries (and ``finish``), which is nearly free.
+        shadow: Mirror every heap op into the :class:`ShadowHeap` oracle
+            and cross-check liveness and sizes per op.
+        fail_fast: Raise :class:`SanitizerError` at the first finding.
+            When False, findings accumulate on the listener (up to
+            ``max_findings``) for post-run inspection.
+        max_findings: Accumulation cap per listener under ``fail_fast=False``.
+    """
+
+    check_interval: int = 1024
+    shadow: bool = True
+    fail_fast: bool = True
+    max_findings: int = 100
+
+
+_ACTIVE_CONFIG: Optional[SanitizerConfig] = None
+
+
+def install_sanitizer(config: SanitizerConfig) -> None:
+    """Make *config* the process-wide sanitizer configuration."""
+    global _ACTIVE_CONFIG
+    _ACTIVE_CONFIG = config
+
+
+def clear_sanitizer() -> None:
+    """Disable the sanitizer for this process."""
+    global _ACTIVE_CONFIG
+    _ACTIVE_CONFIG = None
+
+
+def active_sanitizer() -> Optional[SanitizerConfig]:
+    """The currently installed config, or None when sanitizing is off."""
+    return _ACTIVE_CONFIG
+
+
+@contextmanager
+def sanitizer_active(config: SanitizerConfig) -> Iterator[SanitizerConfig]:
+    """Scope *config* as the active sanitizer, restoring the previous one."""
+    previous = _ACTIVE_CONFIG
+    install_sanitizer(config)
+    try:
+        yield config
+    finally:
+        if previous is None:
+            clear_sanitizer()
+        else:
+            install_sanitizer(previous)
+
+
+# -- the walk ---------------------------------------------------------------
+
+
+def validate_allocator(allocator) -> list[Finding]:
+    """Walk *allocator* (nested allocators included) and return violations."""
+    findings: list[Finding] = []
+    _validate(allocator, findings)
+    _check_overlaps(allocator, findings)
+    return findings
+
+
+def validate_machine(machine) -> list[Finding]:
+    """``validate_allocator`` plus the object-table/allocator cross-check.
+
+    The size cross-check is what catches *accounting* bugs that leave the
+    allocator internally consistent but wrong — e.g. a realloc shrink that
+    forgets to update the recorded region size.
+    """
+    findings = validate_allocator(machine.allocator)
+    allocator = machine.allocator
+    for obj in machine.objects.live_objects():
+        try:
+            size = allocator.size_of(obj.addr)
+        except Exception as exc:
+            findings.append(
+                Finding(
+                    "machine.unknown-object",
+                    f"live object #{obj.oid} at {obj.addr:#x} is unknown to "
+                    f"the allocator ({exc})",
+                )
+            )
+            continue
+        if size != obj.size:
+            findings.append(
+                Finding(
+                    "machine.size-mismatch",
+                    f"object #{obj.oid} at {obj.addr:#x}: machine records "
+                    f"{obj.size} bytes, allocator records {size}",
+                )
+            )
+    return findings
+
+
+def _validate(allocator, findings: list[Finding]) -> None:
+    if isinstance(allocator, GroupAllocator):  # includes the sharded variant
+        _validate_group(allocator, findings)
+        _validate(allocator.fallback, findings)
+    elif isinstance(allocator, SizeClassAllocator):
+        _validate_size_class(allocator, findings)
+    elif isinstance(allocator, RandomPoolAllocator):
+        _validate_random(allocator, findings)
+        for pool in allocator._pools:
+            _validate(pool, findings)
+        _validate(allocator.fallback, findings)
+    elif isinstance(allocator, BumpAllocator):
+        _validate_bump(allocator, findings)
+    # Unknown allocator types degrade to "nothing to check" by design.
+
+
+def _check_overlaps(allocator, findings: list[Finding]) -> None:
+    """No two live regions overlap anywhere in the allocator tree."""
+    regions = sorted(allocator.iter_live_regions())
+    prev_addr = 0
+    prev_end = None
+    for addr, size in regions:
+        if size <= 0:
+            findings.append(
+                Finding(
+                    "region.size",
+                    f"live region {addr:#x} has non-positive size {size}",
+                )
+            )
+            continue
+        if prev_end is not None and addr < prev_end:
+            findings.append(
+                Finding(
+                    "region.overlap",
+                    f"live regions {prev_addr:#x} and {addr:#x} overlap "
+                    f"(previous extends to {prev_end:#x})",
+                )
+            )
+        if prev_end is None or addr + size > prev_end:
+            prev_addr, prev_end = addr, addr + size
+
+
+# -- group allocator --------------------------------------------------------
+
+
+def _validate_group(allocator: GroupAllocator, findings: list[Finding]) -> None:
+    add = findings.append
+    header = _Chunk.HEADER_SIZE
+
+    current_ids = set()
+    for group, chunk in allocator._current.items():
+        current_ids.add(id(chunk))
+        if chunk.group != group:
+            add(
+                Finding(
+                    "group.current-group",
+                    f"current chunk {chunk.base:#x} for group {group} "
+                    f"reports group {chunk.group}",
+                )
+            )
+        if allocator._chunks.get(chunk.base) is not chunk:
+            add(
+                Finding(
+                    "group.current-unregistered",
+                    f"current chunk {chunk.base:#x} is not in the chunk "
+                    f"registry (free() masking cannot find it)",
+                )
+            )
+
+    spare_ids = set()
+    for chunk in allocator._spares:
+        if id(chunk) in spare_ids:
+            add(
+                Finding(
+                    "group.spare-duplicate",
+                    f"chunk {chunk.base:#x} appears twice on the spare list",
+                )
+            )
+        spare_ids.add(id(chunk))
+        if chunk.live_regions != 0:
+            add(
+                Finding(
+                    "group.spare-live",
+                    f"spare chunk {chunk.base:#x} still holds "
+                    f"{chunk.live_regions} live region(s)",
+                )
+            )
+        if id(chunk) in current_ids:
+            add(
+                Finding(
+                    "group.spare-current",
+                    f"chunk {chunk.base:#x} is simultaneously spare and "
+                    f"current for group {chunk.group}",
+                )
+            )
+        if allocator._chunks.get(chunk.base) is not chunk:
+            add(
+                Finding(
+                    "group.spare-unregistered",
+                    f"spare chunk {chunk.base:#x} is not in the chunk registry",
+                )
+            )
+    if not allocator.always_reuse_chunks:
+        bound = allocator.max_spare_chunks + allocator.chunks_purged
+        if len(allocator._spares) > bound:
+            add(
+                Finding(
+                    "group.spare-bound",
+                    f"{len(allocator._spares)} spare chunks exceed "
+                    f"max_spare_chunks={allocator.max_spare_chunks} + "
+                    f"chunks_purged={allocator.chunks_purged}",
+                )
+            )
+
+    for base, chunk in allocator._chunks.items():
+        if chunk.base != base:
+            add(
+                Finding(
+                    "group.chunk-registry",
+                    f"chunk registered at {base:#x} reports base {chunk.base:#x}",
+                )
+            )
+        if chunk.size != allocator.chunk_size:
+            add(
+                Finding(
+                    "group.chunk-size",
+                    f"chunk {chunk.base:#x} has size {chunk.size}, allocator "
+                    f"chunk_size is {allocator.chunk_size}",
+                )
+            )
+        if chunk.base & ~allocator._chunk_mask:
+            add(
+                Finding(
+                    "group.chunk-alignment",
+                    f"chunk {chunk.base:#x} is not aligned to its size "
+                    f"{allocator.chunk_size:#x}; address masking would "
+                    f"misroute frees",
+                )
+            )
+        start = chunk.base + header + chunk.colour
+        end = max(chunk.base + chunk.size, start)
+        if not start <= chunk.cursor <= end:
+            add(
+                Finding(
+                    "group.cursor-bounds",
+                    f"chunk {chunk.base:#x} cursor {chunk.cursor:#x} outside "
+                    f"[{start:#x}, {end:#x}]",
+                )
+            )
+        if chunk.high_water != chunk.cursor:
+            add(
+                Finding(
+                    "group.high-water",
+                    f"chunk {chunk.base:#x} high_water {chunk.high_water:#x} "
+                    f"!= cursor {chunk.cursor:#x} (stale mark from a previous "
+                    f"tenant skews fragmentation accounting)",
+                )
+            )
+        if chunk.live_regions < 0:
+            add(
+                Finding(
+                    "group.live-regions-negative",
+                    f"chunk {chunk.base:#x} live_regions is "
+                    f"{chunk.live_regions}",
+                )
+            )
+        if (
+            chunk.live_regions == 0
+            and id(chunk) not in current_ids
+            and id(chunk) not in spare_ids
+        ):
+            add(
+                Finding(
+                    "group.chunk-orphaned",
+                    f"empty chunk {chunk.base:#x} (group {chunk.group}) is "
+                    f"neither current nor spare — it can never be reused or "
+                    f"purged",
+                )
+            )
+        shards = getattr(chunk, "shards", None)
+        if shards is not None:
+            _validate_shards(allocator, chunk, shards, findings)
+
+    per_chunk: dict[int, int] = {}
+    total = 0
+    for addr, size in allocator._region_sizes.items():
+        total += size
+        chunk = allocator._chunk_of(addr)
+        if chunk is None:
+            add(
+                Finding(
+                    "group.region-orphan",
+                    f"live region {addr:#x} masks to no registered chunk",
+                )
+            )
+            continue
+        per_chunk[chunk.base] = per_chunk.get(chunk.base, 0) + 1
+        if addr < chunk.base + header or addr + size > chunk.base + chunk.size:
+            add(
+                Finding(
+                    "group.region-bounds",
+                    f"region {addr:#x} (+{size}) outside chunk {chunk.base:#x} "
+                    f"payload",
+                )
+            )
+        elif addr + size > chunk.cursor:
+            add(
+                Finding(
+                    "group.region-past-cursor",
+                    f"region {addr:#x} (+{size}) extends past chunk "
+                    f"{chunk.base:#x} cursor {chunk.cursor:#x}",
+                )
+            )
+    for base, chunk in allocator._chunks.items():
+        count = per_chunk.get(base, 0)
+        if count != chunk.live_regions:
+            add(
+                Finding(
+                    "group.live-regions",
+                    f"chunk {base:#x} claims {chunk.live_regions} live "
+                    f"region(s) but {count} are recorded",
+                )
+            )
+
+    if total != allocator.grouped_live_bytes:
+        add(
+            Finding(
+                "group.live-bytes",
+                f"grouped_live_bytes={allocator.grouped_live_bytes} but "
+                f"recorded region sizes sum to {total}",
+            )
+        )
+    if allocator.grouped_live_bytes != allocator.stats.live_bytes:
+        add(
+            Finding(
+                "group.stats-live-bytes",
+                f"grouped_live_bytes={allocator.grouped_live_bytes} disagrees "
+                f"with stats.live_bytes={allocator.stats.live_bytes}",
+            )
+        )
+    if len(allocator._region_sizes) != allocator.stats.live_blocks:
+        add(
+            Finding(
+                "group.stats-live-blocks",
+                f"{len(allocator._region_sizes)} recorded regions but "
+                f"stats.live_blocks={allocator.stats.live_blocks}",
+            )
+        )
+    if allocator._slab_cursor > allocator._slab_end:
+        add(
+            Finding(
+                "group.slab-cursor",
+                f"slab cursor {allocator._slab_cursor:#x} past slab end "
+                f"{allocator._slab_end:#x}",
+            )
+        )
+
+
+def _validate_shards(
+    allocator: GroupAllocator, chunk, shards: dict, findings: list[Finding]
+) -> None:
+    """Sharded-chunk extras: free-list entries are in-chunk, below the
+    cursor, unique, and not simultaneously live."""
+    seen: set[int] = set()
+    for shard, entries in shards.items():
+        for addr in entries:
+            if addr in seen:
+                findings.append(
+                    Finding(
+                        "sharded.free-duplicate",
+                        f"address {addr:#x} appears twice on chunk "
+                        f"{chunk.base:#x} free lists",
+                    )
+                )
+            seen.add(addr)
+            if addr < chunk.base + _Chunk.HEADER_SIZE or addr + shard > chunk.cursor:
+                findings.append(
+                    Finding(
+                        "sharded.free-bounds",
+                        f"free-list entry {addr:#x} (shard {shard}) outside "
+                        f"chunk {chunk.base:#x} bumped range",
+                    )
+                )
+            if addr in allocator._region_sizes:
+                findings.append(
+                    Finding(
+                        "sharded.free-live",
+                        f"address {addr:#x} is on a free list and recorded "
+                        f"live at the same time",
+                    )
+                )
+
+
+# -- size-class allocator ---------------------------------------------------
+
+
+def _validate_size_class(
+    allocator: SizeClassAllocator, findings: list[Finding]
+) -> None:
+    add = findings.append
+    total = 0
+    run_live: dict[int, int] = {}
+    large_seen: set[int] = set()
+    for addr, (size, run) in allocator._live.items():
+        total += size
+        if run is None:
+            reserved = allocator._large.get(addr)
+            large_seen.add(addr)
+            if reserved is None:
+                add(
+                    Finding(
+                        "size-class.large-missing",
+                        f"large block {addr:#x} has no reservation record",
+                    )
+                )
+            elif size > reserved or reserved % PAGE_SIZE:
+                add(
+                    Finding(
+                        "size-class.large-reserved",
+                        f"large block {addr:#x}: size {size} vs reserved "
+                        f"{reserved} (must be page-rounded and >= size)",
+                    )
+                )
+        else:
+            run_live[id(run)] = run_live.get(id(run), 0) + 1
+            offset = addr - run.base
+            if (
+                offset < 0
+                or offset % run.region_size
+                or offset // run.region_size >= run.capacity
+            ):
+                add(
+                    Finding(
+                        "size-class.slot",
+                        f"block {addr:#x} is not on a slot boundary of its "
+                        f"run at {run.base:#x} (region size {run.region_size})",
+                    )
+                )
+            if size > run.region_size:
+                add(
+                    Finding(
+                        "size-class.region-size",
+                        f"block {addr:#x} records {size} bytes inside a "
+                        f"{run.region_size}-byte slot",
+                    )
+                )
+    leaked = set(allocator._large) - large_seen
+    for addr in sorted(leaked):
+        add(
+            Finding(
+                "size-class.large-leak",
+                f"reservation {addr:#x} has no live block",
+            )
+        )
+    for bin_ in allocator._bins.values():
+        for run in bin_.runs:
+            if run.live + len(run.free_slots) != run.capacity:
+                add(
+                    Finding(
+                        "size-class.run-slots",
+                        f"run {run.base:#x}: live {run.live} + free "
+                        f"{len(run.free_slots)} != capacity {run.capacity}",
+                    )
+                )
+            recorded = run_live.get(id(run), 0)
+            if run.live != recorded:
+                add(
+                    Finding(
+                        "size-class.run-live",
+                        f"run {run.base:#x} claims {run.live} live slots but "
+                        f"{recorded} blocks are recorded",
+                    )
+                )
+            slots = run.free_slots
+            if len(set(slots)) != len(slots):
+                add(
+                    Finding(
+                        "size-class.free-slot-duplicate",
+                        f"run {run.base:#x} free-slot heap holds duplicates",
+                    )
+                )
+            if any(slot < 0 or slot >= run.capacity for slot in slots):
+                add(
+                    Finding(
+                        "size-class.free-slot-range",
+                        f"run {run.base:#x} free-slot heap holds an index "
+                        f"outside [0, {run.capacity})",
+                    )
+                )
+            if run.queued == run.full:
+                add(
+                    Finding(
+                        "size-class.run-queued",
+                        f"run {run.base:#x} queued={run.queued} while "
+                        f"full={run.full} (must be opposites between ops)",
+                    )
+                )
+    if total != allocator.stats.live_bytes:
+        add(
+            Finding(
+                "size-class.stats-live-bytes",
+                f"recorded sizes sum to {total} but stats.live_bytes="
+                f"{allocator.stats.live_bytes}",
+            )
+        )
+    if len(allocator._live) != allocator.stats.live_blocks:
+        add(
+            Finding(
+                "size-class.stats-live-blocks",
+                f"{len(allocator._live)} live blocks recorded but "
+                f"stats.live_blocks={allocator.stats.live_blocks}",
+            )
+        )
+
+
+# -- bump / random pools ----------------------------------------------------
+
+
+def _validate_bump(allocator: BumpAllocator, findings: list[Finding]) -> None:
+    add = findings.append
+    total = 0
+    for addr, size in allocator._sizes.items():
+        total += size
+        if not any(
+            base <= addr and addr + size <= base + allocator.pool_size
+            for base in allocator.pools
+        ):
+            add(
+                Finding(
+                    "bump.region-bounds",
+                    f"region {addr:#x} (+{size}) lies in no reserved pool",
+                )
+            )
+    if total != allocator.stats.live_bytes:
+        add(
+            Finding(
+                "bump.stats-live-bytes",
+                f"recorded sizes sum to {total} but stats.live_bytes="
+                f"{allocator.stats.live_bytes}",
+            )
+        )
+    if len(allocator._sizes) != allocator.stats.live_blocks:
+        add(
+            Finding(
+                "bump.stats-live-blocks",
+                f"{len(allocator._sizes)} live regions but stats.live_blocks="
+                f"{allocator.stats.live_blocks}",
+            )
+        )
+    if allocator._cursor > allocator._pool_end:
+        add(
+            Finding(
+                "bump.cursor",
+                f"cursor {allocator._cursor:#x} past pool end "
+                f"{allocator._pool_end:#x}",
+            )
+        )
+
+
+def _validate_random(
+    allocator: RandomPoolAllocator, findings: list[Finding]
+) -> None:
+    add = findings.append
+    pools = allocator._pools
+    for addr, pool in allocator._pool_of.items():
+        if not any(pool is candidate for candidate in pools):
+            add(
+                Finding(
+                    "random.pool-unknown",
+                    f"region {addr:#x} is mapped to a pool the allocator "
+                    f"does not own",
+                )
+            )
+        elif not pool.owns(addr):
+            add(
+                Finding(
+                    "random.pool-mismatch",
+                    f"region {addr:#x} is mapped to a pool that does not "
+                    f"hold it live",
+                )
+            )
+    if len(allocator._pool_of) != allocator.stats.live_blocks:
+        add(
+            Finding(
+                "random.stats-live-blocks",
+                f"{len(allocator._pool_of)} pooled regions but "
+                f"stats.live_blocks={allocator.stats.live_blocks}",
+            )
+        )
+    pooled = sum(pool.stats.live_bytes for pool in pools)
+    if pooled != allocator.stats.live_bytes:
+        add(
+            Finding(
+                "random.stats-live-bytes",
+                f"pools hold {pooled} live bytes but stats.live_bytes="
+                f"{allocator.stats.live_bytes}",
+            )
+        )
+
+
+# ``align_up`` is re-exported for fuzz-size generation convenience.
+__all__ = [
+    "Finding",
+    "SanitizerConfig",
+    "SanitizerError",
+    "active_sanitizer",
+    "align_up",
+    "clear_sanitizer",
+    "install_sanitizer",
+    "sanitizer_active",
+    "validate_allocator",
+    "validate_machine",
+]

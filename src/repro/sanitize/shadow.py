@@ -1,0 +1,279 @@
+"""Shadow-heap oracle: an order-preserving reference allocator.
+
+The :class:`ShadowHeap` mirrors every malloc/free/realloc the machine
+performs into a trivially correct structure (a dict of live regions plus a
+sorted address list), and cross-checks the real allocator against it:
+
+* a returned address must not overlap any region the oracle holds live;
+* a free must name a region the oracle holds live (catching double frees
+  and wild frees) and must report the size the oracle recorded;
+* ``size_of`` must agree with the requested size for every live object.
+
+:class:`SanitizerListener` wires the oracle into a
+:class:`~repro.machine.machine.Machine` as an ordinary event listener and
+additionally runs the :mod:`~repro.sanitize.invariants` walk every
+``check_interval`` heap ops and at phase boundaries.  All checks are
+read-only; attaching the listener cannot change a measurement.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, insort
+from typing import Iterable, Optional
+
+from .. import obs
+from ..machine.events import Listener
+from .invariants import Finding, SanitizerConfig, SanitizerError, validate_machine
+
+
+class ShadowHeap:
+    """Reference allocator state mirroring the machine's heap ops."""
+
+    def __init__(self) -> None:
+        self._sizes: dict[int, int] = {}
+        self._addrs: list[int] = []  # sorted live base addresses
+        self.ops = 0
+
+    def __len__(self) -> int:
+        return len(self._sizes)
+
+    @property
+    def live_bytes(self) -> int:
+        return sum(self._sizes.values())
+
+    def size_of(self, addr: int) -> Optional[int]:
+        """Size the oracle recorded for *addr*, or None if not live."""
+        return self._sizes.get(addr)
+
+    def _overlapping(self, addr: int, size: int) -> Optional[int]:
+        """Base of a live region overlapping ``[addr, addr+size)``, if any."""
+        index = bisect_left(self._addrs, addr)
+        if index > 0:
+            prev = self._addrs[index - 1]
+            if prev + self._sizes[prev] > addr:
+                return prev
+        if index < len(self._addrs):
+            nxt = self._addrs[index]
+            if nxt < addr + size:
+                return nxt
+        return None
+
+    def malloc(self, addr: int, size: int) -> list[Finding]:
+        """Record an allocation; report overlap with anything live."""
+        self.ops += 1
+        if size <= 0:
+            return [
+                Finding(
+                    "shadow.alloc-size",
+                    f"allocation at {addr:#x} has non-positive size {size}",
+                )
+            ]
+        clash = self._overlapping(addr, size)
+        if clash is not None:
+            return [
+                Finding(
+                    "shadow.alloc-overlap",
+                    f"malloc({size}) returned {addr:#x}, overlapping live "
+                    f"region {clash:#x} (+{self._sizes[clash]})",
+                )
+            ]
+        self._sizes[addr] = size
+        insort(self._addrs, addr)
+        return []
+
+    def free(self, addr: int, size: Optional[int] = None) -> list[Finding]:
+        """Record a free; report double/wild frees and size disagreement."""
+        self.ops += 1
+        recorded = self._sizes.pop(addr, None)
+        if recorded is None:
+            return [
+                Finding(
+                    "shadow.bad-free",
+                    f"free of {addr:#x}, which the oracle does not hold live "
+                    f"(double free or wild pointer)",
+                )
+            ]
+        del self._addrs[bisect_left(self._addrs, addr)]
+        if size is not None and size != recorded:
+            return [
+                Finding(
+                    "shadow.free-size",
+                    f"free({addr:#x}) reported {size} bytes; the oracle "
+                    f"recorded {recorded}",
+                )
+            ]
+        return []
+
+    def realloc(self, old_addr: int, new_addr: int, new_size: int) -> list[Finding]:
+        """Record a move/resize; the old region dies, the new must not clash."""
+        self.ops += 1
+        findings: list[Finding] = []
+        recorded = self._sizes.pop(old_addr, None)
+        if recorded is None:
+            findings.append(
+                Finding(
+                    "shadow.bad-realloc",
+                    f"realloc of {old_addr:#x}, which the oracle does not "
+                    f"hold live",
+                )
+            )
+        else:
+            del self._addrs[bisect_left(self._addrs, old_addr)]
+        clash = self._overlapping(new_addr, new_size)
+        if clash is not None:
+            findings.append(
+                Finding(
+                    "shadow.realloc-overlap",
+                    f"realloc to {new_addr:#x} (+{new_size}) overlaps live "
+                    f"region {clash:#x} (+{self._sizes[clash]})",
+                )
+            )
+            return findings
+        self._sizes[new_addr] = new_size
+        insort(self._addrs, new_addr)
+        return findings
+
+    def diff_live(self, regions: Iterable[tuple[int, int]]) -> list[Finding]:
+        """Compare the oracle's live set against reported ``(addr, size)``s."""
+        reported = dict(regions)
+        findings: list[Finding] = []
+        for addr in self._addrs:
+            size = self._sizes[addr]
+            got = reported.pop(addr, None)
+            if got is None:
+                findings.append(
+                    Finding(
+                        "shadow.lost-region",
+                        f"oracle holds {addr:#x} (+{size}) live but it is "
+                        f"not reported",
+                    )
+                )
+            elif got != size:
+                findings.append(
+                    Finding(
+                        "shadow.size-drift",
+                        f"region {addr:#x}: oracle recorded {size} bytes, "
+                        f"{got} reported",
+                    )
+                )
+        for addr in sorted(reported):
+            findings.append(
+                Finding(
+                    "shadow.leaked-region",
+                    f"live region {addr:#x} (+{reported[addr]}) is unknown "
+                    f"to the oracle",
+                )
+            )
+        return findings
+
+
+class SanitizerListener(Listener):
+    """Machine listener combining the shadow oracle and the invariant walk.
+
+    ``on_free`` fires *before* the allocator releases the region, so the
+    pre-free ``size_of`` cross-check still sees the live region — this is
+    exactly where a stale recorded size (e.g. from a buggy realloc shrink)
+    surfaces.
+    """
+
+    def __init__(self, config: SanitizerConfig) -> None:
+        self.config = config
+        self.shadow = ShadowHeap() if config.shadow else None
+        self.findings: list[Finding] = []
+        self.checks = 0
+        self._heap_ops = 0
+
+    # -- bookkeeping ---------------------------------------------------
+
+    def _report(self, findings: list[Finding]) -> None:
+        if not findings:
+            return
+        if obs.active_registry() is not None:
+            obs.inc("sanitize.findings", len(findings))
+        room = self.config.max_findings - len(self.findings)
+        if room > 0:
+            self.findings.extend(findings[:room])
+        if self.config.fail_fast:
+            raise SanitizerError(findings)
+
+    def _cross_size(self, machine, obj) -> list[Finding]:
+        try:
+            size = machine.allocator.size_of(obj.addr)
+        except Exception as exc:
+            return [
+                Finding(
+                    "shadow.size-unknown",
+                    f"allocator cannot size live object #{obj.oid} at "
+                    f"{obj.addr:#x}: {exc}",
+                )
+            ]
+        if size != obj.size:
+            return [
+                Finding(
+                    "shadow.size-mismatch",
+                    f"object #{obj.oid} at {obj.addr:#x}: machine records "
+                    f"{obj.size} bytes, allocator records {size}",
+                )
+            ]
+        return []
+
+    def _after_op(self, machine) -> None:
+        if self.shadow is not None and obs.active_registry() is not None:
+            obs.inc("sanitize.shadow.ops", 1)
+        self._heap_ops += 1
+        interval = self.config.check_interval
+        if interval and self._heap_ops % interval == 0:
+            self.checkpoint(machine)
+
+    def checkpoint(self, machine) -> None:
+        """Full validation: invariants, object cross-check, live-set diff."""
+        self.checks += 1
+        if obs.active_registry() is not None:
+            obs.inc("sanitize.checks", 1)
+        findings = validate_machine(machine)
+        if self.shadow is not None:
+            findings.extend(
+                self.shadow.diff_live(
+                    (obj.addr, obj.size)
+                    for obj in machine.objects.live_objects()
+                )
+            )
+        self._report(findings)
+
+    def final_check(self, machine) -> None:
+        """End-of-run checkpoint.
+
+        ``run_measurement`` never calls ``machine.finish()``; the harness
+        invokes this explicitly after the workload returns.
+        """
+        self.checkpoint(machine)
+
+    # -- machine events -------------------------------------------------
+
+    def on_alloc(self, machine, obj) -> None:
+        if self.shadow is not None:
+            findings = self.shadow.malloc(obj.addr, obj.size)
+            findings.extend(self._cross_size(machine, obj))
+            self._report(findings)
+        self._after_op(machine)
+
+    def on_free(self, machine, obj) -> None:
+        # The event fires before the allocator releases the region and
+        # before the object table marks it dead; run the size cross-check
+        # and any interval checkpoint against that consistent pre-free
+        # state, and only then retire the region from the oracle.
+        if self.shadow is not None:
+            self._report(self._cross_size(machine, obj))
+        self._after_op(machine)
+        if self.shadow is not None:
+            self._report(self.shadow.free(obj.addr, obj.size))
+
+    def on_realloc(self, machine, obj, old_addr: int, old_size: int) -> None:
+        if self.shadow is not None:
+            findings = self.shadow.realloc(old_addr, obj.addr, obj.size)
+            findings.extend(self._cross_size(machine, obj))
+            self._report(findings)
+        self._after_op(machine)
+
+    def on_finish(self, machine) -> None:
+        self.checkpoint(machine)

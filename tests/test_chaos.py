@@ -209,3 +209,51 @@ class TestRandomizedPlans:
             assert survived == 0
         else:
             assert survived + len(measure_failures) == 2
+
+
+class TestSanitizedEvaluation:
+    """Serial and parallel evaluations agree under ``--sanitize``.
+
+    The sanitizer runs in fail-fast mode, so a single invariant or oracle
+    violation anywhere in the matrix would abort a cell and surface either
+    as an exception (serial) or a failure-report entry (parallel); a clean
+    pass over the full benchmark suite is the zero-findings assertion.
+    """
+
+    def test_full_suite_serial_vs_parallel(self, tmp_path):
+        from repro import obs
+        from repro.harness.reproduce import PAPER_BENCHMARKS, evaluate_all
+        from repro.sanitize import SanitizerConfig, sanitizer_active
+
+        cache = ArtifactCache(tmp_path / "cache")
+        failures = []
+        times = PhaseTimes()
+        with sanitizer_active(SanitizerConfig(check_interval=512)):
+            with obs.collecting() as registry:
+                serial = evaluate_all(
+                    PAPER_BENCHMARKS, trials=1, scale="test",
+                    include_random=False, cache=cache,
+                )
+            parallel = evaluate_all(
+                PAPER_BENCHMARKS, trials=1, scale="test",
+                include_random=False, jobs=2, cache=cache,
+                phase_times=times, failures=failures,
+            )
+
+        assert failures == []
+        assert set(serial) == set(parallel) == set(PAPER_BENCHMARKS)
+        for name in PAPER_BENCHMARKS:
+            assert _evaluation_metrics(serial[name]) == _evaluation_metrics(parallel[name])
+            assert serial[name].halo_groups == parallel[name].halo_groups
+
+        # The sanitizer really ran, on both sides of the fork: the serial
+        # pass counted its checks in the coordinator registry, the parallel
+        # pass shipped worker counters back through PhaseTimes.metrics.
+        coordinator = registry.snapshot().counters
+        assert coordinator.get("sanitize.checks", 0) > 0
+        assert coordinator.get("sanitize.findings", 0) == 0
+        assert times.metrics is not None
+        workers = times.metrics.counters
+        assert workers.get("sanitize.checks", 0) > 0
+        assert workers.get("sanitize.shadow.ops", 0) > 0
+        assert workers.get("sanitize.findings", 0) == 0

@@ -1,0 +1,226 @@
+"""Regression tests for the allocator-accounting bugs the sanitizer catches.
+
+Each test class covers one historical bug:
+
+1. ``_Chunk.reset`` forgot to reset ``high_water``, so a reused spare
+   carried its previous tenant's bump footprint into fragmentation
+   snapshots;
+2. a chunk that emptied *while current* was never retired once displaced —
+   ``_group_malloc`` replaced ``_current[group]`` without re-checking the
+   displaced chunk, orphaning it (never reused, never purged);
+3. ``GroupAllocator.realloc``'s shrink path returned early without
+   updating ``_region_sizes``/``grouped_live_bytes``, so later frees and
+   size queries used the stale larger size.
+
+For each bug the pre-fix behaviour is reconstructed by monkeypatching the
+buggy variant back in, and the tests assert both that the fixed code
+behaves correctly *and* that the sanitizer's invariant checker or shadow
+oracle flags the buggy variant.
+"""
+
+import pytest
+
+from repro.allocators import (
+    AddressSpace,
+    GroupAllocator,
+    SizeClassAllocator,
+)
+from repro.allocators.group import _Chunk
+from repro.machine import GroupStateVector
+from repro.sanitize import ShadowHeap, validate_allocator
+
+CHUNK = 4096
+PAYLOAD = CHUNK - _Chunk.HEADER_SIZE
+
+
+class _AlwaysGroupZero:
+    """Route every small request to group 0."""
+
+    def match(self, state):
+        return 0
+
+
+def make_group_allocator(**kwargs):
+    space = AddressSpace(0)
+    kwargs.setdefault("chunk_size", CHUNK)
+    kwargs.setdefault("slab_size", 4 * CHUNK)
+    kwargs.setdefault("max_spare_chunks", 1)
+    return GroupAllocator(
+        space,
+        SizeClassAllocator(space),
+        _AlwaysGroupZero(),
+        GroupStateVector(),
+        **kwargs,
+    )
+
+
+def rules_of(findings):
+    return {finding.rule for finding in findings}
+
+
+# -- bug 1: stale high-water mark across spare reuse ------------------------
+
+
+def _buggy_reset(self, group, colour=0):
+    """Pre-fix ``_Chunk.reset``: ``high_water`` deliberately left stale."""
+    self.group = group
+    self.colour = colour
+    self.cursor = self.base + _Chunk.HEADER_SIZE + colour
+    self.live_regions = 0
+
+
+def _force_spare_reuse(allocator):
+    """Fill a chunk, drain it through displacement, and reuse it as a spare.
+
+    Returns the addresses of the regions live in the *reused* chunk.
+    """
+    # Three 1 KiB regions fill a 4 KiB chunk (64-byte header).
+    first = [allocator.malloc(1024) for _ in range(3)]
+    displacing = allocator.malloc(1024)  # displaces the full chunk A
+    for addr in first:
+        allocator.free(addr)  # A empties away from current -> retired spare
+    assert len(allocator._spares) == 1
+    # Fill chunk B so the next request reuses spare A.
+    fill = [allocator.malloc(1024) for _ in range(2)]
+    reused = allocator.malloc(1024)
+    assert allocator.chunks_reused == 1
+    return [displacing, *fill, reused]
+
+
+def test_spare_reuse_resets_high_water():
+    allocator = make_group_allocator()
+    _force_spare_reuse(allocator)
+    snapshot = allocator.fragmentation()
+    # Chunk A hosts one fresh 1 KiB region; chunk B holds three.  With the
+    # stale mark, A would report its previous tenant's full 3 KiB bump
+    # footprint on top.
+    assert snapshot.high_water_bytes == 4 * 1024
+    assert not validate_allocator(allocator)
+
+
+def test_stale_high_water_is_detected(monkeypatch):
+    monkeypatch.setattr(_Chunk, "reset", _buggy_reset)
+    allocator = make_group_allocator()
+    _force_spare_reuse(allocator)
+    snapshot = allocator.fragmentation()
+    assert snapshot.high_water_bytes == 6 * 1024  # over-reported by 2 KiB
+    assert "group.high-water" in rules_of(validate_allocator(allocator))
+
+
+# -- bug 2: displaced empty current chunk is orphaned -----------------------
+
+
+def _buggy_group_malloc(self, group, size, alignment):
+    """Pre-fix ``_group_malloc``: no retirement of a displaced empty chunk."""
+    chunk = self._current.get(group)
+    addr = chunk.try_reserve(size, alignment) if chunk is not None else None
+    if addr is None:
+        chunk = self._fresh_chunk(group)
+        if chunk is None:
+            return self._degrade(size, alignment)
+        self._current[group] = chunk
+        addr = chunk.try_reserve(size, alignment)
+        if addr is None:
+            return self._degrade(size, alignment)
+    self._region_sizes[addr] = size
+    self.grouped_live_bytes += size
+    self.grouped_allocs += 1
+    self.stats.on_alloc(size)
+    return addr
+
+
+def _displace_empty_current(allocator):
+    """Empty the current chunk in place, then displace it.
+
+    ``free`` skips retirement while a chunk is current, so displacement is
+    the only point where the drained chunk can be reclaimed.
+    """
+    addr = allocator.malloc(1024)
+    allocator.free(addr)  # current chunk now empty, cursor advanced
+    # Cursor sits at 1024 + header; a near-payload request cannot fit and
+    # displaces the (empty) current chunk.
+    allocator.malloc(PAYLOAD)
+
+
+def test_displaced_empty_chunk_is_recycled():
+    allocator = make_group_allocator()
+    _displace_empty_current(allocator)
+    # The drained chunk was retired at displacement and immediately reused
+    # as the fresh chunk; no second chunk was ever carved.
+    assert allocator.chunks_created == 1
+    assert allocator.chunks_reused == 1
+    assert not validate_allocator(allocator)
+
+
+def test_orphaned_chunk_is_detected(monkeypatch):
+    monkeypatch.setattr(GroupAllocator, "_group_malloc", _buggy_group_malloc)
+    allocator = make_group_allocator()
+    _displace_empty_current(allocator)
+    # Pre-fix: a second chunk is carved while the first leaks, unreachable.
+    assert allocator.chunks_created == 2
+    assert allocator.chunks_reused == 0
+    assert "group.chunk-orphaned" in rules_of(validate_allocator(allocator))
+
+
+# -- bug 3: realloc shrink leaves the recorded size stale -------------------
+
+
+def _buggy_realloc(self, addr, new_size):
+    """Pre-fix ``realloc``: the shrink path updates no bookkeeping."""
+    chunk = self._chunk_of(addr)
+    if chunk is None and addr not in self._region_sizes:
+        return self.fallback.realloc(addr, new_size)
+    old_size = self.size_of(addr)
+    if new_size <= old_size:
+        return addr
+    new_addr = self.malloc(new_size)
+    self.free(addr)
+    return new_addr
+
+
+def test_realloc_shrink_updates_accounting():
+    allocator = make_group_allocator()
+    addr = allocator.malloc(1024)
+    assert allocator.realloc(addr, 256) == addr  # shrinks in place
+    assert allocator.size_of(addr) == 256
+    assert allocator.grouped_live_bytes == 256
+    assert allocator.stats.live_bytes == 256
+    assert allocator.free(addr) == 256
+    assert allocator.grouped_live_bytes == 0
+    assert not validate_allocator(allocator)
+
+
+def test_stale_shrink_size_is_detected(monkeypatch):
+    monkeypatch.setattr(GroupAllocator, "realloc", _buggy_realloc)
+    allocator = make_group_allocator()
+    shadow = ShadowHeap()
+    addr = allocator.malloc(1024)
+    shadow.malloc(addr, 1024)
+    assert allocator.realloc(addr, 256) == addr
+    shadow.realloc(addr, addr, 256)
+    # The allocator still reports the stale pre-shrink size; the oracle
+    # (which mirrors what the program asked for) disagrees.
+    assert allocator.size_of(addr) == 1024
+    drift = shadow.diff_live(allocator.iter_live_regions())
+    assert {finding.rule for finding in drift} == {"shadow.size-drift"}
+
+
+# -- cross-checks on the shared fixture -------------------------------------
+
+
+def test_fixed_allocator_is_invariant_clean_under_churn():
+    allocator = make_group_allocator(slab_size=16 * CHUNK)
+    live = []
+    for step in range(200):
+        if live and step % 3 == 2:
+            allocator.free(live.pop(0))
+        elif live and step % 7 == 3:
+            addr = live.pop()
+            live.append(allocator.realloc(addr, 128 + (step % 512)))
+        else:
+            live.append(allocator.malloc(64 + (step * 37) % 900))
+    assert not validate_allocator(allocator)
+    for addr in live:
+        allocator.free(addr)
+    assert allocator.grouped_live_bytes == 0
+    assert not validate_allocator(allocator)

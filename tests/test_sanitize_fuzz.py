@@ -1,0 +1,148 @@
+"""Tests for the differential fuzz harness and its CLI entry point."""
+
+import pytest
+
+from repro.cli import main
+from repro.sanitize import (
+    FAMILIES,
+    FuzzConfig,
+    default_scenarios,
+    format_ops,
+    generate_ops,
+    run_fuzz,
+    run_ops,
+    shrink_ops,
+)
+
+FAST = {"ops": 1500, "check_interval": 128}
+
+
+class TestGenerateOps:
+    def test_deterministic(self):
+        config = FuzzConfig(family="group", seed=3, ops=500)
+        assert generate_ops(config) == generate_ops(config)
+
+    def test_seed_changes_sequence(self):
+        a = generate_ops(FuzzConfig(family="group", seed=0, ops=500))
+        b = generate_ops(FuzzConfig(family="group", seed=1, ops=500))
+        assert a != b
+
+    def test_bump_family_never_reallocs(self):
+        for family in ("bump", "random-pools"):
+            ops = generate_ops(FuzzConfig(family=family, seed=0, ops=2000))
+            assert not any(op[0] == "realloc" for op in ops)
+
+    def test_group_family_reallocs(self):
+        ops = generate_ops(FuzzConfig(family="group", seed=0, ops=2000))
+        assert any(op[0] == "realloc" for op in ops)
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError):
+            FuzzConfig(family="buddy")
+
+
+class TestRunOps:
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_families_run_clean(self, family):
+        config = FuzzConfig(family=family, seed=0, **FAST)
+        assert run_ops(generate_ops(config), config) == []
+
+    def test_group_variants_run_clean(self):
+        for variant in (
+            FuzzConfig(family="group", colour_stride=128, **FAST),
+            FuzzConfig(family="group", always_reuse_chunks=True, **FAST),
+            FuzzConfig(family="sharded", chunk_budget=6, **FAST),
+        ):
+            assert run_ops(generate_ops(variant), variant) == []
+
+    def test_corruptor_is_detected(self):
+        config = FuzzConfig(family="group", seed=0, **FAST)
+
+        def drift(allocator):
+            # No-op on an empty heap so the minimal reproducer must keep
+            # one allocation alive.
+            for addr in allocator._region_sizes:
+                allocator._region_sizes[addr] += 32
+                break
+
+        ops = generate_ops(config)
+        ops.insert(200, ("corrupt", "drift"))
+        findings = run_ops(ops, config, corruptors={"drift": drift})
+        assert findings
+        assert any(f.rule.startswith("group.") for f in findings)
+
+
+class TestShrinking:
+    def _corruptors(self):
+        def drift(allocator):
+            # No-op on an empty heap so the minimal reproducer must keep
+            # one allocation alive.
+            for addr in allocator._region_sizes:
+                allocator._region_sizes[addr] += 32
+                break
+
+        return {"drift": drift}
+
+    def test_shrinks_to_minimal_reproducer(self):
+        config = FuzzConfig(family="group", seed=0, **FAST)
+        ops = generate_ops(config)
+        ops.insert(300, ("corrupt", "drift"))
+        minimal = shrink_ops(ops, config, self._corruptors())
+        # One allocation plus the corruption is the smallest failing case.
+        assert len(minimal) == 2
+        assert minimal[0][0] == "malloc"
+        assert minimal[1] == ("corrupt", "drift")
+        assert run_ops(minimal, config, self._corruptors())
+
+    def test_run_fuzz_reports_reproducer(self):
+        config = FuzzConfig(family="group", seed=0, ops=400, check_interval=64)
+        report = run_fuzz(
+            config,
+            corruptors=self._corruptors(),
+            extra_ops=[("malloc", 64, 0), ("corrupt", "drift")],
+        )
+        assert not report.ok
+        assert report.reproducer is not None
+        assert len(report.reproducer) == 2
+        assert "group." in report.findings[0].rule
+
+    def test_run_fuzz_clean_has_no_reproducer(self):
+        config = FuzzConfig(family="size-class", seed=0, ops=600)
+        report = run_fuzz(config)
+        assert report.ok
+        assert report.reproducer is None
+        assert report.executed == 600
+
+    def test_format_ops(self):
+        text = format_ops([("malloc", 64, 0), ("free", 1)])
+        assert "('malloc', 64, 0)" in text
+        assert text.count("\n") == 1
+
+
+class TestScenarioMatrix:
+    def test_all_families_covered(self):
+        scenarios = default_scenarios(seed=0, ops=100)
+        assert {s.family for s in scenarios} == set(FAMILIES)
+        # group + sharded each add colouring, always-reuse, and fault-budget
+        # variants on top of the plain run.
+        assert len(scenarios) == len(FAMILIES) + 6
+
+    def test_single_family_selection(self):
+        scenarios = default_scenarios(seed=0, ops=100, family="bump")
+        assert [s.family for s in scenarios] == ["bump"]
+
+
+class TestCli:
+    def test_fuzz_command_clean(self, capsys):
+        code = main(
+            ["sanitize", "fuzz", "--seed", "0", "--ops", "400", "--family", "size-class"]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "all scenarios clean" in captured.out
+
+    def test_fuzz_command_covers_matrix(self, capsys):
+        code = main(["sanitize", "fuzz", "--seed", "1", "--ops", "200"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert captured.out.count("ok") >= len(FAMILIES)

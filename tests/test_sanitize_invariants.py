@@ -1,0 +1,261 @@
+"""Unit tests for the heap-invariant checker.
+
+Covers: clean allocators validate cleanly across all families, each
+invariant rule fires on a directly corrupted state, the config
+install/scope plumbing, and the machine-level size cross-check.
+"""
+
+import pickle
+
+from repro.allocators import (
+    AddressSpace,
+    BumpAllocator,
+    GroupAllocator,
+    RandomPoolAllocator,
+    SizeClassAllocator,
+)
+from repro.allocators.group import _Chunk
+from repro.allocators.sharded import ShardedGroupAllocator
+from repro.machine import GroupStateVector, Machine, ProgramBuilder
+from repro.sanitize import (
+    SanitizerConfig,
+    active_sanitizer,
+    clear_sanitizer,
+    install_sanitizer,
+    sanitizer_active,
+    validate_allocator,
+    validate_machine,
+)
+
+CHUNK = 4096
+
+
+class _AlwaysGroupZero:
+    def match(self, state):
+        return 0
+
+
+def make_group(cls=GroupAllocator, **kwargs):
+    space = AddressSpace(0)
+    kwargs.setdefault("chunk_size", CHUNK)
+    kwargs.setdefault("slab_size", 4 * CHUNK)
+    return cls(
+        space, SizeClassAllocator(space), _AlwaysGroupZero(), GroupStateVector(), **kwargs
+    )
+
+
+def rules_of(findings):
+    return {finding.rule for finding in findings}
+
+
+class TestConfigPlumbing:
+    def test_install_active_clear(self):
+        assert active_sanitizer() is None
+        config = SanitizerConfig(check_interval=7)
+        install_sanitizer(config)
+        try:
+            assert active_sanitizer() is config
+        finally:
+            clear_sanitizer()
+        assert active_sanitizer() is None
+
+    def test_scope_restores_previous(self):
+        outer = SanitizerConfig(check_interval=1)
+        inner = SanitizerConfig(check_interval=2)
+        with sanitizer_active(outer):
+            with sanitizer_active(inner):
+                assert active_sanitizer() is inner
+            assert active_sanitizer() is outer
+        assert active_sanitizer() is None
+
+    def test_config_is_picklable(self):
+        config = SanitizerConfig(check_interval=64, shadow=False)
+        assert pickle.loads(pickle.dumps(config)) == config
+
+
+class TestCleanAllocators:
+    def test_group_clean(self):
+        allocator = make_group()
+        live = [allocator.malloc(100 + i) for i in range(30)]
+        for addr in live[::2]:
+            allocator.free(addr)
+        assert validate_allocator(allocator) == []
+
+    def test_sharded_clean(self):
+        allocator = make_group(cls=ShardedGroupAllocator)
+        live = [allocator.malloc(48) for _ in range(40)]
+        for addr in live[1::2]:
+            allocator.free(addr)
+        for _ in range(10):
+            allocator.malloc(40)  # recycles freed shards
+        assert validate_allocator(allocator) == []
+
+    def test_size_class_clean(self):
+        space = AddressSpace(0)
+        allocator = SizeClassAllocator(space)
+        live = [allocator.malloc(size) for size in (8, 24, 100, 5000, 20000)]
+        allocator.free(live[2])
+        assert validate_allocator(allocator) == []
+
+    def test_bump_clean(self):
+        allocator = BumpAllocator(AddressSpace(0), pool_size=1 << 16)
+        for size in (8, 100, 4000):
+            allocator.malloc(size)
+        assert validate_allocator(allocator) == []
+
+    def test_random_pools_clean(self):
+        space = AddressSpace(0)
+        allocator = RandomPoolAllocator(space, SizeClassAllocator(space))
+        live = [allocator.malloc(64) for _ in range(20)]
+        allocator.free(live[0])
+        allocator.malloc(10000)  # forwarded
+        assert validate_allocator(allocator) == []
+
+
+class TestCorruptionDetection:
+    """Every planted corruption maps to its dedicated rule."""
+
+    def test_live_bytes_drift(self):
+        allocator = make_group()
+        addr = allocator.malloc(128)
+        allocator._region_sizes[addr] = 160
+        assert "group.live-bytes" in rules_of(validate_allocator(allocator))
+
+    def test_live_regions_drift(self):
+        allocator = make_group()
+        addr = allocator.malloc(128)
+        chunk = allocator._chunk_of(addr)
+        chunk.live_regions += 1
+        assert "group.live-regions" in rules_of(validate_allocator(allocator))
+
+    def test_cursor_out_of_bounds(self):
+        allocator = make_group()
+        addr = allocator.malloc(128)
+        chunk = allocator._chunk_of(addr)
+        chunk.cursor = chunk.base + chunk.size + 64
+        chunk.high_water = chunk.cursor
+        assert "group.cursor-bounds" in rules_of(validate_allocator(allocator))
+
+    def test_high_water_desync(self):
+        allocator = make_group()
+        addr = allocator.malloc(128)
+        chunk = allocator._chunk_of(addr)
+        chunk.high_water = chunk.cursor + 512
+        assert "group.high-water" in rules_of(validate_allocator(allocator))
+
+    def test_unregistered_chunk(self):
+        allocator = make_group()
+        addr = allocator.malloc(128)
+        chunk = allocator._chunk_of(addr)
+        del allocator._chunks[chunk.base]
+        found = rules_of(validate_allocator(allocator))
+        assert "group.region-orphan" in found
+        assert "group.current-unregistered" in found
+
+    def test_spare_with_live_regions(self):
+        allocator = make_group()
+        addr = allocator.malloc(128)
+        chunk = allocator._chunk_of(addr)
+        allocator._spares.append(chunk)
+        found = rules_of(validate_allocator(allocator))
+        assert "group.spare-live" in found
+        assert "group.spare-current" in found
+
+    def test_spare_bound(self):
+        allocator = make_group(max_spare_chunks=0)
+        chunk = _Chunk(0, CHUNK, 0)
+        allocator._chunks[chunk.base] = chunk
+        allocator._spares.extend([chunk, chunk])
+        found = rules_of(validate_allocator(allocator))
+        assert "group.spare-bound" in found
+        assert "group.spare-duplicate" in found
+
+    def test_region_overlap(self):
+        allocator = make_group()
+        addr = allocator.malloc(128)
+        allocator.malloc(128)
+        # Plant a fake region overlapping the first one.
+        allocator._region_sizes[addr + 64] = 64
+        chunk = allocator._chunk_of(addr)
+        chunk.live_regions += 1
+        allocator.grouped_live_bytes += 64
+        allocator.stats.on_alloc(64)
+        assert "region.overlap" in rules_of(validate_allocator(allocator))
+
+    def test_stats_drift(self):
+        allocator = make_group()
+        allocator.malloc(128)
+        allocator.stats.live_bytes += 1
+        assert "group.stats-live-bytes" in rules_of(validate_allocator(allocator))
+
+    def test_size_class_run_corruption(self):
+        space = AddressSpace(0)
+        allocator = SizeClassAllocator(space)
+        addr = allocator.malloc(64)
+        _, run = allocator._live[addr]
+        run.live += 1
+        found = rules_of(validate_allocator(allocator))
+        assert "size-class.run-slots" in found
+        assert "size-class.run-live" in found
+
+    def test_size_class_large_leak(self):
+        space = AddressSpace(0)
+        allocator = SizeClassAllocator(space)
+        addr = allocator.malloc(20000)
+        del allocator._live[addr]
+        allocator.stats.on_free(20000)
+        assert "size-class.large-leak" in rules_of(validate_allocator(allocator))
+
+    def test_bump_region_outside_pool(self):
+        allocator = BumpAllocator(AddressSpace(0), pool_size=1 << 16)
+        allocator.malloc(64)
+        allocator._sizes[12345] = 8
+        allocator.stats.on_alloc(8)
+        assert "bump.region-bounds" in rules_of(validate_allocator(allocator))
+
+    def test_random_pool_mismatch(self):
+        space = AddressSpace(0)
+        allocator = RandomPoolAllocator(space, SizeClassAllocator(space))
+        addr = allocator.malloc(64)
+        pool = allocator._pool_of[addr]
+        del pool._sizes[addr]
+        pool.stats.on_free(64)
+        assert "random.pool-mismatch" in rules_of(validate_allocator(allocator))
+
+    def test_sharded_free_list_live_clash(self):
+        allocator = make_group(cls=ShardedGroupAllocator)
+        addr = allocator.malloc(48)
+        chunk = allocator._chunk_of(addr)
+        chunk.shards.setdefault(48, []).append(addr)
+        assert "sharded.free-live" in rules_of(validate_allocator(allocator))
+
+
+class TestValidateMachine:
+    def _machine(self):
+        builder = ProgramBuilder("sanity")
+        builder.call_site("main", "malloc")
+        return Machine(builder.build(), SizeClassAllocator(AddressSpace(0)))
+
+    def test_clean_machine(self):
+        machine = self._machine()
+        objs = [machine.malloc(64) for _ in range(5)]
+        machine.free(objs[0])
+        assert validate_machine(machine) == []
+        assert machine.validate_heap() == []
+
+    def test_size_mismatch_detected(self):
+        machine = self._machine()
+        obj = machine.malloc(64)
+        machine.allocator._live[obj.addr] = (80, machine.allocator._live[obj.addr][1])
+        machine.allocator.stats.live_bytes += 16
+        found = rules_of(validate_machine(machine))
+        assert "machine.size-mismatch" in found
+
+    def test_unknown_object_detected(self):
+        machine = self._machine()
+        obj = machine.malloc(64)
+        entry = machine.allocator._live.pop(obj.addr)
+        machine.allocator.stats.on_free(entry[0])
+        entry[1].give_back(obj.addr)
+        found = rules_of(machine.validate_heap())
+        assert "machine.unknown-object" in found

@@ -1,0 +1,204 @@
+"""Unit tests for the shadow-heap oracle and the machine listener."""
+
+import pytest
+
+from repro import obs
+from repro.allocators import AddressSpace, SizeClassAllocator
+from repro.machine import Machine, ProgramBuilder
+from repro.sanitize import (
+    SanitizerConfig,
+    SanitizerError,
+    ShadowHeap,
+)
+from repro.sanitize.shadow import SanitizerListener
+
+
+def rules_of(findings):
+    return {finding.rule for finding in findings}
+
+
+class TestShadowHeap:
+    def test_clean_lifecycle(self):
+        shadow = ShadowHeap()
+        assert shadow.malloc(0x1000, 64) == []
+        assert shadow.malloc(0x2000, 32) == []
+        assert len(shadow) == 2
+        assert shadow.live_bytes == 96
+        assert shadow.size_of(0x1000) == 64
+        assert shadow.free(0x1000, 64) == []
+        assert shadow.size_of(0x1000) is None
+        assert shadow.free(0x2000) == []  # size optional
+        assert len(shadow) == 0
+
+    def test_non_positive_alloc(self):
+        shadow = ShadowHeap()
+        assert rules_of(shadow.malloc(0x1000, 0)) == {"shadow.alloc-size"}
+
+    def test_overlap_with_predecessor(self):
+        shadow = ShadowHeap()
+        shadow.malloc(0x1000, 64)
+        assert rules_of(shadow.malloc(0x1020, 16)) == {"shadow.alloc-overlap"}
+
+    def test_overlap_with_successor(self):
+        shadow = ShadowHeap()
+        shadow.malloc(0x1040, 64)
+        assert rules_of(shadow.malloc(0x1000, 0x50)) == {"shadow.alloc-overlap"}
+
+    def test_adjacent_regions_do_not_overlap(self):
+        shadow = ShadowHeap()
+        assert shadow.malloc(0x1000, 0x40) == []
+        assert shadow.malloc(0x1040, 0x40) == []
+
+    def test_double_free(self):
+        shadow = ShadowHeap()
+        shadow.malloc(0x1000, 64)
+        shadow.free(0x1000)
+        assert rules_of(shadow.free(0x1000)) == {"shadow.bad-free"}
+
+    def test_wild_free(self):
+        shadow = ShadowHeap()
+        assert rules_of(shadow.free(0xDEAD)) == {"shadow.bad-free"}
+
+    def test_free_size_disagreement(self):
+        shadow = ShadowHeap()
+        shadow.malloc(0x1000, 64)
+        assert rules_of(shadow.free(0x1000, 48)) == {"shadow.free-size"}
+
+    def test_realloc_moves_region(self):
+        shadow = ShadowHeap()
+        shadow.malloc(0x1000, 64)
+        assert shadow.realloc(0x1000, 0x2000, 128) == []
+        assert shadow.size_of(0x1000) is None
+        assert shadow.size_of(0x2000) == 128
+
+    def test_realloc_in_place(self):
+        shadow = ShadowHeap()
+        shadow.malloc(0x1000, 64)
+        assert shadow.realloc(0x1000, 0x1000, 32) == []
+        assert shadow.size_of(0x1000) == 32
+
+    def test_realloc_of_dead_region(self):
+        shadow = ShadowHeap()
+        assert rules_of(shadow.realloc(0x1000, 0x2000, 64)) == {
+            "shadow.bad-realloc"
+        }
+
+    def test_realloc_overlap(self):
+        shadow = ShadowHeap()
+        shadow.malloc(0x1000, 64)
+        shadow.malloc(0x3000, 64)
+        found = shadow.realloc(0x1000, 0x3020, 64)
+        assert rules_of(found) == {"shadow.realloc-overlap"}
+
+    def test_diff_live_clean(self):
+        shadow = ShadowHeap()
+        shadow.malloc(0x1000, 64)
+        assert shadow.diff_live([(0x1000, 64)]) == []
+
+    def test_diff_live_all_rules(self):
+        shadow = ShadowHeap()
+        shadow.malloc(0x1000, 64)  # reported with wrong size -> drift
+        shadow.malloc(0x2000, 32)  # not reported -> lost
+        found = shadow.diff_live([(0x1000, 80), (0x3000, 16)])  # extra -> leaked
+        assert rules_of(found) == {
+            "shadow.size-drift",
+            "shadow.lost-region",
+            "shadow.leaked-region",
+        }
+
+    def test_ops_counter(self):
+        shadow = ShadowHeap()
+        shadow.malloc(0x1000, 64)
+        shadow.realloc(0x1000, 0x1000, 32)
+        shadow.free(0x1000)
+        assert shadow.ops == 3
+
+
+def make_machine(listener=None):
+    builder = ProgramBuilder("sanity")
+    builder.call_site("main", "malloc")
+    listeners = [listener] if listener is not None else None
+    return Machine(
+        builder.build(), SizeClassAllocator(AddressSpace(0)), listeners=listeners
+    )
+
+
+class TestSanitizerListener:
+    def test_clean_run_has_no_findings(self):
+        listener = SanitizerListener(SanitizerConfig(check_interval=1))
+        machine = make_machine(listener)
+        objs = [machine.malloc(64) for _ in range(8)]
+        machine.realloc(objs[0], 128)
+        for obj in objs:
+            machine.free(obj)
+        machine.finish()
+        assert listener.findings == []
+        # interval checkpoints on every op plus the on_finish one
+        assert listener.checks == 18
+
+    def test_free_with_interval_one_is_not_a_false_positive(self):
+        # Regression: ``on_free`` fires before the object table marks the
+        # object dead; a checkpoint taken inside the free event must compare
+        # the oracle against the *pre-free* live set, so the oracle entry
+        # must still be present when the checkpoint runs.
+        listener = SanitizerListener(SanitizerConfig(check_interval=1))
+        machine = make_machine(listener)
+        obj = machine.malloc(64)
+        machine.free(obj)  # would raise shadow.lost-region before the fix
+        assert listener.findings == []
+
+    def test_shadow_tracks_machine_heap(self):
+        listener = SanitizerListener(SanitizerConfig(check_interval=0))
+        machine = make_machine(listener)
+        keep = machine.malloc(96)
+        machine.free(machine.malloc(32))
+        assert len(listener.shadow) == 1
+        assert listener.shadow.size_of(keep.addr) == 96
+
+    def test_corruption_raises_when_fail_fast(self):
+        listener = SanitizerListener(SanitizerConfig(check_interval=1))
+        machine = make_machine(listener)
+        obj = machine.malloc(64)
+        machine.allocator.stats.live_bytes += 8
+        with pytest.raises(SanitizerError) as err:
+            machine.malloc(64)
+        assert "size-class.stats-live-bytes" in rules_of(err.value.findings)
+        assert listener.findings  # recorded before raising
+
+    def test_findings_accumulate_without_fail_fast(self):
+        listener = SanitizerListener(
+            SanitizerConfig(check_interval=1, fail_fast=False, max_findings=3)
+        )
+        machine = make_machine(listener)
+        machine.malloc(64)
+        machine.allocator.stats.live_bytes += 8
+        for _ in range(5):
+            machine.malloc(64)  # each interval checkpoint re-reports
+        assert len(listener.findings) == 3  # capped at max_findings
+
+    def test_shadow_disabled(self):
+        listener = SanitizerListener(SanitizerConfig(check_interval=1, shadow=False))
+        machine = make_machine(listener)
+        machine.free(machine.malloc(64))
+        assert listener.shadow is None
+        assert listener.findings == []
+        assert listener.checks == 2
+
+    def test_final_check_counts_as_checkpoint(self):
+        listener = SanitizerListener(SanitizerConfig(check_interval=0))
+        machine = make_machine(listener)
+        machine.malloc(64)
+        assert listener.checks == 0
+        listener.final_check(machine)
+        assert listener.checks == 1
+
+    def test_metrics_flow_into_registry(self):
+        listener = SanitizerListener(SanitizerConfig(check_interval=2))
+        with obs.collecting() as registry:
+            machine = make_machine(listener)
+            for _ in range(4):
+                machine.malloc(64)
+        counters = registry.snapshot().counters
+        assert counters["sanitize.shadow.ops"] == 4
+        assert counters["sanitize.checks"] == 2
+        assert "sanitize.findings" not in counters

@@ -99,6 +99,33 @@ class TestExtractHotStreams:
         assert analysis.streams == []
         assert analysis.coverage_achieved == 0.0
 
+    def test_mixed_type_trace_with_tied_windows(self):
+        # Chopping a long rule over a trace of mixed int/str symbols yields
+        # several equal-heat windows whose tuples are mutually incomparable
+        # ((1, "a") vs ("b", 2) compares 1 against "b").  The candidate sort
+        # used the raw window tuple as its final tie-break, which raised
+        # TypeError here; ties must resolve by insertion order instead.
+        block = [1, "a", "b", 2, 3, "c", "d", 4]
+        trace = block * 8
+        analysis = extract_hot_streams(trace, StreamParams(max_elements=2))
+        assert analysis.streams
+        assert all(len(stream.elements) == 2 for stream in analysis.streams)
+        kinds = {
+            type(element)
+            for stream in analysis.streams
+            for element in stream.elements
+        }
+        assert kinds == {int, str}
+
+    def test_mixed_type_tie_break_is_deterministic(self):
+        block = [1, "a", "b", 2, 3, "c", "d", 4]
+        trace = block * 8
+        first = extract_hot_streams(trace, StreamParams(max_elements=2))
+        second = extract_hot_streams(trace, StreamParams(max_elements=2))
+        assert [s.elements for s in first.streams] == [
+            s.elements for s in second.streams
+        ]
+
 
 class TestCoallocationSets:
     def _sites(self):
