@@ -1,0 +1,119 @@
+"""Wall-clock baseline for the columnar measurement core.
+
+Times the trace-driven measure phase of the four-benchmark acceptance
+sweep (deepsjeng / roms / povray / ammp, baseline config) two ways —
+per-event :class:`~repro.machine.machine.Machine` replay and the
+batched :func:`~repro.columnar.measure_columnar` backend — asserts the
+two produce bit-identical measurements, and records the honest numbers
+in ``BENCH_columnar.json`` at the repository root.  CI's bench job gates
+throughput against that file via ``tools/check_regression.py``.
+
+Both engines run warm: traces are recorded and decoded up front, and
+each engine gets one unmeasured warm-up pass (the first columnar call
+compiles and caches the LRU kernel).
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_columnar.py -s
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.columnar import kernel_backend
+from repro.harness.prepare import get_or_record_trace
+from repro.harness.runner import measure_baseline
+from repro.workloads.base import get_workload
+
+WORKLOADS = tuple(
+    os.environ.get("REPRO_BENCH_COLUMNAR_WORKLOADS", "deepsjeng,roms,povray,ammp").split(",")
+)
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "test")
+REPEATS = int(os.environ.get("REPRO_BENCH_COLUMNAR_REPEATS", "3"))
+#: The acceptance bar — only enforced with the compiled kernel; the
+#: pure-Python fallback stays correct but is not held to the same floor.
+MIN_SPEEDUP = float(os.environ.get("REPRO_BENCH_COLUMNAR_MIN_SPEEDUP", "10.0"))
+
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_columnar.json"
+
+
+def _fields(m):
+    return (
+        m.workload, m.config, m.scale, m.seed, m.cycles, m.cache,
+        m.accesses, m.allocs, m.frees, m.instrumentation_toggles,
+        m.peak_live_bytes, m.frag_at_peak,
+        m.grouped_allocs, m.forwarded_allocs, m.degraded_allocs,
+    )
+
+
+def _measure_sweep(inputs, engine):
+    out = []
+    for workload, trace in inputs:
+        out.append(
+            measure_baseline(workload, scale=SCALE, seed=1, trace=trace, engine=engine)
+        )
+    return out
+
+
+def test_columnar_measure_walltime():
+    inputs = []
+    total_events = 0
+    for name in WORKLOADS:
+        workload = get_workload(name)
+        trace = get_or_record_trace(name, workload=workload, scale=SCALE)
+        trace.columns()  # decode outside the timed region for both engines
+        inputs.append((workload, trace))
+        total_events += trace.header.events
+
+    # One unmeasured warm-up per engine (kernel compile, allocator caches).
+    event_results = _measure_sweep(inputs, "event")
+    columnar_results = _measure_sweep(inputs, "columnar")
+
+    # The differential oracle, on the exact sweep being timed.
+    assert [_fields(m) for m in columnar_results] == [_fields(m) for m in event_results]
+
+    event_wall = min(
+        _timed(_measure_sweep, inputs, "event") for _ in range(REPEATS)
+    )
+    columnar_wall = min(
+        _timed(_measure_sweep, inputs, "columnar") for _ in range(REPEATS)
+    )
+
+    speedup = event_wall / columnar_wall
+    backend = kernel_backend()
+    if backend == "c":
+        assert speedup >= MIN_SPEEDUP, (
+            f"columnar only {speedup:.2f}x faster than per-event replay "
+            f"(floor {MIN_SPEEDUP:g}x)"
+        )
+    else:
+        # Fallback environments keep the agreement guarantee; speed is
+        # only reported, not gated.
+        assert speedup > 1.0, f"python-kernel columnar slower than event ({speedup:.2f}x)"
+
+    record = {
+        "workloads": list(WORKLOADS),
+        "scale": SCALE,
+        "config": "baseline",
+        "kernel_backend": backend,
+        "trace_events": total_events,
+        "event_measure_wall_s": round(event_wall, 3),
+        "columnar_measure_wall_s": round(columnar_wall, 3),
+        "speedup": round(speedup, 2),
+        "columnar_events_per_s": round(total_events / columnar_wall),
+    }
+    RESULTS_PATH.write_text(json.dumps(record, indent=1) + "\n")
+    print(f"\n{len(WORKLOADS)} workloads, {total_events:,} events   "
+          f"event {event_wall:.3f}s   columnar {columnar_wall:.3f}s   "
+          f"({speedup:.1f}x, {backend} kernel)")
+    print(f"wrote {RESULTS_PATH}")
+
+
+def _timed(fn, *args):
+    start = time.perf_counter()
+    fn(*args)
+    return time.perf_counter() - start

@@ -19,7 +19,7 @@ first.  This allocator reproduces that policy:
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from typing import Optional
 
 from .base import (
@@ -69,13 +69,13 @@ class _Run:
         self.queued = False  # whether the run is in its bin's non-full heap
 
     def take(self) -> int:
-        slot = heapq.heappop(self.free_slots)
+        slot = heappop(self.free_slots)
         self.live += 1
         return self.base + slot * self.region_size
 
     def give_back(self, addr: int) -> None:
         slot = (addr - self.base) // self.region_size
-        heapq.heappush(self.free_slots, slot)
+        heappush(self.free_slots, slot)
         self.live -= 1
 
     @property
@@ -106,6 +106,17 @@ class SizeClassAllocator(Allocator):
         self._classes = build_size_classes(max_small)
         self._bins = {size: _Bin(size) for size in self._classes}
         self._max_small = self._classes[-1]
+        # Class lookup table indexed by ceil(size / 8): every class is a
+        # multiple of 8, so the smallest class >= size equals the
+        # smallest class >= the rounded-up index.  O(1) on the malloc
+        # hot path instead of a binary search.
+        table = []
+        ci = 0
+        for idx in range((self._max_small >> 3) + 1):
+            while self._classes[ci] < (idx << 3):
+                ci += 1
+            table.append(self._classes[ci])
+        self._class_table = table
         # addr -> (requested size, run or None for large)
         self._live: dict[int, tuple[int, Optional[_Run]]] = {}
         self._large: dict[int, int] = {}  # addr -> reserved bytes
@@ -116,46 +127,43 @@ class SizeClassAllocator(Allocator):
         """Smallest size class holding *size*, or None for large requests."""
         if size > self._max_small:
             return None
-        # Binary search over the ascending class list.
-        lo, hi = 0, len(self._classes) - 1
-        while lo < hi:
-            mid = (lo + hi) // 2
-            if self._classes[mid] < size:
-                lo = mid + 1
-            else:
-                hi = mid
-        return self._classes[lo]
+        return self._class_table[(size + 7) >> 3]
 
     # -- allocation ------------------------------------------------------
 
     def malloc(self, size: int, alignment: int = MIN_ALIGNMENT) -> int:
         if size <= 0:
             raise AllocationError(f"invalid malloc size {size}")
-        cls = self.size_class(max(size, alignment))
-        if cls is None:
+        want = size if size >= alignment else alignment
+        if want > self._max_small:
             addr = self._malloc_large(size, alignment)
             self._live[addr] = (size, None)
         else:
-            run = self._nonfull_run(self._bins[cls])
+            run = self._nonfull_run(self._bins[self._class_table[(want + 7) >> 3]])
             addr = run.take()
-            if run.full:
+            if not run.free_slots:
                 run.queued = False
             self._live[addr] = (size, run)
-        self.stats.on_alloc(size)
+        stats = self.stats
+        stats.live_bytes += size
+        stats.live_blocks += 1
+        stats.total_allocs += 1
+        if stats.live_bytes > stats.peak_live_bytes:
+            stats.peak_live_bytes = stats.live_bytes
         return addr
 
     def _nonfull_run(self, bin_: _Bin) -> _Run:
-        while bin_.nonfull:
-            _, run = bin_.nonfull[0]
-            if run.full or not run.queued:
-                heapq.heappop(bin_.nonfull)  # stale entry
-                continue
-            return run
+        nonfull = bin_.nonfull
+        while nonfull:
+            run = nonfull[0][1]
+            if run.queued and run.free_slots:
+                return run
+            heappop(nonfull)  # stale entry
         base = self.space.reserve(bin_.run_bytes)
         run = _Run(base, bin_.region_size, bin_.run_capacity)
         run.queued = True
         bin_.runs.append(run)
-        heapq.heappush(bin_.nonfull, (base, run))
+        heappush(nonfull, (base, run))
         return run
 
     def _malloc_large(self, size: int, alignment: int) -> int:
@@ -175,13 +183,15 @@ class SizeClassAllocator(Allocator):
             self.space.release(addr)
             del self._large[addr]
         else:
-            was_full = run.full
+            was_full = not run.free_slots
             run.give_back(addr)
             if was_full and not run.queued:
                 run.queued = True
-                bin_ = self._bins[run.region_size]
-                heapq.heappush(bin_.nonfull, (run.base, run))
-        self.stats.on_free(size)
+                heappush(self._bins[run.region_size].nonfull, (run.base, run))
+        stats = self.stats
+        stats.live_bytes -= size
+        stats.live_blocks -= 1
+        stats.total_frees += 1
         return size
 
     def size_of(self, addr: int) -> int:

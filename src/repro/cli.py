@@ -275,6 +275,14 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     plot.add_argument("--out", type=Path, default=None, help="directory for JSON output")
     plot.add_argument(
+        "--engine",
+        choices=("direct", "auto", "columnar", "event"),
+        default="direct",
+        help="measurement backend for the figure matrix: direct executes "
+        "workloads; auto/columnar/event measure from recorded event traces "
+        "(requires --scale test, the trace-recording scale)",
+    )
+    plot.add_argument(
         "--jobs",
         type=int,
         default=1,
@@ -311,8 +319,19 @@ def _build_parser() -> argparse.ArgumentParser:
     t_replay = tsub.add_parser(
         "replay", help="re-measure a recorded run (no workload execution)"
     )
-    t_replay.add_argument("trace", type=Path, help="trace file to replay")
+    t_replay.add_argument(
+        "traces", type=Path, nargs="+", metavar="TRACE",
+        help="trace file(s) to replay",
+    )
     t_replay.add_argument("--seed", type=int, default=1, help="address-space seed")
+    t_replay.add_argument(
+        "--engine",
+        choices=("auto", "columnar", "event"),
+        default="auto",
+        help="measurement backend (default: auto, which picks the columnar "
+        "core unless a sanitizer is active)",
+    )
+    _add_metrics_arg(t_replay)
 
     t_sweep = tsub.add_parser(
         "sweep", help="sweep pipeline parameters against one recorded trace"
@@ -617,6 +636,7 @@ def _run_plot(
         checkpoint=checkpoint,
         resume=args.resume,
         failures=failures,
+        engine=args.engine,
     )
     _report_failures(failures)
     figure = {13: reproduce.figure13, 14: reproduce.figure14, 15: reproduce.figure15}[args.figure]
@@ -707,35 +727,49 @@ def _cmd_trace_info(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace_replay(args: argparse.Namespace) -> int:
-    from .trace import EventTrace, TraceReplayer
+    from .harness.runner import resolve_engine
+    from .trace import EventTrace
 
-    trace = EventTrace.load(args.trace)
-    workload = get_workload(trace.header.workload)
-    replayer = TraceReplayer(trace, workload.program)
-    measurement = measure_baseline(
-        workload,
-        scale=trace.header.scale,
-        seed=args.seed,
-        driver=replayer.drive,
-    )
-    print(
-        format_table(
-            ["metric", "value"],
-            [
-                ["cycles", f"{measurement.cycles:,.0f}"],
-                ["heap accesses", f"{measurement.accesses:,}"],
-                ["L1D misses", f"{measurement.cache.l1_misses:,}"],
-                ["L2 misses", f"{measurement.cache.l2_misses:,}"],
-                ["L3 misses", f"{measurement.cache.l3_misses:,}"],
-                ["DTLB misses", f"{measurement.cache.tlb_misses:,}"],
-                ["peak live bytes", f"{measurement.peak_live_bytes:,}"],
-            ],
-            title=(
-                f"{trace.header.workload} baseline ({trace.header.scale}) "
-                "[replayed from trace]"
-            ),
-        )
-    )
+    with _metrics_session(args.metrics_out):
+        for path in args.traces:
+            trace = EventTrace.load(path)
+            workload = get_workload(trace.header.workload)
+            resolved = resolve_engine(args.engine, trace)
+            if resolved == "columnar":
+                # Decode once up front: column decoding is a per-trace
+                # cost shared by every replay, not engine time, and the
+                # bench baselines gate on warm engine throughput.
+                trace.columns()
+            with obs.span(
+                "halo.trace.replay",
+                workload=trace.header.workload,
+                engine=resolved,
+            ) as sp:
+                measurement = measure_baseline(
+                    workload,
+                    scale=trace.header.scale,
+                    seed=args.seed,
+                    trace=trace,
+                    engine=args.engine,
+                )
+            print(
+                format_table(
+                    ["metric", "value"],
+                    [
+                        ["cycles", f"{measurement.cycles:,.0f}"],
+                        ["heap accesses", f"{measurement.accesses:,}"],
+                        ["L1D misses", f"{measurement.cache.l1_misses:,}"],
+                        ["L2 misses", f"{measurement.cache.l2_misses:,}"],
+                        ["L3 misses", f"{measurement.cache.l3_misses:,}"],
+                        ["DTLB misses", f"{measurement.cache.tlb_misses:,}"],
+                        ["peak live bytes", f"{measurement.peak_live_bytes:,}"],
+                    ],
+                    title=(
+                        f"{trace.header.workload} baseline ({trace.header.scale}) "
+                        f"[{resolved} engine, {sp.elapsed:.2f}s]"
+                    ),
+                )
+            )
     return 0
 
 

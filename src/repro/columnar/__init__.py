@@ -1,0 +1,20 @@
+"""Columnar trace-driven simulation core.
+
+A batched measurement backend: instead of dispatching one Python method
+call per recorded machine event, the trace is decoded once into flat
+columns (:meth:`repro.trace.format.EventTrace.columns`) and the
+set-associative cache / TLB simulation runs as chunked passes over
+line/page streams — through a small compiled LRU kernel when a C
+compiler is available, or an exact pure-Python fallback otherwise.
+
+The per-event :class:`~repro.machine.machine.Machine` path is retained
+as the differential oracle: ``measure_columnar`` produces bit-identical
+:class:`~repro.harness.runner.Measurement` values (cycles, per-level
+misses, TLB misses, fragmentation-at-peak) for every supported allocator
+configuration, which the agreement tests assert on every benchmark.
+"""
+
+from .engine import measure_columnar
+from .kernel import kernel_backend
+
+__all__ = ["measure_columnar", "kernel_backend"]

@@ -98,6 +98,9 @@ class MeasureTask:
     cache_dir: Optional[str] = None
     halo_params: Optional[HaloParams] = None
     hds_params: Optional[HdsParams] = None
+    #: Measurement backend: ``direct`` executes the workload; ``auto``/
+    #: ``columnar``/``event`` measure from the shared event trace.
+    engine: str = "direct"
 
 
 @dataclass
@@ -293,13 +296,22 @@ def _measure_task(task: MeasureTask) -> tuple[Measurement, PhaseTimes]:
     with obs_metrics.collecting() as registry:
         times = PhaseTimes()
         workload = get_workload(task.workload)
+        measure_kwargs: dict = {}
+        if task.engine != "direct" and task.scale == PROFILE_SCALE:
+            trace, trace_times = _trace_for(task.workload, task.cache_dir)
+            times.add(trace_times)
+            measure_kwargs = {"trace": trace, "engine": task.engine}
         span = phase_span(times, "measure", workload=task.workload, config=task.config)
         if task.config == "baseline":
             with span:
-                measurement = measure_baseline(workload, scale=task.scale, seed=task.seed)
+                measurement = measure_baseline(
+                    workload, scale=task.scale, seed=task.seed, **measure_kwargs
+                )
         elif task.config == "random-pools":
             with span:
-                measurement = measure_random_pools(workload, scale=task.scale, seed=task.seed)
+                measurement = measure_random_pools(
+                    workload, scale=task.scale, seed=task.seed, **measure_kwargs
+                )
         elif task.config in ("halo", "hds"):
             prepared, prep_times = _prepared_for(
                 task.workload,
@@ -312,12 +324,14 @@ def _measure_task(task: MeasureTask) -> tuple[Measurement, PhaseTimes]:
             with span:
                 if task.config == "halo":
                     measurement = measure_halo(
-                        workload, prepared.halo, scale=task.scale, seed=task.seed
+                        workload, prepared.halo, scale=task.scale, seed=task.seed,
+                        **measure_kwargs,
                     )
                 else:
                     assert prepared.hds is not None
                     measurement = measure_hds(
-                        workload, prepared.hds, scale=task.scale, seed=task.seed
+                        workload, prepared.hds, scale=task.scale, seed=task.seed,
+                        **measure_kwargs,
                     )
         else:
             raise ValueError(f"unknown configuration {task.config!r}")
@@ -672,6 +686,7 @@ def run_trials_parallel(
     max_retries: int = 2,
     fault_plan: Optional[FaultPlan] = None,
     failures: Optional[list[FailedMeasurement]] = None,
+    engine: str = "direct",
 ) -> TrialResult:
     """Parallel counterpart of :func:`~repro.harness.experiment.run_trials`.
 
@@ -717,6 +732,7 @@ def run_trials_parallel(
                             cache_dir=cache_dir,
                             halo_params=halo_params,
                             hds_params=hds_params,
+                            engine=engine,
                         ),
                     ),
                     workload=name,
@@ -767,6 +783,7 @@ def evaluate_all_parallel(
     checkpoint: Optional[Union[CheckpointJournal, str, Path]] = None,
     resume: bool = False,
     failures: Optional[list[FailedMeasurement]] = None,
+    engine: str = "direct",
 ) -> dict[str, WorkloadEvaluation]:
     """Parallel counterpart of :func:`~repro.harness.reproduce.evaluate_all`.
 
@@ -837,6 +854,7 @@ def evaluate_all_parallel(
                             scale=scale,
                             seed=seed,
                             cache_dir=cache_dir,
+                            engine=engine,
                         ),
                     ),
                     workload=name,

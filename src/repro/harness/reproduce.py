@@ -17,6 +17,7 @@ from a single set of runs, exactly as in the paper.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
@@ -33,13 +34,17 @@ from .runner import (
 )
 from .experiment import run_trials
 from .prepare import (
+    PROFILE_SCALE,
     PhaseTimes,
     WorkloadEvaluation,
     build_evaluation,
+    get_or_record_trace,
     halo_params_for,
     hds_params_for,
     prepare_workload,
 )
+
+logger = logging.getLogger(__name__)
 
 #: Benchmarks in the paper's presentation order (Figures 13-15 x-axis).
 PAPER_BENCHMARKS = (
@@ -62,30 +67,56 @@ def evaluate_workload(
     halo_params: Optional[HaloParams] = None,
     cache: Optional[ArtifactCache] = None,
     phase_times: Optional[PhaseTimes] = None,
+    engine: str = "direct",
 ) -> WorkloadEvaluation:
     """Profile, optimise and measure one benchmark under every configuration.
 
     With a *cache*, the profile + analyse phases are skipped on warm
     re-runs; *phase_times*, when given, accumulates the per-phase
-    wall-time spent here.
+    wall-time spent here.  *engine* selects the measurement backend:
+    ``direct`` executes each workload, while ``auto``/``columnar``/
+    ``event`` measure from the recorded event trace (one recording
+    serves every configuration and trial) — trace-driven measurement
+    requires the trace scale, so other scales fall back to direct runs.
     """
     workload = get_workload(name)
     prepared = prepare_workload(name, halo_params=halo_params, cache=cache, workload=workload)
 
+    measure_kwargs: dict = {}
+    if engine != "direct":
+        if scale == PROFILE_SCALE:
+            trace = get_or_record_trace(
+                name, cache=cache, workload=workload, times=phase_times
+            )
+            measure_kwargs = {"trace": trace, "engine": engine}
+        else:
+            logger.debug(
+                "trace-driven measurement is only recorded at scale=%s; "
+                "measuring %s at scale=%s directly", PROFILE_SCALE, name, scale,
+            )
+
     with phase_span(phase_times, "measure", workload=name):
         baseline = run_trials(
-            lambda seed: measure_baseline(workload, scale=scale, seed=seed), trials
+            lambda seed: measure_baseline(
+                workload, scale=scale, seed=seed, **measure_kwargs
+            ), trials
         )
         halo = run_trials(
-            lambda seed: measure_halo(workload, prepared.halo, scale=scale, seed=seed), trials
+            lambda seed: measure_halo(
+                workload, prepared.halo, scale=scale, seed=seed, **measure_kwargs
+            ), trials
         )
         hds = run_trials(
-            lambda seed: measure_hds(workload, prepared.hds, scale=scale, seed=seed), trials
+            lambda seed: measure_hds(
+                workload, prepared.hds, scale=scale, seed=seed, **measure_kwargs
+            ), trials
         )
         random_pools = None
         if include_random:
             random_pools = run_trials(
-                lambda seed: measure_random_pools(workload, scale=scale, seed=seed), trials
+                lambda seed: measure_random_pools(
+                    workload, scale=scale, seed=seed, **measure_kwargs
+                ), trials
             )
     if phase_times is not None:
         phase_times.add(prepared.times)
@@ -105,6 +136,7 @@ def evaluate_all(
     checkpoint=None,
     resume: bool = False,
     failures: Optional[list] = None,
+    engine: str = "direct",
 ) -> dict[str, WorkloadEvaluation]:
     """Run the full evaluation matrix (figures 13, 14 and 15 share it).
 
@@ -129,6 +161,7 @@ def evaluate_all(
             checkpoint=checkpoint,
             resume=resume,
             failures=failures,
+            engine=engine,
         )
     return {
         name: evaluate_workload(
@@ -138,6 +171,7 @@ def evaluate_all(
             include_random=include_random,
             cache=cache,
             phase_times=phase_times,
+            engine=engine,
         )
         for name in benchmarks
     }

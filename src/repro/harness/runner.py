@@ -10,7 +10,9 @@ usage").
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Callable, Optional
 
 from ..allocators.base import AddressSpace, Allocator
@@ -25,8 +27,14 @@ from ..machine.events import Listener
 from ..machine.machine import Machine, MachineMetrics
 from ..sanitize.invariants import active_sanitizer
 from ..sanitize.shadow import SanitizerListener
+from ..trace.format import EventTrace
 from ..workloads.base import Workload
 from .. import obs
+
+logger = logging.getLogger(__name__)
+
+#: Engines ``run_measurement`` accepts for trace-driven runs.
+ENGINES = ("auto", "columnar", "event")
 
 
 @dataclass
@@ -78,6 +86,48 @@ class PeakTracker(Listener):
                 self.frag_at_peak = self.allocator.fragmentation()
 
 
+def resolve_engine(engine: str, trace: Optional[EventTrace]) -> str:
+    """The measurement engine one run will actually use.
+
+    ``auto`` picks the columnar backend for trace-driven runs unless a
+    sanitizer is active (the shadow-heap oracle observes per-event
+    machine traffic, which only the event path generates); an explicit
+    ``columnar`` request degrades to ``event`` under the same condition
+    rather than silently skipping the sanitizer.  Direct (non-trace)
+    runs always report ``direct``.
+    """
+    if trace is None:
+        return "direct"
+    if engine not in ENGINES:
+        raise ValueError(f"unknown measurement engine {engine!r} (expected one of {ENGINES})")
+    if engine == "event":
+        return "event"
+    if active_sanitizer() is not None:
+        if engine == "columnar":
+            logger.info(
+                "sanitizer active: columnar engine falls back to per-event replay"
+            )
+        return "event"
+    return "columnar"
+
+
+def _publish_engine_metrics(
+    workload: str, config: str, engine: str, events: int, elapsed: float
+) -> None:
+    """Per-engine throughput harvest (``engine.measure.*``).
+
+    Labelled by engine so exported snapshots distinguish columnar from
+    event (and direct) runs; the deterministic ``measure.*`` family keeps
+    its existing label set, so cross-engine totals stay comparable.
+    """
+    if obs.active_registry() is None:
+        return
+    labels = {"engine": engine, "workload": workload, "config": config}
+    obs.inc("engine.measure.runs", 1, **labels)
+    obs.inc("engine.measure.events", events, **labels)
+    obs.inc("engine.measure.seconds", elapsed, **labels)
+
+
 def run_measurement(
     workload: Workload,
     make_allocator: Callable[[AddressSpace], Allocator],
@@ -90,17 +140,54 @@ def run_measurement(
     state_vector=None,
     attach: Optional[Callable[[Machine], None]] = None,
     driver: Optional[Callable[[Machine], None]] = None,
+    trace: Optional[EventTrace] = None,
+    engine: str = "auto",
 ) -> Measurement:
     """Run *workload* once under the given allocator factory and measure it.
 
+    When *trace* is given the run is trace-driven: *engine* selects the
+    measurement backend — ``columnar`` for the batched simulation core,
+    ``event`` for full-fidelity per-event replay, or ``auto`` (the
+    default) which picks columnar whenever it applies.  Both engines
+    produce bit-identical measurements to executing the workload at the
+    recorded scale (pass the matching *scale* so the result is labelled
+    correctly).
+
     When *driver* is given it replaces the workload body: it receives the
     fully configured machine and is responsible for driving it to
-    ``finish`` — e.g. ``TraceReplayer(trace, workload.program).drive``
-    re-runs a recorded execution, which produces measurements
-    bit-identical to executing the workload at the recorded scale (pass
-    the matching *scale* so the result is labelled correctly).
+    ``finish`` — e.g. ``TraceReplayer(trace, workload.program).drive``.
+    *driver* and *trace* are mutually exclusive.
     """
     cost_model = cost_model or CostModel()
+    resolved = resolve_engine(engine, trace)
+    if trace is not None:
+        if driver is not None:
+            raise ValueError("pass either trace= or driver=, not both")
+        if resolved == "columnar":
+            from ..columnar.engine import measure_columnar
+
+            started = perf_counter()
+            measurement = measure_columnar(
+                workload,
+                make_allocator,
+                config,
+                trace,
+                scale=scale,
+                seed=seed,
+                cost_model=cost_model,
+                hierarchy_config=hierarchy_config,
+                instrumentation=instrumentation,
+                state_vector=state_vector,
+                attach=attach,
+            )
+            _publish_engine_metrics(
+                workload.name, config, "columnar",
+                trace.header.events, perf_counter() - started,
+            )
+            return measurement
+        from ..trace.replay import TraceReplayer
+
+        driver = TraceReplayer(trace, workload.program).drive
     space = AddressSpace(seed)
     allocator = make_allocator(space)
     memory = CacheHierarchy(hierarchy_config)
@@ -121,17 +208,26 @@ def run_measurement(
     )
     if attach is not None:
         attach(machine)
+    started = perf_counter()
     if driver is not None:
         driver(machine)
     else:
         workload.run(machine, scale)
+    elapsed = perf_counter() - started
     if sanitizer is not None:
         # ``run_measurement`` does not call ``machine.finish()``, so the
         # phase-boundary check must run explicitly.
         sanitizer.final_check(machine)
     cache = memory.snapshot()
     metrics = machine.metrics
-    _publish_measurement_metrics(workload.name, config, metrics, cache, allocator, tracker)
+    _publish_measurement_metrics(
+        workload.name, config, metrics, cache, allocator, tracker.peak_live
+    )
+    _publish_engine_metrics(
+        workload.name, config, resolved,
+        trace.header.events if trace is not None else metrics.accesses,
+        elapsed,
+    )
     return Measurement(
         workload=workload.name,
         config=config,
@@ -157,7 +253,7 @@ def _publish_measurement_metrics(
     metrics: MachineMetrics,
     cache: HierarchyStats,
     allocator: Allocator,
-    tracker: PeakTracker,
+    peak_live: int,
 ) -> None:
     """Harvest one finished run into the active metrics registry.
 
@@ -172,7 +268,7 @@ def _publish_measurement_metrics(
         return
     labels = {"workload": workload, "config": config}
     obs.inc("measure.runs", 1, **labels)
-    obs.inc("measure.peak_live_bytes", tracker.peak_live, **labels)
+    obs.inc("measure.peak_live_bytes", peak_live, **labels)
     for name, value in metrics.as_counters().items():
         obs.inc(f"measure.machine.{name}", value, **labels)
     for name, value in cache.as_counters().items():

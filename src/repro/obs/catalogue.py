@@ -50,6 +50,11 @@ CATALOGUE: dict[str, str] = {
     "measure.alloc.chunks_reused": "Group chunks reused after emptying (chunk churn).",
     "measure.alloc.chunks_purged": "Group chunks returned to the OS (chunk churn).",
     "measure.peak_live_bytes": "Sum over runs of peak live heap bytes.",
+    # per-engine measurement throughput (labels: engine, workload, config;
+    # runs/events are deterministic, seconds is wall time)
+    "engine.measure.runs": "Measurement runs per backend (labels: engine, workload, config).",
+    "engine.measure.events": "Trace events (or direct accesses) measured per backend.",
+    "engine.measure.seconds": "Wall seconds spent measuring, per backend.",
     # profiling harvest (labels: program)
     "profile.runs": "Profiler executions (cache hits do not profile).",
     "profile.contexts": "Distinct allocation contexts discovered.",

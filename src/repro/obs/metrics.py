@@ -211,6 +211,22 @@ class MetricsSnapshot:
             value for key, value in self.counters.items() if split_metric_key(key)[0] == name
         )
 
+    def sum_counter_where(self, name: str, **labels: str) -> float:
+        """Sum a counter over the label combinations matching *labels*.
+
+        Only the given labels are constrained; any additional labels on a
+        series are ignored (so adding a new label dimension later does not
+        silently zero existing queries).
+        """
+        total = 0.0
+        for key, value in self.counters.items():
+            got_name, got_labels = split_metric_key(key)
+            if got_name == name and all(
+                got_labels.get(k) == v for k, v in labels.items()
+            ):
+                total += value
+        return total
+
     def is_empty(self) -> bool:
         """True when nothing at all has been recorded."""
         return not (self.counters or self.gauges or self.histograms or self.spans)

@@ -15,8 +15,6 @@ allocator, which is exactly the placement-vs-behaviour split the paper's
 offline/online boundary rests on.
 
 Traces are stored as flat numpy arrays, so a ref-scale run costs a few MiB.
-
-(Relocated from ``repro.harness.tracer``, which remains as a re-export.)
 """
 
 from __future__ import annotations
@@ -87,8 +85,46 @@ class AccessTrace:
         offsets = np.arange(total) - np.repeat(np.cumsum(spans) - spans, spans)
         return starts + offsets
 
-    def replay(self, config: HierarchyConfig | None = None) -> HierarchyStats:
-        """Drive a fresh hierarchy with this trace and return its counters."""
+    def replay(
+        self, config: HierarchyConfig | None = None, engine: str = "columnar"
+    ) -> HierarchyStats:
+        """Drive a fresh hierarchy with this trace and return its counters.
+
+        The default ``columnar`` engine runs each structure as one
+        chunked :func:`~repro.columnar.kernel.lru_filter` pass (bit-
+        identical counters, far faster for geometry sweeps); pass
+        ``engine="event"`` to drive the per-line simulator instead.
+        """
+        if engine == "columnar":
+            from ..columnar.kernel import lru_filter, validate_geometry
+
+            config = config or HierarchyConfig()
+            validate_geometry(config)
+            line = config.line_size
+            line_shift = line.bit_length() - 1
+            page_shift = config.page_size.bit_length() - 1
+            lines = self.line_stream(line)
+            # The per-line loop feeds the TLB one page per *line*.
+            pages = lines << line_shift >> page_shift
+            l1_misses, l1_missed = lru_filter(
+                lines, config.l1_size // (config.l1_assoc * line), config.l1_assoc
+            )
+            l2_misses, l2_missed = lru_filter(
+                l1_missed, config.l2_size // (config.l2_assoc * line), config.l2_assoc
+            )
+            l3_misses, _ = lru_filter(
+                l2_missed, config.l3_size // (config.l3_assoc * line), config.l3_assoc
+            )
+            tlb_misses, _ = lru_filter(pages, 1, config.tlb_entries)
+            return HierarchyStats(
+                accesses=int(lines.shape[0]),
+                l1_misses=l1_misses,
+                l2_misses=l2_misses,
+                l3_misses=l3_misses,
+                tlb_misses=tlb_misses,
+            )
+        if engine != "event":
+            raise ValueError(f"unknown replay engine {engine!r}")
         hierarchy = CacheHierarchy(config)
         l1 = hierarchy.l1.access_line
         l2 = hierarchy.l2.access_line

@@ -465,6 +465,95 @@ _RETURN_EVENT = (OP_RETURN,)
 _END_EVENT = (OP_END,)
 
 
+class TraceColumns:
+    """Columnar (struct-of-arrays) view of one decoded event stream.
+
+    The batched simulation engine (:mod:`repro.columnar`) consumes events
+    as flat columns instead of per-event tuples:
+
+    * ``acc_oid`` / ``acc_offset`` / ``acc_size`` — one int64 entry per
+      load/store, in stream order.  Absolute addresses are obtained later
+      by indexing an allocator-specific base table with ``acc_oid``.
+    * ``heap_ops`` — ``(op, a, b, acc_ptr)`` tuples for ALLOC/FREE/REALLOC
+      only (``a`` = size or oid, ``b`` = realloc new size), where
+      ``acc_ptr`` is the number of accesses preceding the op.  Enough to
+      re-drive any allocator whose decisions ignore the call stack.
+    * ``ctrl_ops`` — the heap ops plus CALL/RETURN markers, same shape
+      (CALL's ``a`` is the site address).  Needed when the allocator's
+      group matcher reads the state vector or the live call stack.
+    * ``works`` — float64 compute-cycle entries in stream order.
+
+    All columns are built in one pass over the decoded event list and
+    cached on the owning :class:`EventTrace`.
+    """
+
+    __slots__ = (
+        "acc_oid", "acc_offset", "acc_size", "heap_ops", "ctrl_ops",
+        "works", "call_addrs", "loads", "stores", "allocs", "frees",
+        "reallocs", "calls",
+    )
+
+    def __init__(self, events: list) -> None:
+        import numpy as np
+
+        acc_oid: list[int] = []
+        acc_offset: list[int] = []
+        acc_size: list[int] = []
+        heap_ops: list[tuple] = []
+        ctrl_ops: list[tuple] = []
+        works: list[float] = []
+        call_addrs: list[int] = []
+        loads = stores = 0
+        for event in events:
+            op = event[0]
+            if op == OP_LOAD or op == OP_STORE:
+                acc_oid.append(event[1])
+                acc_offset.append(event[2])
+                acc_size.append(event[3])
+                if op == OP_STORE:
+                    stores += 1
+                else:
+                    loads += 1
+            elif op == OP_CALL:
+                call_addrs.append(event[1])
+                ctrl_ops.append((OP_CALL, event[1], 0, len(acc_oid)))
+            elif op == OP_RETURN:
+                ctrl_ops.append((OP_RETURN, 0, 0, len(acc_oid)))
+            elif op == OP_WORK:
+                works.append(event[1])
+            elif op == OP_ALLOC:
+                entry = (OP_ALLOC, event[1], 0, len(acc_oid))
+                heap_ops.append(entry)
+                ctrl_ops.append(entry)
+            elif op == OP_FREE:
+                entry = (OP_FREE, event[1], 0, len(acc_oid))
+                heap_ops.append(entry)
+                ctrl_ops.append(entry)
+            elif op == OP_REALLOC:
+                entry = (OP_REALLOC, event[1], event[2], len(acc_oid))
+                heap_ops.append(entry)
+                ctrl_ops.append(entry)
+            # OP_END carries no simulation state.
+        self.acc_oid = np.asarray(acc_oid, dtype=np.int64)
+        self.acc_offset = np.asarray(acc_offset, dtype=np.int64)
+        self.acc_size = np.asarray(acc_size, dtype=np.int64)
+        self.heap_ops = heap_ops
+        self.ctrl_ops = ctrl_ops
+        self.works = np.asarray(works, dtype=np.float64)
+        self.call_addrs = call_addrs
+        self.loads = loads
+        self.stores = stores
+        self.allocs = sum(1 for op in heap_ops if op[0] == OP_ALLOC)
+        self.frees = sum(1 for op in heap_ops if op[0] == OP_FREE)
+        self.reallocs = len(heap_ops) - self.allocs - self.frees
+        self.calls = len(call_addrs)
+
+    @property
+    def accesses(self) -> int:
+        """Total load/store events."""
+        return int(self.acc_oid.shape[0])
+
+
 class EventTrace:
     """An immutable recorded event stream plus its identifying header.
 
@@ -479,6 +568,7 @@ class EventTrace:
         self.body = body
         self.flags = flags
         self._events: Optional[list[tuple]] = None
+        self._columns: Optional[TraceColumns] = None
 
     def __len__(self) -> int:
         return self.header.events
@@ -545,6 +635,21 @@ class EventTrace:
                 )
             self._events = out
         return self._events
+
+    def read_all(self) -> list[tuple]:
+        """Bulk-decode the entire body in one pass (the array-decode path).
+
+        Alias of :meth:`events`: one decompression, one decode loop, one
+        cached list — the entry point batch consumers (``trace info``, the
+        columnar engine) should use instead of :meth:`iter_events`.
+        """
+        return self.events()
+
+    def columns(self) -> TraceColumns:
+        """Decode (once) into the cached columnar struct-of-arrays view."""
+        if self._columns is None:
+            self._columns = TraceColumns(self.read_all())
+        return self._columns
 
     def iter_events(self, chunk_size: int = 1 << 16) -> Iterator[tuple]:
         """Stream events without materialising the full list.
@@ -625,6 +730,17 @@ class TraceReader:
         self.chunk_size = chunk_size
         with open(self.path, "rb") as handle:
             self.header, self.flags, self._body_offset = _read_container_head(handle)
+
+    def read_all(self) -> list[tuple]:
+        """Bulk-decode the whole file: one read, one inflate, one decode pass.
+
+        Much faster than ``list(reader)`` for tools that want every event
+        anyway (``trace info`` statistics, the columnar engine); the
+        chunked iterator remains the constant-memory path.
+        """
+        raw = self.path.read_bytes()
+        trace = EventTrace(self.header, raw[self._body_offset:], flags=self.flags)
+        return trace.read_all()
 
     def __iter__(self) -> Iterator[tuple]:
         decompressor = zlib.decompressobj() if self.flags & FLAG_ZLIB else None

@@ -257,3 +257,54 @@ class TestSanitizedEvaluation:
         assert workers.get("sanitize.checks", 0) > 0
         assert workers.get("sanitize.shadow.ops", 0) > 0
         assert workers.get("sanitize.findings", 0) == 0
+
+
+class TestColumnarDifferential:
+    """The columnar engine stays bit-identical to the per-event oracle
+    even while faults and sanitizers reshape the run around it."""
+
+    #: health's HALO artifact actually groups at test scale, so the
+    #: state-flip selector corruption has placements to perturb.
+    DIFF_BENCH = "health"
+
+    @pytest.fixture(scope="class")
+    def halo_inputs(self, tmp_path_factory):
+        cache = ArtifactCache(tmp_path_factory.mktemp("cache"))
+        trace = get_or_record_trace(self.DIFF_BENCH, cache=cache)
+        prepared = prepare_workload(self.DIFF_BENCH, cache=cache, trace=trace)
+        return get_workload(self.DIFF_BENCH), trace, prepared.halo
+
+    def test_state_flip_plan_hits_both_engines_identically(self, halo_inputs):
+        """State-corruption faults are a pure function of the allocation
+        index, so the engines must agree on the *faulted* run too."""
+        workload, trace, halo = halo_inputs
+        plan = FaultPlan(seed=77, state_flip_rate=0.5)
+        kwargs = dict(scale="test", seed=1, trace=trace)
+        clean = measure_halo(workload, halo, **kwargs, engine="event")
+        with fault_plan_active(plan):
+            event = measure_halo(workload, halo, **kwargs, engine="event")
+            columnar = measure_halo(workload, halo, **kwargs, engine="columnar")
+        assert columnar == event
+        # The plan really fired: flipped selector states change which
+        # allocations the grouped pools capture.
+        assert (event.grouped_allocs, event.forwarded_allocs) != (
+            clean.grouped_allocs, clean.forwarded_allocs)
+
+    def test_sanitizer_degrades_columnar_to_event_with_same_numbers(self, halo_inputs):
+        from repro import obs
+        from repro.harness.runner import resolve_engine
+        from repro.sanitize import SanitizerConfig, sanitizer_active
+
+        workload, trace, halo = halo_inputs
+        kwargs = dict(scale="test", seed=1, trace=trace)
+        plain = measure_halo(workload, halo, **kwargs, engine="columnar")
+        with sanitizer_active(SanitizerConfig(check_interval=512)):
+            assert resolve_engine("columnar", trace) == "event"
+            with obs.collecting() as registry:
+                sanitized = measure_halo(workload, halo, **kwargs, engine="columnar")
+        counters = registry.snapshot().counters
+        # The shadow heap observed the run, found nothing, and the
+        # degraded-to-event measurement still matches the columnar one.
+        assert counters.get("sanitize.shadow.ops", 0) > 0
+        assert counters.get("sanitize.findings", 0) == 0
+        assert sanitized == plain

@@ -421,15 +421,6 @@ class TestHarnessIntegration:
         assert np.array_equal(live.addresses, derived.addresses)
         assert np.array_equal(live.sizes, derived.sizes)
 
-    def test_tracer_module_reexports(self):
-        from repro.harness import tracer
-
-        from repro.trace import access
-
-        assert tracer.AccessTrace is access.AccessTrace
-        assert tracer.AccessTraceRecorder is access.AccessTraceRecorder
-        assert tracer.replay_geometries is access.replay_geometries
-
 
 #: Golden ``trace info`` lines for health at test scale.  Any change here
 #: means the recorded event stream (or its summary) changed — deliberate
@@ -545,7 +536,10 @@ class TestCli:
 
         assert main(["trace", "replay", str(trace_file)]) == 0
         out = capsys.readouterr().out
-        assert "replayed from trace" in out
+        assert "[columnar engine" in out
+
+        assert main(["trace", "replay", str(trace_file), "--engine", "event"]) == 0
+        assert "[event engine" in capsys.readouterr().out
 
         assert (
             main(

@@ -72,15 +72,3 @@ class TestReplayEquivalence:
         assert lean_stats.l1_misses >= default_stats.l1_misses
         assert lean_stats.l2_misses >= default_stats.l2_misses
         assert lean_stats.tlb_misses >= default_stats.tlb_misses
-
-
-class TestDeprecatedShim:
-    def test_harness_tracer_warns_on_import(self):
-        import importlib
-
-        import repro.harness.tracer as shim
-
-        with pytest.warns(DeprecationWarning, match="repro.trace.access"):
-            importlib.reload(shim)
-        assert shim.AccessTrace is AccessTrace
-        assert shim.replay_geometries is replay_geometries
