@@ -26,8 +26,8 @@ The artefact appendix's per-benchmark quirks are supported directly:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional, Protocol
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Protocol
 
 from ..faults.plan import active_fault_plan
 from .base import (
@@ -86,6 +86,26 @@ class _Chunk:
         # across a reuse misattributes its bump footprint to the new group
         # (and breaks the cursor/high-water coherence the sanitizer checks).
         self.high_water = self.cursor
+
+
+@dataclass
+class MigrationReport:
+    """Outcome of one :meth:`GroupAllocator.migrate_groups` call.
+
+    Attributes:
+        moved_regions: Live regions relocated into their new group's pool.
+        moved_bytes: Sum of the moved regions' sizes.
+        aborted: True when the abort hook fired mid-migration; the heap is
+            left exactly as it was before the call (copies were discarded).
+        forwarding: old address -> new address for every moved region.
+            Callers holding raw addresses (the serving daemon's retained-
+            object table) must rewrite them through this map.
+    """
+
+    moved_regions: int = 0
+    moved_bytes: int = 0
+    aborted: bool = False
+    forwarding: dict[int, int] = field(default_factory=dict)
 
 
 @dataclass
@@ -202,6 +222,9 @@ class GroupAllocator(Allocator):
         self.chunks_created = 0
         self.chunks_reused = 0
         self.chunks_purged = 0
+        #: Live-layout migration totals (the serving daemon's hot swaps).
+        self.migrated_regions = 0
+        self.migrated_bytes = 0
 
     # -- allocation -----------------------------------------------------------
 
@@ -338,6 +361,85 @@ class GroupAllocator(Allocator):
             return self.fallback.size_of(addr)
         return size
 
+    # -- live-layout migration ----------------------------------------------
+
+    def group_of(self, addr: int) -> Optional[int]:
+        """Group id of the chunk holding *addr* (None for fallback regions)."""
+        chunk = self._chunk_of(addr)
+        return None if chunk is None else chunk.group
+
+    def place_region(
+        self, group: Optional[int], size: int, alignment: int = MIN_ALIGNMENT
+    ) -> int:
+        """Place a region directly into *group*'s pool, bypassing the matcher.
+
+        The state-restore and migration paths use this to rebuild or move a
+        known layout: ``group=None`` (and any over-large request) routes to
+        the fallback, exactly like an unmatched ``malloc``.  Pool exhaustion
+        degrades to the fallback per the usual semantics — the returned
+        address is always valid.
+        """
+        if size <= 0:
+            raise AllocationError(f"invalid region size {size}")
+        if group is None or size >= self.max_grouped_size:
+            self.forwarded_allocs += 1
+            return self.fallback.malloc(size, alignment)
+        return self._group_malloc(group, size, max(alignment, MIN_ALIGNMENT))
+
+    def migrate_groups(
+        self,
+        regroup: Callable[[int], Optional[int]],
+        should_abort: Optional[Callable[[int], bool]] = None,
+    ) -> MigrationReport:
+        """Relocate live grouped regions under a new group assignment.
+
+        *regroup* maps a region's current group id to its new group id (or
+        None / the same id to leave the region in place).  Relocation is
+        two-phase so a mid-migration failure can never tear the heap:
+
+        1. **copy** — each moving region is bump-allocated into its new
+           group's pool (the data copy is modelled as a page touch).  Before
+           every copy the optional *should_abort* hook is consulted with the
+           step index; if it fires, every copy made so far is freed and the
+           report comes back ``aborted`` with the original layout intact.
+        2. **commit** — only after every copy landed are the old regions
+           freed and the forwarding map published.
+
+        Emptied source chunks retire through the normal spare/purge path, so
+        the sanitizer invariants hold at every step.
+        """
+        plan_moves: list[tuple[int, int, int]] = []
+        for addr in sorted(self._region_sizes):
+            chunk = self._chunk_of(addr)
+            if chunk is None:
+                continue
+            target = regroup(chunk.group)
+            if target is None or target == chunk.group:
+                continue
+            plan_moves.append((addr, self._region_sizes[addr], target))
+
+        copies: list[int] = []
+        for step, (addr, size, target) in enumerate(plan_moves):
+            if should_abort is not None and should_abort(step):
+                # Roll back: discard the copies; source regions were never
+                # touched, so the incumbent layout is exactly as before.
+                for new_addr in copies:
+                    self.free(new_addr)
+                return MigrationReport(aborted=True)
+            new_addr = self.place_region(target, size)
+            self.space.touch_range(new_addr, size)  # the migration memcpy
+            copies.append(new_addr)
+
+        report = MigrationReport()
+        for (addr, size, _), new_addr in zip(plan_moves, copies):
+            self.free(addr)
+            report.forwarding[addr] = new_addr
+            report.moved_regions += 1
+            report.moved_bytes += size
+        self.migrated_regions += report.moved_regions
+        self.migrated_bytes += report.moved_bytes
+        return report
+
     def realloc(self, addr: int, new_size: int) -> int:
         chunk = self._chunk_of(addr)
         if chunk is None and addr not in self._region_sizes:
@@ -369,6 +471,8 @@ class GroupAllocator(Allocator):
             chunks_created=self.chunks_created,
             chunks_reused=self.chunks_reused,
             chunks_purged=self.chunks_purged,
+            migrated_regions=self.migrated_regions,
+            migrated_bytes=self.migrated_bytes,
         )
         return stats
 

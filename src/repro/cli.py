@@ -459,6 +459,104 @@ def _build_parser() -> argparse.ArgumentParser:
         help="restrict to one allocator family (default: all)",
     )
 
+    serve = sub.add_parser(
+        "serve", help="long-running serving daemon with online re-optimisation"
+    )
+    svsub = serve.add_subparsers(dest="serve_command", required=True)
+
+    def _add_serve_config_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--seed", type=int, default=0, help="session seed")
+        p.add_argument(
+            "--requests", type=int, default=240, help="requests to serve (default: 240)"
+        )
+        p.add_argument(
+            "--epoch-requests", type=int, default=24,
+            help="requests per decision epoch (default: 24)",
+        )
+        p.add_argument(
+            "--window", type=int, default=3,
+            help="profile/trace sliding-window length in epochs (default: 3)",
+        )
+        p.add_argument(
+            "--regroup-every", type=int, default=2,
+            help="scheduled re-grouping period in epochs (default: 2)",
+        )
+        p.add_argument(
+            "--cooldown", type=int, default=2,
+            help="epochs to back off after a rollback or abort (default: 2)",
+        )
+        p.add_argument(
+            "--request-factor", type=float, default=0.05,
+            help="workload scale factor per request (default: 0.05)",
+        )
+        p.add_argument(
+            "--drift-threshold", type=float, default=0.25,
+            help="windowed distribution distance that counts as drift (default: 0.25)",
+        )
+        p.add_argument(
+            "--snapshot-every", type=int, default=1,
+            help="epochs between crash-safe snapshots (default: 1)",
+        )
+        p.add_argument(
+            "--phase",
+            action="append",
+            default=None,
+            metavar="START:W=WEIGHT[,W=WEIGHT...]",
+            help="request-mix phase, e.g. '0:health=3,ft=1'; repeat for "
+            "drifting traffic (default: the built-in two-phase schedule)",
+        )
+        p.add_argument(
+            "--state-dir", type=Path, default=None, metavar="DIR",
+            help="directory for crash-safe snapshot journals (enables --resume)",
+        )
+
+    s_run = svsub.add_parser("run", help="run one deterministic serving session")
+    _add_serve_config_args(s_run)
+    s_run.add_argument(
+        "--resume", action="store_true",
+        help="continue from the newest intact snapshot in --state-dir",
+    )
+    s_run.add_argument(
+        "--stop-after", type=int, default=None, metavar="N",
+        help="stop after N requests served in this process (restart testing)",
+    )
+    s_run.add_argument(
+        "--stop-mode", choices=("term", "kill"), default="term",
+        help="how --stop-after ends the session: 'term' flushes a snapshot, "
+        "'kill' simulates a crash (default: term)",
+    )
+    _add_metrics_arg(s_run)
+
+    s_status = svsub.add_parser(
+        "status", help="summarise snapshot journals in a state directory"
+    )
+    s_status.add_argument(
+        "state_dir", type=Path, help="directory holding serve-*.journal files"
+    )
+
+    s_drill = svsub.add_parser(
+        "drill", help="run a session under the serve-layer fault drill"
+    )
+    _add_serve_config_args(s_drill)
+    s_drill.add_argument("--drill-seed", type=int, default=0, help="fault-plan seed")
+    s_drill.add_argument(
+        "--swap-flip", type=float, default=0.35,
+        help="per-step mid-migration flip probability (default: 0.35)",
+    )
+    s_drill.add_argument(
+        "--canary-flip", type=float, default=0.25,
+        help="per-epoch forced-rollback probability (default: 0.25)",
+    )
+    s_drill.add_argument(
+        "--regroup-stall", type=float, default=0.25,
+        help="per-epoch re-grouper stall probability (default: 0.25)",
+    )
+    s_drill.add_argument(
+        "--snapshot-corrupt", type=float, default=0.35,
+        help="per-snapshot corruption probability (default: 0.35)",
+    )
+    _add_metrics_arg(s_drill)
+
     sub.add_parser("list", help="list available benchmarks")
     return parser
 
@@ -1066,6 +1164,175 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 1  # pragma: no cover - argparse enforces choices
 
 
+@contextlib.contextmanager
+def _graceful_sigterm() -> Iterator[None]:
+    """Translate SIGTERM into KeyboardInterrupt for the serve loop.
+
+    The service's interrupt path flushes a final snapshot, so a plain
+    ``kill <pid>`` becomes a graceful shutdown instead of lost state.
+    """
+    import signal
+
+    def _handler(signum, frame):  # pragma: no cover - signal delivery
+        raise KeyboardInterrupt
+
+    previous = None
+    try:
+        previous = signal.getsignal(signal.SIGTERM)
+        signal.signal(signal.SIGTERM, _handler)
+    except ValueError:  # pragma: no cover - non-main thread
+        previous = None
+    try:
+        yield
+    finally:
+        if previous is not None:
+            with contextlib.suppress(ValueError):
+                signal.signal(signal.SIGTERM, previous)
+
+
+def _serve_config_from_args(args: argparse.Namespace):
+    from .serve import DEFAULT_PHASES, MixPhase, ServeConfig
+
+    phases = DEFAULT_PHASES
+    if args.phase:
+        parsed = []
+        for spec in args.phase:
+            start_text, sep, mix_text = spec.partition(":")
+            if not sep:
+                raise SystemExit(f"bad --phase {spec!r}: expected START:W=WEIGHT,...")
+            try:
+                mix = []
+                for part in mix_text.split(","):
+                    name, eq, weight = part.partition("=")
+                    mix.append((name.strip(), float(weight) if eq else 1.0))
+                parsed.append(MixPhase(int(start_text), tuple(mix)))
+            except ValueError as exc:
+                raise SystemExit(f"bad --phase {spec!r}: {exc}")
+        phases = tuple(sorted(parsed, key=lambda phase: phase.start_request))
+    return ServeConfig(
+        seed=args.seed,
+        requests=args.requests,
+        epoch_requests=args.epoch_requests,
+        phases=phases,
+        request_factor=args.request_factor,
+        window_epochs=args.window,
+        regroup_every=args.regroup_every,
+        cooldown_epochs=args.cooldown,
+        drift_threshold=args.drift_threshold,
+        snapshot_every=args.snapshot_every,
+    )
+
+
+def _print_serve_report(report, title: str) -> None:
+    stats = report.stats
+    def _epochs(values: list[int]) -> str:
+        return ",".join(str(v) for v in values) if values else "-"
+
+    rows = [
+        ("requests served", str(stats.requests)),
+        ("epochs", str(stats.epochs)),
+        ("table generation", str(report.generation)),
+        ("swaps", f"{stats.swaps} (epochs {_epochs(stats.swap_epochs)})"),
+        ("rollbacks", f"{stats.rollbacks} (epochs {_epochs(stats.rollback_epochs)})"),
+        ("swap aborts", f"{stats.swap_aborts} (epochs {_epochs(stats.abort_epochs)})"),
+        ("drift events", f"{stats.drift_events} (epochs {_epochs(stats.drift_epochs)})"),
+        ("regroup attempts", str(stats.regroup_attempts)),
+        ("regroup stalls", str(stats.regroup_stalls)),
+        ("migrated", f"{stats.migrated_regions} regions / {stats.migrated_bytes} B"),
+        ("snapshots", str(stats.snapshots)),
+        ("sanitizer", f"{stats.sanitize_findings} finding(s) in {stats.sanitize_checks} check(s)"),
+        ("live bytes", str(stats.live_bytes)),
+    ]
+    if report.resumed_from is not None:
+        rows.insert(0, ("resumed from epoch", str(report.resumed_from)))
+    print(format_table(["metric", "value"], rows, title=title))
+    if not report.completed:
+        print("\nsession interrupted before completion; continue with --resume")
+
+
+def _cmd_serve_run(args: argparse.Namespace, plan=None, title: str = "serve run") -> int:
+    from .serve import ServeError, run_serve
+
+    if getattr(args, "resume", False) and args.state_dir is None:
+        print("--resume requires --state-dir", file=sys.stderr)
+        return 1
+    try:
+        config = _serve_config_from_args(args)
+    except ValueError as exc:
+        print(f"serve: {exc}", file=sys.stderr)
+        return 1
+    try:
+        with _metrics_session(args.metrics_out), _graceful_sigterm():
+            report = run_serve(
+                config,
+                state_dir=args.state_dir,
+                resume=getattr(args, "resume", False),
+                plan=plan,
+                stop_after=getattr(args, "stop_after", None),
+                stop_mode=getattr(args, "stop_mode", "term"),
+            )
+    except ServeError as exc:
+        print(f"serve: {exc}", file=sys.stderr)
+        return 1
+    _print_serve_report(report, f"{title} (seed {config.seed})")
+    if report.stats.sanitize_findings:
+        print(f"\n{report.stats.sanitize_findings} sanitizer finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_serve_status(args: argparse.Namespace) -> int:
+    from .serve import SnapshotStore
+
+    journals = sorted(Path(args.state_dir).glob("serve-*.journal"))
+    if not journals:
+        print(f"no serve journals under {args.state_dir}")
+        return 0
+    rows = []
+    for path in journals:
+        snapshot = SnapshotStore(path).load()
+        if snapshot is None:
+            rows.append((path.name, "-", "-", "-", "no intact snapshot"))
+            continue
+        stats = snapshot.stats
+        rows.append(
+            (
+                path.name,
+                str(snapshot.next_epoch),
+                str(snapshot.generation),
+                str(stats.requests),
+                f"{stats.swaps} swap(s), {stats.rollbacks} rollback(s)",
+            )
+        )
+    print(
+        format_table(
+            ["journal", "next epoch", "generation", "requests", "decisions"],
+            rows,
+            title="serve status",
+        )
+    )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.serve_command == "run":
+        return _cmd_serve_run(args)
+    if args.serve_command == "status":
+        return _cmd_serve_status(args)
+    if args.serve_command == "drill":
+        from .serve import drill_plan
+
+        plan = drill_plan(
+            seed=args.drill_seed,
+            swap_flip=args.swap_flip,
+            canary_flip=args.canary_flip,
+            regroup_stall=args.regroup_stall,
+            snapshot_corrupt=args.snapshot_corrupt,
+        )
+        return _cmd_serve_run(args, plan=plan, title="serve drill")
+    return 1  # pragma: no cover - argparse enforces choices
+
+
 def main(argv: Optional[list[str]] = None) -> int:
     """CLI entry point."""
     args = _build_parser().parse_args(argv)
@@ -1093,6 +1360,8 @@ def main(argv: Optional[list[str]] = None) -> int:
         return _cmd_faults(args)
     if args.command == "obs":
         return _cmd_obs(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     return 1  # pragma: no cover - argparse enforces choices
 
 

@@ -14,7 +14,7 @@ misses, TLB misses, fragmentation-at-peak) for every supported allocator
 configuration, which the agreement tests assert on every benchmark.
 """
 
-from .engine import measure_columnar
+from .engine import measure_columnar, score_trace
 from .kernel import kernel_backend
 
-__all__ = ["measure_columnar", "kernel_backend"]
+__all__ = ["measure_columnar", "score_trace", "kernel_backend"]

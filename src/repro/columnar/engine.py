@@ -316,6 +316,52 @@ def _address_column(cols, bases: list, moves: list) -> np.ndarray:
     return addr
 
 
+def score_trace(
+    workload: Workload,
+    make_allocator: Callable[[AddressSpace], Allocator],
+    trace: EventTrace,
+    seed: int = 0,
+    cost_model: Optional[CostModel] = None,
+    hierarchy_config: Optional[HierarchyConfig] = None,
+    instrumentation: Optional[dict[int, int]] = None,
+    state_vector=None,
+    attach: Optional[Callable[[Machine], None]] = None,
+) -> float:
+    """Cycles-only score of one allocator configuration over *trace*.
+
+    The serving daemon's canary: identical placement and hierarchy
+    simulation to :func:`measure_columnar`, but a single lean pass (no
+    fragmentation snapshot, which needs the residency replay) and no
+    observability publication — scoring candidates must not perturb the
+    service's own metrics.  Scores are comparable across calls with the
+    same trace, seed, cost model, and hierarchy geometry.
+    """
+    cost_model = cost_model or CostModel()
+    hconfig = hierarchy_config or HierarchyConfig()
+    cols = trace.columns()
+    machine = _build_machine(
+        workload, make_allocator, seed, instrumentation, state_vector, attach
+    )
+    if isinstance(machine.allocator, GroupAllocator):
+        bases, moves, _, _, toggles, _ = _grouped_pass(cols, machine)
+    else:
+        bases, moves, _, toggles = _heap_pass(cols, machine)
+    addr = _address_column(cols, bases, moves)
+    size = cols.acc_size if cols.accesses else np.empty(0, dtype=np.int64)
+    cache, _, _ = simulate_hierarchy(addr, size, hconfig)
+    metrics = MachineMetrics(
+        loads=cols.loads,
+        stores=cols.stores,
+        allocs=cols.allocs,
+        frees=cols.frees,
+        reallocs=cols.reallocs,
+        calls=cols.calls,
+        compute_cycles=_compute_cycles(cols.works),
+        instrumentation_toggles=toggles,
+    )
+    return cost_model.cycles(metrics, cache)
+
+
 def measure_columnar(
     workload: Workload,
     make_allocator: Callable[[AddressSpace], Allocator],

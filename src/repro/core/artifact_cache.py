@@ -8,7 +8,8 @@ code version), so repeated ``halo plot`` / ``tools/gen_results.py``
 invocations can skip the profile + analyse phases entirely by keying a
 content-addressed store on exactly those inputs.
 
-Entries are pickled bundles written atomically (tmp file + rename), so a
+Entries are pickled bundles written atomically and durably (tmp file,
+fsync, rename, directory fsync), so a
 cache directory may be shared by the worker processes of the parallel
 evaluation engine without locking: concurrent writers race benignly (last
 rename wins, both wrote identical bytes) and readers either see a complete
@@ -129,7 +130,13 @@ class ArtifactCache:
         try:
             with os.fdopen(fd, "wb") as handle:
                 pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                handle.flush()
+                # A rename only orders against data already on disk: without
+                # the fsync a crash can leave a complete-looking entry full
+                # of zeros, which get() cannot tell from a damaged pickle.
+                os.fsync(handle.fileno())
             os.replace(tmp_name, path)
+            self._fsync_dir(self.root)
         except BaseException:
             try:
                 os.unlink(tmp_name)
@@ -138,6 +145,20 @@ class ArtifactCache:
             raise
         self.stats.stores += 1
         return path
+
+    @staticmethod
+    def _fsync_dir(directory: Path) -> None:
+        """Persist the rename itself (the directory entry) to disk."""
+        try:
+            fd = os.open(directory, os.O_RDONLY)
+        except OSError:  # pragma: no cover - e.g. platforms without dir fds
+            return
+        try:
+            os.fsync(fd)
+        except OSError:  # pragma: no cover - fsync unsupported on dirs
+            pass
+        finally:
+            os.close(fd)
 
     def contains(self, key: str) -> bool:
         """Whether an entry for *key* exists (no read validation)."""

@@ -70,6 +70,18 @@ class FaultPlan:
             stall for ``worker_stall_seconds``.
         max_kill_attempts: Attempt count affected by the explicit task
             lists (1 = only the first attempt dies, the retry survives).
+        serve_swap_flip_rate: Probability (per migration step) that the
+            serving daemon's group-table swap is flipped mid-migration —
+            the copy phase aborts and the incumbent layout must survive.
+        serve_canary_flip_rate: Probability (per epoch) the canary verdict
+            for a candidate table is flipped to "regression", modelling a
+            bad re-optimisation the rollback path must absorb.
+        serve_regroup_stall_rate: Probability (per epoch) the re-grouper
+            stalls and produces nothing; the service keeps serving on the
+            incumbent table.
+        serve_snapshot_corrupt_rate: Probability (per snapshot) the
+            freshly written serve snapshot is damaged on disk; a later
+            ``--resume`` must fall back to the last intact one.
     """
 
     seed: int = 0
@@ -85,6 +97,10 @@ class FaultPlan:
     kill_tasks: tuple = field(default=())
     stall_tasks: tuple = field(default=())
     max_kill_attempts: int = 1
+    serve_swap_flip_rate: float = 0.0
+    serve_canary_flip_rate: float = 0.0
+    serve_regroup_stall_rate: float = 0.0
+    serve_snapshot_corrupt_rate: float = 0.0
 
     # -- deterministic decisions -------------------------------------------
 
@@ -128,6 +144,26 @@ class FaultPlan:
             self.worker_stall_rate, "worker-stall", task_key, attempt
         ):
             time.sleep(self.worker_stall_seconds)
+
+    # -- serving-daemon hooks ----------------------------------------------
+
+    def flip_swap(self, epoch: int, step: int) -> bool:
+        """Whether migration *step* of the swap at *epoch* is flipped."""
+        return self.decide(self.serve_swap_flip_rate, "serve-swap-flip", epoch, step)
+
+    def flip_canary(self, epoch: int) -> bool:
+        """Whether the canary verdict at *epoch* is forced to regression."""
+        return self.decide(self.serve_canary_flip_rate, "serve-canary-flip", epoch)
+
+    def stall_regroup(self, epoch: int) -> bool:
+        """Whether the re-grouper stalls (produces nothing) at *epoch*."""
+        return self.decide(self.serve_regroup_stall_rate, "serve-regroup-stall", epoch)
+
+    def corrupt_snapshot(self, epoch: int) -> bool:
+        """Whether the serve snapshot written at *epoch* is damaged on disk."""
+        return self.decide(
+            self.serve_snapshot_corrupt_rate, "serve-snapshot-corrupt", epoch
+        )
 
 
 # -- process-global registration -----------------------------------------------

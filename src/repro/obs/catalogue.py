@@ -49,6 +49,8 @@ CATALOGUE: dict[str, str] = {
     "measure.alloc.chunks_created": "Group chunks created (chunk churn).",
     "measure.alloc.chunks_reused": "Group chunks reused after emptying (chunk churn).",
     "measure.alloc.chunks_purged": "Group chunks returned to the OS (chunk churn).",
+    "measure.alloc.migrated_regions": "Live regions moved by group-table hot-swaps.",
+    "measure.alloc.migrated_bytes": "Bytes copied by group-table hot-swaps.",
     "measure.peak_live_bytes": "Sum over runs of peak live heap bytes.",
     # per-engine measurement throughput (labels: engine, workload, config;
     # runs/events are deterministic, seconds is wall time)
@@ -83,6 +85,21 @@ CATALOGUE: dict[str, str] = {
     "sanitize.checks": "Full heap-invariant walks executed by the sanitizer.",
     "sanitize.findings": "Invariant/oracle violations the sanitizer reported.",
     "sanitize.shadow.ops": "Heap operations mirrored into the shadow-heap oracle.",
+    # serving daemon (deterministic: decision-level counters only)
+    "serve.requests": "Requests served by the long-running allocation service.",
+    "serve.epochs": "Serve epochs completed (request batches between decisions).",
+    "serve.swaps": "Group-table hot-swaps committed to the live allocator.",
+    "serve.rollbacks": "Candidate tables rejected by the canary (kept incumbent).",
+    "serve.swap_aborts": "Swaps aborted mid-migration (fault flip; incumbent kept).",
+    "serve.drift_events": "Windowed drift detections that triggered re-grouping.",
+    "serve.migrated_regions": "Live regions moved across all committed swaps.",
+    "serve.migrated_bytes": "Bytes copied across all committed swaps.",
+    "serve.regroup_attempts": "Re-grouping attempts (scheduled or drift-triggered).",
+    "serve.regroup_stalls": "Re-grouper stalls absorbed (service kept serving).",
+    "serve.snapshots": "Crash-safe service snapshots flushed to the journal.",
+    "serve.sanitize_checks": "Heap-consistency walks run at swap/epoch boundaries.",
+    "serve.sanitize_findings": "Heap-consistency violations found while serving.",
+    "serve.live_bytes": "Live retained bytes on the service heap (gauge).",
     # resilient-runner operations
     "harness.tasks": "Parallel tasks submitted (label: kind).",
     "harness.task_seconds": "Per-task wall latency histogram (label: kind).",

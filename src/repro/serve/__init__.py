@@ -1,0 +1,42 @@
+"""Long-running HALO serving daemon with online re-optimisation.
+
+The offline pipeline optimises once; this package keeps a live allocation
+service optimal as its traffic shifts.  A :class:`~repro.serve.service.ServeService`
+drives a deterministic request stream over one shared
+:class:`~repro.allocators.group.GroupAllocator`, maintains sliding-window
+affinity profiles, periodically re-groups, canary-scores every candidate
+group table on recent traces, and hot-swaps accepted tables with safe
+live-region migration — all wrapped in a self-healing loop that degrades
+(keeps serving on the incumbent table) under injected faults instead of
+dying.  See ``docs/SERVING.md``.
+"""
+
+from .config import DEFAULT_PHASES, MixPhase, ServeConfig
+from .service import (
+    ServeError,
+    ServeReport,
+    ServeService,
+    drill_plan,
+    run_serve,
+    serve_journal,
+)
+from .snapshot import ServeSnapshot, SnapshotStore
+from .stats import ServeStats
+from .table import ServingTable, TableEntry
+
+__all__ = [
+    "DEFAULT_PHASES",
+    "MixPhase",
+    "ServeConfig",
+    "ServeError",
+    "ServeReport",
+    "ServeService",
+    "ServeSnapshot",
+    "ServeStats",
+    "ServingTable",
+    "SnapshotStore",
+    "TableEntry",
+    "drill_plan",
+    "run_serve",
+    "serve_journal",
+]

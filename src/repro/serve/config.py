@@ -1,0 +1,149 @@
+"""Configuration of the long-running serving daemon.
+
+A :class:`ServeConfig` pins every knob that shapes the request stream and
+the control loop's decisions, and hashes to a digest stored in snapshots —
+a ``--resume`` against a different configuration is detected and refused
+rather than silently blending two schedules.
+
+The request mix is a piecewise-constant schedule (:class:`MixPhase`): each
+phase names weighted workloads, and phase boundaries are how tests and
+drills induce traffic drift at a known request index.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from ..workloads.base import WorkloadError
+
+__all__ = ["MixPhase", "ServeConfig", "DEFAULT_PHASES"]
+
+
+@dataclass(frozen=True)
+class MixPhase:
+    """One traffic regime: from *start_request* on, draw from *mix*.
+
+    Attributes:
+        start_request: First request index this phase covers.
+        mix: ``(workload name, weight)`` pairs; weights need not sum to 1.
+    """
+
+    start_request: int
+    mix: tuple[tuple[str, float], ...]
+
+    def __post_init__(self) -> None:
+        if not self.mix:
+            raise WorkloadError("a mix phase needs at least one workload")
+        if any(weight <= 0 for _, weight in self.mix):
+            raise WorkloadError(f"mix weights must be positive: {self.mix}")
+
+
+#: Default two-phase schedule: a health-dominated regime that flips to an
+#: ft-dominated one halfway through — enough drift to exercise re-grouping
+#: without hand-tuning every test.
+DEFAULT_PHASES: tuple[MixPhase, ...] = (
+    MixPhase(0, (("health", 3.0), ("ft", 1.0))),
+    MixPhase(120, (("ft", 3.0), ("health", 1.0))),
+)
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Every serving-daemon knob in one place.
+
+    Attributes:
+        seed: Root seed; fixes the request schedule, retention draws, and
+            the address space, making whole sessions replayable.
+        requests: Total requests the session serves.
+        epoch_requests: Requests per epoch (decisions run at epoch ends).
+        phases: Piecewise request-mix schedule (sorted by start_request).
+        request_factor: Workload scale factor per request (kept small so a
+            request is one "transaction", not a whole benchmark run).
+        retain_rate: Fraction of a request's objects promoted to the
+            service's session cache (re-allocated into their group's pool)
+            when the request completes.
+        retain_max: Cap on promotions per request (bounds ledger growth).
+        retain_epochs: Maximum epochs a retained object lives.
+        window_epochs: Sliding-window length for profiles and traces.
+        regroup_every: Scheduled re-grouping period in epochs.
+        cooldown_epochs: Epochs to wait after a rollback/abort before the
+            next re-grouping attempt (hysteresis against thrash).
+        regress_tolerance: Relative cycles slack the canary allows before
+            calling a candidate a regression.
+        drift_threshold: L1 distance on windowed mix/size distributions
+            above which an epoch counts as drifted.
+        drift_hysteresis: Consecutive drifted epochs required to trigger
+            re-profiling (oscillating traffic must not thrash).
+        snapshot_every: Epochs between crash-safe snapshots.
+        chunk_size: Group-allocator chunk size (small: serving heaps are
+            much smaller than benchmark heaps).
+        slab_size: Group-allocator slab size.
+    """
+
+    seed: int = 0
+    requests: int = 240
+    epoch_requests: int = 24
+    phases: tuple[MixPhase, ...] = DEFAULT_PHASES
+    request_factor: float = 0.05
+    retain_rate: float = 0.25
+    retain_max: int = 8
+    retain_epochs: int = 2
+    window_epochs: int = 3
+    regroup_every: int = 2
+    cooldown_epochs: int = 2
+    regress_tolerance: float = 0.02
+    drift_threshold: float = 0.25
+    drift_hysteresis: int = 2
+    snapshot_every: int = 1
+    chunk_size: int = 1 << 16
+    slab_size: int = 1 << 20
+    extra: tuple = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.requests < 1 or self.epoch_requests < 1:
+            raise ValueError("requests and epoch_requests must be positive")
+        if not self.phases or self.phases[0].start_request != 0:
+            raise ValueError("the first mix phase must start at request 0")
+        starts = [phase.start_request for phase in self.phases]
+        if starts != sorted(starts):
+            raise ValueError(f"mix phases out of order: {starts}")
+        if self.window_epochs < 1:
+            raise ValueError("window_epochs must be >= 1")
+
+    # -- schedule queries ---------------------------------------------------
+
+    def mix_at(self, request_index: int) -> tuple[tuple[str, float], ...]:
+        """The active workload mix for *request_index*."""
+        active = self.phases[0]
+        for phase in self.phases:
+            if phase.start_request <= request_index:
+                active = phase
+            else:
+                break
+        return active.mix
+
+    def total_epochs(self) -> int:
+        """Number of (possibly short) epochs the full session runs."""
+        return -(-self.requests // self.epoch_requests)
+
+    def epoch_bounds(self, epoch: int) -> tuple[int, int]:
+        """``[start, end)`` request indices of *epoch*."""
+        start = epoch * self.epoch_requests
+        return start, min(start + self.epoch_requests, self.requests)
+
+    def digest(self) -> str:
+        """Stable hash of the schedule-shaping fields (snapshot guard)."""
+        return hashlib.sha256(repr(self).encode()).hexdigest()[:16]
+
+
+def draw(seed: int, site: str, *key) -> float:
+    """Uniform ``[0, 1)`` value fixed by ``(seed, site, key)``.
+
+    The service's own decision randomness (request kinds, retention) uses
+    the same keyed-hash scheme as :class:`~repro.faults.plan.FaultPlan`, so
+    every draw is reproducible across restarts with no RNG state to
+    snapshot.
+    """
+    digest = hashlib.sha256(repr((seed, site, key)).encode()).digest()
+    return int.from_bytes(digest[:8], "big") / float(1 << 64)

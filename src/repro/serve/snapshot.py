@@ -1,0 +1,107 @@
+"""Crash-safe serve-state snapshots on the checkpoint journal.
+
+Every ``snapshot_every`` epochs the service appends its complete decision
+state — stats, incumbent table, context tables, profile/trace windows, the
+retained-object ledger (sizes and group ids only, never addresses) — as
+one CRC-framed journal record under a constant key.  The journal's framing
+gives degradation for free: a torn or bit-flipped tail record fails its
+CRC and :meth:`~repro.harness.checkpoint.CheckpointJournal.load` returns
+the last intact snapshot, so a ``--resume`` after a crash (or a snapshot-
+corruption drill) replays from the newest state that survived.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Union
+
+from ..faults.plan import FaultPlan
+from ..harness.checkpoint import CheckpointJournal
+from .stats import ServeStats
+from .table import ServingTable
+
+__all__ = ["SNAPSHOT_KEY", "SNAPSHOT_VERSION", "ServeSnapshot", "SnapshotStore"]
+
+SNAPSHOT_KEY = "serve-snapshot"
+SNAPSHOT_VERSION = 1
+
+
+@dataclass
+class ServeSnapshot:
+    """Everything a resumed session needs to continue deterministically.
+
+    ``retained`` lists ``(seq, global_gid_or_None, size, expiry_epoch)`` in
+    allocation order; addresses are deliberately absent — the restore path
+    re-places each region, and every serve-level decision depends only on
+    sizes and group ids, which is what makes resumed metric totals equal
+    uninterrupted ones.
+    """
+
+    version: int
+    config_digest: str
+    next_epoch: int
+    stats: ServeStats
+    generation: int
+    table: ServingTable
+    contexts: dict
+    profile_window: dict
+    trace_window: dict[str, list[bytes]]
+    retained: list[tuple[int, Optional[int], int, int]]
+    next_seq: int
+    cooldown: int = 0
+    extra: dict = field(default_factory=dict)
+
+
+class SnapshotStore:
+    """Journal-backed snapshot reader/writer with drill-mode corruption."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.journal = CheckpointJournal(path)
+
+    @property
+    def path(self) -> Path:
+        return self.journal.path
+
+    def write(self, snapshot: ServeSnapshot, plan: Optional[FaultPlan] = None) -> None:
+        """Append *snapshot*; under a drill plan, maybe damage it on disk.
+
+        The corruption models a torn write of the *newest* record only —
+        a byte inside the appended frame is flipped, so recovery falls
+        back to the previous snapshot instead of losing the whole journal.
+        """
+        before = self._file_size()
+        self.journal.append(SNAPSHOT_KEY, snapshot)
+        if plan is not None and plan.corrupt_snapshot(snapshot.next_epoch):
+            after = self._file_size()
+            span = after - before
+            if span > 0:
+                offset = before + int(
+                    plan.draw("serve-snapshot-corrupt-offset", snapshot.next_epoch)
+                    * span
+                )
+                offset = min(offset, after - 1)
+                with open(self.path, "r+b") as handle:
+                    handle.seek(offset)
+                    byte = handle.read(1)
+                    handle.seek(offset)
+                    handle.write(bytes((byte[0] ^ 0xFF,)))
+
+    def load(self) -> Optional[ServeSnapshot]:
+        """The newest intact snapshot, or None when none survives."""
+        snapshot = self.journal.load().get(SNAPSHOT_KEY)
+        if snapshot is None:
+            return None
+        if not isinstance(snapshot, ServeSnapshot) or snapshot.version != SNAPSHOT_VERSION:
+            return None
+        return snapshot
+
+    def clear(self) -> None:
+        """Delete the journal file (fresh-start testing helper)."""
+        self.journal.clear()
+
+    def _file_size(self) -> int:
+        try:
+            return self.path.stat().st_size
+        except OSError:
+            return 0

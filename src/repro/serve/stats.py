@@ -1,0 +1,65 @@
+"""Decision-level counters of one serving session.
+
+:class:`ServeStats` is the determinism contract of the daemon: everything
+here is a pure function of ``(config, fault plan)`` — request counts, swap
+and rollback decisions, migrated bytes — and never of heap addresses or
+wall time.  The stats ride inside every snapshot, so a killed-and-resumed
+session reports exactly the totals an uninterrupted one would, and the
+acceptance tests compare these objects directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .. import obs
+
+__all__ = ["ServeStats"]
+
+
+@dataclass
+class ServeStats:
+    """Counters and decision logs accumulated over a session."""
+
+    requests: int = 0
+    epochs: int = 0
+    swaps: int = 0
+    rollbacks: int = 0
+    swap_aborts: int = 0
+    drift_events: int = 0
+    migrated_regions: int = 0
+    migrated_bytes: int = 0
+    regroup_attempts: int = 0
+    regroup_stalls: int = 0
+    snapshots: int = 0
+    sanitize_checks: int = 0
+    sanitize_findings: int = 0
+    live_bytes: int = 0
+    #: Epoch indices where each decision landed (test-comparable history).
+    swap_epochs: list[int] = field(default_factory=list)
+    rollback_epochs: list[int] = field(default_factory=list)
+    abort_epochs: list[int] = field(default_factory=list)
+    drift_epochs: list[int] = field(default_factory=list)
+
+    def publish(self) -> None:
+        """Fold the final totals into the active obs registry (if any).
+
+        Published once at session end rather than incrementally: partial
+        epochs replayed after a resume must not double-count.
+        """
+        if obs.active_registry() is None:
+            return
+        obs.inc("serve.requests", self.requests)
+        obs.inc("serve.epochs", self.epochs)
+        obs.inc("serve.swaps", self.swaps)
+        obs.inc("serve.rollbacks", self.rollbacks)
+        obs.inc("serve.swap_aborts", self.swap_aborts)
+        obs.inc("serve.drift_events", self.drift_events)
+        obs.inc("serve.migrated_regions", self.migrated_regions)
+        obs.inc("serve.migrated_bytes", self.migrated_bytes)
+        obs.inc("serve.regroup_attempts", self.regroup_attempts)
+        obs.inc("serve.regroup_stalls", self.regroup_stalls)
+        obs.inc("serve.snapshots", self.snapshots)
+        obs.inc("serve.sanitize_checks", self.sanitize_checks)
+        obs.inc("serve.sanitize_findings", self.sanitize_findings)
+        obs.gauge_set("serve.live_bytes", self.live_bytes)

@@ -1,0 +1,208 @@
+"""The live group table: per-workload entries, matchers, and swaps.
+
+One :class:`~repro.allocators.group.GroupAllocator` serves every request
+of a session, so group ids must stay unique across workloads *and* across
+table generations (a swap drains old-generation chunks rather than
+reinterpreting them).  Global gids are namespaced arithmetically::
+
+    global_gid = (generation << GENERATION_SHIFT) | (widx << WORKLOAD_SHIFT) | local_gid
+
+The allocator itself consults a single :class:`BoundMatcher`; per request
+the service binds the active workload's entry matcher into it, and a swap
+replaces entries atomically between requests — allocations in flight never
+observe a half-installed table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..core.grouping import Group, group_contexts, assign_groups
+from ..core.identification import synthesise_selectors
+from ..core.pipeline import HaloParams
+from ..core.selectors import CompiledMatcher, GroupSelector, monitored_sites
+from ..profiling.graph import AffinityGraph
+from ..profiling.shadow import ContextTable
+from ..rewriting.bolt import BoltRewriter
+from ..workloads.base import Workload
+
+__all__ = [
+    "GENERATION_SHIFT",
+    "WORKLOAD_SHIFT",
+    "BoundMatcher",
+    "OffsetMatcher",
+    "TableEntry",
+    "ServingTable",
+    "build_entry",
+    "plan_regroup_mapping",
+]
+
+#: Global-gid bit layout: 10 bits of local gid, 10 bits of workload index.
+WORKLOAD_SHIFT = 10
+GENERATION_SHIFT = 20
+
+
+class OffsetMatcher:
+    """Shifts a local matcher's group ids into the global namespace."""
+
+    def __init__(self, inner: CompiledMatcher, gid_base: int) -> None:
+        self.inner = inner
+        self.gid_base = gid_base
+
+    def match(self, state: int) -> Optional[int]:
+        """Evaluate the inner matcher; offset any hit by ``gid_base``."""
+        gid = self.inner.match(state)
+        return None if gid is None else self.gid_base + gid
+
+
+class BoundMatcher:
+    """The allocator's matcher slot; rebound per request by the service."""
+
+    def __init__(self) -> None:
+        self.active: Optional[OffsetMatcher] = None
+
+    def match(self, state: int) -> Optional[int]:
+        """Delegate to the currently bound matcher (None: no grouping)."""
+        active = self.active
+        return None if active is None else active.match(state)
+
+
+@dataclass
+class TableEntry:
+    """One workload's synthesised runtime, pinned to a global gid base.
+
+    Carries exactly the offline artefacts a swap must install — selectors,
+    instrumentation plan, group membership — in picklable form, so entries
+    round-trip through snapshots unchanged.
+    """
+
+    workload: str
+    selectors: tuple[GroupSelector, ...]
+    bit_for_site: dict[int, int]
+    groups: tuple[Group, ...]
+    gid_base: int
+
+    def matcher(self) -> OffsetMatcher:
+        """Compile this entry's selectors into a namespaced matcher."""
+        return OffsetMatcher(
+            CompiledMatcher(list(self.selectors), self.bit_for_site), self.gid_base
+        )
+
+    def members_by_global_gid(self) -> dict[int, frozenset[int]]:
+        """Group membership keyed by global (namespaced) gid."""
+        return {self.gid_base + group.gid: group.members for group in self.groups}
+
+
+@dataclass
+class ServingTable:
+    """The incumbent table: entries plus the global-gid member registry.
+
+    ``members_by_gid`` keeps every generation's membership as long as any
+    retained region might still live in its chunks — it is what a swap's
+    old-to-new mapping is computed from.
+    """
+
+    generation: int = 0
+    entries: dict[str, TableEntry] = field(default_factory=dict)
+    members_by_gid: dict[int, tuple[str, frozenset[int]]] = field(default_factory=dict)
+
+    def matcher_for(self, workload: str) -> Optional[OffsetMatcher]:
+        """The matcher to bind for *workload*'s requests (None: fallback)."""
+        entry = self.entries.get(workload)
+        return None if entry is None else entry.matcher()
+
+    def instrumentation_for(self, workload: str) -> dict[int, int]:
+        """Site-to-bit instrumentation plan for *workload* (empty: none)."""
+        entry = self.entries.get(workload)
+        return {} if entry is None else dict(entry.bit_for_site)
+
+    def install(self, entries: dict[str, TableEntry], generation: int) -> None:
+        """Adopt *entries* as the new incumbent table."""
+        self.generation = generation
+        self.entries = entries
+        for entry in entries.values():
+            for gid, members in entry.members_by_global_gid().items():
+                self.members_by_gid[gid] = (entry.workload, members)
+
+    def prune_members(self, live_gids) -> None:
+        """Drop membership records for gids no longer referenced anywhere."""
+        keep = set(live_gids)
+        for entry in self.entries.values():
+            keep.update(entry.members_by_global_gid())
+        self.members_by_gid = {
+            gid: value for gid, value in self.members_by_gid.items() if gid in keep
+        }
+
+
+def build_entry(
+    workload: Workload,
+    graph: AffinityGraph,
+    contexts: ContextTable,
+    params: HaloParams,
+    gid_base: int,
+) -> Optional[TableEntry]:
+    """Synthesise one workload's table entry from a windowed graph.
+
+    The offline pipeline (group → identify → rewrite) applied to streaming
+    profile data.  Returns None when the window yields no viable groups —
+    the workload keeps falling through to the fallback allocator.
+    """
+    filtered = graph.filtered_by_coverage(params.affinity.node_coverage)
+    groups = group_contexts(filtered, params.grouping)
+    if params.max_groups is not None and len(groups) > params.max_groups:
+        groups = sorted(groups, key=lambda g: (-g.accesses, g.gid))[: params.max_groups]
+    if not groups:
+        return None
+    if any(group.gid >= (1 << WORKLOAD_SHIFT) for group in groups):
+        raise ValueError(
+            f"{workload.name}: local group id overflows the global-gid namespace"
+        )
+    context_group: dict[int, Optional[int]] = {
+        cid: None for cid in range(len(contexts))
+    }
+    context_group.update(assign_groups(groups))
+    rewriter = BoltRewriter(workload.program)
+    identification = synthesise_selectors(
+        groups, contexts, context_group, site_allowed=rewriter.can_instrument
+    )
+    plan = rewriter.instrument(monitored_sites(identification.selectors))
+    return TableEntry(
+        workload=workload.name,
+        selectors=identification.selectors,
+        bit_for_site=dict(plan.bit_for_site),
+        groups=tuple(groups),
+        gid_base=gid_base,
+    )
+
+
+def plan_regroup_mapping(
+    table: ServingTable, candidates: dict[str, TableEntry]
+) -> dict[int, int]:
+    """Old global gid -> new global gid, by best member overlap.
+
+    Every gid the registry knows (incumbent and still-draining older
+    generations) is matched against the candidate groups of the *same*
+    workload; ties break toward the lowest new gid and zero overlap leaves
+    the old gid unmapped (its regions drain in place).
+    """
+    mapping: dict[int, int] = {}
+    for old_gid in sorted(table.members_by_gid):
+        workload, members = table.members_by_gid[old_gid]
+        entry = candidates.get(workload)
+        if entry is None:
+            continue
+        best_gid: Optional[int] = None
+        best_overlap = 0
+        for group in entry.groups:
+            overlap = len(members & group.members)
+            new_gid = entry.gid_base + group.gid
+            if overlap > best_overlap or (
+                overlap == best_overlap and overlap > 0
+                and (best_gid is None or new_gid < best_gid)
+            ):
+                best_overlap = overlap
+                best_gid = new_gid
+        if best_gid is not None and best_overlap > 0:
+            mapping[old_gid] = best_gid
+    return mapping

@@ -1,0 +1,186 @@
+"""Sliding-window profile summaries and drift detection.
+
+The daemon never re-groups from all-time history: each epoch is folded
+into an :class:`EpochSummary` (per-workload affinity graphs, a size-class
+histogram, the workload mix actually served) and a :class:`ProfileWindow`
+keeps the last N of them.  Candidate group tables are built from the
+window's *merged* graphs; drift is the L1 distance between the window's
+newest distributions and a reference captured at the last accepted table.
+
+Everything here is plain dicts and dataclasses — the whole window pickles
+into a snapshot and a restored window behaves identically.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..profiling.graph import AffinityGraph
+
+__all__ = ["EpochSummary", "ProfileWindow", "merge_graphs", "distribution_distance"]
+
+
+@dataclass
+class EpochSummary:
+    """What one epoch of traffic looked like.
+
+    Attributes:
+        epoch: Epoch index.
+        graphs: Workload name -> affinity graph folded from every request
+            of that workload in the epoch (unfiltered; coverage filtering
+            happens at candidate-build time on the merged graph).
+        size_hist: ``size.bit_length()`` -> allocation count.
+        mix: Workload name -> requests served.
+    """
+
+    epoch: int
+    graphs: dict[str, AffinityGraph] = field(default_factory=dict)
+    size_hist: dict[int, int] = field(default_factory=dict)
+    mix: dict[str, int] = field(default_factory=dict)
+
+    def fold_graph(self, workload: str, graph: AffinityGraph) -> None:
+        """Accumulate one request's recorder graph into the summary."""
+        into = self.graphs.get(workload)
+        if into is None:
+            into = self.graphs[workload] = AffinityGraph()
+        for node, accesses in graph.node_accesses.items():
+            into.node_accesses[node] = into.node_accesses.get(node, 0) + accesses
+        for key, weight in graph.edges.items():
+            into.edges[key] = into.edges.get(key, 0.0) + weight
+        into.total_accesses += graph.total_accesses
+
+    def fold_sizes(self, sizes) -> None:
+        """Accumulate allocation sizes into the size-class histogram."""
+        hist = self.size_hist
+        for size in sizes:
+            bucket = size.bit_length()
+            hist[bucket] = hist.get(bucket, 0) + 1
+
+
+def merge_graphs(graphs) -> AffinityGraph:
+    """Sum a sequence of affinity graphs into one."""
+    merged = AffinityGraph()
+    for graph in graphs:
+        for node, accesses in graph.node_accesses.items():
+            merged.node_accesses[node] = merged.node_accesses.get(node, 0) + accesses
+        for key, weight in graph.edges.items():
+            merged.edges[key] = merged.edges.get(key, 0.0) + weight
+        merged.total_accesses += graph.total_accesses
+    return merged
+
+
+def _normalise(hist: dict) -> dict:
+    total = sum(hist.values())
+    if total <= 0:
+        return {}
+    return {key: value / total for key, value in hist.items()}
+
+
+def distribution_distance(a: dict, b: dict) -> float:
+    """Half the L1 distance between two count histograms, in ``[0, 1]``."""
+    pa, pb = _normalise(a), _normalise(b)
+    keys = set(pa) | set(pb)
+    return 0.5 * sum(abs(pa.get(k, 0.0) - pb.get(k, 0.0)) for k in keys)
+
+
+@dataclass
+class DriftReference:
+    """The traffic shape the incumbent table was built for."""
+
+    size_hist: dict[int, int] = field(default_factory=dict)
+    mix: dict[str, int] = field(default_factory=dict)
+
+
+class ProfileWindow:
+    """The last *capacity* epoch summaries plus drift bookkeeping."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"window capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._epochs: deque[EpochSummary] = deque(maxlen=capacity)
+        self.reference: Optional[DriftReference] = None
+        self.drift_streak = 0
+
+    def push(self, summary: EpochSummary) -> None:
+        """Append an epoch summary, evicting past the window capacity."""
+        self._epochs.append(summary)
+        if self.reference is None:
+            # First completed epoch defines the baseline traffic shape.
+            self.reference = DriftReference(
+                dict(summary.size_hist), dict(summary.mix)
+            )
+
+    def summaries(self) -> list[EpochSummary]:
+        """The windowed summaries, oldest first."""
+        return list(self._epochs)
+
+    def workloads(self) -> list[str]:
+        """Workloads seen anywhere in the window, deterministically ordered."""
+        names: dict[str, None] = {}
+        for summary in self._epochs:
+            for name in sorted(summary.graphs):
+                names.setdefault(name)
+        return list(names)
+
+    def merged_graph(self, workload: str) -> AffinityGraph:
+        """Window-wide affinity graph for *workload*."""
+        return merge_graphs(
+            summary.graphs[workload]
+            for summary in self._epochs
+            if workload in summary.graphs
+        )
+
+    # -- drift --------------------------------------------------------------
+
+    def drift_score(self) -> float:
+        """Distance of the newest epoch's traffic shape from the reference."""
+        if self.reference is None or not self._epochs:
+            return 0.0
+        latest = self._epochs[-1]
+        return max(
+            distribution_distance(latest.size_hist, self.reference.size_hist),
+            distribution_distance(latest.mix, self.reference.mix),
+        )
+
+    def observe_drift(self, threshold: float, hysteresis: int) -> bool:
+        """Update the drift streak; True when hysteresis is satisfied.
+
+        A triggering observation resets the streak, so one sustained shift
+        fires once rather than on every subsequent epoch.
+        """
+        if self.drift_score() > threshold:
+            self.drift_streak += 1
+        else:
+            self.drift_streak = 0
+        if self.drift_streak >= hysteresis:
+            self.drift_streak = 0
+            return True
+        return False
+
+    def rebase_reference(self) -> None:
+        """Adopt the newest epoch's shape as the reference (after a swap)."""
+        if self._epochs:
+            latest = self._epochs[-1]
+            self.reference = DriftReference(dict(latest.size_hist), dict(latest.mix))
+        self.drift_streak = 0
+
+    # -- snapshot round-trip -------------------------------------------------
+
+    def state(self) -> dict:
+        """Picklable form for snapshots (see :meth:`from_state`)."""
+        return {
+            "epochs": list(self._epochs),
+            "reference": self.reference,
+            "drift_streak": self.drift_streak,
+        }
+
+    @classmethod
+    def from_state(cls, capacity: int, state: dict) -> "ProfileWindow":
+        window = cls(capacity)
+        window._epochs.extend(state["epochs"][-capacity:])
+        window.reference = state["reference"]
+        window.drift_streak = state["drift_streak"]
+        return window

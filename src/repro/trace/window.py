@@ -1,0 +1,73 @@
+"""Bounded per-key windows of recent event traces.
+
+The serving daemon scores every candidate group table against *recent*
+traffic before committing a hot-swap.  A :class:`TraceWindow` keeps the
+last *capacity* traces recorded per key (one key per workload), stored
+as encoded bytes so the whole window is trivially picklable into a
+crash-safe snapshot — a window restored from a snapshot scores a
+candidate identically to the window the live service held.
+
+Traces are held encoded (:meth:`~repro.trace.format.EventTrace.to_bytes`)
+and decoded on demand: the window is written once per epoch but read
+only when a canary actually runs.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterator, Optional
+
+from .format import EventTrace
+
+__all__ = ["TraceWindow"]
+
+
+class TraceWindow:
+    """A sliding window of the last *capacity* traces for each key."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"window capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._traces: dict[str, deque[bytes]] = {}
+
+    def push(self, key: str, trace: EventTrace) -> None:
+        """Add *trace* under *key*, evicting the oldest past capacity."""
+        ring = self._traces.get(key)
+        if ring is None:
+            ring = self._traces[key] = deque(maxlen=self.capacity)
+        ring.append(trace.to_bytes())
+
+    def latest(self, key: str) -> Optional[EventTrace]:
+        """The most recent trace for *key*, or None when none recorded."""
+        ring = self._traces.get(key)
+        if not ring:
+            return None
+        return EventTrace.from_bytes(ring[-1])
+
+    def traces(self, key: str) -> Iterator[EventTrace]:
+        """All retained traces for *key*, oldest first."""
+        for raw in self._traces.get(key, ()):
+            yield EventTrace.from_bytes(raw)
+
+    def keys(self) -> list[str]:
+        """Keys with at least one retained trace, insertion-ordered."""
+        return [key for key, ring in self._traces.items() if ring]
+
+    def __len__(self) -> int:
+        return sum(len(ring) for ring in self._traces.values())
+
+    # -- snapshot round-trip ------------------------------------------------
+
+    def state(self) -> dict[str, list[bytes]]:
+        """Picklable window contents (encoded traces, oldest first)."""
+        return {key: list(ring) for key, ring in self._traces.items()}
+
+    @classmethod
+    def from_state(cls, capacity: int, state: dict[str, list[bytes]]) -> "TraceWindow":
+        """Rebuild a window from :meth:`state` output."""
+        window = cls(capacity)
+        for key, raws in state.items():
+            ring = window._traces[key] = deque(maxlen=capacity)
+            ring.extend(raws[-capacity:])
+        return window

@@ -251,3 +251,42 @@ class TestResilience:
         )
         assert evaluations == {}
         assert any(f.kind == "prepare" and f.workload == BENCH for f in failures)
+
+
+class TestResumeMetrics:
+    def test_resumed_run_does_not_double_count_journal_cells(self, tmp_path):
+        """Obs counters after ``--resume`` reflect only fresh work.
+
+        Completed cells loaded from the checkpoint journal land in the
+        result dict, but must not fold into the metrics registry again —
+        a resumed matrix that re-counted its journal would inflate
+        ``harness.tasks`` (and every derived throughput number) versus
+        the uninterrupted run it is supposed to be indistinguishable from.
+        """
+        from repro import obs
+        from repro.harness.checkpoint import CheckpointJournal
+
+        journal = CheckpointJournal(tmp_path / "ckpt.journal")
+        with obs.collecting() as first_registry:
+            first = evaluate_all_parallel(
+                [BENCH], trials=1, scale="test", include_random=False, jobs=2,
+                cache=ArtifactCache(tmp_path / "cache"), checkpoint=journal,
+            )[BENCH]
+        first_tasks = first_registry.snapshot().sum_counter("harness.tasks")
+        completed = len(journal.load())
+        assert first_tasks == completed > 0  # every cell ran exactly once
+
+        with obs.collecting() as registry:
+            resumed = evaluate_all_parallel(
+                [BENCH], trials=1, scale="test", include_random=False, jobs=2,
+                cache=ArtifactCache(tmp_path / "cache"), checkpoint=journal,
+                resume=True,
+            )[BENCH]
+        snapshot = registry.snapshot()
+        # Nothing was fresh, so no task (or retry) counters moved at all.
+        assert snapshot.sum_counter("harness.tasks") == 0
+        assert snapshot.sum_counter("harness.task_retries") == 0
+        # And the journal did not grow: the resume re-ran nothing.
+        assert len(journal.load()) == completed
+        assert resumed.baseline.cycles == first.baseline.cycles
+        assert resumed.halo.cycles == first.halo.cycles

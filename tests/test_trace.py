@@ -193,6 +193,60 @@ class TestRecorder:
         events = recorder.trace.events()
         assert events == [(OP_END,)]
 
+    def test_finish_returns_same_trace_object(self, demo):
+        """Regression: a second finish (or close) must not re-finalise.
+
+        The serving daemon and the profiling driver both fire ``finish``
+        on shared machines; re-finalising would tear the completed trace.
+        """
+        recorder = TraceRecorder()
+        machine = Machine(
+            demo.program, SizeClassAllocator(AddressSpace(0)), listeners=[recorder]
+        )
+        alloc_via(machine, [demo.main_a, demo.a_malloc], size=32)
+        machine.finish()
+        first = recorder.trace
+        assert first is not None
+        machine.finish()
+        assert recorder.trace is first
+        assert recorder.close() is first
+        assert first.verify()
+
+    def test_finish_after_midstream_fault(self, demo):
+        """A fault mid-run, then the driver's cleanup ``finish``: the
+        trace must finalise exactly once, decode, and carry one END."""
+        recorder = TraceRecorder()
+        machine = Machine(
+            demo.program, SizeClassAllocator(AddressSpace(0)), listeners=[recorder]
+        )
+        try:
+            obj = alloc_via(machine, [demo.main_a, demo.a_malloc], size=32)
+            machine.store(obj, 0, 8)
+            raise RuntimeError("injected mid-stream fault")
+        except RuntimeError:
+            machine.finish()  # cleanup path (e.g. a finally block)
+        machine.finish()  # outer driver's normal finish
+        events = recorder.trace.events()
+        assert events.count((OP_END,)) == 1
+        assert events[-1] == (OP_END,)
+        assert (OP_ALLOC, 32) in events
+        assert recorder.trace.verify()
+
+    def test_close_without_finish_yields_partial_trace(self, demo):
+        """A recorder abandoned before any ``finish`` (hard mid-stream
+        death) still closes to a decodable, END-less trace."""
+        recorder = TraceRecorder()
+        machine = Machine(
+            demo.program, SizeClassAllocator(AddressSpace(0)), listeners=[recorder]
+        )
+        alloc_via(machine, [demo.main_a, demo.a_malloc], size=48)
+        partial = recorder.close()
+        assert recorder.close() is partial
+        events = partial.events()
+        assert (OP_END,) not in events
+        assert (OP_ALLOC, 48) in events
+        assert partial.verify()
+
 
 class TestProfileReplayEquivalence:
     """Acceptance: replayed profiles are bit-identical on ≥3 workloads."""
