@@ -23,6 +23,11 @@ simulation:
 * ``halo sanitize fuzz`` — differentially fuzz the allocator families
   against the shadow-heap oracle and invariant checker (the same checks
   ``--sanitize`` attaches to ``baseline``/``run``/``plot`` measurements);
+  ``--scenarios N`` adds generated-scenario op sequences to the matrix;
+* ``halo scenario gen|info|run|corpus`` — seeded generated workloads:
+  derive a corpus with golden config hashes, inspect or quick-run a
+  generated name (``scn-7``, ``mix-5x3-rr``) or config file, and verify
+  a committed corpus manifest (see ``docs/SCENARIOS.md``);
 * ``halo obs export|summary|check`` — inspect a metrics snapshot written
   by ``--metrics-out`` (on ``plot`` and ``trace sweep``), convert it to
   Prometheus text or a Perfetto-loadable Chrome trace, or gate it against
@@ -61,7 +66,7 @@ from .harness import reproduce
 from .harness.prepare import PhaseTimes, prepare_workload
 from .harness.runner import measure_baseline, measure_halo
 from .sanitize import FAMILIES as SANITIZE_FAMILIES
-from .workloads.base import get_workload, workload_names
+from .workloads.base import WorkloadError, get_workload, resolve_scale, workload_names
 
 #: Default on-disk artifact cache location (overridden by ``--cache-dir``).
 DEFAULT_CACHE_DIR = Path(".halo-cache")
@@ -90,9 +95,32 @@ def cache_from_args(args: argparse.Namespace) -> Optional[ArtifactCache]:
 
 
 def _add_benchmark_arg(parser: argparse.ArgumentParser) -> None:
+    # Not constrained by `choices`: generated scenario names (scn-*/mix-*)
+    # are valid targets but only materialise on resolution.
     parser.add_argument(
-        "-b", "--benchmark", required=True, choices=workload_names(), help="target benchmark"
+        "-b", "--benchmark", required=True,
+        help="target benchmark (see `halo list`; also accepts generated "
+        "scenario names like scn-7 or mix-5x3-rr)",
     )
+
+
+def _workload_or_exit(name: str):
+    """Resolve *name* to a workload, exiting with a clean CLI error."""
+    try:
+        return get_workload(name)
+    except WorkloadError as exc:
+        raise SystemExit(f"error: {exc}") from None
+
+
+def _check_scale(args: argparse.Namespace) -> None:
+    """Fail fast on an unknown ``--scale`` (before any expensive phase)."""
+    scale = getattr(args, "scale", None)
+    if scale is None:
+        return
+    try:
+        resolve_scale(scale)
+    except WorkloadError as exc:
+        raise SystemExit(f"error: {exc}") from None
 
 
 def _add_sanitize_arg(parser: argparse.ArgumentParser) -> None:
@@ -171,13 +199,10 @@ def _parse_benchmarks(args: argparse.Namespace) -> Optional[tuple[str, ...]]:
     if raw is None:
         return None
     names = tuple(name.strip() for name in raw.split(",") if name.strip())
-    known = set(workload_names())
-    unknown = [name for name in names if name not in known]
-    if unknown:
-        raise SystemExit(
-            f"error: unknown benchmark(s) {', '.join(unknown)}; "
-            f"choose from {', '.join(sorted(known))}"
-        )
+    # Resolving (rather than checking against workload_names()) lets
+    # generated scenario names through; each resolves or errors cleanly.
+    for name in names:
+        _workload_or_exit(name)
     if not names:
         raise SystemExit("error: --benchmarks is empty")
     return names
@@ -458,6 +483,66 @@ def _build_parser() -> argparse.ArgumentParser:
         default="all",
         help="restrict to one allocator family (default: all)",
     )
+    s_fuzz.add_argument(
+        "--scenarios",
+        type=int,
+        default=0,
+        metavar="N",
+        help="additionally fuzz N generated-scenario op sequences (sizes and "
+        "lifetime churn from seeded scenario specs; default: 0, off)",
+    )
+
+    scenario = sub.add_parser(
+        "scenario",
+        help="generated workloads: seeded corpora, spec inspection, quick runs",
+    )
+    scsub = scenario.add_subparsers(dest="scenario_command", required=True)
+
+    sc_gen = scsub.add_parser(
+        "gen", help="derive a seeded corpus and print its golden hashes"
+    )
+    sc_gen.add_argument("--seed", type=int, default=0, help="corpus seed (default: 0)")
+    sc_gen.add_argument(
+        "--scenarios", type=int, default=4,
+        help="single-tenant scenarios in the corpus (default: 4)",
+    )
+    sc_gen.add_argument(
+        "--mixes", type=int, default=2,
+        help="multi-tenant mixes in the corpus (default: 2)",
+    )
+    sc_gen.add_argument(
+        "--out", type=Path, default=None, metavar="DIR",
+        help="materialise the manifest plus every spec as JSON here",
+    )
+
+    sc_info = scsub.add_parser(
+        "info", help="show the full spec behind a generated name or config file"
+    )
+    sc_info.add_argument(
+        "scenario", help="generated name (scn-7, mix-5x3-rr) or spec file (.json/.toml)"
+    )
+    sc_info.add_argument(
+        "--json", action="store_true", help="print the canonical JSON instead"
+    )
+
+    sc_run = scsub.add_parser(
+        "run", help="quick baseline-vs-HALO comparison of one generated workload"
+    )
+    sc_run.add_argument(
+        "scenario", help="generated name (scn-7, mix-5x3-rr) or spec file (.json/.toml)"
+    )
+    sc_run.add_argument("--scale", default="test", help="input scale (default: test)")
+    sc_run.add_argument("--seed", type=int, default=1)
+    _add_sanitize_arg(sc_run)
+
+    sc_corpus = scsub.add_parser(
+        "corpus", help="verify a corpus manifest against freshly re-sampled specs"
+    )
+    sc_corpus.add_argument(
+        "--manifest", type=Path, default=Path("corpora/default.json"),
+        metavar="FILE.json",
+        help="manifest to verify (default: corpora/default.json)",
+    )
 
     serve = sub.add_parser(
         "serve", help="long-running serving daemon with online re-optimisation"
@@ -562,7 +647,8 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_baseline(args: argparse.Namespace) -> int:
-    workload = get_workload(args.benchmark)
+    _check_scale(args)
+    workload = _workload_or_exit(args.benchmark)
     measurement = measure_baseline(workload, scale=args.scale, seed=args.seed)
     print(
         format_table(
@@ -583,7 +669,8 @@ def _cmd_baseline(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    workload = get_workload(args.benchmark)
+    _check_scale(args)
+    workload = _workload_or_exit(args.benchmark)
     overrides = {}
     if args.chunk_size is not None:
         overrides["chunk_size"] = args.chunk_size
@@ -659,6 +746,7 @@ def _report_failures(failures) -> None:
 
 
 def _cmd_plot(args: argparse.Namespace) -> int:
+    _check_scale(args)
     benchmarks = _parse_benchmarks(args)
     target = f"table{args.table}" if args.table else f"figure{args.figure}"
     cache = cache_from_args(args)
@@ -750,7 +838,8 @@ def _run_plot(
 def _cmd_profile(args: argparse.Namespace) -> int:
     from .profiling import save_profile
 
-    workload = get_workload(args.benchmark)
+    _check_scale(args)
+    workload = _workload_or_exit(args.benchmark)
     params = reproduce.halo_params_for(workload)
     if args.affinity_distance is not None:
         params = params.with_affinity_distance(args.affinity_distance)
@@ -797,6 +886,8 @@ def trace_info_lines(trace) -> list[str]:
 def _cmd_trace_record(args: argparse.Namespace) -> int:
     from .trace import record_workload
 
+    _check_scale(args)
+    _workload_or_exit(args.benchmark)
     output = args.output
     if output is None:
         output = Path(f"{args.benchmark}-{args.scale}.trace")
@@ -1114,10 +1205,20 @@ def _cmd_sanitize(args: argparse.Namespace) -> int:
 def _cmd_sanitize_fuzz(args: argparse.Namespace) -> int:
     from .sanitize import default_scenarios, format_ops, run_fuzz
 
+    entries = [
+        (config, ()) for config in default_scenarios(args.seed, args.ops, args.family)
+    ]
+    if args.scenarios:
+        from .scenario import scenario_fuzz_entries
+
+        family = None if args.family == "all" else args.family
+        entries.extend(
+            scenario_fuzz_entries(args.seed, args.scenarios, args.ops, family)
+        )
     failed = 0
     rows = []
-    for config in default_scenarios(args.seed, args.ops, args.family):
-        report = run_fuzz(config)
+    for config, extra_ops in entries:
+        report = run_fuzz(config, extra_ops=extra_ops)
         variant = []
         if config.colour_stride:
             variant.append(f"colour={config.colour_stride}")
@@ -1125,6 +1226,8 @@ def _cmd_sanitize_fuzz(args: argparse.Namespace) -> int:
             variant.append("always-reuse")
         if config.chunk_budget is not None:
             variant.append(f"chunk-budget={config.chunk_budget}")
+        if extra_ops:
+            variant.append(f"scenario seed={config.seed}")
         label = f"{config.family}" + (f" ({', '.join(variant)})" if variant else "")
         rows.append([label, f"{report.executed:,}", "ok" if report.ok else "FAIL"])
         if not report.ok:
@@ -1150,6 +1253,163 @@ def _cmd_sanitize_fuzz(args: argparse.Namespace) -> int:
         return 1
     print("\nall scenarios clean")
     return 0
+
+
+def _scenario_workload(ref: str):
+    """Resolve a scenario reference: a generated name or a spec file path."""
+    if ref.endswith((".json", ".toml")) or "/" in ref:
+        from .scenario import (
+            MixSpec,
+            ScenarioError,
+            load_config,
+            register_mix,
+            register_scenario,
+        )
+
+        try:
+            spec = load_config(ref)
+            if isinstance(spec, MixSpec):
+                register_mix(spec)
+            else:
+                register_scenario(spec)
+        except (OSError, ScenarioError) as exc:
+            raise SystemExit(f"error: {exc}") from None
+        return get_workload(spec.name)
+    return _workload_or_exit(ref)
+
+
+def scenario_info_lines(spec) -> list[str]:
+    """Deterministic summary lines for ``halo scenario info``.
+
+    Accepts a :class:`~repro.scenario.ScenarioSpec` or a
+    :class:`~repro.scenario.MixSpec`; everything printed is a pure
+    function of the spec, so the output is stable across machines.
+    """
+    from .scenario import MixSpec
+
+    if isinstance(spec, MixSpec):
+        lines = [
+            f"mix:        {spec.name} (config {spec.digest()})",
+            f"scheduler:  {spec.scheduler}",
+            f"tenants:    {len(spec.tenants)}",
+        ]
+        for index, tenant in enumerate(spec.tenants):
+            lines.append(
+                f"  t{index}: {tenant.spec.name} (config {tenant.spec.digest()}) "
+                f"weight={tenant.weight:g} burst={tenant.burst}"
+            )
+            lines.extend(
+                "    " + line for line in scenario_info_lines(tenant.spec)[1:]
+            )
+        return lines
+    lines = [
+        f"scenario:   {spec.name} (config {spec.digest()})",
+        f"phases:     {len(spec.phases)}  table={spec.table_kb}KiB  "
+        f"free-stride={spec.free_stride}  work/access={spec.work_per_access:g}",
+    ]
+    for kind in spec.kinds:
+        size = kind.size.to_dict()
+        cells = f" cells={kind.cells}" if kind.cells else ""
+        group = f" site-group={kind.group}" if kind.site_group else ""
+        lines.append(
+            f"  kind {kind.label}: n={kind.base_count} size={size}"
+            f" life={kind.lifetime} access={kind.access}"
+            f" passes={kind.hot_passes}{cells}{group}"
+        )
+    for phase in spec.phases:
+        weights = ", ".join(f"{label}x{weight:g}" for label, weight in phase.weights)
+        repeats = f" (x{phase.repeats})" if phase.repeats > 1 else ""
+        lines.append(f"  phase {phase.label}{repeats}: {weights}")
+    return lines
+
+
+def _cmd_scenario_gen(args: argparse.Namespace) -> int:
+    from .scenario import build_corpus, corpus_digest, corpus_names, materialise_corpus
+
+    names = corpus_names(args.seed, scenarios=args.scenarios, mixes=args.mixes)
+    entries = build_corpus(names)
+    print(
+        format_table(
+            ["name", "kind", "config digest"],
+            [[e.name, e.kind, e.digest] for e in entries],
+            title=f"scenario corpus (seed {args.seed})",
+        )
+    )
+    print(f"\ncorpus digest: {corpus_digest(entries)}")
+    if args.out is not None:
+        written = materialise_corpus(args.out, entries, args.seed)
+        print(f"wrote {len(written)} file(s) under {args.out}")
+    return 0
+
+
+def _cmd_scenario_info(args: argparse.Namespace) -> int:
+    workload = _scenario_workload(args.scenario)
+    spec = getattr(workload, "mix", None) or workload.spec
+    if args.json:
+        import json as _json
+
+        print(_json.dumps(spec.to_dict(), indent=2, sort_keys=True))
+        return 0
+    for line in scenario_info_lines(spec):
+        print(line)
+    return 0
+
+
+def _cmd_scenario_run(args: argparse.Namespace) -> int:
+    _check_scale(args)
+    workload = _scenario_workload(args.scenario)
+    prepared = prepare_workload(workload.name, include_hds=False, workload=workload)
+    baseline = measure_baseline(workload, scale=args.scale, seed=args.seed)
+    optimised = measure_halo(workload, prepared.halo, scale=args.scale, seed=args.seed)
+    reduction = 0.0
+    if baseline.cache.l1_misses:
+        reduction = (
+            baseline.cache.l1_misses - optimised.cache.l1_misses
+        ) / baseline.cache.l1_misses
+    speedup = baseline.cycles / optimised.cycles - 1.0 if optimised.cycles else 0.0
+    print(
+        format_table(
+            ["metric", "baseline", "HALO"],
+            [
+                ["cycles", f"{baseline.cycles:,.0f}", f"{optimised.cycles:,.0f}"],
+                ["L1D misses", f"{baseline.cache.l1_misses:,}", f"{optimised.cache.l1_misses:,}"],
+                ["groups", "-", str(len(prepared.halo.groups))],
+                ["grouped allocs", "-", f"{optimised.grouped_allocs:,}"],
+            ],
+            title=f"{workload.name} ({args.scale})",
+        )
+    )
+    print(f"\nL1D miss reduction: {reduction * 100:+.1f}%   speedup: {speedup * 100:+.1f}%")
+    return 0
+
+
+def _cmd_scenario_corpus(args: argparse.Namespace) -> int:
+    from .scenario import ScenarioError, verify_manifest
+
+    try:
+        problems = verify_manifest(args.manifest)
+    except (OSError, ScenarioError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if problems:
+        for problem in problems:
+            print(f"DRIFT: {problem}", file=sys.stderr)
+        print(f"\n{len(problems)} corpus problem(s)", file=sys.stderr)
+        return 1
+    print(f"{args.manifest}: all golden hashes reproduce")
+    return 0
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    if args.scenario_command == "gen":
+        return _cmd_scenario_gen(args)
+    if args.scenario_command == "info":
+        return _cmd_scenario_info(args)
+    if args.scenario_command == "run":
+        return _cmd_scenario_run(args)
+    if args.scenario_command == "corpus":
+        return _cmd_scenario_corpus(args)
+    return 1  # pragma: no cover - argparse enforces choices
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -1354,6 +1614,11 @@ def main(argv: Optional[list[str]] = None) -> int:
         return _cmd_profile(args)
     if args.command == "sanitize":
         return _cmd_sanitize(args)
+    if args.command == "scenario":
+        if args.scenario_command == "run":
+            with _sanitize_session(args):
+                return _cmd_scenario(args)
+        return _cmd_scenario(args)
     if args.command == "trace":
         return _cmd_trace(args)
     if args.command == "faults":

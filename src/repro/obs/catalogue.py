@@ -100,6 +100,13 @@ CATALOGUE: dict[str, str] = {
     "serve.sanitize_checks": "Heap-consistency walks run at swap/epoch boundaries.",
     "serve.sanitize_findings": "Heap-consistency violations found while serving.",
     "serve.live_bytes": "Live retained bytes on the service heap (gauge).",
+    # generated scenarios (deterministic: specs are pure functions of seeds)
+    "scenario.workloads": "Generated workload classes compiled and registered from specs.",
+    "scenario.runs": "Executions of generated scenario/mix workloads.",
+    "scenario.ticks": "Scheduling ticks driven through generated workloads (label: workload).",
+    "scenario.tenants": "Tenant generators interleaved by mix runs (label: workload).",
+    "scenario.corpus.entries": "Corpus entries derived while building/verifying corpora.",
+    "scenario.fuzz.ops": "Heap ops contributed to the fuzz matrix by generated scenarios.",
     # resilient-runner operations
     "harness.tasks": "Parallel tasks submitted (label: kind).",
     "harness.task_seconds": "Per-task wall latency histogram (label: kind).",

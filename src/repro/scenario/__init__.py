@@ -1,0 +1,124 @@
+"""Config-driven randomized scenario generation with multi-tenant mixes.
+
+The subsystem that grows workload coverage without hand-writing
+workloads (ROADMAP item 3, riescue-style):
+
+* :mod:`repro.scenario.spec` — the declarative DSL: size distributions,
+  lifetime classes, phase schedules, access-locality knobs, adversarial
+  fragmentation patterns, with canonical serialisation and config
+  digests;
+* :mod:`repro.scenario.generate` — compiles a spec into a registered
+  :class:`~repro.workloads.base.Workload` built on a tick-generator
+  execution core;
+* :mod:`repro.scenario.mix` — interleaves several tenants' tick
+  generators in one heap under round-robin/weighted/bursty schedulers;
+* :mod:`repro.scenario.sample` — seeded constrained-random sampling and
+  the self-describing name grammar (``scn-<seed>``,
+  ``mix-<seed>x<n>[-<sched>]``) that lets any process rebuild a
+  generated workload from its name;
+* :mod:`repro.scenario.corpus` — named seeded corpora with golden
+  config hashes (``corpora/default.json``);
+* :mod:`repro.scenario.fuzz` — lowers specs into the sanitizer fuzz
+  matrix.
+
+Generated workloads flow unchanged through profiling, grouping, trace
+record/replay, the columnar engine, the evaluation matrix, the
+sanitizer, and the serving daemon.  See ``docs/SCENARIOS.md``.
+"""
+
+from .corpus import (
+    CorpusEntry,
+    MANIFEST_VERSION,
+    build_corpus,
+    corpus_digest,
+    corpus_names,
+    load_manifest,
+    manifest_dict,
+    materialise_corpus,
+    verify_manifest,
+    write_manifest,
+)
+from .fuzz import scenario_fuzz_entries, scenario_ops
+from .generate import (
+    GeneratedWorkload,
+    ScenarioSites,
+    build_sites,
+    compile_spec,
+    register_scenario,
+    scenario_ticks,
+)
+from .mix import (
+    MixSpec,
+    MixedWorkload,
+    SCHEDULERS,
+    TenantSpec,
+    compile_mix,
+    drive_mix,
+    register_mix,
+)
+from .sample import (
+    SCHEDULER_CODES,
+    load_config,
+    parse_name,
+    resolve_scenario,
+    sample_mix,
+    sample_spec,
+)
+from .spec import (
+    ACCESS_MODES,
+    KindSpec,
+    LIFETIMES,
+    PhaseSpec,
+    ScenarioError,
+    ScenarioSpec,
+    SIZE_DIST_KINDS,
+    SizeDist,
+    load_config_dict,
+    load_spec,
+    spec_from_dict,
+)
+
+__all__ = [
+    "ACCESS_MODES",
+    "CorpusEntry",
+    "GeneratedWorkload",
+    "KindSpec",
+    "LIFETIMES",
+    "MANIFEST_VERSION",
+    "MixSpec",
+    "MixedWorkload",
+    "PhaseSpec",
+    "SCHEDULERS",
+    "SCHEDULER_CODES",
+    "SIZE_DIST_KINDS",
+    "ScenarioError",
+    "ScenarioSites",
+    "ScenarioSpec",
+    "SizeDist",
+    "TenantSpec",
+    "build_corpus",
+    "build_sites",
+    "compile_mix",
+    "compile_spec",
+    "corpus_digest",
+    "corpus_names",
+    "drive_mix",
+    "load_config",
+    "load_config_dict",
+    "load_manifest",
+    "load_spec",
+    "manifest_dict",
+    "materialise_corpus",
+    "parse_name",
+    "register_mix",
+    "register_scenario",
+    "resolve_scenario",
+    "sample_mix",
+    "sample_spec",
+    "scenario_fuzz_entries",
+    "scenario_ops",
+    "scenario_ticks",
+    "spec_from_dict",
+    "verify_manifest",
+    "write_manifest",
+]

@@ -1,0 +1,206 @@
+"""Named seeded corpora of generated scenarios with golden config hashes.
+
+A *corpus* is a reproducible set of generated workload names (``scn-*``
+and ``mix-*``) derived from one corpus seed, together with each entry's
+config digest and a digest over the whole set.  The manifest is a small
+JSON file checked into the repo (``corpora/default.json``); CI
+regenerates the corpus from the seed and asserts the hashes, so any
+change to the sampler, the DSL, or the canonical serialisation that
+would silently re-meaning existing names is caught immediately.
+
+``halo scenario gen`` builds a corpus and optionally materialises every
+entry's full spec as JSON next to the manifest; ``halo scenario corpus``
+verifies a manifest against freshly re-sampled specs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Union
+
+from .. import obs
+from .mix import MixSpec
+from .sample import parse_name
+from .spec import ScenarioError
+
+__all__ = [
+    "CorpusEntry",
+    "MANIFEST_VERSION",
+    "build_corpus",
+    "corpus_digest",
+    "corpus_names",
+    "load_manifest",
+    "manifest_dict",
+    "materialise_corpus",
+    "verify_manifest",
+    "write_manifest",
+]
+
+#: Manifest format version.
+MANIFEST_VERSION = 1
+
+#: Scheduler codes cycled across a corpus's mixes for coverage.
+_MIX_CODES = ("rr", "wtd", "burst")
+
+
+@dataclass(frozen=True)
+class CorpusEntry:
+    """One corpus member: a generated name pinned to its config digest."""
+
+    name: str
+    kind: str  # "scenario" | "mix"
+    digest: str
+    description: str
+
+    def to_dict(self) -> dict:
+        """Canonical dict form for the manifest."""
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "digest": self.digest,
+            "description": self.description,
+        }
+
+
+def corpus_names(seed: int, scenarios: int = 4, mixes: int = 2) -> list[str]:
+    """Derive the member names of the corpus for *seed*.
+
+    A pure function of ``(seed, scenarios, mixes)``: scenario and mix
+    seeds are drawn from a string-seeded stream, and mix schedulers cycle
+    through the grammar codes so every scheduler appears in a large
+    enough corpus.
+    """
+    rng = random.Random(f"corpus:{seed}")
+    names = [f"scn-{rng.randrange(1_000_000)}" for _ in range(scenarios)]
+    for index in range(mixes):
+        mix_seed = rng.randrange(1_000_000)
+        tenants = rng.randrange(2, 5)
+        code = _MIX_CODES[index % len(_MIX_CODES)]
+        names.append(f"mix-{mix_seed}x{tenants}-{code}")
+    return names
+
+
+def build_corpus(names: list[str]) -> tuple[CorpusEntry, ...]:
+    """Resolve every generated *name* to a corpus entry with its digest."""
+    entries = []
+    for name in names:
+        spec = parse_name(name)
+        entries.append(
+            CorpusEntry(
+                name=name,
+                kind="mix" if isinstance(spec, MixSpec) else "scenario",
+                digest=spec.digest(),
+                description=spec.description,
+            )
+        )
+    obs.inc("scenario.corpus.entries", len(entries))
+    return tuple(entries)
+
+
+def corpus_digest(entries: tuple[CorpusEntry, ...]) -> str:
+    """Digest over the whole corpus (order-sensitive name/digest pairs)."""
+    payload = json.dumps([[e.name, e.digest] for e in entries]).encode()
+    return hashlib.sha256(payload).hexdigest()[:16]
+
+
+def manifest_dict(entries: tuple[CorpusEntry, ...], seed: int) -> dict:
+    """The manifest's canonical dict form."""
+    return {
+        "version": MANIFEST_VERSION,
+        "seed": seed,
+        "corpus_digest": corpus_digest(entries),
+        "entries": [entry.to_dict() for entry in entries],
+    }
+
+
+def write_manifest(
+    path: Union[str, Path], entries: tuple[CorpusEntry, ...], seed: int
+) -> None:
+    """Write the corpus manifest JSON to *path*."""
+    Path(path).write_text(
+        json.dumps(manifest_dict(entries, seed), indent=2, sort_keys=True) + "\n"
+    )
+
+
+def load_manifest(path: Union[str, Path]) -> dict:
+    """Load and structurally validate a corpus manifest."""
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ScenarioError(f"{path}: invalid manifest JSON: {exc}") from None
+    if not isinstance(data, dict) or "entries" not in data:
+        raise ScenarioError(f"{path}: not a corpus manifest (no entries)")
+    if data.get("version") != MANIFEST_VERSION:
+        raise ScenarioError(
+            f"{path}: manifest version {data.get('version')!r} != {MANIFEST_VERSION}"
+        )
+    return data
+
+
+def verify_manifest(path: Union[str, Path]) -> list[str]:
+    """Re-sample every manifest entry and compare golden hashes.
+
+    Returns a list of human-readable problems (empty when the manifest
+    is reproducible bit-for-bit).
+    """
+    data = load_manifest(path)
+    problems: list[str] = []
+    entries = []
+    for row in data["entries"]:
+        name = row.get("name", "?")
+        try:
+            spec = parse_name(name)
+        except ScenarioError as exc:
+            problems.append(f"{name}: cannot re-sample: {exc}")
+            continue
+        fresh = spec.digest()
+        entries.append(
+            CorpusEntry(
+                name=name,
+                kind=row.get("kind", ""),
+                digest=fresh,
+                description=row.get("description", ""),
+            )
+        )
+        if fresh != row.get("digest"):
+            problems.append(
+                f"{name}: config digest drifted: manifest {row.get('digest')!r} "
+                f"!= regenerated {fresh!r}"
+            )
+    fresh_corpus = corpus_digest(tuple(entries))
+    recorded = data.get("corpus_digest")
+    if not problems and recorded != fresh_corpus:
+        problems.append(
+            f"corpus digest drifted: manifest {recorded!r} != regenerated "
+            f"{fresh_corpus!r}"
+        )
+    return problems
+
+
+def materialise_corpus(
+    directory: Union[str, Path], entries: tuple[CorpusEntry, ...], seed: int
+) -> list[Path]:
+    """Write the manifest plus every entry's full spec JSON to *directory*.
+
+    Returns the written paths (manifest first).  Spec files are the
+    canonical serialisation, so ``halo scenario run --config <file>``
+    reproduces the exact workload the name describes.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    manifest_path = directory / "manifest.json"
+    write_manifest(manifest_path, entries, seed)
+    written = [manifest_path]
+    for entry in entries:
+        spec = parse_name(entry.name)
+        spec_path = directory / f"{entry.name}.json"
+        spec_path.write_text(
+            json.dumps(spec.to_dict(), indent=2, sort_keys=True) + "\n"
+        )
+        written.append(spec_path)
+    return written

@@ -1,0 +1,102 @@
+"""Bridge from generated scenarios into the sanitizer fuzz matrix.
+
+The differential fuzzer (:mod:`repro.sanitize.fuzz`) drives uniform
+random heap-op sequences; generated scenarios contribute *structured*
+sequences — sizes from their declared distributions, lifetime churn from
+their declared classes, allocation weighted by their phase schedule — so
+fuzz coverage grows with the corpus instead of with hand-tuned anchors.
+
+:func:`scenario_ops` lowers a spec to the fuzzer's relative op encoding;
+:func:`scenario_fuzz_entries` builds ``(FuzzConfig, extra_ops)`` pairs
+for ``halo sanitize fuzz --scenarios N`` (the config's own ``ops`` is 0,
+so the scenario sequence is the entire run).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from .. import obs
+from ..sanitize.fuzz import FAMILIES, FuzzConfig, Op
+from .sample import sample_spec
+from .spec import ScenarioSpec
+
+__all__ = ["scenario_fuzz_entries", "scenario_ops"]
+
+#: Families whose realloc path the fuzzer exercises (bump-backed pools
+#: keep the base-class realloc and are fuzzed realloc-free, matching
+#: :func:`repro.sanitize.fuzz.generate_ops`).
+_REALLOC_FAMILIES = ("size-class", "group", "sharded")
+
+
+def scenario_ops(
+    spec: ScenarioSpec, ops: int, seed: int, reallocs: bool = True
+) -> list[Op]:
+    """Lower *spec* to a deterministic fuzzer op sequence of length *ops*.
+
+    Kinds are drawn with probability proportional to their scheduled
+    allocation volume (base count times summed phase weights); each draw
+    emits the node malloc plus its satellite cells, and free/realloc
+    pressure mirrors the fuzzer's stationary mix.  Group ids follow the
+    kind's site group, so kinds sharing a funnel share a fuzz group.
+    """
+    rng = random.Random(f"scenario-fuzz:{spec.name}:{seed}:{ops}")
+    volumes = []
+    for kind in spec.kinds:
+        scheduled = sum(
+            weight * phase.repeats
+            for phase in spec.phases
+            for label, weight in phase.weights
+            if label == kind.label
+        )
+        volumes.append(max(kind.base_count * scheduled, 1.0))
+    groups = sorted({kind.group for kind in spec.kinds})
+    out: list[Op] = []
+    live = 0
+    while len(out) < ops:
+        roll = rng.random()
+        if live and roll < 0.35:
+            out.append(("free", rng.randrange(1 << 30)))
+            live -= 1
+            continue
+        index = rng.choices(range(len(spec.kinds)), weights=volumes)[0]
+        kind = spec.kinds[index]
+        if reallocs and live and roll < 0.45:
+            out.append(("realloc", rng.randrange(1 << 30), kind.size.sample(rng)))
+            continue
+        group = groups.index(kind.group)
+        out.append(("malloc", kind.size.sample(rng), group))
+        live += 1
+        for _ in range(kind.cells):
+            if len(out) >= ops:
+                break
+            out.append(("malloc", kind.cell_size.sample(rng), group))
+            live += 1
+    obs.inc("scenario.fuzz.ops", len(out), scenario=spec.name)
+    return out
+
+
+def scenario_fuzz_entries(
+    seed: int, count: int, ops: int, family: Optional[str] = None
+) -> list[tuple[FuzzConfig, list[Op]]]:
+    """Build *count* scenario-derived fuzz entries for the matrix.
+
+    Scenario seeds derive from *seed*; families rotate through the full
+    set (or pin to *family*).  Each entry's :class:`FuzzConfig` has
+    ``ops=0`` — the scenario sequence is spliced in as ``extra_ops`` and
+    is the whole run.
+    """
+    rng = random.Random(f"scenario-fuzz-matrix:{seed}")
+    families = FAMILIES if family in (None, "all") else (family,)
+    entries: list[tuple[FuzzConfig, list[Op]]] = []
+    for index in range(count):
+        scenario_seed = rng.randrange(1_000_000)
+        spec = sample_spec(scenario_seed)
+        fam = families[index % len(families)]
+        config = FuzzConfig(family=fam, seed=scenario_seed, ops=0)
+        sequence = scenario_ops(
+            spec, ops, seed=scenario_seed, reallocs=fam in _REALLOC_FAMILIES
+        )
+        entries.append((config, sequence))
+    return entries

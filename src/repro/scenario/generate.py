@@ -1,0 +1,373 @@
+"""Compile a :class:`~repro.scenario.spec.ScenarioSpec` into a Workload.
+
+Two halves:
+
+* **Program construction** — :func:`build_sites` lays one scenario's call
+  graph into a :class:`~repro.machine.program.ProgramBuilder`: a phase
+  function per schedule entry, a constructor function per kind, an
+  allocation funnel per site group (kinds sharing a ``site_group`` call
+  ``malloc`` from the *same* site on different paths — the full-context
+  identification crux), and an optional table initialiser.  A name prefix
+  namespaces every function so several tenants can share one program (the
+  multi-tenant mixer in :mod:`repro.scenario.mix`).
+
+* **Execution** — :func:`scenario_ticks` runs the schedule as a Python
+  *generator* that yields at small slice boundaries (an allocation burst,
+  a stretch of traversal visits, a free batch).  The single-tenant
+  workload drains it; the mixer round-robins several tenants' generators
+  over one machine, interleaving their heap behaviour the way riescue's
+  schedulers interleave harts.  Call chains never stay open across a
+  yield, so interleaved tenants cannot corrupt each other's shadow-stack
+  contexts.
+
+:func:`register_scenario` compiles a spec into a
+:class:`GeneratedWorkload` subclass and registers it in the workload
+registry, after which it flows unchanged through profiling, grouping,
+trace record/replay, the columnar engine, the evaluation matrix, the
+sanitizer, and the serving daemon.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Type
+
+from .. import obs
+from ..machine.heap import HeapObject
+from ..machine.machine import Machine
+from ..machine.program import CallSite, Program, ProgramBuilder
+from ..workloads.base import Workload, lookup, register
+from ..workloads.patterns import alloc_through, burst_plan, partial_shuffle
+from .spec import KindSpec, ScenarioError, ScenarioSpec
+
+__all__ = [
+    "GeneratedWorkload",
+    "ScenarioSites",
+    "build_sites",
+    "compile_spec",
+    "register_scenario",
+    "scenario_ticks",
+]
+
+#: Allocations per tick in the allocation stage of a phase.
+ALLOC_TICK = 8
+
+#: Traversal visits per tick in an access pass.
+VISIT_TICK = 32
+
+
+@dataclass
+class ScenarioSites:
+    """Call-site handles for one scenario laid into one program.
+
+    Chains are outermost-first and complete down to ``malloc``, ready for
+    :func:`~repro.workloads.patterns.alloc_through`.
+    """
+
+    #: Function-name prefix this tenant was laid out under ("" standalone).
+    prefix: str = ""
+    #: Chain for the optional shared lookup table.
+    table_chain: tuple[CallSite, ...] = ()
+    #: ``(phase index, kind label) -> chain`` for node allocations.
+    node_chains: dict[tuple[int, str], tuple[CallSite, ...]] = field(
+        default_factory=dict
+    )
+    #: ``(phase index, kind label) -> chain`` for satellite-cell allocations.
+    cell_chains: dict[tuple[int, str], tuple[CallSite, ...]] = field(
+        default_factory=dict
+    )
+
+
+def build_sites(
+    builder: ProgramBuilder, spec: ScenarioSpec, prefix: str = ""
+) -> ScenarioSites:
+    """Lay *spec*'s call graph into *builder* under *prefix*.
+
+    The shape per allocation is ``main -> {p}phase_N -> {p}make_KIND ->
+    {p}alloc_GROUP -> malloc`` (cells go through ``{p}cells_GROUP``).
+    Kinds sharing a site group share the funnel function and therefore
+    the final allocation site; only the outer frames distinguish them.
+    """
+    sites = ScenarioSites(prefix=prefix)
+    builder.function("main")
+    builder.function("malloc", in_main_binary=False)
+
+    # One allocation funnel (and one cell funnel where needed) per group.
+    funnel_sites: dict[str, CallSite] = {}
+    cell_funnel_sites: dict[str, CallSite] = {}
+    for kind in spec.kinds:
+        group = kind.group
+        if group not in funnel_sites:
+            fn = f"{prefix}alloc_{group}"
+            builder.function(fn)
+            funnel_sites[group] = builder.call_site(fn, "malloc", label=f"{group} node")
+        if kind.cells and group not in cell_funnel_sites:
+            fn = f"{prefix}cells_{group}"
+            builder.function(fn)
+            cell_funnel_sites[group] = builder.call_site(
+                fn, "malloc", label=f"{group} cell"
+            )
+
+    # One constructor per kind, calling its group's funnel(s).
+    make_sites: dict[str, CallSite] = {}
+    make_cell_sites: dict[str, CallSite] = {}
+    for kind in spec.kinds:
+        fn = f"{prefix}make_{kind.label}"
+        builder.function(fn)
+        make_sites[kind.label] = builder.call_site(
+            fn, f"{prefix}alloc_{kind.group}", label=kind.label
+        )
+        if kind.cells:
+            make_cell_sites[kind.label] = builder.call_site(
+                fn, f"{prefix}cells_{kind.group}", label=f"{kind.label} cells"
+            )
+
+    if spec.table_kb:
+        fn = f"{prefix}table_init"
+        builder.function(fn)
+        sites.table_chain = (
+            builder.call_site("main", fn, label=f"{prefix}table"),
+            builder.call_site(fn, "malloc", label="table"),
+        )
+
+    # One phase function per schedule entry; each calls the constructors
+    # of the kinds it allocates.
+    for index, phase in enumerate(spec.phases):
+        phase_fn = f"{prefix}phase_{index}"
+        builder.function(phase_fn)
+        entry = builder.call_site("main", phase_fn, label=phase.label)
+        for label, _weight in phase.weights:
+            kind = spec.kind(label)
+            path = builder.call_site(phase_fn, f"{prefix}make_{label}", label=label)
+            sites.node_chains[(index, label)] = (
+                entry,
+                path,
+                make_sites[label],
+                funnel_sites[kind.group],
+            )
+            if kind.cells:
+                sites.cell_chains[(index, label)] = (
+                    entry,
+                    path,
+                    make_cell_sites[label],
+                    cell_funnel_sites[kind.group],
+                )
+    return sites
+
+
+Item = tuple[HeapObject, tuple[HeapObject, ...]]
+
+
+def _free_items(machine: Machine, items: list[Item]) -> None:
+    """Free every node and cell in *items* (skipping already-dead ones)."""
+    for node, cells in items:
+        if node.alive:
+            machine.free(node)
+        for cell in cells:
+            if cell.alive:
+                machine.free(cell)
+
+
+def _access_pass(
+    machine: Machine,
+    rng: random.Random,
+    spec: ScenarioSpec,
+    kind: KindSpec,
+    items: list[Item],
+    table: Optional[HeapObject],
+) -> Iterator[None]:
+    """One set of traversal passes over *items*, yielding per visit slice."""
+    order = partial_shuffle(items, kind.shuffle, rng)
+    table_lines = table.size // 64 if table is not None else 0
+    for _ in range(kind.hot_passes):
+        since = 0
+        for index, (node, cells) in enumerate(order):
+            span = max(1, node.size // 8)
+            if kind.access == "chase":
+                # Alternate cell and node loads (follow the link, read the
+                # payload, next link...) so cross-context affinity dominates.
+                for slot, cell in enumerate(cells):
+                    machine.load(cell, 0, 8)
+                    machine.load(node, (slot * 3 % span) * 8, 8)
+                for load in range(len(cells), kind.node_loads):
+                    machine.load(node, (load * 3 % span) * 8, 8)
+                touches = len(cells) + max(len(cells), kind.node_loads)
+            else:  # stream: sweep the node sequentially, then its cells.
+                for offset in range(0, span * 8, 8):
+                    machine.load(node, offset, 8)
+                for cell in cells:
+                    machine.load(cell, 0, 8)
+                touches = span + len(cells)
+            if table is not None and index % spec.table_every == 0:
+                machine.load(table, rng.randrange(table_lines) * 64, 8)
+                touches += 1
+            machine.work(spec.work_per_access * touches)
+            since += 1
+            if since >= VISIT_TICK:
+                since = 0
+                yield
+        yield
+
+
+def scenario_ticks(
+    machine: Machine,
+    rng: random.Random,
+    factor: float,
+    spec: ScenarioSpec,
+    sites: ScenarioSites,
+) -> Iterator[None]:
+    """Execute *spec* on *machine* as a stream of scheduling ticks.
+
+    Yields at slice boundaries (allocation bursts, traversal stretches,
+    free batches) with no call scope held open, so several of these
+    generators can be interleaved on one machine by the multi-tenant
+    mixer.  Deterministic given *rng*.
+    """
+    table: Optional[HeapObject] = None
+    if spec.table_kb:
+        table = alloc_through(machine, sites.table_chain, spec.table_kb * 1024)
+        machine.store(table, 0, 8)
+        yield
+    permanent: list[Item] = []
+    for pidx, phase in enumerate(spec.phases):
+        for _rep in range(phase.repeats):
+            live: dict[str, list[Item]] = {}
+            plan = burst_plan(
+                rng,
+                [
+                    (
+                        label,
+                        max(1, int(spec.kind(label).base_count * weight * factor)),
+                        spec.kind(label).burst,
+                    )
+                    for label, weight in phase.weights
+                ],
+            )
+            since = 0
+            for label in plan:
+                kind = spec.kind(label)
+                node = alloc_through(
+                    machine, sites.node_chains[(pidx, label)], kind.size.sample(rng)
+                )
+                machine.store(node, 0, 8)
+                cells: list[HeapObject] = []
+                for _ in range(kind.cells):
+                    cell = alloc_through(
+                        machine,
+                        sites.cell_chains[(pidx, label)],
+                        kind.cell_size.sample(rng),
+                    )
+                    machine.store(cell, 0, 8)
+                    cells.append(cell)
+                live.setdefault(label, []).append((node, tuple(cells)))
+                since += 1
+                if since >= ALLOC_TICK:
+                    since = 0
+                    yield
+            for label, _weight in phase.weights:
+                kind = spec.kind(label)
+                items = live.get(label, [])
+                if kind.access != "none" and kind.hot_passes and items:
+                    yield from _access_pass(machine, rng, spec, kind, items, table)
+                if kind.lifetime == "transient" and items:
+                    _free_items(machine, items)
+                    live[label] = []
+                    yield
+            for label, _weight in phase.weights:
+                kind = spec.kind(label)
+                items = live.get(label, [])
+                if not items:
+                    continue
+                if kind.lifetime == "phase":
+                    _free_items(machine, items)
+                    yield
+                elif kind.lifetime == "churn":
+                    # Free everything except each free_stride-th region,
+                    # punching the adversarial fragmentation holes; the
+                    # survivors pin their chunks until the end of the run.
+                    drop = [
+                        item
+                        for index, item in enumerate(items)
+                        if index % spec.free_stride
+                    ]
+                    _free_items(machine, drop)
+                    permanent.extend(
+                        item
+                        for index, item in enumerate(items)
+                        if not index % spec.free_stride
+                    )
+                    yield
+                else:  # permanent
+                    permanent.extend(items)
+    _free_items(machine, permanent)
+    if table is not None:
+        machine.free(table)
+    yield
+
+
+class GeneratedWorkload(Workload):
+    """A workload compiled from a :class:`ScenarioSpec`.
+
+    Subclasses are created by :func:`compile_spec` with the ``spec`` class
+    attribute filled in; they behave exactly like the hand-written
+    benchmarks (same registry, same determinism contract: the RNG is
+    seeded from name and scale by :meth:`Workload.run`).
+    """
+
+    suite = "generated"
+    #: The scenario this class was compiled from (set by compile_spec).
+    spec: ScenarioSpec
+
+    def _build_program(self) -> Program:
+        """Lay the scenario's call graph into a fresh program."""
+        builder = ProgramBuilder(self.name)
+        self._sites = build_sites(builder, self.spec)
+        return builder.build()
+
+    def _execute(self, machine: Machine, rng: random.Random, factor: float) -> None:
+        """Drain the scenario's tick generator to completion."""
+        ticks = 0
+        for _ in scenario_ticks(machine, rng, factor, self.spec, self._sites):
+            ticks += 1
+        obs.inc("scenario.ticks", ticks, workload=self.name)
+        obs.inc("scenario.runs", 1, workload=self.name)
+
+
+def compile_spec(spec: ScenarioSpec) -> Type[GeneratedWorkload]:
+    """Create (but do not register) the workload class for *spec*."""
+    class_name = "Scenario_" + "".join(
+        ch if ch.isalnum() else "_" for ch in spec.name
+    )
+    return type(
+        class_name,
+        (GeneratedWorkload,),
+        {
+            "__doc__": f"Generated scenario {spec.name} (config {spec.digest()}).",
+            "spec": spec,
+            "name": spec.name,
+            "description": spec.description,
+            "work_per_access": spec.work_per_access,
+        },
+    )
+
+
+def register_scenario(spec: ScenarioSpec) -> Type[Workload]:
+    """Compile *spec* and register it; idempotent for an identical spec.
+
+    Re-registering the same name with a *different* config is an error —
+    corpus entries and self-describing names must stay unambiguous.
+    """
+    existing = lookup(spec.name)
+    if existing is not None:
+        current = getattr(existing, "spec", None)
+        if current is not None and current.digest() == spec.digest():
+            return existing
+        raise ScenarioError(
+            f"workload name {spec.name!r} is already registered with a "
+            "different definition"
+        )
+    cls = compile_spec(spec)
+    register(cls)
+    obs.inc("scenario.workloads", 1, workload=spec.name)
+    return cls

@@ -1,0 +1,259 @@
+"""Multi-tenant mixer: several generated tenants interleaved in one heap.
+
+A :class:`MixSpec` names a set of tenant scenarios, and a scheduler that
+decides whose turn it is — the riescue parallel/simultaneous scheduler
+model, with tenants standing in for harts.  Each tenant's behaviour is
+its scenario's tick generator (:func:`~repro.scenario.generate
+.scenario_ticks`); the mix workload drives all generators over one
+shared machine, so tenants contend for the same allocator, chunks, and
+cache.  Tenant programs are namespaced by a ``tN.`` function prefix in
+one shared program, so profiling attributes every allocation to the
+right tenant context and grouping can still separate (or deliberately
+fuse) tenants.
+
+Schedulers (:data:`SCHEDULERS`):
+
+* ``round-robin`` — one tick per tenant in index order; the fair
+  fine-grained interleaving.
+* ``weighted`` — each tick goes to a tenant drawn with probability
+  proportional to its weight (deterministic: the draw uses the mix
+  workload's own seeded RNG).
+* ``bursty`` — round-robin over *bursts*: a tenant runs ``burst``
+  consecutive ticks before yielding the machine, approximating
+  phase-aligned tenants whose activity comes in runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from dataclasses import dataclass
+from typing import Iterator, Type
+
+from .. import obs
+from ..machine.machine import Machine
+from ..machine.program import Program, ProgramBuilder
+from ..workloads.base import Workload, lookup, register
+from .generate import ScenarioSites, build_sites, scenario_ticks
+from .spec import ScenarioError, ScenarioSpec, spec_from_dict
+
+__all__ = [
+    "MixSpec",
+    "MixedWorkload",
+    "SCHEDULERS",
+    "TenantSpec",
+    "compile_mix",
+    "drive_mix",
+    "register_mix",
+]
+
+#: Supported tenant schedulers.
+SCHEDULERS = ("round-robin", "weighted", "bursty")
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant in a mix: a scenario plus its scheduling parameters.
+
+    Attributes:
+        spec: The tenant's scenario.
+        weight: Share of ticks under the ``weighted`` scheduler.
+        burst: Consecutive ticks per turn under the ``bursty`` scheduler.
+    """
+
+    spec: ScenarioSpec
+    weight: float = 1.0
+    burst: int = 4
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ScenarioError(f"tenant weight must be positive, got {self.weight}")
+        if self.burst < 1:
+            raise ScenarioError(f"tenant burst must be >= 1, got {self.burst}")
+
+    def to_dict(self) -> dict:
+        """Canonical dict form."""
+        return {
+            "spec": self.spec.to_dict(),
+            "weight": self.weight,
+            "burst": self.burst,
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "TenantSpec":
+        """Build a tenant from its canonical dict form."""
+        return TenantSpec(
+            spec=spec_from_dict(data["spec"]),
+            weight=float(data.get("weight", 1.0)),
+            burst=int(data.get("burst", 4)),
+        )
+
+
+@dataclass(frozen=True)
+class MixSpec:
+    """A complete multi-tenant mix description.
+
+    Attributes:
+        name: Workload name the compiled mix registers under.
+        tenants: The tenant scenarios, in scheduling order.
+        scheduler: One of :data:`SCHEDULERS`.
+        description: One line for reports and ``halo list``.
+    """
+
+    name: str
+    tenants: tuple[TenantSpec, ...]
+    scheduler: str = "round-robin"
+    description: str = "generated multi-tenant mix"
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ScenarioError("mix name must be non-empty")
+        if not self.tenants:
+            raise ScenarioError(f"{self.name}: needs at least one tenant")
+        if self.scheduler not in SCHEDULERS:
+            raise ScenarioError(
+                f"{self.name}: unknown scheduler {self.scheduler!r}; "
+                f"expected one of {SCHEDULERS}"
+            )
+
+    def to_dict(self) -> dict:
+        """Canonical dict form (the digested representation)."""
+        return {
+            "name": self.name,
+            "tenants": [tenant.to_dict() for tenant in self.tenants],
+            "scheduler": self.scheduler,
+            "description": self.description,
+        }
+
+    def digest(self) -> str:
+        """Stable config hash of the canonical form (corpus golden hash)."""
+        payload = json.dumps(self.to_dict(), sort_keys=True).encode()
+        return hashlib.sha256(payload).hexdigest()[:16]
+
+    @staticmethod
+    def from_dict(data: dict) -> "MixSpec":
+        """Build a mix from its canonical dict form."""
+        try:
+            return MixSpec(
+                name=data["name"],
+                tenants=tuple(TenantSpec.from_dict(t) for t in data["tenants"]),
+                scheduler=data.get("scheduler", "round-robin"),
+                description=data.get("description", "generated multi-tenant mix"),
+            )
+        except KeyError as exc:
+            raise ScenarioError(f"mix config missing field {exc.args[0]!r}") from None
+
+
+def drive_mix(
+    generators: list[Iterator[None]], mix: MixSpec, rng: random.Random
+) -> list[int]:
+    """Drain all tenant *generators* under *mix*'s scheduler.
+
+    Returns per-tenant tick counts.  A tenant that finishes drops out of
+    the rotation; the rest keep running until every generator is
+    exhausted.  Deterministic given *rng*.
+    """
+    ticks = [0] * len(generators)
+    active = list(range(len(generators)))
+    position = 0
+    while active:
+        if mix.scheduler == "weighted":
+            index = rng.choices(
+                active, weights=[mix.tenants[i].weight for i in active]
+            )[0]
+            burst = 1
+        else:
+            index = active[position % len(active)]
+            position += 1
+            burst = mix.tenants[index].burst if mix.scheduler == "bursty" else 1
+        for _ in range(burst):
+            try:
+                next(generators[index])
+            except StopIteration:
+                active.remove(index)
+                break
+            ticks[index] += 1
+    return ticks
+
+
+class MixedWorkload(Workload):
+    """A workload interleaving several tenant scenarios on one heap.
+
+    Subclasses are created by :func:`compile_mix` with the ``mix`` class
+    attribute filled in.  Tenant RNGs are derived from the mix's name, so
+    a tenant's behaviour inside a mix is deterministic but distinct from
+    its standalone run.
+    """
+
+    suite = "generated-mix"
+    #: The mix this class was compiled from (set by compile_mix).
+    mix: MixSpec
+
+    def _build_program(self) -> Program:
+        """Lay every tenant's call graph into one shared program."""
+        builder = ProgramBuilder(self.name)
+        self._tenant_sites: list[ScenarioSites] = []
+        for index, tenant in enumerate(self.mix.tenants):
+            self._tenant_sites.append(
+                build_sites(builder, tenant.spec, prefix=f"t{index}.")
+            )
+        return builder.build()
+
+    def _execute(self, machine: Machine, rng: random.Random, factor: float) -> None:
+        """Interleave all tenant tick generators under the mix scheduler."""
+        generators = []
+        for index, tenant in enumerate(self.mix.tenants):
+            tenant_rng = random.Random(f"{self.name}:tenant{index}:{factor}")
+            generators.append(
+                scenario_ticks(
+                    machine, tenant_rng, factor, tenant.spec, self._tenant_sites[index]
+                )
+            )
+        ticks = drive_mix(generators, self.mix, rng)
+        obs.inc("scenario.ticks", sum(ticks), workload=self.name)
+        obs.inc("scenario.runs", 1, workload=self.name)
+        obs.inc("scenario.tenants", len(ticks), workload=self.name)
+
+
+def compile_mix(mix: MixSpec) -> Type[MixedWorkload]:
+    """Create (but do not register) the workload class for *mix*."""
+    class_name = "Mix_" + "".join(ch if ch.isalnum() else "_" for ch in mix.name)
+    tenant_names = ", ".join(tenant.spec.name for tenant in mix.tenants)
+    return type(
+        class_name,
+        (MixedWorkload,),
+        {
+            "__doc__": (
+                f"Generated mix {mix.name} ({mix.scheduler} over "
+                f"{tenant_names}; config {mix.digest()})."
+            ),
+            "mix": mix,
+            "name": mix.name,
+            "description": mix.description,
+            "work_per_access": max(
+                tenant.spec.work_per_access for tenant in mix.tenants
+            ),
+        },
+    )
+
+
+def register_mix(mix: MixSpec) -> Type[Workload]:
+    """Compile *mix* and register it; idempotent for an identical spec.
+
+    Like :func:`~repro.scenario.generate.register_scenario`, re-using a
+    registered name for a different config is an error.
+    """
+    existing = lookup(mix.name)
+    if existing is not None:
+        current = getattr(existing, "mix", None)
+        if current is not None and current.digest() == mix.digest():
+            return existing
+        raise ScenarioError(
+            f"workload name {mix.name!r} is already registered with a "
+            "different definition"
+        )
+    cls = compile_mix(mix)
+    register(cls)
+    obs.inc("scenario.workloads", 1, workload=mix.name)
+    return cls

@@ -1,0 +1,304 @@
+"""Seeded constrained-random scenario sampling and the name grammar.
+
+The sampler is the riescue-style piece: instead of hand-writing
+workloads, draw them from pools of size classes, lifetime classes,
+access modes, and phase schedules under constraints that keep every
+draw a *meaningful* HALO input (there is always a hot pointer-chased
+structure for grouping to find; adversaries — shared allocation sites,
+pollution in the hot size class, churn holes — appear with fixed
+probabilities).
+
+Names are **self-describing**: the full spec is a pure function of the
+name, so any process — a parallel measure worker, the serving daemon, a
+trace replayer — can rebuild a generated workload from its name alone:
+
+* ``scn-<seed>`` — the single scenario sampled from ``<seed>``;
+* ``mix-<seed>x<n>[-<sched>]`` — ``<n>`` tenants sampled from
+  ``<seed>``, interleaved by ``<sched>`` (``rr``/``wtd``/``burst``;
+  sampled from the seed when omitted).  A mix's tenants are themselves
+  runnable standalone: tenant ``i`` of ``mix-5x3`` is some ``scn-<k>``.
+
+All randomness is drawn from string-seeded :class:`random.Random`
+streams, so sampling is stable across processes and interpreter runs
+(``PYTHONHASHSEED``-safe) — the property the corpus golden hashes pin.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+from typing import Optional, Type, Union
+
+from ..workloads.base import Workload
+from .generate import register_scenario
+from .mix import SCHEDULERS, MixSpec, TenantSpec, register_mix
+from .spec import (
+    KindSpec,
+    PhaseSpec,
+    ScenarioError,
+    ScenarioSpec,
+    SizeDist,
+    load_config_dict,
+    spec_from_dict,
+)
+
+__all__ = [
+    "SCHEDULER_CODES",
+    "load_config",
+    "parse_name",
+    "resolve_scenario",
+    "sample_mix",
+    "sample_spec",
+]
+
+#: Name-grammar scheduler codes -> scheduler names.
+SCHEDULER_CODES = {"rr": "round-robin", "wtd": "weighted", "burst": "bursty"}
+
+_SCN_RE = re.compile(r"^scn-(\d+)$")
+_MIX_RE = re.compile(r"^mix-(\d+)x(\d+)(?:-([a-z]+))?$")
+
+#: Size-class anchors the samplers draw from (bytes); small classes for
+#: nodes/cells, the tail for streamed buffers.
+_SIZE_ANCHORS = (16, 24, 32, 48, 64, 96, 128, 192, 256)
+
+
+def _sample_size(rng: random.Random, large: bool = False) -> SizeDist:
+    """Draw a size distribution (node-class, or buffer-class when *large*)."""
+    kind = rng.choices(
+        ("fixed", "uniform", "choice", "pareto"), weights=(4, 3, 2, 1)
+    )[0]
+    if large:
+        lo = rng.choice((64, 96, 128, 192))
+        hi = lo * rng.choice((2, 4, 8))
+    else:
+        lo = rng.choice(_SIZE_ANCHORS[:6])
+        hi = rng.choice([a for a in _SIZE_ANCHORS if a >= lo])
+    if kind == "fixed":
+        return SizeDist("fixed", lo=lo, hi=lo)
+    if kind == "uniform":
+        return SizeDist("uniform", lo=lo, hi=hi)
+    if kind == "choice":
+        population = [a for a in _SIZE_ANCHORS if lo <= a <= hi] or [lo]
+        count = min(rng.randrange(2, 5), len(population))
+        values = tuple(sorted(rng.sample(population, count)))
+        return SizeDist("choice", values=values)
+    return SizeDist("pareto", lo=lo, hi=max(hi, lo * 8), alpha=rng.choice((1.2, 1.5, 2.0)))
+
+
+def _sample_kinds(rng: random.Random) -> list[KindSpec]:
+    """Draw the kind set: always a hot chased structure, plus adversaries."""
+    kinds: list[KindSpec] = []
+    hot_size = _sample_size(rng)
+    hot_cells = rng.choices((0, 1, 2, 3), weights=(3, 3, 2, 1))[0]
+    shared_site = rng.random() < 0.7
+    kinds.append(
+        KindSpec(
+            label="hot",
+            base_count=rng.randrange(150, 501),
+            size=hot_size,
+            lifetime="permanent" if rng.random() < 0.4 else "phase",
+            access="chase",
+            cells=hot_cells,
+            cell_size=_sample_size(rng) if hot_cells else None,
+            hot_passes=rng.randrange(3, 9),
+            node_loads=rng.randrange(2, 5),
+            shuffle=rng.choice((0.0, 0.05, 0.1, 0.25)),
+            burst=rng.randrange(1, 5),
+            site_group="shared" if shared_site else "",
+        )
+    )
+    if shared_site:
+        # Cold data allocated through the SAME site as the hot structure,
+        # on a different call path — only full-context identification can
+        # separate these (the health/generate_patient adversary).
+        kinds.append(
+            KindSpec(
+                label="coldtwin",
+                base_count=rng.randrange(100, 401),
+                size=hot_size,
+                lifetime=rng.choice(("phase", "churn")),
+                access="none",
+                hot_passes=0,
+                burst=rng.randrange(1, 5),
+                site_group="shared",
+            )
+        )
+    if rng.random() < 0.6:
+        # Pollution: hot's size classes from private sites, never accessed
+        # (the Figure-1 adversary a size-segregated baseline co-locates).
+        kinds.append(
+            KindSpec(
+                label="pollute",
+                base_count=rng.randrange(150, 451),
+                size=hot_size,
+                lifetime=rng.choice(("phase", "churn", "transient")),
+                access="none",
+                hot_passes=0,
+                burst=rng.randrange(2, 9),
+            )
+        )
+    if rng.random() < 0.5:
+        # Streamed buffers: sequential sweeps (the roms regime).
+        kinds.append(
+            KindSpec(
+                label="stream",
+                base_count=rng.randrange(40, 161),
+                size=_sample_size(rng, large=True),
+                lifetime=rng.choice(("phase", "transient")),
+                access="stream",
+                hot_passes=rng.randrange(1, 4),
+                burst=rng.randrange(1, 5),
+            )
+        )
+    if rng.random() < 0.5:
+        # Churn: freed with a stride at phase end, leaving holes that pin
+        # chunks — the adversarial fragmentation pattern.
+        kinds.append(
+            KindSpec(
+                label="churn",
+                base_count=rng.randrange(100, 401),
+                size=_sample_size(rng),
+                lifetime="churn",
+                access="chase" if rng.random() < 0.4 else "none",
+                hot_passes=1,
+                burst=rng.randrange(1, 7),
+            )
+        )
+    return kinds
+
+
+def _sample_phases(
+    rng: random.Random, kinds: list[KindSpec]
+) -> tuple[PhaseSpec, ...]:
+    """Draw a phase schedule covering every kind at least once."""
+    count = rng.randrange(1, 4)
+    phases: list[list[tuple[str, float]]] = []
+    for _ in range(count):
+        weights = [("hot", rng.choice((0.5, 1.0, 1.5, 2.0)))]
+        for kind in kinds:
+            if kind.label != "hot" and rng.random() < 0.8:
+                weights.append((kind.label, rng.choice((0.25, 0.5, 1.0, 2.0))))
+        phases.append(weights)
+    for kind in kinds:
+        if not any(label == kind.label for phase in phases for label, _ in phase):
+            phases[rng.randrange(len(phases))].append((kind.label, 0.5))
+    return tuple(
+        PhaseSpec(
+            label=f"phase{index}",
+            weights=tuple(weights),
+            repeats=rng.choices((1, 2), weights=(3, 1))[0],
+        )
+        for index, weights in enumerate(phases)
+    )
+
+
+def sample_spec(seed: int, name: Optional[str] = None) -> ScenarioSpec:
+    """Sample the scenario for *seed* (the meaning of ``scn-<seed>``).
+
+    A pure function of *seed*: every process that samples the same seed
+    gets a spec with the same digest.
+    """
+    rng = random.Random(f"scenario-sample:{seed}")
+    kinds = _sample_kinds(rng)
+    phases = _sample_phases(rng, kinds)
+    return ScenarioSpec(
+        name=name or f"scn-{seed}",
+        kinds=tuple(kinds),
+        phases=tuple(phases),
+        table_kb=rng.choice((0, 64, 128, 256)) if rng.random() < 0.6 else 0,
+        table_every=rng.randrange(2, 7),
+        free_stride=rng.randrange(2, 6),
+        work_per_access=rng.choices((0.5, 1.0, 2.0, 4.0), weights=(2, 4, 2, 1))[0],
+        description=f"generated scenario (seed {seed})",
+    )
+
+
+def sample_mix(
+    seed: int,
+    tenants: int = 3,
+    scheduler: Optional[str] = None,
+    name: Optional[str] = None,
+) -> MixSpec:
+    """Sample the mix for *seed* (the meaning of ``mix-<seed>x<tenants>``).
+
+    Tenant draws are independent of the scheduler choice, so
+    ``mix-5x3-rr`` and ``mix-5x3-wtd`` interleave the *same* tenants
+    under different schedulers.
+    """
+    if tenants < 1:
+        raise ScenarioError(f"a mix needs at least one tenant, got {tenants}")
+    if scheduler is not None and scheduler not in SCHEDULERS:
+        raise ScenarioError(
+            f"unknown scheduler {scheduler!r}; expected one of {SCHEDULERS}"
+        )
+    rng = random.Random(f"mix-sample:{seed}")
+    drawn: list[TenantSpec] = []
+    for _ in range(tenants):
+        tenant_seed = rng.randrange(1_000_000)
+        drawn.append(
+            TenantSpec(
+                spec=sample_spec(tenant_seed),
+                weight=rng.choice((1.0, 1.5, 2.0, 3.0)),
+                burst=rng.randrange(4, 17),
+            )
+        )
+    if scheduler is None:
+        scheduler = random.Random(f"mix-sched:{seed}").choice(SCHEDULERS)
+    mix_name = name or f"mix-{seed}x{tenants}"
+    return MixSpec(
+        name=mix_name,
+        tenants=tuple(drawn),
+        scheduler=scheduler,
+        description=f"generated {scheduler} mix of {tenants} tenants (seed {seed})",
+    )
+
+
+def parse_name(name: str) -> Union[ScenarioSpec, MixSpec]:
+    """Rebuild the spec a generated workload name describes.
+
+    Raises :class:`ScenarioError` for names that carry a generated prefix
+    but do not match the grammar.
+    """
+    match = _SCN_RE.match(name)
+    if match:
+        return sample_spec(int(match.group(1)), name=name)
+    match = _MIX_RE.match(name)
+    if match:
+        seed, tenants, code = match.groups()
+        scheduler = None
+        if code is not None:
+            if code not in SCHEDULER_CODES:
+                raise ScenarioError(
+                    f"bad scheduler code {code!r} in {name!r}; expected one "
+                    f"of {sorted(SCHEDULER_CODES)}"
+                )
+            scheduler = SCHEDULER_CODES[code]
+        return sample_mix(int(seed), tenants=int(tenants), scheduler=scheduler, name=name)
+    raise ScenarioError(
+        f"malformed generated-workload name {name!r}; expected 'scn-<seed>' "
+        "or 'mix-<seed>x<tenants>[-rr|-wtd|-burst]'"
+    )
+
+
+def load_config(path: str) -> Union[ScenarioSpec, MixSpec]:
+    """Load a scenario *or* mix spec from a ``.json``/``.toml`` config file.
+
+    A config with a ``tenants`` key is a mix; anything else is a
+    single-tenant scenario.
+    """
+    data = load_config_dict(path)
+    if "tenants" in data:
+        return MixSpec.from_dict(data)
+    return spec_from_dict(data)
+
+
+def resolve_scenario(name: str) -> Type[Workload]:
+    """Resolve a generated name to a registered workload class.
+
+    The hook :func:`repro.workloads.base.get_workload` calls for
+    unregistered ``scn-``/``mix-`` names.
+    """
+    spec = parse_name(name)
+    if isinstance(spec, MixSpec):
+        return register_mix(spec)
+    return register_scenario(spec)

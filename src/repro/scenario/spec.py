@@ -1,0 +1,451 @@
+"""The declarative scenario DSL: what a generated workload is made of.
+
+A :class:`ScenarioSpec` is a small, fully-serialisable description of heap
+behaviour — object-size distributions, lifetime classes, phase-shift
+schedules, access-locality knobs, pointer-chase vs. streaming mixes, and
+adversarial fragmentation patterns — that the generator in
+:mod:`repro.scenario.generate` compiles into a reproducible
+:class:`~repro.workloads.base.Workload`.  The vocabulary mirrors the
+locality mechanisms the paper's hand-written benchmarks exercise:
+
+* a :class:`KindSpec` is one allocation kind (a node plus optional
+  satellite cells), with its size distribution, lifetime class, and
+  traversal mode;
+* kinds sharing a ``site_group`` allocate through the *same* malloc
+  funnel from different call paths — the full-context identification
+  crux (health's ``generate_patient``);
+* a :class:`PhaseSpec` scales each kind's allocation intensity, so the
+  mix shifts over the run (drift for the serving daemon, phase behaviour
+  for the profiler);
+* ``lifetime="churn"`` frees with a stride, leaving holes — the
+  adversarial fragmentation pattern;
+* ``access="stream"`` produces sequential sweeps, ``"chase"``
+  pointer-chases in a mostly-allocation-order walk with churn.
+
+Specs are frozen dataclasses with a canonical JSON form; :meth:`digest`
+hashes that form, and corpora pin those digests as golden hashes.  TOML
+configs load through :func:`load_spec` (Python >= 3.11).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Union
+
+__all__ = [
+    "ACCESS_MODES",
+    "KindSpec",
+    "LIFETIMES",
+    "PhaseSpec",
+    "ScenarioError",
+    "ScenarioSpec",
+    "SIZE_DIST_KINDS",
+    "SizeDist",
+    "load_config_dict",
+    "load_spec",
+    "spec_from_dict",
+]
+
+
+class ScenarioError(Exception):
+    """Raised for malformed scenario specifications or names."""
+
+
+#: Size-distribution families the DSL supports.
+SIZE_DIST_KINDS = ("fixed", "uniform", "choice", "pareto")
+
+#: Lifetime classes: when a kind's objects are freed.
+#:
+#: * ``phase`` — at the end of the phase that allocated them;
+#: * ``transient`` — immediately after their own access pass;
+#: * ``permanent`` — at the end of the run;
+#: * ``churn`` — at phase end with a stride (``free_stride``), leaving
+#:   holes in chunk occupancy (the adversarial fragmentation pattern);
+#:   survivors live to the end of the run.
+LIFETIMES = ("phase", "transient", "permanent", "churn")
+
+#: Traversal modes: pointer-chase, sequential stream, or never accessed.
+ACCESS_MODES = ("chase", "stream", "none")
+
+
+@dataclass(frozen=True)
+class SizeDist:
+    """One object-size distribution.
+
+    ``fixed`` always returns ``lo``; ``uniform`` draws from
+    ``[lo, hi]``; ``choice`` draws from ``values`` with optional
+    ``weights``; ``pareto`` draws a heavy-tailed size with tail index
+    ``alpha``, clamped to ``[lo, hi]``.
+    """
+
+    kind: str = "fixed"
+    lo: int = 32
+    hi: int = 32
+    values: tuple[int, ...] = ()
+    weights: tuple[float, ...] = ()
+    alpha: float = 1.5
+
+    def __post_init__(self) -> None:
+        if self.kind not in SIZE_DIST_KINDS:
+            raise ScenarioError(
+                f"unknown size distribution {self.kind!r}; "
+                f"expected one of {SIZE_DIST_KINDS}"
+            )
+        if self.kind == "choice":
+            if not self.values:
+                raise ScenarioError("choice distribution needs values")
+            if self.weights and len(self.weights) != len(self.values):
+                raise ScenarioError(
+                    f"choice distribution has {len(self.values)} values "
+                    f"but {len(self.weights)} weights"
+                )
+            if any(v < 1 for v in self.values):
+                raise ScenarioError(f"sizes must be >= 1: {self.values}")
+        elif self.lo < 1 or self.hi < self.lo:
+            raise ScenarioError(
+                f"size bounds must satisfy 1 <= lo <= hi, got [{self.lo}, {self.hi}]"
+            )
+        if self.kind == "pareto" and self.alpha <= 0:
+            raise ScenarioError(f"pareto alpha must be positive, got {self.alpha}")
+
+    def sample(self, rng: random.Random) -> int:
+        """Draw one size (deterministic given the RNG state)."""
+        if self.kind == "fixed":
+            return self.lo
+        if self.kind == "uniform":
+            return rng.randrange(self.lo, self.hi + 1)
+        if self.kind == "choice":
+            if self.weights:
+                return rng.choices(self.values, weights=self.weights)[0]
+            return self.values[rng.randrange(len(self.values))]
+        # pareto: lo / u^(1/alpha), clamped into [lo, hi].
+        u = 1.0 - rng.random()
+        size = int(self.lo / (u ** (1.0 / self.alpha)))
+        return max(self.lo, min(size, self.hi))
+
+    def to_dict(self) -> dict:
+        """Canonical dict form (only the fields the kind uses)."""
+        out: dict = {"kind": self.kind}
+        if self.kind == "choice":
+            out["values"] = list(self.values)
+            if self.weights:
+                out["weights"] = list(self.weights)
+        else:
+            out["lo"] = self.lo
+            out["hi"] = self.hi
+            if self.kind == "pareto":
+                out["alpha"] = self.alpha
+        return out
+
+    @staticmethod
+    def from_dict(data: dict) -> "SizeDist":
+        """Build a distribution from its canonical dict form."""
+        return SizeDist(
+            kind=data.get("kind", "fixed"),
+            lo=int(data.get("lo", 32)),
+            hi=int(data.get("hi", data.get("lo", 32))),
+            values=tuple(int(v) for v in data.get("values", ())),
+            weights=tuple(float(w) for w in data.get("weights", ())),
+            alpha=float(data.get("alpha", 1.5)),
+        )
+
+
+@dataclass(frozen=True)
+class KindSpec:
+    """One allocation kind: a node plus optional satellite cells.
+
+    Attributes:
+        label: Unique kind name within the scenario.
+        base_count: Nodes allocated per phase-weight unit at ref scale.
+        size: Node size distribution.
+        lifetime: One of :data:`LIFETIMES`.
+        access: One of :data:`ACCESS_MODES` — pointer-chase, sequential
+            stream, or allocated-but-never-accessed pollution.
+        cells: Satellite cells allocated with each node (linked-list
+            cells, hash-table entries).
+        cell_size: Cell size distribution (required when ``cells > 0``).
+        hot_passes: Traversal passes over this kind per phase.
+        node_loads: Loads per node per visit in a chase pass.
+        shuffle: Fraction of traversal-order transpositions (list churn).
+        burst: Consecutive same-kind allocations per burst in the
+            interleaved allocation plan.
+        site_group: Kinds sharing this tag allocate through the same
+            malloc funnel (shared-site adversary); defaults to the label,
+            i.e. a private funnel.
+    """
+
+    label: str
+    base_count: int
+    size: SizeDist
+    lifetime: str = "phase"
+    access: str = "chase"
+    cells: int = 0
+    cell_size: Optional[SizeDist] = None
+    hot_passes: int = 1
+    node_loads: int = 2
+    shuffle: float = 0.05
+    burst: int = 1
+    site_group: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.label:
+            raise ScenarioError("kind label must be non-empty")
+        if self.base_count < 1:
+            raise ScenarioError(f"{self.label}: base_count must be >= 1")
+        if self.lifetime not in LIFETIMES:
+            raise ScenarioError(
+                f"{self.label}: unknown lifetime {self.lifetime!r}; "
+                f"expected one of {LIFETIMES}"
+            )
+        if self.access not in ACCESS_MODES:
+            raise ScenarioError(
+                f"{self.label}: unknown access mode {self.access!r}; "
+                f"expected one of {ACCESS_MODES}"
+            )
+        if self.cells < 0:
+            raise ScenarioError(f"{self.label}: cells must be >= 0")
+        if self.cells and self.cell_size is None:
+            raise ScenarioError(f"{self.label}: cells > 0 needs a cell_size")
+        if self.hot_passes < 0 or self.node_loads < 1 or self.burst < 1:
+            raise ScenarioError(
+                f"{self.label}: hot_passes must be >= 0, node_loads and "
+                "burst >= 1"
+            )
+        if self.shuffle < 0:
+            raise ScenarioError(f"{self.label}: shuffle must be >= 0")
+
+    @property
+    def group(self) -> str:
+        """The effective site-group tag (the label when unset)."""
+        return self.site_group or self.label
+
+    def to_dict(self) -> dict:
+        """Canonical dict form."""
+        out: dict = {
+            "label": self.label,
+            "base_count": self.base_count,
+            "size": self.size.to_dict(),
+            "lifetime": self.lifetime,
+            "access": self.access,
+            "hot_passes": self.hot_passes,
+            "node_loads": self.node_loads,
+            "shuffle": self.shuffle,
+            "burst": self.burst,
+        }
+        if self.cells:
+            out["cells"] = self.cells
+            out["cell_size"] = self.cell_size.to_dict()
+        if self.site_group:
+            out["site_group"] = self.site_group
+        return out
+
+    @staticmethod
+    def from_dict(data: dict) -> "KindSpec":
+        """Build a kind from its canonical dict form."""
+        cell_size = data.get("cell_size")
+        return KindSpec(
+            label=data["label"],
+            base_count=int(data["base_count"]),
+            size=SizeDist.from_dict(data["size"]),
+            lifetime=data.get("lifetime", "phase"),
+            access=data.get("access", "chase"),
+            cells=int(data.get("cells", 0)),
+            cell_size=SizeDist.from_dict(cell_size) if cell_size else None,
+            hot_passes=int(data.get("hot_passes", 1)),
+            node_loads=int(data.get("node_loads", 2)),
+            shuffle=float(data.get("shuffle", 0.05)),
+            burst=int(data.get("burst", 1)),
+            site_group=data.get("site_group", ""),
+        )
+
+
+@dataclass(frozen=True)
+class PhaseSpec:
+    """One phase of the allocation schedule.
+
+    Attributes:
+        label: Phase name (unique within the scenario).
+        weights: ``(kind label, intensity)`` pairs — each kind allocates
+            ``base_count * intensity`` nodes this phase (a kind absent
+            from the mapping allocates nothing, which is how phase shifts
+            are expressed).
+        repeats: Times the phase body runs back to back.
+    """
+
+    label: str
+    weights: tuple[tuple[str, float], ...]
+    repeats: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.label:
+            raise ScenarioError("phase label must be non-empty")
+        if not self.weights:
+            raise ScenarioError(f"phase {self.label}: needs at least one kind weight")
+        if any(weight <= 0 for _, weight in self.weights):
+            raise ScenarioError(
+                f"phase {self.label}: weights must be positive: {self.weights}"
+            )
+        if self.repeats < 1:
+            raise ScenarioError(f"phase {self.label}: repeats must be >= 1")
+
+    def to_dict(self) -> dict:
+        """Canonical dict form."""
+        return {
+            "label": self.label,
+            "weights": [[label, weight] for label, weight in self.weights],
+            "repeats": self.repeats,
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "PhaseSpec":
+        """Build a phase from its canonical dict form."""
+        return PhaseSpec(
+            label=data["label"],
+            weights=tuple(
+                (str(label), float(weight)) for label, weight in data["weights"]
+            ),
+            repeats=int(data.get("repeats", 1)),
+        )
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A complete generated-workload description.
+
+    Attributes:
+        name: Workload name the compiled scenario registers under.
+        kinds: The allocation kinds.
+        phases: The phase-shift schedule, run in order.
+        table_kb: Shared lookup-table size in KiB (0: no table) —
+            placement-independent traffic and an HDS stream terminator.
+        table_every: Table lookup frequency (one per N chase visits).
+        free_stride: Churn-lifetime hole pattern: at phase end every
+            region except each ``free_stride``-th is freed.
+        work_per_access: Compute cycles charged per heap access (the
+            memory- vs compute-bound knob).
+        description: One line for reports and ``halo list``.
+    """
+
+    name: str
+    kinds: tuple[KindSpec, ...]
+    phases: tuple[PhaseSpec, ...]
+    table_kb: int = 0
+    table_every: int = 4
+    free_stride: int = 3
+    work_per_access: float = 1.0
+    description: str = field(default="generated scenario")
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ScenarioError("scenario name must be non-empty")
+        if not self.kinds:
+            raise ScenarioError(f"{self.name}: needs at least one kind")
+        if not self.phases:
+            raise ScenarioError(f"{self.name}: needs at least one phase")
+        labels = [kind.label for kind in self.kinds]
+        if len(set(labels)) != len(labels):
+            raise ScenarioError(f"{self.name}: duplicate kind labels: {labels}")
+        known = set(labels)
+        for phase in self.phases:
+            for label, _ in phase.weights:
+                if label not in known:
+                    raise ScenarioError(
+                        f"{self.name}: phase {phase.label} references unknown "
+                        f"kind {label!r}; known: {sorted(known)}"
+                    )
+        if self.table_kb < 0 or self.table_every < 1 or self.free_stride < 2:
+            raise ScenarioError(
+                f"{self.name}: table_kb must be >= 0, table_every >= 1, "
+                "free_stride >= 2"
+            )
+        if self.work_per_access <= 0:
+            raise ScenarioError(f"{self.name}: work_per_access must be positive")
+
+    def kind(self, label: str) -> KindSpec:
+        """Look up a kind by label."""
+        for kind in self.kinds:
+            if kind.label == label:
+                return kind
+        raise ScenarioError(f"{self.name}: unknown kind {label!r}")
+
+    def to_dict(self) -> dict:
+        """Canonical dict form (the digested representation)."""
+        return {
+            "name": self.name,
+            "kinds": [kind.to_dict() for kind in self.kinds],
+            "phases": [phase.to_dict() for phase in self.phases],
+            "table_kb": self.table_kb,
+            "table_every": self.table_every,
+            "free_stride": self.free_stride,
+            "work_per_access": self.work_per_access,
+            "description": self.description,
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON (sorted keys; the exact bytes :meth:`digest` hashes)."""
+        return json.dumps(self.to_dict(), sort_keys=True, indent=2) + "\n"
+
+    def digest(self) -> str:
+        """Stable config hash of the canonical form (corpus golden hash)."""
+        payload = json.dumps(self.to_dict(), sort_keys=True).encode()
+        return hashlib.sha256(payload).hexdigest()[:16]
+
+
+def spec_from_dict(data: dict) -> ScenarioSpec:
+    """Build a :class:`ScenarioSpec` from its canonical dict form.
+
+    Raises :class:`ScenarioError` on missing or malformed fields (the
+    dataclass validators run on construction).
+    """
+    try:
+        return ScenarioSpec(
+            name=data["name"],
+            kinds=tuple(KindSpec.from_dict(k) for k in data["kinds"]),
+            phases=tuple(PhaseSpec.from_dict(p) for p in data["phases"]),
+            table_kb=int(data.get("table_kb", 0)),
+            table_every=int(data.get("table_every", 4)),
+            free_stride=int(data.get("free_stride", 3)),
+            work_per_access=float(data.get("work_per_access", 1.0)),
+            description=data.get("description", "generated scenario"),
+        )
+    except KeyError as exc:
+        raise ScenarioError(f"scenario config missing field {exc.args[0]!r}") from None
+
+
+def load_config_dict(path: Union[str, Path]) -> dict:
+    """Load a ``.json`` or ``.toml`` config file to its raw dict.
+
+    TOML needs Python >= 3.11 (:mod:`tomllib`); on older interpreters a
+    :class:`ScenarioError` explains the constraint instead of crashing.
+    """
+    path = Path(path)
+    text = path.read_text()
+    if path.suffix == ".toml":
+        try:
+            import tomllib
+        except ImportError:  # pragma: no cover - version-dependent
+            raise ScenarioError(
+                "TOML scenario configs need Python >= 3.11 (tomllib); "
+                "use the JSON form instead"
+            ) from None
+        try:
+            data = tomllib.loads(text)
+        except tomllib.TOMLDecodeError as exc:
+            raise ScenarioError(f"{path}: invalid TOML: {exc}") from None
+    else:
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ScenarioError(f"{path}: invalid JSON: {exc}") from None
+    if not isinstance(data, dict):
+        raise ScenarioError(f"{path}: config must be a mapping")
+    return data
+
+
+def load_spec(path: Union[str, Path]) -> ScenarioSpec:
+    """Load a single-tenant scenario spec from a config file."""
+    return spec_from_dict(load_config_dict(path))

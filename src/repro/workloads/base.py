@@ -29,9 +29,10 @@ larger ref inputs").
 
 from __future__ import annotations
 
+import difflib
 import random
 from abc import ABC, abstractmethod
-from typing import Type
+from typing import Optional, Type
 
 from ..machine.machine import Machine
 from ..machine.program import Program
@@ -39,9 +40,31 @@ from ..machine.program import Program
 #: Input-scale multipliers, mirroring SPEC's test/train/ref inputs.
 SCALES = {"test": 0.25, "train": 0.5, "ref": 1.0}
 
+#: Workload-name prefixes resolved on demand by the scenario generator
+#: (``scn-<seed>`` single scenarios, ``mix-<seed>x<n>`` tenant mixes).
+#: The names are self-describing — the full spec is reconstructed from the
+#: name alone — so parallel workers and the serving daemon resolve them in
+#: fresh processes without any side-channel state.
+GENERATED_PREFIXES = ("scn-", "mix-")
+
 
 class WorkloadError(Exception):
     """Raised for unknown workloads or scales."""
+
+
+def resolve_scale(scale: str) -> float:
+    """Return the scale multiplier for *scale*, or raise :class:`WorkloadError`.
+
+    The single place scale strings are validated; the CLI calls this up
+    front so typos fail fast with the valid keys instead of surfacing
+    somewhere deep in the pipeline.
+    """
+    try:
+        return SCALES[scale]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown scale {scale!r}; expected one of {sorted(SCALES)}"
+        ) from None
 
 
 class Workload(ABC):
@@ -82,12 +105,7 @@ class Workload(ABC):
         The RNG is seeded from (name, scale) only, so different allocator
         configurations observe identical program behaviour.
         """
-        try:
-            factor = SCALES[scale]
-        except KeyError:
-            raise WorkloadError(
-                f"unknown scale {scale!r}; expected one of {sorted(SCALES)}"
-            ) from None
+        factor = resolve_scale(scale)
         rng = random.Random(f"{self.name}:{scale}")
         self._execute(machine, rng, factor)
         machine.finish()
@@ -116,14 +134,41 @@ def register(cls: Type[Workload]) -> Type[Workload]:
     return cls
 
 
+def lookup(name: str) -> Optional[Type[Workload]]:
+    """Return the registered class for *name*, or None (no resolution)."""
+    return _REGISTRY.get(name)
+
+
 def get_workload(name: str) -> Workload:
-    """Instantiate the registered workload called *name*."""
-    try:
-        cls = _REGISTRY[name]
-    except KeyError:
-        raise WorkloadError(
-            f"unknown workload {name!r}; known: {', '.join(sorted(_REGISTRY))}"
-        ) from None
+    """Instantiate the workload called *name*.
+
+    Names with a generated prefix (:data:`GENERATED_PREFIXES`) that are
+    not registered yet are resolved by the scenario generator: the spec
+    is re-sampled from the name and compiled into a registered class on
+    the spot, so generated scenarios work in any process — parallel
+    measure workers, the serving daemon, trace replay — with no setup.
+    Unknown names raise :class:`WorkloadError` listing the registered
+    names and the closest match.
+    """
+    cls = _REGISTRY.get(name)
+    if cls is None and name.startswith(GENERATED_PREFIXES):
+        from ..scenario import resolve_scenario
+
+        try:
+            return resolve_scenario(name)()
+        except WorkloadError:
+            raise
+        except Exception as exc:
+            raise WorkloadError(
+                f"cannot build generated scenario {name!r}: {exc}"
+            ) from exc
+    if cls is None:
+        known = sorted(_REGISTRY)
+        message = f"unknown workload {name!r}; known: {', '.join(known)}"
+        closest = difflib.get_close_matches(name, known, n=1)
+        if closest:
+            message += f" (closest match: {closest[0]!r})"
+        raise WorkloadError(message)
     return cls()
 
 def workload_names() -> list[str]:

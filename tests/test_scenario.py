@@ -1,0 +1,539 @@
+"""Tests for the config-driven scenario generator and multi-tenant mixes.
+
+Covers the DSL validators and canonical serialisation, the
+self-describing name grammar (``scn-<seed>``, ``mix-<seed>x<n>[-sched]``),
+registry integration (lazy resolution, helpful unknown-name errors,
+central scale validation), determinism (bit-identical event traces,
+engine parity event vs columnar, serial vs ``--jobs 2`` evaluation),
+the shipped corpus golden hashes, the fuzz-matrix bridge, and the
+``halo scenario`` CLI surface.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.pipeline import HaloParams, optimise_profile, profile_workload
+from repro.harness.prepare import get_or_record_trace
+from repro.harness.runner import measure_baseline, measure_halo
+from repro.scenario import (
+    CorpusEntry,
+    KindSpec,
+    MixSpec,
+    PhaseSpec,
+    ScenarioError,
+    ScenarioSpec,
+    SizeDist,
+    build_corpus,
+    corpus_digest,
+    corpus_names,
+    load_config,
+    load_manifest,
+    load_spec,
+    materialise_corpus,
+    parse_name,
+    register_scenario,
+    sample_mix,
+    sample_spec,
+    scenario_fuzz_entries,
+    scenario_ops,
+    verify_manifest,
+    write_manifest,
+)
+from repro.trace.record import record_workload
+from repro.workloads.base import (
+    WorkloadError,
+    get_workload,
+    resolve_scale,
+    workload_names,
+)
+
+#: The generated names the integration tests exercise end to end.
+SCENARIO = "scn-3"
+MIX = "mix-5x3-rr"
+
+
+def _demo_spec(name: str = "demo-spec") -> ScenarioSpec:
+    """A tiny hand-written spec for unit tests (fast to execute)."""
+    return ScenarioSpec(
+        name=name,
+        kinds=(
+            KindSpec(
+                label="hot",
+                base_count=20,
+                size=SizeDist("fixed", lo=48, hi=48),
+                access="chase",
+                hot_passes=2,
+                site_group="shared",
+            ),
+            KindSpec(
+                label="cold",
+                base_count=10,
+                size=SizeDist("uniform", lo=16, hi=64),
+                access="none",
+                lifetime="churn",
+                site_group="shared",
+            ),
+        ),
+        phases=(
+            PhaseSpec(label="p0", weights=(("hot", 1.0), ("cold", 1.0))),
+            PhaseSpec(label="p1", weights=(("hot", 2.0),)),
+        ),
+        table_kb=0,
+    )
+
+
+class TestSpecDsl:
+    """Validators and canonical serialisation of the declarative DSL."""
+
+    def test_size_dist_families_sample_in_bounds(self):
+        import random
+
+        rng = random.Random("dsl")
+        assert SizeDist("fixed", lo=32, hi=32).sample(rng) == 32
+        for _ in range(50):
+            assert 16 <= SizeDist("uniform", lo=16, hi=64).sample(rng) <= 64
+            assert SizeDist("choice", values=(24, 48)).sample(rng) in (24, 48)
+            assert 16 <= SizeDist("pareto", lo=16, hi=256).sample(rng) <= 256
+
+    def test_size_dist_rejects_bad_configs(self):
+        with pytest.raises(ScenarioError, match="unknown size distribution"):
+            SizeDist("gaussian")
+        with pytest.raises(ScenarioError, match="needs values"):
+            SizeDist("choice")
+        with pytest.raises(ScenarioError, match="weights"):
+            SizeDist("choice", values=(8, 16), weights=(1.0,))
+        with pytest.raises(ScenarioError, match="lo <= hi"):
+            SizeDist("uniform", lo=64, hi=16)
+        with pytest.raises(ScenarioError, match="alpha"):
+            SizeDist("pareto", lo=16, hi=64, alpha=0.0)
+
+    def test_kind_and_phase_validators(self):
+        size = SizeDist("fixed", lo=32)
+        with pytest.raises(ScenarioError, match="lifetime"):
+            KindSpec(label="k", base_count=1, size=size, lifetime="eternal")
+        with pytest.raises(ScenarioError, match="access mode"):
+            KindSpec(label="k", base_count=1, size=size, access="random")
+        with pytest.raises(ScenarioError, match="cell_size"):
+            KindSpec(label="k", base_count=1, size=size, cells=2)
+        with pytest.raises(ScenarioError, match="positive"):
+            PhaseSpec(label="p", weights=(("k", 0.0),))
+
+    def test_scenario_cross_validation(self):
+        spec = _demo_spec()
+        with pytest.raises(ScenarioError, match="unknown.*kind 'ghost'"):
+            ScenarioSpec(
+                name="bad",
+                kinds=spec.kinds,
+                phases=(PhaseSpec(label="p", weights=(("ghost", 1.0),)),),
+            )
+        with pytest.raises(ScenarioError, match="duplicate kind labels"):
+            ScenarioSpec(
+                name="bad", kinds=(spec.kinds[0], spec.kinds[0]), phases=spec.phases
+            )
+
+    def test_round_trip_preserves_digest(self):
+        spec = _demo_spec()
+        from repro.scenario import spec_from_dict
+
+        clone = spec_from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert clone == spec
+        assert clone.digest() == spec.digest()
+
+    def test_digest_tracks_config_changes(self):
+        spec = _demo_spec()
+        changed = ScenarioSpec(
+            name=spec.name, kinds=spec.kinds, phases=spec.phases, table_kb=64
+        )
+        assert changed.digest() != spec.digest()
+
+    def test_load_spec_json(self, tmp_path):
+        path = tmp_path / "demo.json"
+        path.write_text(_demo_spec().to_json())
+        assert load_spec(path).digest() == _demo_spec().digest()
+
+    def test_load_spec_toml(self, tmp_path):
+        pytest.importorskip("tomllib")
+        path = tmp_path / "demo.toml"
+        path.write_text(
+            "\n".join(
+                [
+                    'name = "toml-demo"',
+                    "[[kinds]]",
+                    'label = "hot"',
+                    "base_count = 8",
+                    'size = { kind = "fixed", lo = 32, hi = 32 }',
+                    "[[phases]]",
+                    'label = "p0"',
+                    'weights = [["hot", 1.0]]',
+                ]
+            )
+        )
+        spec = load_spec(path)
+        assert spec.name == "toml-demo"
+        assert spec.kind("hot").size.lo == 32
+
+    def test_load_config_detects_mixes(self, tmp_path):
+        mix = sample_mix(5, tenants=2, scheduler="weighted", name="cfg-mix")
+        path = tmp_path / "mix.json"
+        path.write_text(json.dumps(mix.to_dict()))
+        loaded = load_config(path)
+        assert isinstance(loaded, MixSpec)
+        assert loaded.digest() == mix.digest()
+
+
+class TestNameGrammar:
+    """Self-describing names: the spec is a pure function of the name."""
+
+    def test_sample_spec_is_pure(self):
+        assert sample_spec(7).digest() == sample_spec(7).digest()
+        assert sample_spec(7).digest() != sample_spec(8).digest()
+
+    def test_parse_scenario_name(self):
+        spec = parse_name("scn-7")
+        assert isinstance(spec, ScenarioSpec)
+        assert spec.name == "scn-7"
+        assert spec.digest() == sample_spec(7).digest()
+
+    @pytest.mark.parametrize(
+        "code,scheduler",
+        [("rr", "round-robin"), ("wtd", "weighted"), ("burst", "bursty")],
+    )
+    def test_mix_scheduler_codes(self, code, scheduler):
+        mix = parse_name(f"mix-5x3-{code}")
+        assert isinstance(mix, MixSpec)
+        assert mix.scheduler == scheduler
+        assert len(mix.tenants) == 3
+
+    def test_scheduler_does_not_change_tenants(self):
+        rr = parse_name("mix-5x3-rr")
+        wtd = parse_name("mix-5x3-wtd")
+        assert [t.spec.digest() for t in rr.tenants] == [
+            t.spec.digest() for t in wtd.tenants
+        ]
+        assert rr.digest() != wtd.digest()
+
+    def test_bare_mix_name_samples_scheduler(self):
+        assert parse_name("mix-5x3").scheduler == parse_name("mix-5x3").scheduler
+
+    def test_tenants_are_runnable_standalone(self):
+        mix = parse_name("mix-5x2")
+        for tenant in mix.tenants:
+            assert tenant.spec.name.startswith("scn-")
+            assert parse_name(tenant.spec.name).digest() == tenant.spec.digest()
+
+    def test_malformed_names_rejected(self):
+        for name in ("scn-", "mix-5", "mix-5x", "scn-x1"):
+            with pytest.raises(ScenarioError, match="malformed"):
+                parse_name(name)
+        with pytest.raises(ScenarioError, match="scheduler code"):
+            parse_name("mix-5x3-zzz")
+
+
+class TestRegistry:
+    """Workload-registry integration and the error-reporting satellites."""
+
+    def test_unknown_workload_lists_names_and_closest_match(self):
+        with pytest.raises(WorkloadError) as excinfo:
+            get_workload("healt")
+        message = str(excinfo.value)
+        assert "healt" in message
+        assert "health" in message
+        assert "closest match" in message
+
+    def test_unknown_workload_without_close_match(self):
+        with pytest.raises(WorkloadError) as excinfo:
+            get_workload("zzzzzz")
+        assert "closest match" not in str(excinfo.value)
+
+    def test_generated_names_resolve_lazily(self):
+        workload = get_workload(SCENARIO)
+        assert workload.name == SCENARIO
+        assert SCENARIO in workload_names()
+        # Second lookup hits the registry, not a recompile.
+        assert type(get_workload(SCENARIO)) is type(workload)
+
+    def test_malformed_generated_name_is_workload_error(self):
+        with pytest.raises(WorkloadError, match="cannot build generated"):
+            get_workload("scn-notanumber")
+
+    def test_registration_is_idempotent_for_identical_spec(self):
+        spec = sample_spec(90001)
+        assert register_scenario(spec) is register_scenario(spec)
+
+    def test_conflicting_redefinition_rejected(self):
+        register_scenario(_demo_spec("conflict-demo"))
+        changed = ScenarioSpec(
+            name="conflict-demo",
+            kinds=_demo_spec().kinds,
+            phases=_demo_spec().phases,
+            table_kb=128,
+        )
+        with pytest.raises(ScenarioError, match="different definition"):
+            register_scenario(changed)
+
+    def test_resolve_scale_validates_centrally(self):
+        assert resolve_scale("test") == 0.25
+        with pytest.raises(WorkloadError) as excinfo:
+            resolve_scale("huge")
+        message = str(excinfo.value)
+        assert "huge" in message
+        for key in ("test", "train", "ref"):
+            assert key in message
+
+    def test_workload_run_rejects_unknown_scale(self):
+        from repro.allocators import AddressSpace, SizeClassAllocator
+        from repro.machine import Machine
+
+        workload = get_workload("health")
+        machine = Machine(workload.program, SizeClassAllocator(AddressSpace(seed=0)))
+        with pytest.raises(WorkloadError, match="unknown scale"):
+            workload.run(machine, "gigantic")
+
+
+@pytest.fixture(scope="module")
+def prepared():
+    """(workload, trace, halo) per generated benchmark, built once."""
+    out = {}
+    for name in (SCENARIO, MIX):
+        workload = get_workload(name)
+        trace = get_or_record_trace(name, workload=workload)
+        profile = profile_workload(
+            workload, HaloParams(), scale="test", record_trace=True
+        )
+        halo = optimise_profile(profile, HaloParams())
+        out[name] = (workload, trace, halo)
+    return out
+
+
+def _measurement_fields(m):
+    """Everything a Measurement reports, as a comparable tuple."""
+    return (
+        m.workload, m.config, m.scale, m.seed,
+        m.cycles, m.cache, m.accesses, m.allocs, m.frees,
+        m.instrumentation_toggles, m.peak_live_bytes, m.frag_at_peak,
+        m.grouped_allocs, m.forwarded_allocs, m.degraded_allocs,
+    )
+
+
+class TestDeterminism:
+    """Same (config, seed) => bit-identical behaviour everywhere."""
+
+    @pytest.mark.parametrize("name", [SCENARIO, MIX])
+    def test_recorded_traces_are_bit_identical(self, name):
+        first = record_workload(name, scale="test", seed=0)
+        second = record_workload(name, scale="test", seed=0)
+        assert first.to_bytes() == second.to_bytes()
+        assert first.header.events > 0
+
+    def test_trace_save_load_round_trip(self, prepared, tmp_path):
+        from repro.trace.format import EventTrace
+
+        _, trace, _ = prepared[SCENARIO]
+        path = trace.save(tmp_path / "scn.trace")
+        assert EventTrace.load(path).read_all() == trace.events()
+
+    def test_replay_matches_direct_execution(self, prepared):
+        workload, trace, _ = prepared[SCENARIO]
+        direct = measure_baseline(workload, scale="test", seed=1)
+        replayed = measure_baseline(
+            workload, scale="test", seed=1, trace=trace, engine="columnar"
+        )
+        assert _measurement_fields(replayed) == _measurement_fields(direct)
+
+    @pytest.mark.parametrize("name", [SCENARIO, MIX])
+    @pytest.mark.parametrize("config", ["baseline", "halo"])
+    def test_engine_parity(self, prepared, name, config):
+        workload, trace, halo = prepared[name]
+        kwargs = dict(scale="test", seed=1, trace=trace)
+        if config == "baseline":
+            event = measure_baseline(workload, engine="event", **kwargs)
+            columnar = measure_baseline(workload, engine="columnar", **kwargs)
+        else:
+            event = measure_halo(workload, halo, engine="event", **kwargs)
+            columnar = measure_halo(workload, halo, engine="columnar", **kwargs)
+        assert _measurement_fields(columnar) == _measurement_fields(event)
+
+    def test_halo_groups_generated_structures(self, prepared):
+        """Grouping finds structure in generated scenarios (not a no-op)."""
+        workload, trace, halo = prepared[SCENARIO]
+        measured = measure_halo(
+            workload, halo, scale="test", seed=1, trace=trace, engine="columnar"
+        )
+        assert measured.grouped_allocs > 0
+
+    def test_evaluate_all_serial_matches_jobs(self, tmp_path):
+        from repro.core.artifact_cache import ArtifactCache
+        from repro.harness.reproduce import evaluate_all
+
+        cache = ArtifactCache(tmp_path / "cache")
+        kwargs = dict(
+            trials=1, scale="test", include_random=False,
+            cache=cache, engine="columnar",
+        )
+        serial = evaluate_all([SCENARIO], **kwargs)
+        parallel = evaluate_all([SCENARIO], jobs=2, **kwargs)
+        for config in ("baseline", "halo", "hds"):
+            s = getattr(serial[SCENARIO], config)
+            p = getattr(parallel[SCENARIO], config)
+            assert (s.cycles, s.l1_misses) == (p.cycles, p.l1_misses), config
+
+
+class TestCorpus:
+    """Seeded corpora and the shipped golden hashes."""
+
+    def test_corpus_names_deterministic(self):
+        assert corpus_names(0) == corpus_names(0)
+        assert corpus_names(0) != corpus_names(1)
+
+    def test_corpus_digest_stable(self):
+        entries = build_corpus(corpus_names(0, scenarios=2, mixes=1))
+        again = build_corpus(corpus_names(0, scenarios=2, mixes=1))
+        assert corpus_digest(entries) == corpus_digest(again)
+        assert all(isinstance(e, CorpusEntry) for e in entries)
+
+    def test_shipped_manifest_verifies_clean(self):
+        """The golden config hashes in corpora/default.json reproduce."""
+        assert verify_manifest("corpora/default.json") == []
+
+    def test_shipped_manifest_matches_seed_zero(self):
+        manifest = load_manifest("corpora/default.json")
+        assert manifest["seed"] == 0
+        names = [entry["name"] for entry in manifest["entries"]]
+        assert names == list(corpus_names(0))
+
+    def test_verify_reports_drift(self, tmp_path):
+        entries = build_corpus(corpus_names(3, scenarios=1, mixes=1))
+        path = tmp_path / "m.json"
+        write_manifest(path, entries, seed=3)
+        assert verify_manifest(path) == []
+        tampered = json.loads(path.read_text())
+        tampered["entries"][0]["digest"] = "0" * 16
+        path.write_text(json.dumps(tampered))
+        problems = verify_manifest(path)
+        assert len(problems) == 1
+        assert entries[0].name in problems[0]
+
+    def test_materialise_writes_loadable_specs(self, tmp_path):
+        entries = build_corpus(corpus_names(4, scenarios=1, mixes=1))
+        materialise_corpus(tmp_path, entries, seed=4)
+        assert verify_manifest(tmp_path / "manifest.json") == []
+        for entry in entries:
+            loaded = load_config(tmp_path / f"{entry.name}.json")
+            assert loaded.digest() == entry.digest
+
+
+class TestFuzzBridge:
+    """Scenario-derived entries for the sanitizer fuzz matrix."""
+
+    def test_scenario_ops_deterministic(self):
+        spec = sample_spec(11)
+        assert scenario_ops(spec, 200, seed=1) == scenario_ops(spec, 200, seed=1)
+        assert scenario_ops(spec, 200, seed=1) != scenario_ops(spec, 200, seed=2)
+
+    def test_scenario_ops_draw_from_declared_sizes(self):
+        spec = _demo_spec("fuzz-sizes")
+        ops = scenario_ops(spec, 300, seed=0, reallocs=False)
+        sizes = {op[1] for op in ops if op[0] == "malloc"}
+        assert sizes <= set(range(16, 65))  # hot fixed 48, cold uniform 16..64
+        assert any(op[0] == "free" for op in ops)
+
+    def test_entries_rotate_families_and_run_clean(self):
+        from repro.sanitize.fuzz import FAMILIES, run_fuzz
+
+        entries = scenario_fuzz_entries(seed=0, count=len(FAMILIES), ops=120)
+        assert [config.family for config, _ in entries] == list(FAMILIES)
+        assert entries == scenario_fuzz_entries(seed=0, count=len(FAMILIES), ops=120)
+        config, extra_ops = entries[0]
+        report = run_fuzz(config, extra_ops=extra_ops)
+        assert report.findings == []
+        assert report.executed == len(extra_ops)
+
+
+class TestScenarioCli:
+    """The ``halo scenario`` command surface."""
+
+    def test_gen_is_reproducible(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out_a, out_b = tmp_path / "a", tmp_path / "b"
+        for out in (out_a, out_b):
+            assert main([
+                "scenario", "gen", "--seed", "9", "--scenarios", "2",
+                "--mixes", "1", "--out", str(out),
+            ]) == 0
+        capsys.readouterr()
+        manifest_a = (out_a / "manifest.json").read_text()
+        manifest_b = (out_b / "manifest.json").read_text()
+        assert manifest_a == manifest_b
+        assert json.loads(manifest_a)["corpus_digest"]
+
+    def test_info_reports_spec(self, capsys):
+        from repro.cli import main
+
+        assert main(["scenario", "info", "scn-7"]) == 0
+        out = capsys.readouterr().out
+        assert "scn-7" in out
+        assert sample_spec(7).digest() in out
+
+    def test_info_json_round_trips(self, capsys):
+        from repro.cli import main
+
+        assert main(["scenario", "info", "scn-7", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        from repro.scenario import spec_from_dict
+
+        assert spec_from_dict(data).digest() == sample_spec(7).digest()
+
+    def test_corpus_checks_shipped_manifest(self, capsys):
+        from repro.cli import main
+
+        assert main(["scenario", "corpus"]) == 0
+        assert "reproduce" in capsys.readouterr().out
+
+    def test_run_executes_generated_scenario(self, capsys):
+        from repro.cli import main
+
+        assert main(["scenario", "run", SCENARIO, "--scale", "test"]) == 0
+        assert SCENARIO in capsys.readouterr().out
+
+    def test_run_from_config_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "file-demo.json"
+        path.write_text(_demo_spec("file-demo").to_json())
+        assert main(["scenario", "run", str(path), "--scale", "test"]) == 0
+        assert "file-demo" in capsys.readouterr().out
+
+    def test_bad_scale_fails_fast(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["baseline", "-b", "health", "--scale", "bogus"])
+
+    def test_unknown_benchmark_fails_fast(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["baseline", "-b", "healt", "--scale", "test"])
+
+    def test_generated_benchmark_accepted_by_measure_commands(self, capsys):
+        from repro.cli import main
+
+        assert main(["baseline", "-b", SCENARIO, "--scale", "test"]) == 0
+        assert SCENARIO in capsys.readouterr().out
+
+    def test_generated_tenants_drive_the_serving_daemon(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main([
+            "serve", "run", "--seed", "5", "--requests", "12",
+            "--epoch-requests", "6", "--request-factor", "0.02",
+            "--state-dir", str(tmp_path / "state"),
+            "--phase", f"0:{SCENARIO}=2,health=1",
+            "--phase", f"6:{MIX}=1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "12" in out
