@@ -1,5 +1,7 @@
-"""Runtime allocators: baseline, bump pools, random probe, and HALO's group allocator."""
+"""Runtime allocators: baseline, bump pools, random probe, free lists,
+per-thread arenas, and HALO's group allocator."""
 
+from .arena import ArenaAllocator
 from .base import (
     AddressSpace,
     AllocationError,
@@ -11,19 +13,46 @@ from .base import (
     align_up,
 )
 from .bump import BumpAllocator
+from .freelist import FreeListAllocator
 from .group import FragmentationSnapshot, GroupAllocator, GroupMatcher
 from .random_group import RandomPoolAllocator
 from .sharded import ShardedGroupAllocator
 from .size_class import MAX_SMALL, SizeClassAllocator, build_size_classes
 
+#: Standalone allocator families the evaluation matrix and CLI can measure
+#: directly (no offline pipeline required), keyed by family name.  Factories
+#: take the run's :class:`AddressSpace` and return a fresh allocator.
+ALLOCATOR_FAMILIES = {
+    "baseline": lambda space: SizeClassAllocator(space),
+    "freelist-ff": lambda space: FreeListAllocator(space, policy="first-fit"),
+    "freelist-bf": lambda space: FreeListAllocator(space, policy="best-fit"),
+    "arena": lambda space: ArenaAllocator(space, arenas=4),
+}
+
+
+def make_family_allocator(family: str, space: AddressSpace) -> Allocator:
+    """Instantiate the registered allocator *family* over *space*."""
+    try:
+        factory = ALLOCATOR_FAMILIES[family]
+    except KeyError:
+        raise AllocationError(
+            f"unknown allocator family {family!r}; "
+            f"expected one of {tuple(ALLOCATOR_FAMILIES)}"
+        ) from None
+    return factory(space)
+
+
 __all__ = [
+    "ALLOCATOR_FAMILIES",
     "AddressSpace",
     "AllocationError",
     "Allocator",
     "AllocatorStats",
+    "ArenaAllocator",
     "BumpAllocator",
     "CACHE_LINE",
     "FragmentationSnapshot",
+    "FreeListAllocator",
     "GroupAllocator",
     "GroupMatcher",
     "MAX_SMALL",
@@ -34,4 +63,5 @@ __all__ = [
     "SizeClassAllocator",
     "align_up",
     "build_size_classes",
+    "make_family_allocator",
 ]

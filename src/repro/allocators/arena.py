@@ -1,0 +1,169 @@
+"""Per-thread arena allocator with a cross-thread free mailbox.
+
+Production allocators (jemalloc's arenas, mimalloc's heaps, tcmalloc's
+per-CPU caches) avoid lock contention by giving every thread its own
+allocation area and handling the awkward case — thread A frees memory
+thread B allocated — through a deferred hand-back queue.  This module
+models that design on the simulated multi-core :class:`Machine`:
+
+* each simulated thread maps to one of N arenas (``thread_id mod N``),
+  each arena a private :class:`FreeListAllocator` carving from its own
+  pools in the shared address space;
+* a *same-thread* free returns memory to the owning arena immediately;
+* a *cross-thread* free parks the address in the owner's **mailbox** —
+  the block is logically dead at once (stats, liveness, the shadow heap
+  all see the free) but its memory rejoins the owner's free list only
+  when the owner next allocates, mirroring mimalloc's deferred free
+  lists.  ``cross_thread_frees`` counts these, surfacing how much of a
+  workload's traffic crosses arena boundaries;
+* a cross-thread ``realloc`` allocates in the *current* thread's arena
+  and parks the old block, so no thread ever mutates another arena's
+  free list — the invariant that makes the real design lock-free.
+
+Everything is deterministic: "threads" are the mix scheduler's seeded
+interleave of tick streams, so the same seed produces the same mailbox
+traffic, the same flush points, and bit-identical placement.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from .base import AllocationError, Allocator, AddressSpace, MIN_ALIGNMENT
+from .freelist import FreeListAllocator
+
+
+class ArenaAllocator(Allocator):
+    """N per-thread arenas over coalescing free lists, with mailboxes.
+
+    Args:
+        space: Shared simulated address space (each arena reserves its own
+            pools from it).
+        arenas: Number of arenas; thread ids map on by modulo.
+        policy: Free-list policy each arena uses.
+        pool_size: Per-arena pool reservation size.
+    """
+
+    def __init__(
+        self,
+        space: AddressSpace,
+        arenas: int = 4,
+        policy: str = "first-fit",
+        pool_size: int = 1 << 20,
+    ) -> None:
+        super().__init__(space)
+        if arenas < 1:
+            raise AllocationError(f"need at least one arena, got {arenas}")
+        self.arena_count = arenas
+        self._arenas = [
+            FreeListAllocator(space, policy=policy, pool_size=pool_size)
+            for _ in range(arenas)
+        ]
+        self._mailboxes: list[list[int]] = [[] for _ in range(arenas)]
+        self._owner: dict[int, int] = {}  # live addr -> arena index
+        self._thread = 0  # current arena index
+        #: Frees issued by a thread that does not own the block's arena.
+        self.cross_thread_frees = 0
+        #: Mailbox drains performed at allocation time.
+        self.mailbox_flushes = 0
+
+    # -- thread routing ---------------------------------------------------
+
+    def set_thread(self, thread_id: int) -> None:
+        """Route subsequent heap ops through *thread_id*'s arena."""
+        self._thread = thread_id % self.arena_count
+
+    @property
+    def current_arena(self) -> int:
+        """Arena index serving the current simulated thread."""
+        return self._thread
+
+    def _flush(self, index: int) -> None:
+        """Drain *index*'s mailbox into its free list (owner-side, so the
+        deferred frees coalesce under the owner's own bookkeeping)."""
+        mailbox = self._mailboxes[index]
+        if not mailbox:
+            return
+        arena = self._arenas[index]
+        for addr in mailbox:
+            arena.free(addr)
+        mailbox.clear()
+        self.mailbox_flushes += 1
+
+    # -- the allocator interface ------------------------------------------
+
+    def malloc(self, size: int, alignment: int = MIN_ALIGNMENT) -> int:
+        index = self._thread
+        # The owner drains its mailbox before allocating, so deferred
+        # cross-thread frees become reusable space at the first opportunity.
+        self._flush(index)
+        addr = self._arenas[index].malloc(size, alignment)
+        self._owner[addr] = index
+        self.stats.on_alloc(size)
+        return addr
+
+    def free(self, addr: int) -> int:
+        owner = self._owner.pop(addr, None)
+        if owner is None:
+            raise AllocationError(f"free of unknown address {addr:#x}")
+        size = self._arenas[owner].size_of(addr)
+        if owner == self._thread:
+            self._arenas[owner].free(addr)
+        else:
+            # Logically dead now; physically reclaimed at the owner's next
+            # allocation.  Never touch a foreign arena's free list.
+            self.cross_thread_frees += 1
+            self._mailboxes[owner].append(addr)
+        self.stats.on_free(size)
+        return size
+
+    def size_of(self, addr: int) -> int:
+        owner = self._owner.get(addr)
+        if owner is None:
+            raise AllocationError(f"size_of unknown address {addr:#x}")
+        return self._arenas[owner].size_of(addr)
+
+    def realloc(self, addr: int, new_size: int) -> int:
+        owner = self._owner.get(addr)
+        if owner is None:
+            raise AllocationError(f"realloc of unknown address {addr:#x}")
+        if owner == self._thread:
+            arena = self._arenas[owner]
+            self._flush(owner)
+            old_size = arena.size_of(addr)
+            new_addr = arena.realloc(addr, new_size)
+            if new_addr == addr:
+                self.stats.on_resize(old_size, new_size)
+            else:
+                del self._owner[addr]
+                self._owner[new_addr] = owner
+                self.stats.on_free(old_size)
+                self.stats.on_alloc(new_size)
+            return new_addr
+        # Cross-thread resize: allocate here, park the old block with its
+        # owner — the move is the price of never locking a foreign arena.
+        new_addr = self.malloc(new_size)
+        self.free(addr)
+        return new_addr
+
+    # -- introspection -----------------------------------------------------
+
+    def iter_live_regions(self) -> Iterator[tuple[int, int]]:
+        for addr, owner in self._owner.items():
+            yield addr, self._arenas[owner].size_of(addr)
+
+    def observable_stats(self) -> dict[str, int]:
+        stats = super().observable_stats()
+        stats.update(
+            cross_thread_frees=self.cross_thread_frees,
+            mailbox_flushes=self.mailbox_flushes,
+            mailbox_pending=sum(len(m) for m in self._mailboxes),
+            arenas=self.arena_count,
+            coalesced_frees=sum(a.coalesced_frees for a in self._arenas),
+            free_ranges=sum(len(a._starts) for a in self._arenas),
+            pools=sum(len(a._pools) for a in self._arenas),
+        )
+        return stats
+
+
+__all__ = ["ArenaAllocator"]

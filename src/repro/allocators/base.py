@@ -150,6 +150,17 @@ class AllocatorStats:
         self.live_blocks -= 1
         self.total_frees += 1
 
+    def on_resize(self, old_size: int, new_size: int) -> None:
+        """Record an in-place resize: live bytes move, block count does not.
+
+        ``total_allocs``/``total_frees`` stay untouched — an in-place
+        realloc moves nothing, so counting it as a free+alloc pair would
+        inflate the allocator-health table's churn columns.
+        """
+        self.live_bytes += new_size - old_size
+        if self.live_bytes > self.peak_live_bytes:
+            self.peak_live_bytes = self.live_bytes
+
 
 class Allocator(ABC):
     """Abstract allocator; concrete policies override the three operations.

@@ -1,0 +1,254 @@
+"""Coalescing free-list allocator: the classic first-fit/best-fit baseline.
+
+The paper's evaluation compares HALO against a single size-segregated
+baseline (jemalloc's placement policy).  Real allocator design space is
+wider: the oldest family — dlmalloc's ancestors — keeps freed memory on an
+*address-ordered free list*, coalesces adjacent free ranges on free, and
+carves requests out of the first (or best) fitting range.  This module
+implements that family as a third placement policy for the evaluation
+matrix:
+
+* free memory is a sorted list of disjoint, fully-coalesced address
+  ranges; a free that touches a neighbouring range merges with it
+  immediately (boundary coalescing), so fragmentation here is *external*
+  (scattered ranges) rather than the group allocator's internal kind;
+* **first-fit** scans ranges in address order and carves the first one
+  that can serve the request — the policy dlmalloc calls "address-ordered
+  best bet", favouring low addresses and long-lived range reuse;
+* **best-fit** picks the fitting range with the least leftover slack
+  (ties to the lowest address), trading scan cost for tighter packing;
+* carving is alignment-aware: the returned address is aligned up inside
+  the chosen range and any leading gap stays on the free list;
+* ``realloc`` is real: shrinks release the tail in place, grows extend
+  into an adjacent free range when one follows, and only move as a last
+  resort.
+
+Backing memory comes from the shared :class:`AddressSpace` in fixed-size
+pools; requests too large for a standard pool get a dedicated reservation
+sized to fit.  The allocator records *requested* sizes for ``size_of`` /
+``free`` (shadow-heap compatible) and tracks the carved extent separately.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Iterator
+
+from .base import (
+    AllocationError,
+    Allocator,
+    AddressSpace,
+    MIN_ALIGNMENT,
+    PAGE_SIZE,
+    align_up,
+)
+
+#: Placement policies this family implements.
+POLICIES = ("first-fit", "best-fit")
+
+
+class FreeListAllocator(Allocator):
+    """Address-ordered coalescing free-list allocator.
+
+    Args:
+        space: Shared simulated address space.
+        policy: ``"first-fit"`` or ``"best-fit"`` range selection.
+        pool_size: Bytes reserved from the address space per pool; a
+            request whose extent exceeds the pool payload gets a dedicated
+            pool sized to fit.
+    """
+
+    def __init__(
+        self,
+        space: AddressSpace,
+        policy: str = "first-fit",
+        pool_size: int = 1 << 20,
+    ) -> None:
+        super().__init__(space)
+        if policy not in POLICIES:
+            raise AllocationError(
+                f"unknown free-list policy {policy!r}; expected one of {POLICIES}"
+            )
+        if pool_size < PAGE_SIZE:
+            raise AllocationError(f"pool size must be at least a page, got {pool_size}")
+        self.policy = policy
+        self.pool_size = pool_size
+        # Disjoint, fully-coalesced free ranges in ascending address order.
+        # Parallel lists keep bisect simple and the common paths allocation-free.
+        self._starts: list[int] = []
+        self._ends: list[int] = []
+        # Live bookkeeping: requested size (what size_of/free report) and
+        # carved extent (what actually returns to the free list).
+        self._sizes: dict[int, int] = {}
+        self._extents: dict[int, int] = {}
+        # Pool reservations as (base, size), in reservation order.
+        self._pools: list[tuple[int, int]] = []
+        #: Free operations that merged with at least one neighbouring range.
+        self.coalesced_frees = 0
+        #: In-place realloc outcomes (shrink-in-place or grow-into-neighbour).
+        self.inplace_reallocs = 0
+        #: Reallocs that had to move the block.
+        self.moved_reallocs = 0
+
+    # -- free-range bookkeeping -----------------------------------------
+
+    def _insert_range(self, start: int, end: int) -> None:
+        """Insert [start, end) into the free list, coalescing neighbours."""
+        index = bisect_right(self._starts, start)
+        merged = False
+        # Merge with the preceding range when it ends exactly at `start`.
+        if index > 0 and self._ends[index - 1] == start:
+            index -= 1
+            self._ends[index] = end
+            merged = True
+        else:
+            self._starts.insert(index, start)
+            self._ends.insert(index, end)
+        # Merge with the following range when it starts exactly at `end`.
+        if index + 1 < len(self._starts) and self._starts[index + 1] == end:
+            self._ends[index] = self._ends[index + 1]
+            del self._starts[index + 1]
+            del self._ends[index + 1]
+            merged = True
+        if merged:
+            self.coalesced_frees += 1
+
+    def _carve(self, index: int, addr: int, extent: int) -> None:
+        """Remove [addr, addr+extent) from the range at *index*."""
+        start, end = self._starts[index], self._ends[index]
+        lead = addr - start
+        tail = end - (addr + extent)
+        if lead and tail:
+            # Split: keep the lead in place, insert the tail after it.
+            self._ends[index] = start + lead
+            self._starts.insert(index + 1, addr + extent)
+            self._ends.insert(index + 1, end)
+        elif lead:
+            self._ends[index] = start + lead
+        elif tail:
+            self._starts[index] = addr + extent
+        else:
+            del self._starts[index]
+            del self._ends[index]
+
+    def _grow_pool(self, extent: int, alignment: int) -> None:
+        """Reserve a new pool able to serve an *extent*-byte aligned request."""
+        # Worst case the aligned address slides by (alignment - 1) into the
+        # pool, so over-reserve accordingly for large aligned requests.
+        need = extent + (alignment - PAGE_SIZE if alignment > PAGE_SIZE else 0)
+        size = max(self.pool_size, align_up(need, PAGE_SIZE))
+        base = self.space.reserve(size)
+        self._pools.append((base, size))
+        self._insert_range(base, base + size)
+
+    def _find_fit(self, extent: int, alignment: int) -> tuple[int, int]:
+        """Locate ``(index, aligned addr)`` of the range to carve, or (-1, 0)."""
+        starts, ends = self._starts, self._ends
+        if self.policy == "first-fit":
+            for index in range(len(starts)):
+                addr = align_up(starts[index], alignment)
+                if addr + extent <= ends[index]:
+                    return index, addr
+            return -1, 0
+        best_index, best_addr, best_slack = -1, 0, 0
+        for index in range(len(starts)):
+            addr = align_up(starts[index], alignment)
+            if addr + extent > ends[index]:
+                continue
+            slack = (ends[index] - starts[index]) - extent
+            if best_index < 0 or slack < best_slack:
+                best_index, best_addr, best_slack = index, addr, slack
+        return best_index, best_addr
+
+    # -- the allocator interface ----------------------------------------
+
+    def malloc(self, size: int, alignment: int = MIN_ALIGNMENT) -> int:
+        if size <= 0:
+            raise AllocationError(f"invalid malloc size {size}")
+        alignment = max(alignment, MIN_ALIGNMENT)
+        extent = align_up(size, MIN_ALIGNMENT)
+        index, addr = self._find_fit(extent, alignment)
+        if index < 0:
+            self._grow_pool(extent, alignment)
+            index, addr = self._find_fit(extent, alignment)
+            if index < 0:  # pragma: no cover - pool sized to fit above
+                raise AllocationError(f"request of {size} bytes cannot fit a pool")
+        self._carve(index, addr, extent)
+        self._sizes[addr] = size
+        self._extents[addr] = extent
+        self.stats.on_alloc(size)
+        return addr
+
+    def free(self, addr: int) -> int:
+        size = self._sizes.pop(addr, None)
+        if size is None:
+            raise AllocationError(f"free of unknown address {addr:#x}")
+        extent = self._extents.pop(addr)
+        self._insert_range(addr, addr + extent)
+        self.stats.on_free(size)
+        return size
+
+    def size_of(self, addr: int) -> int:
+        size = self._sizes.get(addr)
+        if size is None:
+            raise AllocationError(f"size_of unknown address {addr:#x}")
+        return size
+
+    def realloc(self, addr: int, new_size: int) -> int:
+        old_size = self._sizes.get(addr)
+        if old_size is None:
+            raise AllocationError(f"realloc of unknown address {addr:#x}")
+        if new_size <= 0:
+            raise AllocationError(f"invalid realloc size {new_size}")
+        extent = self._extents[addr]
+        new_extent = align_up(new_size, MIN_ALIGNMENT)
+        if new_extent <= extent:
+            # Shrink in place; the freed tail coalesces back immediately.
+            if new_extent < extent:
+                self._insert_range(addr + new_extent, addr + extent)
+                self._extents[addr] = new_extent
+            self._sizes[addr] = new_size
+            self.stats.on_resize(old_size, new_size)
+            self.inplace_reallocs += 1
+            return addr
+        # Grow: extend into the free range starting exactly at our end.
+        tail = addr + extent
+        index = bisect_right(self._starts, tail) - 1
+        if (
+            0 <= index < len(self._starts)
+            and self._starts[index] == tail
+            and self._ends[index] - tail >= new_extent - extent
+        ):
+            self._carve(index, tail, new_extent - extent)
+            self._extents[addr] = new_extent
+            self._sizes[addr] = new_size
+            self.stats.on_resize(old_size, new_size)
+            self.inplace_reallocs += 1
+            return addr
+        new_addr = self.malloc(new_size)
+        self.free(addr)
+        self.moved_reallocs += 1
+        return new_addr
+
+    # -- introspection ---------------------------------------------------
+
+    def iter_live_regions(self) -> Iterator[tuple[int, int]]:
+        yield from self._sizes.items()
+
+    def iter_free_ranges(self) -> Iterator[tuple[int, int]]:
+        """Yield ``(start, end)`` for every free range (sanitizer hook)."""
+        yield from zip(self._starts, self._ends)
+
+    def observable_stats(self) -> dict[str, int]:
+        stats = super().observable_stats()
+        stats.update(
+            coalesced_frees=self.coalesced_frees,
+            inplace_reallocs=self.inplace_reallocs,
+            moved_reallocs=self.moved_reallocs,
+            free_ranges=len(self._starts),
+            pools=len(self._pools),
+        )
+        return stats
+
+
+__all__ = ["FreeListAllocator", "POLICIES"]

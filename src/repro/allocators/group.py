@@ -301,10 +301,24 @@ class GroupAllocator(Allocator):
             return 0
         return (group * self.colour_stride) % PAGE_SIZE
 
+    #: Concrete chunk type this allocator carves and recycles.  Subclasses
+    #: with richer chunks (the sharded variant's free-list shards) override
+    #: this so every path — fresh carve, spare reuse, migration refill —
+    #: produces chunks of the right type.
+    _chunk_class: type[_Chunk] = _Chunk
+
     def _fresh_chunk(self, group: int) -> Optional[_Chunk]:
         """Carve (or recycle) a chunk for *group*; None when exhausted."""
         if self._spares:
             chunk = self._spares.pop()
+            if type(chunk) is not self._chunk_class:
+                # A spare carved by a different layer (base-class migration /
+                # place_region over a subclass, or vice versa) is rebuilt as
+                # this allocator's chunk type before reuse: the spare is
+                # empty, so only its identity (base, size) carries over.
+                rebuilt = self._chunk_class(chunk.base, chunk.size, group)
+                self._chunks[chunk.base] = rebuilt
+                chunk = rebuilt
             chunk.reset(group, self._colour_of(group))
             self.chunks_reused += 1
             self.space.touch_range(chunk.base, _Chunk.HEADER_SIZE)
@@ -318,7 +332,7 @@ class GroupAllocator(Allocator):
             self._slab_end = base + self.slab_size
         base = self._slab_cursor
         self._slab_cursor += self.chunk_size
-        chunk = _Chunk(base, self.chunk_size, group, self._colour_of(group))
+        chunk = self._chunk_class(base, self.chunk_size, group, self._colour_of(group))
         self._chunks[base] = chunk
         self.chunks_created += 1
         self.space.touch_range(base, _Chunk.HEADER_SIZE)
@@ -451,8 +465,7 @@ class GroupAllocator(Allocator):
             # accounting drifts negative.
             self._region_sizes[addr] = new_size
             self.grouped_live_bytes -= old_size - new_size
-            self.stats.on_free(old_size)
-            self.stats.on_alloc(new_size)
+            self.stats.on_resize(old_size, new_size)
             return addr
         new_addr = self.malloc(new_size)
         self.free(addr)

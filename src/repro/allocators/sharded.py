@@ -49,17 +49,22 @@ class _ShardedChunk(_Chunk):
         super().__init__(base, size, group, colour)
         self.shards: dict[int, list[int]] = {}
 
-    def try_recycle(self, size: int) -> Optional[int]:
-        """Pop a free region from the matching shard, if any."""
-        shard = self.shards.get(_shard_class(size))
+    def try_recycle(self, shard_class: int) -> Optional[int]:
+        """Pop a free region from the *shard_class* shard, if any.
+
+        The caller passes an already-rounded shard class — the
+        requested-size/shard-size distinction lives in the allocator, not
+        here, so the chunk never re-rounds.
+        """
+        shard = self.shards.get(shard_class)
         if shard:
             self.live_regions += 1
             return shard.pop()
         return None
 
-    def give_back(self, addr: int, size: int) -> None:
-        """Return a region to its shard."""
-        self.shards.setdefault(_shard_class(size), []).append(addr)
+    def give_back(self, addr: int, shard_class: int) -> None:
+        """Return a region to the *shard_class* shard (already rounded)."""
+        self.shards.setdefault(shard_class, []).append(addr)
         self.live_regions -= 1
 
     def reset(self, group: int, colour: int = 0) -> None:
@@ -75,6 +80,11 @@ class ShardedGroupAllocator(GroupAllocator):
     class on allocation so a recycled slot is always large enough.
     """
 
+    #: Every carve and spare reuse — including base-class migration and
+    #: ``place_region`` paths — produces sharded chunks; a spare carved by
+    #: another layer is rebuilt by :meth:`GroupAllocator._fresh_chunk`.
+    _chunk_class = _ShardedChunk
+
     def _group_malloc(self, group: int, size: int, alignment: int) -> int:
         if alignment > 16:
             raise AllocationError(
@@ -84,7 +94,8 @@ class ShardedGroupAllocator(GroupAllocator):
         chunk = self._current.get(group)
         addr: Optional[int] = None
         if chunk is not None:
-            addr = chunk.try_recycle(reserve)
+            if isinstance(chunk, _ShardedChunk):
+                addr = chunk.try_recycle(reserve)
             if addr is None:
                 addr = chunk.try_reserve(reserve, 16)
         if addr is None:
@@ -93,7 +104,11 @@ class ShardedGroupAllocator(GroupAllocator):
                 # only ever retired here, at displacement time.
                 del self._current[group]
                 self._retire(chunk)
-            chunk = self._sharded_fresh_chunk(group)
+            chunk = self._fresh_chunk(group)
+            if chunk is None:
+                # Pool exhausted: degrade to the "next available allocator",
+                # exactly like the bump variant under a chunk budget.
+                return self._degrade(size, alignment)
             self._current[group] = chunk
             addr = chunk.try_reserve(reserve, 16)
             if addr is None:  # pragma: no cover - size << chunk
@@ -104,26 +119,6 @@ class ShardedGroupAllocator(GroupAllocator):
         self.stats.on_alloc(size)
         return addr
 
-    def _sharded_fresh_chunk(self, group: int) -> _ShardedChunk:
-        """Carve (or recycle) a chunk, constructing the sharded variant."""
-        if self._spares:
-            chunk = self._spares.pop()
-            chunk.reset(group, self._colour_of(group))
-            self.chunks_reused += 1
-            self.space.touch_range(chunk.base, _Chunk.HEADER_SIZE)
-            return chunk  # type: ignore[return-value]
-        if self._slab_cursor + self.chunk_size > self._slab_end:
-            base = self.space.reserve(self.slab_size, alignment=self.chunk_size)
-            self._slab_cursor = base
-            self._slab_end = base + self.slab_size
-        base = self._slab_cursor
-        self._slab_cursor += self.chunk_size
-        chunk = _ShardedChunk(base, self.chunk_size, group, self._colour_of(group))
-        self._chunks[base] = chunk
-        self.chunks_created += 1
-        self.space.touch_range(base, _Chunk.HEADER_SIZE)
-        return chunk
-
     def free(self, addr: int) -> int:
         chunk = self._chunk_of(addr)
         if chunk is None:
@@ -131,7 +126,16 @@ class ShardedGroupAllocator(GroupAllocator):
         size = self._region_sizes.pop(addr, None)
         if size is None:
             raise AllocationError(f"group free of unknown region {addr:#x}")
-        chunk.give_back(addr, _shard_class(size))  # type: ignore[attr-defined]
+        if isinstance(chunk, _ShardedChunk):
+            # The shard class is computed exactly once, here: give_back
+            # stores under the given key, so requested size never leaks
+            # into shard bookkeeping (and the sanitizer asserts every
+            # shard key is a fixed point of _shard_class).
+            chunk.give_back(addr, _shard_class(size))
+        else:
+            # A plain chunk (carved by a base-class layer before this
+            # allocator took over) cannot recycle; its regions just die.
+            chunk.live_regions -= 1
         self.grouped_live_bytes -= size
         self.stats.on_free(size)
         if chunk.live_regions == 0 and self._current.get(chunk.group) is not chunk:

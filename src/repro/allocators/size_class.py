@@ -209,13 +209,11 @@ class SizeClassAllocator(Allocator):
         if new_size <= old_size:
             # Shrinking keeps the block in place (the region already fits).
             self._live[addr] = (new_size, run)
-            self.stats.on_free(old_size)
-            self.stats.on_alloc(new_size)
+            self.stats.on_resize(old_size, new_size)
             return addr
         if run is not None and self.size_class(new_size) == run.region_size:
             self._live[addr] = (new_size, run)
-            self.stats.on_free(old_size)
-            self.stats.on_alloc(new_size)
+            self.stats.on_resize(old_size, new_size)
             return addr
         new_addr = self.malloc(new_size)
         self.free(addr)

@@ -2,6 +2,7 @@
 
 from .cache import CacheConfigError, CacheStats, SetAssociativeCache
 from .hierarchy import CacheHierarchy, HierarchyConfig, HierarchyStats
+from .sharing import FalseSharingTracker
 from .timing import CostModel
 from .tlb import TLB
 
@@ -10,6 +11,7 @@ __all__ = [
     "CacheHierarchy",
     "CacheStats",
     "CostModel",
+    "FalseSharingTracker",
     "HierarchyConfig",
     "HierarchyStats",
     "SetAssociativeCache",

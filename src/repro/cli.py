@@ -53,6 +53,7 @@ from pathlib import Path
 from typing import Iterator, Optional
 
 from . import obs
+from .allocators import ALLOCATOR_FAMILIES
 from .analysis.report import (
     allocator_health_table,
     bar_chart,
@@ -64,7 +65,7 @@ from .core.artifact_cache import ArtifactCache
 from .core.pipeline import optimise_profile, profile_workload
 from .harness import reproduce
 from .harness.prepare import PhaseTimes, prepare_workload
-from .harness.runner import measure_baseline, measure_halo
+from .harness.runner import measure_baseline, measure_family, measure_halo
 from .sanitize import FAMILIES as SANITIZE_FAMILIES
 from .workloads.base import WorkloadError, get_workload, resolve_scale, workload_names
 
@@ -238,11 +239,23 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    baseline = sub.add_parser("baseline", help="measure the jemalloc-like baseline")
+    baseline = sub.add_parser(
+        "baseline",
+        help="measure an un-optimised allocator family (jemalloc-like default)",
+    )
     _add_benchmark_arg(baseline)
     baseline.add_argument("--scale", default="ref", help="input scale (test/train/ref)")
     baseline.add_argument("--seed", type=int, default=1)
+    baseline.add_argument(
+        "-a", "--allocator",
+        choices=tuple(ALLOCATOR_FAMILIES),
+        default="baseline",
+        help="allocator family to measure (default: the size-class baseline; "
+        "freelist-ff/freelist-bf are coalescing free lists, arena is "
+        "per-thread arenas with a cross-thread free mailbox)",
+    )
     _add_sanitize_arg(baseline)
+    _add_metrics_arg(baseline)
 
     run = sub.add_parser("run", help="run the full HALO pipeline on a benchmark")
     _add_benchmark_arg(run)
@@ -313,6 +326,16 @@ def _build_parser() -> argparse.ArgumentParser:
         default=1,
         metavar="N",
         help="worker processes for the evaluation matrix (default: 1, serial)",
+    )
+    plot.add_argument(
+        "--families",
+        metavar="NAME,NAME,...",
+        default=None,
+        help="extra standalone allocator families to measure alongside the "
+        "paper configurations (from: "
+        + ",".join(f for f in ALLOCATOR_FAMILIES if f != "baseline")
+        + "); reported in the per-family speedup table "
+        "(ignored by --figure 12 and --table 1)",
     )
     _add_resilience_args(plot)
     _add_sanitize_arg(plot)
@@ -649,7 +672,10 @@ def _build_parser() -> argparse.ArgumentParser:
 def _cmd_baseline(args: argparse.Namespace) -> int:
     _check_scale(args)
     workload = _workload_or_exit(args.benchmark)
-    measurement = measure_baseline(workload, scale=args.scale, seed=args.seed)
+    with _metrics_session(args.metrics_out):
+        measurement = measure_family(
+            workload, args.allocator, scale=args.scale, seed=args.seed
+        )
     print(
         format_table(
             ["metric", "value"],
@@ -662,7 +688,7 @@ def _cmd_baseline(args: argparse.Namespace) -> int:
                 ["DTLB misses", f"{measurement.cache.tlb_misses:,}"],
                 ["peak live bytes", f"{measurement.peak_live_bytes:,}"],
             ],
-            title=f"{args.benchmark} baseline ({args.scale})",
+            title=f"{args.benchmark} {args.allocator} ({args.scale})",
         )
     )
     return 0
@@ -802,6 +828,17 @@ def _run_plot(
         )
         _write_json(args.out, "figure12", result)
         return 0
+    families: tuple[str, ...] = ()
+    if args.families:
+        families = tuple(dict.fromkeys(args.families.split(",")))
+        unknown = [f for f in families if f not in ALLOCATOR_FAMILIES]
+        if unknown:
+            print(
+                f"unknown allocator families: {', '.join(unknown)} "
+                f"(expected from: {', '.join(ALLOCATOR_FAMILIES)})",
+                file=sys.stderr,
+            )
+            return 2
     checkpoint = None
     if args.jobs > 1 and (cache is not None or args.resume):
         from .harness.checkpoint import journal_for
@@ -823,6 +860,7 @@ def _run_plot(
         resume=args.resume,
         failures=failures,
         engine=args.engine,
+        families=families,
     )
     _report_failures(failures)
     figure = {13: reproduce.figure13, 14: reproduce.figure14, 15: reproduce.figure15}[args.figure]
@@ -831,6 +869,20 @@ def _run_plot(
         print(bar_chart(series.values, title=f"{result.figure} — {series.label}"))
         print()
     print(allocator_health_table(evaluations))
+    if families:
+        print()
+        print(
+            format_table(
+                ["benchmark", "family", "speedup vs baseline"],
+                [
+                    [name, family, f"{evaluation.family_speedup(family):+.1%}"]
+                    for name, evaluation in evaluations.items()
+                    for family in families
+                    if family in evaluation.extra
+                ],
+                title="Extra allocator families",
+            )
+        )
     _write_json(args.out, f"figure{args.figure}", result)
     return 0
 
@@ -1203,7 +1255,7 @@ def _cmd_sanitize(args: argparse.Namespace) -> int:
 
 
 def _cmd_sanitize_fuzz(args: argparse.Namespace) -> int:
-    from .sanitize import default_scenarios, format_ops, run_fuzz
+    from .sanitize import FuzzConfig, default_scenarios, format_ops, run_fuzz
 
     entries = [
         (config, ()) for config in default_scenarios(args.seed, args.ops, args.family)
@@ -1226,6 +1278,8 @@ def _cmd_sanitize_fuzz(args: argparse.Namespace) -> int:
             variant.append("always-reuse")
         if config.chunk_budget is not None:
             variant.append(f"chunk-budget={config.chunk_budget}")
+        if config.pool_size != FuzzConfig.pool_size:
+            variant.append(f"pool={config.pool_size >> 10}K")
         if extra_ops:
             variant.append(f"scenario seed={config.seed}")
         label = f"{config.family}" + (f" ({', '.join(variant)})" if variant else "")

@@ -57,6 +57,7 @@ from ..sanitize.invariants import (
     install_sanitizer,
 )
 from ..obs import metrics as obs_metrics
+from ..allocators import ALLOCATOR_FAMILIES
 from ..obs.spans import phase_span
 from ..trace.format import EventTrace
 from ..trace.replay import replay_profile
@@ -76,6 +77,7 @@ from .prepare import (
 from .runner import (
     Measurement,
     measure_baseline,
+    measure_family,
     measure_halo,
     measure_hds,
     measure_random_pools,
@@ -327,6 +329,12 @@ def _measure_task(task: MeasureTask) -> tuple[Measurement, PhaseTimes]:
             with span:
                 measurement = measure_random_pools(
                     workload, scale=task.scale, seed=task.seed, **measure_kwargs
+                )
+        elif task.config in ALLOCATOR_FAMILIES:
+            with span:
+                measurement = measure_family(
+                    workload, task.config, scale=task.scale, seed=task.seed,
+                    **measure_kwargs,
                 )
         elif task.config in ("halo", "hds"):
             prepared, prep_times = _prepared_for(
@@ -800,6 +808,7 @@ def evaluate_all_parallel(
     resume: bool = False,
     failures: Optional[list[FailedMeasurement]] = None,
     engine: str = "direct",
+    families: Sequence[str] = (),
 ) -> dict[str, WorkloadEvaluation]:
     """Parallel counterpart of :func:`~repro.harness.reproduce.evaluate_all`.
 
@@ -821,6 +830,10 @@ def evaluate_all_parallel(
     total = PhaseTimes()
     seeds = trial_seeds(trials, discard_first=True)
     configs = [c for c in CONFIGS if include_random or c != "random-pools"]
+    # Extra allocator families ride the same wave; like random-pools they
+    # are optional — a family whose trials all fail degrades to absence
+    # from ``extra`` rather than dropping the benchmark.
+    configs.extend(f for f in families if f not in configs)
     journal = _as_journal(checkpoint)
     done = _preload(journal, resume)
     all_failures: list[FailedMeasurement] = []
@@ -925,6 +938,11 @@ def evaluate_all_parallel(
             hds_groups=summary.hds_groups,
             hds_streams=summary.hds_streams,
             graph_nodes=summary.graph_nodes,
+            extra={
+                family: trials_by_config[family]
+                for family in families
+                if trials_by_config.get(family) is not None
+            },
         )
 
     if failures is not None:

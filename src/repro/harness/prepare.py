@@ -340,6 +340,9 @@ class WorkloadEvaluation:
     hds_groups: int
     hds_streams: int
     graph_nodes: int
+    #: Extra standalone allocator families measured alongside the paper
+    #: configurations, keyed by family name (``freelist-ff``, ``arena``...).
+    extra: dict[str, TrialResult] = field(default_factory=dict)
 
     @property
     def halo_miss_reduction(self) -> float:
@@ -363,6 +366,13 @@ class WorkloadEvaluation:
             return 0.0
         return speedup(self.baseline, self.random_pools)
 
+    def family_speedup(self, family: str) -> float:
+        """Speedup of an extra *family* over the baseline (0.0 if missing)."""
+        trial = self.extra.get(family)
+        if trial is None:
+            return 0.0
+        return speedup(self.baseline, trial)
+
 
 def build_evaluation(
     prepared: PreparedArtifacts,
@@ -370,6 +380,7 @@ def build_evaluation(
     halo: TrialResult,
     hds: TrialResult,
     random_pools: Optional[TrialResult],
+    extra: Optional[dict[str, TrialResult]] = None,
 ) -> WorkloadEvaluation:
     """Assemble a :class:`WorkloadEvaluation` from trial results + artifacts."""
     assert prepared.hds is not None, "evaluation needs the HDS artifacts"
@@ -383,4 +394,5 @@ def build_evaluation(
         hds_groups=len(prepared.hds.groups),
         hds_streams=prepared.hds.stream_count,
         graph_nodes=len(prepared.profile.graph),
+        extra=dict(extra or {}),
     )

@@ -28,6 +28,7 @@ from ..hds.pipeline import analyse_profile
 from ..workloads.base import get_workload
 from .runner import (
     measure_baseline,
+    measure_family,
     measure_halo,
     measure_hds,
     measure_random_pools,
@@ -68,6 +69,7 @@ def evaluate_workload(
     cache: Optional[ArtifactCache] = None,
     phase_times: Optional[PhaseTimes] = None,
     engine: str = "direct",
+    families: Sequence[str] = (),
 ) -> WorkloadEvaluation:
     """Profile, optimise and measure one benchmark under every configuration.
 
@@ -78,6 +80,10 @@ def evaluate_workload(
     ``event`` measure from the recorded event trace (one recording
     serves every configuration and trial) — trace-driven measurement
     requires the trace scale, so other scales fall back to direct runs.
+    *families* names extra standalone allocator families
+    (:data:`repro.allocators.ALLOCATOR_FAMILIES`) to measure alongside
+    the paper configurations; their trials land in the evaluation's
+    ``extra`` mapping.
     """
     workload = get_workload(name)
     prepared = prepare_workload(name, halo_params=halo_params, cache=cache, workload=workload)
@@ -118,9 +124,17 @@ def evaluate_workload(
                     workload, scale=scale, seed=seed, **measure_kwargs
                 ), trials
             )
+        extra = {
+            family: run_trials(
+                lambda seed, family=family: measure_family(
+                    workload, family, scale=scale, seed=seed, **measure_kwargs
+                ), trials
+            )
+            for family in families
+        }
     if phase_times is not None:
         phase_times.add(prepared.times)
-    return build_evaluation(prepared, baseline, halo, hds, random_pools)
+    return build_evaluation(prepared, baseline, halo, hds, random_pools, extra=extra)
 
 
 def evaluate_all(
@@ -137,6 +151,7 @@ def evaluate_all(
     resume: bool = False,
     failures: Optional[list] = None,
     engine: str = "direct",
+    families: Sequence[str] = (),
 ) -> dict[str, WorkloadEvaluation]:
     """Run the full evaluation matrix (figures 13, 14 and 15 share it).
 
@@ -162,6 +177,7 @@ def evaluate_all(
             resume=resume,
             failures=failures,
             engine=engine,
+            families=families,
         )
     return {
         name: evaluate_workload(
@@ -172,6 +188,7 @@ def evaluate_all(
             cache=cache,
             phase_times=phase_times,
             engine=engine,
+            families=families,
         )
         for name in benchmarks
     }

@@ -15,11 +15,13 @@ from dataclasses import dataclass
 from time import perf_counter
 from typing import Callable, Optional
 
+from ..allocators import make_family_allocator
 from ..allocators.base import AddressSpace, Allocator
 from ..allocators.group import FragmentationSnapshot, GroupAllocator
 from ..allocators.random_group import RandomPoolAllocator
 from ..allocators.size_class import SizeClassAllocator
 from ..cache.hierarchy import CacheHierarchy, HierarchyConfig, HierarchyStats
+from ..cache.sharing import FalseSharingTracker
 from ..cache.timing import CostModel
 from ..core.pipeline import HaloArtifacts, make_runtime as make_halo_runtime
 from ..hds.pipeline import HdsArtifacts, make_runtime as make_hds_runtime
@@ -193,6 +195,13 @@ def run_measurement(
     memory = CacheHierarchy(hierarchy_config)
     tracker = PeakTracker(allocator)
     listeners: list = [tracker]
+    sharing: Optional[FalseSharingTracker] = None
+    if resolved == "direct" and driver is None:
+        # Only a directly executed workload can switch simulated threads
+        # (trace replays run entirely on thread 0), so the line-ownership
+        # tracker attaches only where it can observe anything.
+        sharing = FalseSharingTracker()
+        listeners.append(sharing)
     sanitizer = None
     sanitizer_config = active_sanitizer()
     if sanitizer_config is not None:
@@ -221,7 +230,8 @@ def run_measurement(
     cache = memory.snapshot()
     metrics = machine.metrics
     _publish_measurement_metrics(
-        workload.name, config, metrics, cache, allocator, tracker.peak_live
+        workload.name, config, metrics, cache, allocator, tracker.peak_live,
+        sharing=sharing,
     )
     _publish_engine_metrics(
         workload.name, config, resolved,
@@ -254,6 +264,7 @@ def _publish_measurement_metrics(
     cache: HierarchyStats,
     allocator: Allocator,
     peak_live: int,
+    sharing: Optional[FalseSharingTracker] = None,
 ) -> None:
     """Harvest one finished run into the active metrics registry.
 
@@ -273,6 +284,9 @@ def _publish_measurement_metrics(
         obs.inc(f"measure.machine.{name}", value, **labels)
     for name, value in cache.as_counters().items():
         obs.inc(f"measure.cache.{name}", value, **labels)
+    if sharing is not None:
+        for name, value in sharing.as_counters().items():
+            obs.inc(f"measure.cache.{name}", value, **labels)
     for name, value in allocator.observable_stats().items():
         obs.inc(f"measure.alloc.{name}", value, **labels)
 
@@ -374,4 +388,27 @@ def measure_random_pools(
 
     return run_measurement(
         workload, factory, config="random-pools", scale=scale, seed=seed, **kwargs
+    )
+
+
+def measure_family(
+    workload: Workload,
+    family: str,
+    scale: str = "ref",
+    seed: int = 0,
+    **kwargs,
+) -> Measurement:
+    """Measure a registered standalone allocator family (freelist, arena...).
+
+    Families come from :data:`repro.allocators.ALLOCATOR_FAMILIES`; the
+    measurement's ``config`` label is the family name, so the counters of
+    e.g. ``freelist-bf`` and ``arena`` land alongside the paper
+    configurations in the observability harvest.
+    """
+
+    def factory(space: AddressSpace) -> Allocator:
+        return make_family_allocator(family, space)
+
+    return run_measurement(
+        workload, factory, config=family, scale=scale, seed=seed, **kwargs
     )

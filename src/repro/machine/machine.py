@@ -254,6 +254,10 @@ class Machine:
         self.metrics = MachineMetrics()
         #: The true dynamic call stack, innermost last.
         self.stack: list[CallSite] = []
+        #: Simulated hardware thread currently executing.  Multi-tenant
+        #: workloads switch it as the mix scheduler interleaves tick
+        #: streams; single-threaded workloads never leave thread 0.
+        self.thread_id = 0
 
     # ------------------------------------------------------------------
     # Listener registration
@@ -299,6 +303,23 @@ class Machine:
         machinery dominated their cost.
         """
         return _CallScope(self, site)
+
+    # ------------------------------------------------------------------
+    # Threads
+    # ------------------------------------------------------------------
+
+    def set_thread(self, thread_id: int) -> None:
+        """Switch the simulated executing thread to *thread_id*.
+
+        Thread-aware allocators (per-thread arenas) are notified so later
+        heap ops route to the right arena; thread-oblivious allocators
+        ignore the switch entirely.  Deterministic: the mix scheduler
+        drives this from a seeded interleave, never from host threads.
+        """
+        self.thread_id = thread_id
+        forward = getattr(self.allocator, "set_thread", None)
+        if forward is not None:
+            forward(thread_id)
 
     # ------------------------------------------------------------------
     # Memory management

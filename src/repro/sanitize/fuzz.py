@@ -31,8 +31,10 @@ from contextlib import nullcontext
 from dataclasses import dataclass, replace
 from typing import Callable, Optional, Sequence
 
+from ..allocators.arena import ArenaAllocator
 from ..allocators.base import AddressSpace, PAGE_SIZE
 from ..allocators.bump import BumpAllocator
+from ..allocators.freelist import FreeListAllocator
 from ..allocators.group import GroupAllocator, _Chunk
 from ..allocators.random_group import RandomPoolAllocator
 from ..allocators.sharded import ShardedGroupAllocator
@@ -42,7 +44,16 @@ from .invariants import Finding, validate_allocator
 from .shadow import ShadowHeap
 
 #: Allocator families the fuzzer covers.
-FAMILIES = ("size-class", "bump", "random-pools", "group", "sharded")
+FAMILIES = (
+    "size-class",
+    "bump",
+    "random-pools",
+    "group",
+    "sharded",
+    "freelist-ff",
+    "freelist-bf",
+    "arena",
+)
 
 Op = tuple
 Corruptors = dict[str, Callable]
@@ -182,6 +193,11 @@ def _build_allocator(config: FuzzConfig, space: AddressSpace):
             seed=config.seed,
             pool_size=config.pool_size,
         )
+    if config.family in ("freelist-ff", "freelist-bf"):
+        policy = "first-fit" if config.family == "freelist-ff" else "best-fit"
+        return FreeListAllocator(space, policy=policy, pool_size=config.pool_size)
+    if config.family == "arena":
+        return ArenaAllocator(space, arenas=config.groups, pool_size=config.pool_size)
     cls = ShardedGroupAllocator if config.family == "sharded" else GroupAllocator
     return cls(
         space,
@@ -216,6 +232,10 @@ def run_ops(
     space = AddressSpace(seed=config.seed)
     allocator = _build_allocator(config, space)
     matcher = getattr(allocator, "matcher", None)
+    # Thread-aware families (per-thread arenas) reuse the malloc op's group
+    # field as the issuing thread: frees and reallocs then run on whichever
+    # thread allocated last, so cross-thread traffic arises naturally.
+    set_thread = getattr(allocator, "set_thread", None)
     shadow = ShadowHeap()
     live: list[int] = []
     findings: list[Finding] = []
@@ -227,6 +247,8 @@ def run_ops(
                     _, size, group = op
                     if matcher is not None:
                         matcher.group = group
+                    if set_thread is not None and group is not None:
+                        set_thread(group)
                     addr = allocator.malloc(size)
                     findings.extend(shadow.malloc(addr, size))
                     live.append(addr)
@@ -361,7 +383,10 @@ def default_scenarios(seed: int, ops: int, family: Optional[str] = None) -> list
     Each family runs plain; the group families additionally run with
     colouring enabled, with ``always_reuse_chunks`` (the omnetpp/xalanc
     configuration), and under a fault-plan chunk budget so the degraded
-    path is exercised.
+    path is exercised.  The free-list families (and the arenas built on
+    them) add a coalescing-stress variant: a pool barely bigger than the
+    op mix's footprint, so the allocator survives only by merging freed
+    neighbours back into servable ranges.
     """
     families = FAMILIES if family in (None, "all") else (family,)
     scenarios: list[FuzzConfig] = []
@@ -372,4 +397,6 @@ def default_scenarios(seed: int, ops: int, family: Optional[str] = None) -> list
             scenarios.append(replace(base, colour_stride=128))
             scenarios.append(replace(base, always_reuse_chunks=True))
             scenarios.append(replace(base, chunk_budget=6))
+        if name in ("freelist-ff", "freelist-bf", "arena"):
+            scenarios.append(replace(base, pool_size=1 << 16))
     return scenarios

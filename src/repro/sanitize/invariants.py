@@ -38,10 +38,15 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Optional
 
-from ..allocators.base import PAGE_SIZE, align_up
+from bisect import bisect_left, bisect_right
+
+from ..allocators.arena import ArenaAllocator
+from ..allocators.base import MIN_ALIGNMENT, PAGE_SIZE, align_up
 from ..allocators.bump import BumpAllocator
+from ..allocators.freelist import FreeListAllocator
 from ..allocators.group import GroupAllocator, _Chunk
 from ..allocators.random_group import RandomPoolAllocator
+from ..allocators.sharded import _shard_class
 from ..allocators.size_class import SizeClassAllocator
 
 
@@ -184,12 +189,27 @@ def _validate(allocator, findings: list[Finding]) -> None:
         _validate(allocator.fallback, findings)
     elif isinstance(allocator, BumpAllocator):
         _validate_bump(allocator, findings)
+    elif isinstance(allocator, ArenaAllocator):
+        _validate_arena(allocator, findings)
+        for arena in allocator._arenas:
+            _validate(arena, findings)
+    elif isinstance(allocator, FreeListAllocator):
+        _validate_freelist(allocator, findings)
     # Unknown allocator types degrade to "nothing to check" by design.
 
 
 def _check_overlaps(allocator, findings: list[Finding]) -> None:
     """No two live regions overlap anywhere in the allocator tree."""
-    regions = sorted(allocator.iter_live_regions())
+    try:
+        regions = sorted(allocator.iter_live_regions())
+    except Exception as exc:
+        # Walking corrupt state must produce a finding, never an exception —
+        # e.g. an arena ownership table pointing at an arena that does not
+        # hold the block makes the live-region walk itself blow up.
+        findings.append(
+            Finding("region.walk", f"live-region walk failed: {exc!r}")
+        )
+        return
     prev_addr = 0
     prev_end = None
     for addr, size in regions:
@@ -436,6 +456,14 @@ def _validate_shards(
     cursor, unique, and not simultaneously live."""
     seen: set[int] = set()
     for shard, entries in shards.items():
+        if shard != _shard_class(shard):
+            findings.append(
+                Finding(
+                    "sharded.shard-key",
+                    f"chunk {chunk.base:#x} shard key {shard} is not a shard "
+                    f"class (requested size leaked into shard bookkeeping)",
+                )
+            )
         for addr in entries:
             if addr in seen:
                 findings.append(
@@ -667,6 +695,200 @@ def _validate_random(
                 "random.stats-live-bytes",
                 f"pools hold {pooled} live bytes but stats.live_bytes="
                 f"{allocator.stats.live_bytes}",
+            )
+        )
+
+
+# -- free lists / arenas ----------------------------------------------------
+
+
+def _validate_freelist(
+    allocator: FreeListAllocator, findings: list[Finding]
+) -> None:
+    add = findings.append
+    starts, ends = allocator._starts, allocator._ends
+
+    # Pool reservations, merged into a sorted interval union.  ASLR jitter
+    # can legitimately make two pools contiguous, in which case a coalesced
+    # free range may span the pool boundary — the union is the real bound.
+    union: list[list[int]] = []
+    for base, size in sorted(allocator._pools):
+        if union and union[-1][1] == base:
+            union[-1][1] = base + size
+        else:
+            union.append([base, base + size])
+    union_starts = [lo for lo, _ in union]
+
+    def in_union(lo: int, hi: int) -> bool:
+        index = bisect_right(union_starts, lo) - 1
+        return index >= 0 and hi <= union[index][1]
+
+    prev_end = None
+    for start, end in zip(starts, ends):
+        if end <= start:
+            add(
+                Finding(
+                    "freelist.range-empty",
+                    f"free range {start:#x}..{end:#x} is empty or inverted",
+                )
+            )
+            continue
+        if prev_end is not None:
+            if start < prev_end:
+                add(
+                    Finding(
+                        "freelist.range-overlap",
+                        f"free range {start:#x} overlaps the previous range "
+                        f"ending at {prev_end:#x}",
+                    )
+                )
+            elif start == prev_end:
+                add(
+                    Finding(
+                        "freelist.uncoalesced",
+                        f"adjacent free ranges meet at {start:#x} without "
+                        f"being merged (boundary coalescing missed)",
+                    )
+                )
+        prev_end = end
+        if not in_union(start, end):
+            add(
+                Finding(
+                    "freelist.range-bounds",
+                    f"free range {start:#x}..{end:#x} lies outside every "
+                    f"pool reservation",
+                )
+            )
+
+    total = 0
+    for addr, size in allocator._sizes.items():
+        total += size
+        extent = allocator._extents.get(addr)
+        if extent is None or extent < align_up(size, MIN_ALIGNMENT):
+            add(
+                Finding(
+                    "freelist.extent",
+                    f"block {addr:#x}: requested {size} bytes but carved "
+                    f"extent is {extent}",
+                )
+            )
+            continue
+        # The carved extent must be disjoint from every free range.
+        index = bisect_right(starts, addr) - 1
+        if index >= 0 and ends[index] > addr:
+            add(
+                Finding(
+                    "freelist.live-free-overlap",
+                    f"block {addr:#x} (+{extent}) overlaps the free range "
+                    f"starting at {starts[index]:#x}",
+                )
+            )
+        index = bisect_left(starts, addr)
+        if index < len(starts) and starts[index] < addr + extent:
+            add(
+                Finding(
+                    "freelist.live-free-overlap",
+                    f"block {addr:#x} (+{extent}) overlaps the free range "
+                    f"starting at {starts[index]:#x}",
+                )
+            )
+    if total != allocator.stats.live_bytes:
+        add(
+            Finding(
+                "freelist.stats-live-bytes",
+                f"recorded sizes sum to {total} but stats.live_bytes="
+                f"{allocator.stats.live_bytes}",
+            )
+        )
+    if len(allocator._sizes) != allocator.stats.live_blocks:
+        add(
+            Finding(
+                "freelist.stats-live-blocks",
+                f"{len(allocator._sizes)} live blocks but stats.live_blocks="
+                f"{allocator.stats.live_blocks}",
+            )
+        )
+    if len(allocator._sizes) != len(allocator._extents):
+        add(
+            Finding(
+                "freelist.extent-table",
+                f"{len(allocator._sizes)} sizes recorded but "
+                f"{len(allocator._extents)} extents",
+            )
+        )
+
+
+def _validate_arena(allocator: ArenaAllocator, findings: list[Finding]) -> None:
+    add = findings.append
+    count = allocator.arena_count
+    total = 0
+    for addr, owner in allocator._owner.items():
+        if owner < 0 or owner >= count:
+            add(
+                Finding(
+                    "arena.owner-range",
+                    f"block {addr:#x} is owned by arena {owner}, outside "
+                    f"[0, {count})",
+                )
+            )
+            continue
+        size = allocator._arenas[owner]._sizes.get(addr)
+        if size is None:
+            add(
+                Finding(
+                    "arena.owner-live",
+                    f"block {addr:#x} is mapped to arena {owner} but not "
+                    f"live there",
+                )
+            )
+            continue
+        total += size
+    # Mailbox entries are logically dead (absent from the owner map) yet
+    # still occupy their arena until the owner's next allocation flushes
+    # them — exactly one parking spot per address.
+    seen: set[int] = set()
+    for index, mailbox in enumerate(allocator._mailboxes):
+        for addr in mailbox:
+            if addr in seen:
+                add(
+                    Finding(
+                        "arena.mailbox-duplicate",
+                        f"address {addr:#x} is parked in more than one "
+                        f"mailbox slot",
+                    )
+                )
+                continue
+            seen.add(addr)
+            if addr in allocator._owner:
+                add(
+                    Finding(
+                        "arena.mailbox-owner",
+                        f"parked address {addr:#x} is still in the owner "
+                        f"map (mailbox frees must be logically dead)",
+                    )
+                )
+            if addr not in allocator._arenas[index]._sizes:
+                add(
+                    Finding(
+                        "arena.mailbox-live",
+                        f"parked address {addr:#x} is not live in arena "
+                        f"{index} (double park or foreign mailbox)",
+                    )
+                )
+    if total != allocator.stats.live_bytes:
+        add(
+            Finding(
+                "arena.stats-live-bytes",
+                f"owned sizes sum to {total} but stats.live_bytes="
+                f"{allocator.stats.live_bytes}",
+            )
+        )
+    if len(allocator._owner) != allocator.stats.live_blocks:
+        add(
+            Finding(
+                "arena.stats-live-blocks",
+                f"{len(allocator._owner)} owned blocks but stats.live_blocks="
+                f"{allocator.stats.live_blocks}",
             )
         )
 

@@ -27,7 +27,14 @@ __all__ = ["scenario_fuzz_entries", "scenario_ops"]
 #: Families whose realloc path the fuzzer exercises (bump-backed pools
 #: keep the base-class realloc and are fuzzed realloc-free, matching
 #: :func:`repro.sanitize.fuzz.generate_ops`).
-_REALLOC_FAMILIES = ("size-class", "group", "sharded")
+_REALLOC_FAMILIES = (
+    "size-class",
+    "group",
+    "sharded",
+    "freelist-ff",
+    "freelist-bf",
+    "arena",
+)
 
 
 def scenario_ops(

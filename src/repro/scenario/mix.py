@@ -29,7 +29,7 @@ import hashlib
 import json
 import random
 from dataclasses import dataclass
-from typing import Iterator, Type
+from typing import Callable, Iterator, Optional, Type
 
 from .. import obs
 from ..machine.machine import Machine
@@ -146,13 +146,21 @@ class MixSpec:
 
 
 def drive_mix(
-    generators: list[Iterator[None]], mix: MixSpec, rng: random.Random
+    generators: list[Iterator[None]],
+    mix: MixSpec,
+    rng: random.Random,
+    on_turn: Optional[Callable[[int], None]] = None,
 ) -> list[int]:
     """Drain all tenant *generators* under *mix*'s scheduler.
 
     Returns per-tenant tick counts.  A tenant that finishes drops out of
     the rotation; the rest keep running until every generator is
     exhausted.  Deterministic given *rng*.
+
+    *on_turn* is invoked with the tenant index at the start of each turn,
+    before any of the turn's ticks run — the hook the thread-interleaved
+    machine mode hangs off (tenants become simulated threads, and the
+    scheduler's interleave is the "context switch" schedule).
     """
     ticks = [0] * len(generators)
     active = list(range(len(generators)))
@@ -167,6 +175,8 @@ def drive_mix(
             index = active[position % len(active)]
             position += 1
             burst = mix.tenants[index].burst if mix.scheduler == "bursty" else 1
+        if on_turn is not None:
+            on_turn(index)
         for _ in range(burst):
             try:
                 next(generators[index])
@@ -210,7 +220,11 @@ class MixedWorkload(Workload):
                     machine, tenant_rng, factor, tenant.spec, self._tenant_sites[index]
                 )
             )
-        ticks = drive_mix(generators, self.mix, rng)
+        # Tenants run as simulated threads: every scheduling turn switches
+        # the machine's thread id, so thread-aware allocators (per-thread
+        # arenas) and the false-sharing tracker see the interleave.  The
+        # switch is free for thread-oblivious allocators.
+        ticks = drive_mix(generators, self.mix, rng, on_turn=machine.set_thread)
         obs.inc("scenario.ticks", sum(ticks), workload=self.name)
         obs.inc("scenario.runs", 1, workload=self.name)
         obs.inc("scenario.tenants", len(ticks), workload=self.name)

@@ -1,0 +1,730 @@
+"""Tests for the concurrent allocator families and the chunk-type bug sweep.
+
+Covers the coalescing free-list allocator (first-fit/best-fit, boundary
+coalescing, in-place realloc), the per-thread arena allocator (mailbox
+deferred frees, cross-thread accounting, thread routing via the mix
+scheduler), the false-sharing tracker, the new sanitizer validators, and
+the three regression fixes that rode along: sharded spare chunk-type
+rebuild, in-place realloc stats inflation, and single-application of the
+shard class in ``free``/``give_back``.
+"""
+
+from __future__ import annotations
+
+import random
+from types import SimpleNamespace
+
+import pytest
+
+from repro.allocators import (
+    ALLOCATOR_FAMILIES,
+    AddressSpace,
+    AllocationError,
+    ArenaAllocator,
+    FreeListAllocator,
+    GroupAllocator,
+    ShardedGroupAllocator,
+    SizeClassAllocator,
+    make_family_allocator,
+)
+from repro.allocators.group import _Chunk
+from repro.allocators.sharded import _ShardedChunk, _shard_class
+from repro.cache.sharing import FalseSharingTracker
+from repro.harness.prepare import get_or_record_trace
+from repro.harness.runner import measure_family
+from repro.machine import GroupStateVector
+from repro.sanitize import (
+    FAMILIES as SANITIZE_FAMILIES,
+    FuzzConfig,
+    default_scenarios,
+    run_fuzz,
+    run_ops,
+    validate_allocator,
+)
+from repro.workloads.base import get_workload
+
+SCENARIO = "scn-3"
+MIX = "mix-5x3-rr"
+NEW_FAMILIES = ("freelist-ff", "freelist-bf", "arena")
+
+
+def _rules(findings):
+    return {finding.rule for finding in findings}
+
+
+# ---------------------------------------------------------------------------
+# Free-list allocator
+# ---------------------------------------------------------------------------
+
+
+class TestFreeList:
+    def make(self, **kwargs):
+        return FreeListAllocator(AddressSpace(0), **kwargs)
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(AllocationError, match="policy"):
+            self.make(policy="worst-fit")
+
+    def test_first_fit_reuses_lowest_hole(self):
+        allocator = self.make()
+        a = allocator.malloc(64)
+        b = allocator.malloc(64)
+        allocator.malloc(64)  # plug: keeps the b-hole from coalescing away
+        allocator.free(a)
+        allocator.free(b)
+        # a+b coalesce into one leading 128-byte hole; first-fit carves its
+        # low end for any request that fits.
+        assert allocator.malloc(32) == a
+
+    def test_best_fit_prefers_tightest_hole(self):
+        allocator = self.make(policy="best-fit")
+        a = allocator.malloc(256)
+        p1 = allocator.malloc(16)  # pin
+        b = allocator.malloc(64)
+        allocator.malloc(16)  # pin
+        allocator.free(a)
+        allocator.free(b)
+        assert p1  # two disjoint holes: 256 at a, 64 at b
+        # A 48-byte request fits both; best-fit picks the 64-byte hole.
+        assert allocator.malloc(48) == b
+        # First-fit would have taken the lower-addressed 256-byte hole.
+        ff = self.make()
+        a2 = ff.malloc(256)
+        ff.malloc(16)
+        b2 = ff.malloc(64)
+        ff.malloc(16)
+        ff.free(a2)
+        ff.free(b2)
+        assert ff.malloc(48) == a2
+
+    def test_boundary_coalescing_merges_neighbours(self):
+        allocator = self.make()
+        addrs = [allocator.malloc(64) for _ in range(3)]
+        allocator.malloc(64)  # plug against the pool's trailing free range
+        before = len(allocator._starts)
+        allocator.free(addrs[0])
+        allocator.free(addrs[2])
+        assert len(allocator._starts) == before + 2
+        allocator.free(addrs[1])  # bridges both neighbours
+        assert len(allocator._starts) == before + 1
+        assert allocator.coalesced_frees >= 1
+
+    def test_alignment_carving_keeps_lead_free(self):
+        allocator = self.make()
+        allocator.malloc(8)  # offset the cursor off any large alignment
+        addr = allocator.malloc(64, alignment=256)
+        assert addr % 256 == 0
+        assert validate_allocator(allocator) == []
+
+    def test_oversized_request_gets_dedicated_pool(self):
+        allocator = self.make(pool_size=1 << 12)
+        addr = allocator.malloc(1 << 16)
+        assert allocator.size_of(addr) == 1 << 16
+        assert len(allocator._pools) >= 1
+        assert validate_allocator(allocator) == []
+
+    def test_size_of_reports_requested_size(self):
+        allocator = self.make()
+        addr = allocator.malloc(33)
+        assert allocator.size_of(addr) == 33
+        assert allocator.free(addr) == 33
+
+    def test_free_unknown_address_raises(self):
+        allocator = self.make()
+        with pytest.raises(AllocationError, match="unknown"):
+            allocator.free(0xDEAD)
+
+    def test_realloc_shrink_in_place_releases_tail(self):
+        allocator = self.make()
+        addr = allocator.malloc(128)
+        plug = allocator.malloc(16)
+        assert allocator.realloc(addr, 40) == addr
+        assert allocator.size_of(addr) == 40
+        assert allocator.inplace_reallocs == 1
+        # The released tail is immediately reusable free space.
+        tail = allocator.malloc(64)
+        assert addr < tail < plug
+        assert validate_allocator(allocator) == []
+
+    def test_realloc_grows_into_adjacent_hole(self):
+        allocator = self.make()
+        addr = allocator.malloc(64)
+        neighbour = allocator.malloc(64)
+        allocator.malloc(16)  # plug
+        allocator.free(neighbour)
+        assert allocator.realloc(addr, 96) == addr
+        assert allocator.inplace_reallocs == 1
+        assert allocator.moved_reallocs == 0
+
+    def test_realloc_moves_as_last_resort(self):
+        allocator = self.make()
+        addr = allocator.malloc(64)
+        allocator.malloc(64)  # occupied neighbour: no in-place growth
+        moved = allocator.realloc(addr, 256)
+        assert moved != addr
+        assert allocator.moved_reallocs == 1
+        assert allocator.size_of(moved) == 256
+        with pytest.raises(AllocationError):
+            allocator.size_of(addr)
+
+    @pytest.mark.parametrize("policy", ["first-fit", "best-fit"])
+    def test_churn_stays_consistent(self, policy):
+        rng = random.Random(f"freelist-churn:{policy}")
+        allocator = self.make(policy=policy, pool_size=1 << 16)
+        live = {}
+        for _ in range(2000):
+            if live and rng.random() < 0.45:
+                addr = rng.choice(sorted(live))
+                assert allocator.free(addr) == live.pop(addr)
+            else:
+                size = rng.randrange(1, 512)
+                addr = allocator.malloc(size)
+                live[addr] = size
+        assert validate_allocator(allocator) == []
+        assert allocator.stats.live_blocks == len(live)
+        assert allocator.stats.live_bytes == sum(live.values())
+        assert allocator.coalesced_frees > 0
+
+
+# ---------------------------------------------------------------------------
+# Arena allocator
+# ---------------------------------------------------------------------------
+
+
+class TestArena:
+    def make(self, **kwargs):
+        kwargs.setdefault("arenas", 2)
+        return ArenaAllocator(AddressSpace(0), **kwargs)
+
+    def test_threads_map_to_arenas_by_modulo(self):
+        allocator = self.make(arenas=2)
+        allocator.set_thread(5)
+        assert allocator.current_arena == 1
+        allocator.set_thread(4)
+        assert allocator.current_arena == 0
+
+    def test_same_thread_free_is_immediate(self):
+        allocator = self.make()
+        addr = allocator.malloc(64)
+        allocator.free(addr)
+        assert allocator.cross_thread_frees == 0
+        assert sum(len(m) for m in allocator._mailboxes) == 0
+        assert allocator.malloc(64) == addr
+
+    def test_cross_thread_free_parks_in_mailbox(self):
+        allocator = self.make()
+        addr = allocator.malloc(64)
+        allocator.set_thread(1)
+        size = allocator.free(addr)
+        assert size == 64
+        assert allocator.cross_thread_frees == 1
+        # Logically dead at once...
+        assert allocator.stats.live_blocks == 0
+        with pytest.raises(AllocationError):
+            allocator.size_of(addr)
+        # ...but physically parked until the owner allocates again.
+        assert addr in allocator._mailboxes[0]
+        assert validate_allocator(allocator) == []
+        allocator.set_thread(0)
+        reused = allocator.malloc(64)
+        assert reused == addr
+        assert allocator.mailbox_flushes == 1
+        assert sum(len(m) for m in allocator._mailboxes) == 0
+
+    def test_cross_thread_realloc_moves_to_current_arena(self):
+        allocator = self.make()
+        addr = allocator.malloc(64)
+        allocator.set_thread(1)
+        moved = allocator.realloc(addr, 128)
+        assert moved != addr
+        assert allocator._owner[moved] == 1
+        assert allocator.cross_thread_frees == 1
+        assert allocator.size_of(moved) == 128
+        assert validate_allocator(allocator) == []
+
+    def test_same_thread_realloc_stays_in_arena(self):
+        allocator = self.make()
+        addr = allocator.malloc(64)
+        assert allocator.realloc(addr, 32) == addr
+        assert allocator.stats.total_allocs == 1
+        assert allocator.stats.total_frees == 0
+        assert allocator.stats.live_bytes == 32
+
+    def test_arenas_never_share_pools(self):
+        allocator = self.make(arenas=2)
+        a0 = allocator.malloc(64)
+        allocator.set_thread(1)
+        a1 = allocator.malloc(64)
+        pools0 = {base for base, _ in allocator._arenas[0]._pools}
+        pools1 = {base for base, _ in allocator._arenas[1]._pools}
+        assert a0 != a1
+        assert not pools0 & pools1
+
+    def test_interleaved_churn_stays_consistent(self):
+        rng = random.Random("arena-churn")
+        allocator = self.make(arenas=3)
+        live = {}
+        for _ in range(3000):
+            allocator.set_thread(rng.randrange(3))
+            if live and rng.random() < 0.45:
+                addr = rng.choice(sorted(live))
+                assert allocator.free(addr) == live.pop(addr)
+            else:
+                size = rng.randrange(1, 256)
+                addr = allocator.malloc(size)
+                live[addr] = size
+        assert validate_allocator(allocator) == []
+        assert allocator.cross_thread_frees > 0
+        assert allocator.stats.live_blocks == len(live)
+        assert allocator.stats.live_bytes == sum(live.values())
+
+    def test_registry_builds_every_family(self):
+        for family in ALLOCATOR_FAMILIES:
+            allocator = make_family_allocator(family, AddressSpace(0))
+            addr = allocator.malloc(48)
+            assert allocator.size_of(addr) == 48
+        with pytest.raises(AllocationError, match="unknown allocator family"):
+            make_family_allocator("tcmalloc", AddressSpace(0))
+
+
+# ---------------------------------------------------------------------------
+# False-sharing tracker
+# ---------------------------------------------------------------------------
+
+
+def _machine(thread):
+    return SimpleNamespace(thread_id=thread)
+
+
+def _obj(addr, size):
+    return SimpleNamespace(addr=addr, size=size)
+
+
+class TestFalseSharingTracker:
+    def test_single_thread_stays_at_zero(self):
+        tracker = FalseSharingTracker()
+        for index in range(8):
+            tracker.on_alloc(_machine(0), _obj(index * 64, 64))
+        assert tracker.as_counters()["false_sharing_lines"] == 0
+        assert tracker.as_counters()["threads_seen"] == 1
+
+    def test_co_tenanted_line_counts_once(self):
+        tracker = FalseSharingTracker()
+        tracker.on_alloc(_machine(0), _obj(0, 32))
+        tracker.on_alloc(_machine(1), _obj(32, 32))  # other half of line 0
+        tracker.on_alloc(_machine(2), _obj(16, 8))  # third tenant, same line
+        assert tracker.false_sharing_lines == 1
+
+    def test_full_reuse_by_other_thread_is_not_false_sharing(self):
+        tracker = FalseSharingTracker()
+        obj = _obj(0, 64)
+        tracker.on_alloc(_machine(0), obj)
+        tracker.on_free(_machine(0), obj)
+        tracker.on_alloc(_machine(1), _obj(0, 64))
+        assert tracker.false_sharing_lines == 0
+
+    def test_cross_thread_access_detected(self):
+        tracker = FalseSharingTracker()
+        obj = _obj(0, 64)
+        tracker.on_alloc(_machine(0), obj)
+        tracker.on_access(_machine(0), obj, 0, 8, False)
+        tracker.on_access(_machine(1), obj, 8, 8, True)
+        tracker.on_access(_machine(0), obj, 16, 8, False)
+        counters = tracker.as_counters()
+        assert counters["shared_lines"] == 1
+        assert counters["cross_thread_accesses"] == 2
+
+    def test_realloc_transfers_tenancy(self):
+        tracker = FalseSharingTracker()
+        tracker.on_alloc(_machine(0), _obj(0, 64))
+        tracker.on_realloc(_machine(1), _obj(128, 64), 0, 64)
+        # Old line fully released, new line owned by thread 1: no sharing.
+        assert tracker.false_sharing_lines == 0
+        tracker.on_alloc(_machine(0), _obj(160, 8))
+        assert tracker.false_sharing_lines == 1
+
+    def test_rejects_non_power_of_two_line(self):
+        with pytest.raises(ValueError):
+            FalseSharingTracker(line_size=96)
+
+
+# ---------------------------------------------------------------------------
+# Sanitizer validators for the new families
+# ---------------------------------------------------------------------------
+
+
+class TestSanitizerNewFamilies:
+    def test_freelist_uncoalesced_detected(self):
+        allocator = FreeListAllocator(AddressSpace(0))
+        addr = allocator.malloc(64)
+        base = addr + 64
+        # Plant two touching-but-unmerged free ranges inside the pool.
+        allocator._starts[:0] = [base, base + 32]
+        allocator._ends[:0] = [base + 32, base + 64]
+        assert "freelist.uncoalesced" in _rules(validate_allocator(allocator))
+
+    def test_freelist_live_free_overlap_detected(self):
+        allocator = FreeListAllocator(AddressSpace(0))
+        addr = allocator.malloc(64)
+        allocator._insert_range(addr + 8, addr + 24)
+        assert "freelist.live-free-overlap" in _rules(validate_allocator(allocator))
+
+    def test_freelist_out_of_pool_range_detected(self):
+        allocator = FreeListAllocator(AddressSpace(0))
+        allocator.malloc(64)
+        allocator._insert_range(0x10, 0x20)
+        assert "freelist.range-bounds" in _rules(validate_allocator(allocator))
+
+    def test_freelist_stats_drift_detected(self):
+        allocator = FreeListAllocator(AddressSpace(0))
+        allocator.malloc(64)
+        allocator.stats.live_bytes += 8
+        assert "freelist.stats-live-bytes" in _rules(validate_allocator(allocator))
+
+    def test_arena_mailbox_owner_conflict_detected(self):
+        allocator = ArenaAllocator(AddressSpace(0), arenas=2)
+        addr = allocator.malloc(64)
+        allocator._mailboxes[0].append(addr)  # parked while still owned
+        assert "arena.mailbox-owner" in _rules(validate_allocator(allocator))
+
+    def test_arena_mailbox_duplicate_detected(self):
+        allocator = ArenaAllocator(AddressSpace(0), arenas=2)
+        addr = allocator.malloc(64)
+        allocator.set_thread(1)
+        allocator.free(addr)
+        allocator._mailboxes[1].append(addr)
+        assert "arena.mailbox-duplicate" in _rules(validate_allocator(allocator))
+
+    def test_arena_foreign_owner_detected(self):
+        allocator = ArenaAllocator(AddressSpace(0), arenas=2)
+        addr = allocator.malloc(64)
+        allocator._owner[addr] = 1  # lies about the owning arena
+        assert "arena.owner-live" in _rules(validate_allocator(allocator))
+
+    def test_arena_recurses_into_sub_arenas(self):
+        allocator = ArenaAllocator(AddressSpace(0), arenas=2)
+        allocator.malloc(64)
+        allocator._arenas[0].stats.live_bytes += 8
+        assert "freelist.stats-live-bytes" in _rules(validate_allocator(allocator))
+
+
+# ---------------------------------------------------------------------------
+# Regression: sharded spare chunk-type hazard
+# ---------------------------------------------------------------------------
+
+
+class _AlwaysGroup:
+    def match(self, state):
+        return 0
+
+
+def _make_group(cls, **kwargs):
+    space = AddressSpace(0)
+    return cls(
+        space, SizeClassAllocator(space), _AlwaysGroup(), GroupStateVector(), **kwargs
+    )
+
+
+class TestShardedChunkTypeRegression:
+    def test_plain_spare_is_rebuilt_as_sharded(self):
+        """A wrong-typed spare (the migration hazard) is rebuilt on reuse."""
+        allocator = _make_group(ShardedGroupAllocator, chunk_size=1 << 12)
+        addr = allocator.malloc(64)
+        allocator.free(addr)
+        # Simulate a spare produced by a base-class code path: same identity,
+        # but the plain chunk type that cannot recycle.
+        chunk = allocator._current.pop(0)
+        plain = _Chunk(chunk.base, chunk.size, chunk.group)
+        allocator._chunks[plain.base] = plain
+        allocator._spares.append(plain)
+        reused = allocator.malloc(48)
+        chunk = allocator._chunk_of(reused)
+        assert isinstance(chunk, _ShardedChunk)
+        assert allocator._chunks[chunk.base] is chunk
+        # The rebuilt chunk recycles: the defining sharded behaviour.
+        allocator.free(reused)
+        assert allocator.malloc(48) == reused
+        assert validate_allocator(allocator) == []
+
+    def test_serve_style_migration_keeps_chunks_sharded(self):
+        """migrate_groups over the sharded allocator carves sharded chunks."""
+
+        class _Groups:
+            group = 0
+
+            def match(self, state):
+                return self.group
+
+        space = AddressSpace(0)
+        matcher = _Groups()
+        allocator = ShardedGroupAllocator(
+            space, SizeClassAllocator(space), matcher, GroupStateVector(),
+            chunk_size=1 << 12, max_spare_chunks=4,
+        )
+        addrs = []
+        for index in range(24):
+            matcher.group = index % 2
+            addrs.append(allocator.malloc(96))
+        # Serve-style re-optimisation: fuse group 1 into group 0.
+        report = allocator.migrate_groups({1: 0, 0: None}.get)
+        assert report.moved_regions == 12
+        assert all(isinstance(c, _ShardedChunk) for c in allocator._chunks.values())
+        assert all(isinstance(c, _ShardedChunk) for c in allocator._spares)
+        # Post-migration traffic reuses the retired spares and still recycles.
+        matcher.group = 1
+        fresh = allocator.malloc(96)
+        allocator.free(fresh)
+        assert allocator.malloc(96) == fresh
+        assert validate_allocator(allocator) == []
+
+    def test_base_allocator_rebuilds_sharded_spare(self):
+        """The hazard is symmetric: a sharded spare under a plain allocator."""
+        allocator = _make_group(GroupAllocator, chunk_size=1 << 12)
+        addr = allocator.malloc(64)
+        allocator.free(addr)
+        chunk = allocator._current.pop(0)
+        sharded = _ShardedChunk(chunk.base, chunk.size, chunk.group)
+        allocator._chunks[sharded.base] = sharded
+        allocator._spares.append(sharded)
+        reused = allocator.malloc(48)
+        assert type(allocator._chunk_of(reused)) is _Chunk
+        assert validate_allocator(allocator) == []
+
+
+# ---------------------------------------------------------------------------
+# Regression: in-place realloc stats inflation
+# ---------------------------------------------------------------------------
+
+
+class TestReallocStats:
+    def test_size_class_in_place_realloc_does_not_inflate_churn(self):
+        allocator = SizeClassAllocator(AddressSpace(0))
+        addr = allocator.malloc(100)
+        assert allocator.realloc(addr, 104) == addr  # same 112-byte class
+        assert allocator.stats.total_allocs == 1
+        assert allocator.stats.total_frees == 0
+        assert allocator.stats.live_bytes == 104
+        assert allocator.stats.live_blocks == 1
+
+    def test_size_class_peak_follows_in_place_growth(self):
+        allocator = SizeClassAllocator(AddressSpace(0))
+        addr = allocator.malloc(97)
+        allocator.realloc(addr, 112)
+        assert allocator.stats.peak_live_bytes == 112
+
+    def test_group_shrink_in_place_does_not_inflate_churn(self):
+        allocator = _make_group(ShardedGroupAllocator)
+        addr = allocator.malloc(200)
+        assert allocator.realloc(addr, 150) == addr
+        assert allocator.stats.total_allocs == 1
+        assert allocator.stats.total_frees == 0
+        assert allocator.stats.live_bytes == 150
+        assert allocator.grouped_live_bytes == 150
+
+    def test_freelist_in_place_realloc_does_not_inflate_churn(self):
+        allocator = FreeListAllocator(AddressSpace(0))
+        addr = allocator.malloc(128)
+        assert allocator.realloc(addr, 64) == addr
+        assert allocator.stats.total_allocs == 1
+        assert allocator.stats.total_frees == 0
+        assert allocator.stats.live_bytes == 64
+
+    def test_shadow_oracle_agrees_after_in_place_realloc(self):
+        """The differential oracle pins the fixed accounting semantics."""
+        ops = [("malloc", 100, 0), ("realloc", 0, 104), ("free", 0)]
+        for family in ("size-class", "sharded", "freelist-ff", "arena"):
+            config = FuzzConfig(family=family, seed=0, ops=0, check_interval=1)
+            assert run_ops(ops, config) == [], family
+
+
+# ---------------------------------------------------------------------------
+# Regression: shard class applied exactly once
+# ---------------------------------------------------------------------------
+
+
+class TestShardClassSingleApply:
+    def test_recycle_across_the_rounding_boundary(self):
+        """free(33) must land in shard 48, recyclable by a 48-byte request."""
+        allocator = _make_group(ShardedGroupAllocator)
+        addr = allocator.malloc(33)
+        allocator.free(addr)
+        assert allocator.malloc(48) == addr
+
+    def test_shard_keys_are_fixed_points(self):
+        allocator = _make_group(ShardedGroupAllocator)
+        rng = random.Random("shard-keys")
+        live = []
+        for _ in range(400):
+            if live and rng.random() < 0.5:
+                allocator.free(live.pop(rng.randrange(len(live))))
+            else:
+                live.append(allocator.malloc(rng.randrange(1, 200)))
+        for chunk in allocator._chunks.values():
+            for shard in chunk.shards:
+                assert shard == _shard_class(shard)
+        assert validate_allocator(allocator) == []
+
+    def test_sanitizer_flags_requested_size_as_shard_key(self):
+        allocator = _make_group(ShardedGroupAllocator)
+        addr = allocator.malloc(33)
+        allocator.free(addr)
+        chunk = allocator._chunk_of(addr)
+        # Re-file the freed region under its (non-rounded) requested size —
+        # the exact corruption the old double-apply bug produced.
+        chunk.shards.pop(_shard_class(33))
+        chunk.shards[33] = [addr]
+        assert "sharded.shard-key" in _rules(validate_allocator(allocator))
+
+
+# ---------------------------------------------------------------------------
+# Fuzz matrix coverage
+# ---------------------------------------------------------------------------
+
+
+class TestFuzzMatrixFamilies:
+    def test_sanitize_families_include_new_allocators(self):
+        for family in NEW_FAMILIES:
+            assert family in SANITIZE_FAMILIES
+
+    def test_matrix_has_coalescing_stress_scenarios(self):
+        scenarios = default_scenarios(seed=0, ops=100)
+        for family in NEW_FAMILIES:
+            stressed = [
+                s for s in scenarios if s.family == family and s.pool_size == 1 << 16
+            ]
+            assert stressed, family
+
+    @pytest.mark.parametrize("family", NEW_FAMILIES)
+    def test_short_differential_fuzz_is_clean(self, family):
+        report = run_fuzz(FuzzConfig(family=family, seed=7, ops=2500))
+        assert report.ok, report.findings
+
+    def test_scenario_bridge_covers_new_families(self):
+        from repro.scenario import scenario_fuzz_entries
+
+        entries = scenario_fuzz_entries(seed=1, count=len(SANITIZE_FAMILIES), ops=50)
+        covered = {config.family for config, _ in entries}
+        assert set(NEW_FAMILIES) <= covered
+
+
+# ---------------------------------------------------------------------------
+# Thread-interleaved measurement: determinism and engine parity
+# ---------------------------------------------------------------------------
+
+
+def _measurement_fields(m):
+    return (
+        m.workload, m.config, m.scale, m.seed,
+        m.cycles, m.cache, m.accesses, m.allocs, m.frees,
+        m.peak_live_bytes,
+    )
+
+
+@pytest.fixture(scope="module")
+def traced():
+    """(workload, trace) for the generated scenario and the 3-tenant mix."""
+    out = {}
+    for name in (SCENARIO, MIX):
+        workload = get_workload(name)
+        out[name] = (workload, get_or_record_trace(name, workload=workload))
+    return out
+
+
+class TestFamilyMeasurement:
+    @pytest.mark.parametrize("name", [SCENARIO, MIX])
+    @pytest.mark.parametrize("family", NEW_FAMILIES)
+    def test_direct_measurement_is_deterministic(self, name, family):
+        workload = get_workload(name)
+        first = measure_family(workload, family, scale="test", seed=1)
+        second = measure_family(workload, family, scale="test", seed=1)
+        assert _measurement_fields(first) == _measurement_fields(second)
+
+    @pytest.mark.parametrize("name", [SCENARIO, MIX])
+    @pytest.mark.parametrize("family", NEW_FAMILIES)
+    def test_event_columnar_parity(self, traced, name, family):
+        workload, trace = traced[name]
+        kwargs = dict(scale="test", seed=1, trace=trace)
+        event = measure_family(workload, family, engine="event", **kwargs)
+        columnar = measure_family(workload, family, engine="columnar", **kwargs)
+        assert _measurement_fields(event) == _measurement_fields(columnar)
+
+    def test_mix_interleave_reaches_thread_aware_allocator(self):
+        """Tenants become threads: the arena sees every simulated thread."""
+        from repro.obs import metrics as obs_metrics
+
+        workload = get_workload(MIX)
+        with obs_metrics.collecting() as registry:
+            measure_family(workload, "arena", scale="test", seed=1)
+        snapshot = registry.snapshot()
+        seen = {
+            str(key): value
+            for key, value in snapshot.counters.items()
+            if "threads_seen" in str(key)
+        }
+        assert seen and all(value == 3 for value in seen.values())
+
+    def test_arena_eliminates_false_sharing_on_the_mix(self):
+        """The headline contrast: shared heap manufactures false sharing,
+        per-thread arenas drive it to zero on the same interleave."""
+        from repro.obs import metrics as obs_metrics
+
+        workload = get_workload(MIX)
+
+        def sharing_lines(family):
+            with obs_metrics.collecting() as registry:
+                measure_family(workload, family, scale="test", seed=1)
+            for key, value in registry.snapshot().counters.items():
+                if "false_sharing_lines" in str(key):
+                    return value
+            return None
+
+        assert sharing_lines("baseline") > 0
+        assert sharing_lines("arena") == 0
+
+    def test_evaluate_serial_matches_jobs_with_families(self, tmp_path):
+        from repro.core.artifact_cache import ArtifactCache
+        from repro.harness.reproduce import evaluate_all
+
+        cache = ArtifactCache(tmp_path / "cache")
+        kwargs = dict(
+            trials=1, scale="test", include_random=False,
+            cache=cache, engine="columnar", families=("freelist-ff", "arena"),
+        )
+        serial = evaluate_all([SCENARIO], **kwargs)
+        parallel = evaluate_all([SCENARIO], jobs=2, **kwargs)
+        assert set(serial[SCENARIO].extra) == {"freelist-ff", "arena"}
+        assert set(parallel[SCENARIO].extra) == {"freelist-ff", "arena"}
+        for family in ("freelist-ff", "arena"):
+            s = serial[SCENARIO].extra[family]
+            p = parallel[SCENARIO].extra[family]
+            assert (s.cycles, s.l1_misses) == (p.cycles, p.l1_misses), family
+            assert serial[SCENARIO].family_speedup(family) == pytest.approx(
+                parallel[SCENARIO].family_speedup(family)
+            )
+
+    def test_cli_baseline_accepts_allocator_flag(self, capsys):
+        from repro.cli import main
+
+        assert main(["baseline", "-b", SCENARIO, "-a", "freelist-bf",
+                     "--scale", "test"]) == 0
+        out = capsys.readouterr().out
+        assert "freelist-bf" in out
+        assert "cycles" in out
+
+    def test_cli_plot_reports_extra_families(self, capsys):
+        from repro.cli import main
+
+        assert main(["plot", "--figure", "14", "--benchmarks", SCENARIO,
+                     "--trials", "1", "--scale", "test", "--no-cache",
+                     "--families", "freelist-ff"]) == 0
+        out = capsys.readouterr().out
+        assert "Extra allocator families" in out
+        assert "freelist-ff" in out
+
+    def test_cli_plot_rejects_unknown_family(self, capsys):
+        from repro.cli import main
+
+        assert main(["plot", "--figure", "14", "--benchmarks", SCENARIO,
+                     "--trials", "1", "--scale", "test", "--no-cache",
+                     "--families", "tcmalloc"]) == 2
+        assert "unknown allocator families" in capsys.readouterr().err

@@ -124,8 +124,9 @@ class TestScenarioMatrix:
         scenarios = default_scenarios(seed=0, ops=100)
         assert {s.family for s in scenarios} == set(FAMILIES)
         # group + sharded each add colouring, always-reuse, and fault-budget
-        # variants on top of the plain run.
-        assert len(scenarios) == len(FAMILIES) + 6
+        # variants on top of the plain run; the free-list families and the
+        # arenas built on them each add a coalescing-stress (small pool) run.
+        assert len(scenarios) == len(FAMILIES) + 6 + 3
 
     def test_single_family_selection(self):
         scenarios = default_scenarios(seed=0, ops=100, family="bump")
